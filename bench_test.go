@@ -1,0 +1,147 @@
+package greedyroute
+
+// One benchmark per paper table and figure, plus engine micro-benchmarks
+// and the replica-scaling ablation. The table/figure benchmarks run the
+// same regeneration harnesses as cmd/tables in quick mode, so
+// `go test -bench=.` exercises every experiment end to end; full-scale
+// numbers for EXPERIMENTS.md come from `cmd/tables` without -quick.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(experiments.Options{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B)            { benchExperiment(b, "table1") }
+func BenchmarkTableII(b *testing.B)           { benchExperiment(b, "table2") }
+func BenchmarkTableIII(b *testing.B)          { benchExperiment(b, "table3") }
+func BenchmarkFigure1(b *testing.B)           { benchExperiment(b, "fig1") }
+func BenchmarkFigure2(b *testing.B)           { benchExperiment(b, "fig2") }
+func BenchmarkBoundLadder(b *testing.B)       { benchExperiment(b, "ladder") }
+func BenchmarkGapConvergence(b *testing.B)    { benchExperiment(b, "gap") }
+func BenchmarkPSDomination(b *testing.B)      { benchExperiment(b, "psdom") }
+func BenchmarkRateValidation(b *testing.B)    { benchExperiment(b, "rates") }
+func BenchmarkOptimalAllocation(b *testing.B) { benchExperiment(b, "alloc") }
+func BenchmarkHypercube(b *testing.B)         { benchExperiment(b, "hypercube") }
+func BenchmarkButterfly(b *testing.B)         { benchExperiment(b, "butterfly") }
+func BenchmarkRandomizedGreedy(b *testing.B)  { benchExperiment(b, "randomized") }
+func BenchmarkTorus(b *testing.B)             { benchExperiment(b, "torus") }
+func BenchmarkNonUniform(b *testing.B)        { benchExperiment(b, "nonuniform") }
+func BenchmarkSlotted(b *testing.B)           { benchExperiment(b, "slotted") }
+func BenchmarkKDArray(b *testing.B)           { benchExperiment(b, "kdarray") }
+func BenchmarkLemma3(b *testing.B)            { benchExperiment(b, "lemma3") }
+func BenchmarkLittleCheck(b *testing.B)       { benchExperiment(b, "little") }
+func BenchmarkMiddleOccupancy(b *testing.B)   { benchExperiment(b, "middles") }
+func BenchmarkDomination(b *testing.B)        { benchExperiment(b, "ndist") }
+func BenchmarkKLGrowth(b *testing.B)          { benchExperiment(b, "klgrowth") }
+func BenchmarkHotSpot(b *testing.B)           { benchExperiment(b, "hotspot") }
+func BenchmarkRectangular(b *testing.B)       { benchExperiment(b, "rect") }
+func BenchmarkTandem(b *testing.B)            { benchExperiment(b, "tandem") }
+func BenchmarkTorusPS(b *testing.B)           { benchExperiment(b, "torusps") }
+func BenchmarkPriority(b *testing.B)          { benchExperiment(b, "priority") }
+func BenchmarkCrossValidate(b *testing.B)     { benchExperiment(b, "xval") }
+
+// BenchmarkSimulatorEvents measures raw engine throughput: one 8×8 array at
+// ρ=0.8 for a fixed horizon per iteration; the reported metric is
+// events/op via b.ReportMetric.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	m := NewArrayModelAtLoad(8, 0.8)
+	cfg := m.Config(SimParams{Horizon: 500, Warmup: 50})
+	var delivered int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered += res.Delivered
+	}
+	b.ReportMetric(float64(delivered)/float64(b.N), "packets/op")
+}
+
+// BenchmarkReplicaScaling is the parallelism ablation: the same total work
+// split across 1, 4, and 16 workers.
+func BenchmarkReplicaScaling(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := NewArrayModelAtLoad(8, 0.8)
+			cfg := m.Config(SimParams{Horizon: 400, Warmup: 50})
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				if _, err := sim.RunReplicas(cfg, 16, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteGeneration measures greedy route construction.
+func BenchmarkRouteGeneration(b *testing.B) {
+	a := topology.NewArray2D(32)
+	g := routing.GreedyXY{A: a}
+	rng := xrand.New(1)
+	buf := make([]int, 0, 64)
+	for i := 0; i < b.N; i++ {
+		src := rng.Intn(a.NumNodes())
+		dst := rng.Intn(a.NumNodes())
+		buf = g.AppendRoute(buf[:0], src, dst, rng)
+	}
+	_ = buf
+}
+
+// BenchmarkEventHeap measures heap push/pop pairs.
+func BenchmarkEventHeap(b *testing.B) {
+	var h des.EventHeap[int]
+	rng := xrand.New(2)
+	for i := 0; i < 1024; i++ {
+		h.Push(rng.Float64(), i)
+	}
+	for i := 0; i < b.N; i++ {
+		ev, _ := h.Pop()
+		h.Push(ev.Time+rng.Float64(), ev.Payload)
+	}
+}
+
+// BenchmarkUpperBound measures the analytic evaluation (used inside sweeps).
+func BenchmarkUpperBound(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = bounds.UpperBoundT(64, 0.05)
+	}
+	_ = sink
+}
+
+// BenchmarkExpectedRemaining measures the exact d̄ enumeration.
+func BenchmarkExpectedRemaining(b *testing.B) {
+	a := topology.NewArray2D(20)
+	for i := 0; i < b.N; i++ {
+		if got := bounds.ExpectedRemaining(a); len(got) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command bounds prints the paper's analytic bound ladder as a ρ-series for
+// one array size — the data behind a delay-vs-load figure. Output is CSV so
+// it can be piped straight into a plotting tool.
+//
+// Usage:
+//
+//	bounds -n 10 -points 20
+//	bounds -n 9 -min 0.5 -max 0.999
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bounds"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 10, "array side length")
+		points = flag.Int("points", 20, "number of load points")
+		minR   = flag.Float64("min", 0.05, "minimum load")
+		maxR   = flag.Float64("max", 0.99, "maximum load")
+	)
+	flag.Parse()
+
+	fmt.Printf("# bound ladder for the %dx%d array (n̄=%.4f, d̄=%.1f, s̄=%.4f, gap limit %.3f)\n",
+		*n, *n, bounds.MeanDist(*n), bounds.DBar(*n), bounds.SBar(*n), bounds.GapLimit(*n))
+	fmt.Println("rho,lambda,trivial,thm8_any,thm8_oblivious,thm10,thm12,thm14_asymptotic,md1_estimate,paper_estimate,upper_thm7")
+	for i := 0; i < *points; i++ {
+		rho := *minR
+		if *points > 1 {
+			rho += (*maxR - *minR) * float64(i) / float64(*points-1)
+		}
+		l := bounds.LambdaForLoad(*n, rho)
+		fmt.Printf("%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			rho, l,
+			bounds.MeanDist(*n),
+			bounds.STLowerBoundAny(*n, l),
+			bounds.STLowerBoundOblivious(*n, l),
+			bounds.Thm10LowerBound(*n, l),
+			bounds.Thm12LowerBound(*n, l),
+			bounds.Thm14LowerBound(*n, l),
+			bounds.MD1ApproxT(*n, l),
+			bounds.PaperEstimateT(*n, l),
+			bounds.UpperBoundT(*n, l))
+	}
+}

@@ -1,0 +1,104 @@
+// Command meshsim runs one simulation of greedy routing on the n×n array
+// and prints the measured delay inside the paper's bound ladder.
+//
+// Usage:
+//
+//	meshsim -n 10 -rho 0.9
+//	meshsim -n 8 -lambda 0.3 -horizon 50000 -replicas 8 -randomized
+//	meshsim -n 6 -rho 0.8 -discipline ps
+//	meshsim -n 6 -rho 0.8 -service exp -saturated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 8, "array side length")
+		rho        = flag.Float64("rho", 0, "target network load (0 < rho < 1); overrides -lambda")
+		lambda     = flag.Float64("lambda", 0, "per-node arrival rate")
+		horizon    = flag.Float64("horizon", 20000, "measured simulation time")
+		warmup     = flag.Float64("warmup", 0, "warmup time (default horizon/4)")
+		replicas   = flag.Int("replicas", 4, "independent replicas")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		randomized = flag.Bool("randomized", false, "use randomized greedy routing (§6)")
+		discipline = flag.String("discipline", "fifo", "queueing discipline: fifo or ps")
+		service    = flag.String("service", "det", "service model: det or exp")
+		saturated  = flag.Bool("saturated", false, "track remaining saturated services (Table III)")
+		quantiles  = flag.Bool("quantiles", false, "report delay quantiles (p50/p90/p99)")
+	)
+	flag.Parse()
+
+	var m core.ArrayModel
+	switch {
+	case *rho > 0:
+		m = core.NewArrayModelAtLoad(*n, *rho)
+	case *lambda > 0:
+		m = core.NewArrayModel(*n, *lambda)
+	default:
+		fmt.Fprintln(os.Stderr, "meshsim: provide -rho or -lambda")
+		os.Exit(2)
+	}
+	p := core.SimParams{
+		Horizon:        *horizon,
+		Warmup:         *warmup,
+		Seed:           *seed,
+		Replicas:       *replicas,
+		Workers:        *workers,
+		TrackSaturated: *saturated,
+		Randomized:     *randomized,
+	}
+	switch *discipline {
+	case "fifo":
+	case "ps":
+		p.Discipline = sim.PS
+	default:
+		fmt.Fprintf(os.Stderr, "meshsim: unknown discipline %q\n", *discipline)
+		os.Exit(2)
+	}
+	switch *service {
+	case "det":
+	case "exp":
+		p.Service = sim.Exponential
+	default:
+		fmt.Fprintf(os.Stderr, "meshsim: unknown service model %q\n", *service)
+		os.Exit(2)
+	}
+	if !m.Stable() {
+		fmt.Printf("warning: load %.3f >= 1, the standard network is unstable; delays will grow with the horizon\n", m.Load())
+	}
+	report, err := m.Report(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+	if *saturated {
+		rs, err := m.Simulate(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  remaining services r = E[R]/E[N]:            %6.3f\n", rs.RPerN)
+		fmt.Printf("  remaining saturated r_s = E[R_s]/E[N]:       %6.3f\n", rs.RsPerN)
+	}
+	if *quantiles {
+		cfg := m.Config(p)
+		cfg.DelayHistWidth = 0.25
+		res, err := sim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  delay quantiles (single run): p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+			res.DelayHist.Quantile(0.5), res.DelayHist.Quantile(0.9),
+			res.DelayHist.Quantile(0.99), res.Delay.Max())
+	}
+}

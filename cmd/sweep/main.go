@@ -1,0 +1,144 @@
+// Command sweep runs simulation parameter sweeps in parallel and emits CSV:
+// one row per (topology, size, load) cell with measured delay, N, r, and
+// the matching analytic bounds. It is the workhorse behind the larger
+// EXPERIMENTS.md comparisons.
+//
+// Usage:
+//
+//	sweep -topology array -n 8 -rhos 0.2,0.5,0.8,0.9 -horizon 20000
+//	sweep -topology torus -n 8 -rhos 0.5,0.8
+//	sweep -topology cube -d 7 -p 0.5 -rhos 0.5,0.9
+//	sweep -topology kd -n 5 -k 3 -rhos 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+type cell struct {
+	rho      float64
+	cfg      sim.Config
+	lower    float64
+	estimate float64
+	upper    float64 // +Inf when no upper bound is known (torus)
+}
+
+func main() {
+	var (
+		topo     = flag.String("topology", "array", "array | torus | cube | butterfly | kd")
+		n        = flag.Int("n", 8, "side length (array/torus/kd)")
+		k        = flag.Int("k", 3, "dimensions (kd)")
+		d        = flag.Int("d", 7, "dimension/levels (cube/butterfly)")
+		p        = flag.Float64("p", 0.5, "cube destination bit-flip probability")
+		rhoList  = flag.String("rhos", "0.2,0.5,0.8,0.9", "comma-separated loads")
+		horizon  = flag.Float64("horizon", 20000, "measured time per run")
+		replicas = flag.Int("replicas", 4, "replicas per cell")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var rhos []float64
+	for _, s := range strings.Split(*rhoList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 || v >= 1 {
+			fmt.Fprintf(os.Stderr, "sweep: bad load %q\n", s)
+			os.Exit(2)
+		}
+		rhos = append(rhos, v)
+	}
+
+	cells := make([]cell, 0, len(rhos))
+	for _, rho := range rhos {
+		c := cell{rho: rho}
+		c.cfg.Warmup = *horizon / 4
+		c.cfg.Horizon = *horizon
+		c.cfg.Seed = *seed
+		switch *topo {
+		case "array":
+			a := topology.NewArray2D(*n)
+			c.cfg.Net, c.cfg.Router = a, routing.GreedyXY{A: a}
+			c.cfg.Dest = routing.UniformDest{NumNodes: a.NumNodes()}
+			c.cfg.NodeRate = bounds.LambdaForLoad(*n, rho)
+			c.lower = bounds.BestLowerBound(*n, c.cfg.NodeRate)
+			c.estimate = bounds.MD1ApproxT(*n, c.cfg.NodeRate)
+			c.upper = bounds.UpperBoundT(*n, c.cfg.NodeRate)
+		case "torus":
+			tor := topology.NewTorus2D(*n)
+			c.cfg.Net, c.cfg.Router = tor, routing.TorusGreedy{T: tor}
+			c.cfg.Dest = routing.UniformDest{NumNodes: tor.NumNodes()}
+			c.cfg.NodeRate = rho / bounds.TorusPlusRate(*n, 1)
+			c.lower = bounds.TorusThm10LowerBound(*n, c.cfg.NodeRate)
+			c.estimate = bounds.TorusMD1ApproxT(*n, c.cfg.NodeRate)
+			c.upper = math.Inf(1)
+		case "cube":
+			h := topology.NewHypercube(*d)
+			c.cfg.Net, c.cfg.Router = h, routing.CubeGreedy{H: h}
+			c.cfg.Dest = routing.BernoulliCubeDest{H: h, P: *p}
+			c.cfg.NodeRate = rho / *p
+			c.lower = bounds.CubeThm12LowerBound(*d, *p, c.cfg.NodeRate)
+			c.estimate = bounds.CubeMD1ApproxT(*d, *p, c.cfg.NodeRate)
+			c.upper = bounds.CubeUpperBoundT(*d, *p, c.cfg.NodeRate)
+		case "butterfly":
+			b := topology.NewButterfly(*d)
+			c.cfg.Net, c.cfg.Router = b, routing.ButterflyRoute{B: b}
+			c.cfg.Dest = routing.ButterflyUniformDest{B: b}
+			c.cfg.NodeRate = 2 * rho
+			c.lower = bounds.ButterflyThm10LowerBound(*d, c.cfg.NodeRate)
+			c.estimate = bounds.ButterflyMD1ApproxT(*d, c.cfg.NodeRate)
+			c.upper = bounds.ButterflyUpperBoundT(*d, c.cfg.NodeRate)
+		case "kd":
+			sizes := make([]int, *k)
+			for i := range sizes {
+				sizes[i] = *n
+			}
+			a := topology.NewArrayKD(sizes...)
+			c.cfg.Net, c.cfg.Router = a, routing.GreedyKD{A: a}
+			c.cfg.Dest = routing.UniformDest{NumNodes: a.NumNodes()}
+			c.cfg.NodeRate = bounds.LambdaForLoad(*n, rho)
+			c.lower = bounds.KDThm12LowerBound(*k, *n, c.cfg.NodeRate)
+			c.estimate = bounds.KDMD1ApproxT(*k, *n, c.cfg.NodeRate)
+			c.upper = bounds.KDUpperBoundT(*k, *n, c.cfg.NodeRate)
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: unknown topology %q\n", *topo)
+			os.Exit(2)
+		}
+		cells = append(cells, c)
+	}
+
+	results := make([]sim.ReplicaSet, len(cells))
+	errs := make([]error, len(cells))
+	sim.Parallel(len(cells), *workers, func(i int) {
+		results[i], errs[i] = sim.RunReplicas(cells[i].cfg, *replicas, 1)
+	})
+
+	fmt.Println("topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper")
+	for i, c := range cells {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "sweep: rho=%v: %v\n", c.rho, errs[i])
+			continue
+		}
+		r := results[i]
+		fmt.Printf("%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s\n",
+			*topo, c.rho, c.cfg.NodeRate,
+			r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
+			c.lower, c.estimate, upperStr(c.upper))
+	}
+}
+
+func upperStr(v float64) string {
+	if math.IsInf(v, 1) {
+		return "none"
+	}
+	return fmt.Sprintf("%.4f", v)
+}

@@ -1,0 +1,68 @@
+// Command tables regenerates the paper's tables and figures (and the
+// in-text claims) and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	tables -list
+//	tables -run table1,table2 [-quick] [-seed 7] [-workers 8]
+//	tables -run all -quick
+//
+// Full runs (without -quick) use the horizons that EXPERIMENTS.md reports
+// and can take minutes for the high-load cells.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		quick   = flag.Bool("quick", false, "shrink horizons and grids for a fast smoke run")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		started := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(started).Seconds())
+	}
+}

@@ -1,0 +1,34 @@
+// Package greedyroute is a reproduction of Michael Mitzenmacher's "Bounds
+// on the Greedy Routing Algorithm for Array Networks" (SPAA 1994; JCSS 53,
+// 1996) as a Go library.
+//
+// The paper studies dynamic greedy routing on an n×n mesh: every node
+// generates packets as a Poisson process with rate λ, each packet is routed
+// first along its row to the correct column and then along that column to a
+// uniformly random destination, and each directed edge is a FIFO queue with
+// unit service time. The library provides:
+//
+//   - the analytic bound ladder for the mean packet delay T — Theorem 7's
+//     product-form upper bound, the §4.2 M/D/1 independence approximation,
+//     and the lower bounds of Theorems 8, 10, 12 and 14 (see BoundSet);
+//   - a deterministic discrete-event simulator of the full model with FIFO
+//     and Processor-Sharing disciplines, deterministic and exponential
+//     service, parallel replication, and the paper's measurement plane
+//     (delay, E[N], E[R], E[R_s], per-edge rates);
+//   - the paper's extensions: optimally configured transmission rates
+//     (Theorem 15), non-uniform destination distributions, k-dimensional
+//     arrays, slotted time, tori, hypercubes and butterflies;
+//   - regeneration harnesses for every table and figure in the paper
+//     (internal/experiments, cmd/tables, and the root benchmarks).
+//
+// # Quick start
+//
+//	m := greedyroute.NewArrayModelAtLoad(8, 0.9)
+//	fmt.Printf("upper bound: %.3f\n", m.Bounds().Upper)
+//	rs, err := m.Simulate(greedyroute.SimParams{Horizon: 20000, Replicas: 4})
+//	if err != nil { ... }
+//	fmt.Printf("simulated:   %.3f ± %.3f\n", rs.MeanDelay, rs.DelayCI)
+//
+// See the examples directory for runnable programs and DESIGN.md for the
+// full system inventory.
+package greedyroute

@@ -1,0 +1,53 @@
+// Hypercube (§4.5): greedy bit-fixing on the d-cube where a packet's
+// destination differs from its source in each address bit independently
+// with probability p. The paper's new lower bound narrows the heavy-load
+// upper/lower gap from Stamoulis–Tsitsiklis's 2d to 2(dp+1-p): locality
+// (small p) makes the bounds nearly tight.
+//
+// Run with: go run ./examples/hypercube
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bounds"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	const d = 7
+	h := topology.NewHypercube(d)
+	fmt.Printf("hypercube d=%d (%d nodes, %d directed edges)\n\n", d, h.NumNodes(), h.NumEdges())
+	fmt.Println("   p |  rho | Thm12 lower | T(simulated) | M/D/1 est |  upper | gap new | gap ST")
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		for _, rho := range []float64{0.5, 0.9} {
+			lambda := rho / p // every edge carries λp
+			cfg := sim.Config{
+				Net:      h,
+				Router:   routing.CubeGreedy{H: h},
+				Dest:     routing.BernoulliCubeDest{H: h, P: p},
+				NodeRate: lambda,
+				Warmup:   2000,
+				Horizon:  8000,
+				Seed:     11,
+			}
+			rs, err := sim.RunReplicas(cfg, 4, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%4.1f | %4.1f | %11.3f | %7.3f ± %.3f | %9.3f | %6.3f | %7.2f | %6.2f\n",
+				p, rho,
+				bounds.CubeThm12LowerBound(d, p, lambda),
+				rs.MeanDelay, rs.DelayCI,
+				bounds.CubeMD1ApproxT(d, p, lambda),
+				bounds.CubeUpperBoundT(d, p, lambda),
+				bounds.CubeGapLimit(d, p),
+				bounds.CubeSTGapLimit(d))
+		}
+	}
+	fmt.Println("\nAt p = 1/2 (uniform destinations) the new gap is d+1 instead of 2d;")
+	fmt.Println("as p → 0 it approaches the best possible factor 2 (Lemma 9's slack).")
+}

@@ -1,0 +1,85 @@
+// Non-uniform destinations (§5.2): traffic in real meshes is often local.
+// Here each packet's destination is drawn by the geometric stopping walk —
+// pick a direction per axis and keep going with probability 1/2 — so nearby
+// nodes are much more likely targets. The walk is Markovian, so Theorem 5's
+// product-form upper bound still applies once the edge rates are computed
+// from the walk's law; this example computes those rates exactly, simulates
+// the mesh, and checks the sandwich.
+//
+// Run with: go run ./examples/nonuniform
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bounds"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	const n = 8
+	a := topology.NewArray2D(n)
+	router := routing.GreedyXY{A: a}
+
+	// Exact destination law: product of the per-axis walk distributions.
+	axis := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		axis[k] = routing.GeometricAxisDist(n, k)
+	}
+	dist := func(src, dst int) float64 {
+		r1, c1 := a.Coords(src)
+		r2, c2 := a.Coords(dst)
+		return axis[r1][r2] * axis[c1][c2]
+	}
+
+	unit := bounds.ExactEdgeRates(a, router, 1, dist, nil)
+	maxUnit := 0.0
+	for _, r := range unit {
+		if r > maxUnit {
+			maxUnit = r
+		}
+	}
+	meanLen := bounds.MeanRouteLen(a, router, dist, nil)
+	fmt.Printf("geometric destinations on the %dx%d array:\n", n, n)
+	fmt.Printf("  mean route length: %.3f (uniform would be %.3f)\n", meanLen, bounds.MeanDist(n))
+	fmt.Printf("  stability limit:   λ < %.4f (uniform: %.4f)\n\n", 1/maxUnit, bounds.StabilityLimit(n))
+
+	fmt.Println(" rho | T(simulated)     | M/D/1 est | Thm 5 upper")
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		lambda := rho / maxUnit
+		cfg := sim.Config{
+			Net:      a,
+			Router:   router,
+			Dest:     routing.GeometricArrayDest{A: a},
+			NodeRate: lambda,
+			Warmup:   2000,
+			Horizon:  8000,
+			Seed:     13,
+		}
+		rs, err := sim.RunReplicas(cfg, 4, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates := make([]float64, len(unit))
+		ones := make([]float64, len(unit))
+		for e := range unit {
+			rates[e] = lambda * unit[e]
+			ones[e] = 1
+		}
+		upper, err := bounds.JacksonT(rates, ones, lambda*float64(n*n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := bounds.MD1SystemT(rates, ones, lambda*float64(n*n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4.1f | %7.3f ± %.3f | %9.3f | %11.3f\n",
+			rho, rs.MeanDelay, rs.DelayCI, est, upper)
+	}
+	fmt.Println("\nlocal traffic shortens routes and raises the stable per-node rate;")
+	fmt.Println("the Markovian-routing argument keeps the upper bound valid throughout.")
+}

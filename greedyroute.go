@@ -1,0 +1,53 @@
+package greedyroute
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ArrayModel is the paper's standard system; see core.ArrayModel.
+type ArrayModel = core.ArrayModel
+
+// BoundSet is the full analytic ladder for one (n, λ) point.
+type BoundSet = core.BoundSet
+
+// SimParams tunes ArrayModel.Simulate.
+type SimParams = core.SimParams
+
+// Result is the measurement set of a single simulation run.
+type Result = sim.Result
+
+// ReplicaSet aggregates replicated runs.
+type ReplicaSet = sim.ReplicaSet
+
+// NewArrayModel creates a model with an explicit per-node arrival rate λ.
+func NewArrayModel(n int, lambda float64) ArrayModel { return core.NewArrayModel(n, lambda) }
+
+// NewArrayModelAtLoad creates a model at network load ρ.
+func NewArrayModelAtLoad(n int, rho float64) ArrayModel { return core.NewArrayModelAtLoad(n, rho) }
+
+// UpperBoundT returns Theorem 7's upper bound on the mean delay of the
+// standard n×n array at per-node rate λ.
+func UpperBoundT(n int, lambda float64) float64 { return bounds.UpperBoundT(n, lambda) }
+
+// MD1ApproxT returns §4.2's M/D/1 independence approximation.
+func MD1ApproxT(n int, lambda float64) float64 { return bounds.MD1ApproxT(n, lambda) }
+
+// LowerBoundT returns the strongest non-asymptotic lower bound (the maximum
+// of the trivial bound n̄ and Theorems 8 and 12).
+func LowerBoundT(n int, lambda float64) float64 { return bounds.BestLowerBound(n, lambda) }
+
+// StabilityLimit returns the largest stable per-node rate of the standard
+// array: 4/n for even n, 4n/(n²-1) for odd n.
+func StabilityLimit(n int) float64 { return bounds.StabilityLimit(n) }
+
+// OptimalStabilityLimit returns §5.1's improved threshold 6/(n+1) for the
+// optimally configured array at the standard budget.
+func OptimalStabilityLimit(n int) float64 { return bounds.OptimalStabilityLimit(n) }
+
+// MeanDist returns n̄ = (2/3)(n - 1/n), the mean greedy route length.
+func MeanDist(n int) float64 { return bounds.MeanDist(n) }
+
+// LambdaForLoad converts a target load ρ to a per-node rate.
+func LambdaForLoad(n int, rho float64) float64 { return bounds.LambdaForLoad(n, rho) }

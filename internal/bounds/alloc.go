@@ -1,0 +1,55 @@
+package bounds
+
+import (
+	"repro/internal/queueing"
+	"repro/internal/topology"
+)
+
+// This file applies Theorem 15's optimal service-rate allocation to the
+// array (§5.1): slower wires on the lightly loaded periphery, faster ones
+// in the middle, under a fixed linear budget.
+
+// StandardBudget returns the total capacity of the standard array with unit
+// costs and unit rates: D = 4n(n-1), one unit per directed edge.
+func StandardBudget(n int) float64 { return float64(4 * n * (n - 1)) }
+
+// ArrayOptimalAllocation returns the Theorem 15 service rates for an n×n
+// array at per-node rate lambda with unit costs and the given budget, along
+// with the leftover budget D* = D - Σλ_e. The allocation is feasible only
+// while D* > 0, i.e. while lambda < 6/(n+1) at the standard budget.
+func ArrayOptimalAllocation(a *topology.Array2D, lambda, budget float64) (phi []float64, dstar float64, err error) {
+	rates := EdgeRates(a, lambda)
+	cost := make([]float64, len(rates))
+	for j := range cost {
+		cost[j] = 1
+	}
+	return queueing.OptimalAllocation(rates, cost, budget)
+}
+
+// ArrayOptimalT returns §5.1's closed-form mean delay of the optimally
+// configured array: T = (Σ_e √λ_e)²/(D*·λn²) with unit costs.
+func ArrayOptimalT(a *topology.Array2D, lambda, budget float64) (float64, error) {
+	rates := EdgeRates(a, lambda)
+	cost := make([]float64, len(rates))
+	for j := range cost {
+		cost[j] = 1
+	}
+	num, err := queueing.OptimalNumber(rates, cost, budget)
+	if err != nil {
+		return 0, err
+	}
+	n := a.N()
+	return queueing.LittleT(num, lambda*float64(n*n)), nil
+}
+
+// ArrayStandardT returns the Jackson delay of the standard (all rates 1)
+// array, i.e. Theorem 7's upper bound, for comparison with ArrayOptimalT.
+func ArrayStandardT(a *topology.Array2D, lambda float64) (float64, error) {
+	rates := EdgeRates(a, lambda)
+	phi := make([]float64, len(rates))
+	for j := range phi {
+		phi[j] = 1
+	}
+	n := a.N()
+	return JacksonT(rates, phi, lambda*float64(n*n))
+}

@@ -1,0 +1,436 @@
+// Package bounds implements every closed-form quantity in the paper: the
+// Theorem 6 edge arrival rates, the Theorem 7 upper bound, the §4.2 M/D/1
+// independence approximation, the Theorem 8 Stamoulis–Tsitsiklis lower
+// bounds, the Theorem 10/12 copy-network lower bounds (with the maximum
+// expected remaining distance d̄ computed exactly), the Theorem 14
+// saturated-edge lower bound (with s̄ computed exactly), the Theorem 15
+// optimal service-rate allocation, and the corresponding formulas for
+// hypercubes, butterflies, k-dimensional arrays and tori.
+//
+// All functions use 0-based coordinates at the API and the paper's 1-based
+// indices inside formulas. T always denotes the expected time a packet
+// spends in the system; rates are per unit time; service times are 1 unless
+// stated otherwise.
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/queueing"
+	"repro/internal/topology"
+)
+
+// MeanDist returns n̄ = (2/3)(n - 1/n), the mean greedy route length with
+// destinations uniform over all n² nodes (source == destination allowed).
+func MeanDist(n int) float64 {
+	nn := float64(n)
+	return 2.0 / 3.0 * (nn - 1/nn)
+}
+
+// MeanDistExcl returns n̄₂ = 2n/3, the mean route length excluding packets
+// whose destination equals their source.
+func MeanDistExcl(n int) float64 { return 2 * float64(n) / 3 }
+
+// maxProd returns max_i i(n-i) = ⌊n²/4⌋, the bottleneck rate index.
+func maxProd(n int) int { return n * n / 4 }
+
+// Load returns the network load ρ = λ·⌊n²/4⌋/n of the standard (unit
+// service) array at per-node arrival rate λ.
+func Load(n int, lambda float64) float64 {
+	return lambda * float64(maxProd(n)) / float64(n)
+}
+
+// LambdaForLoad inverts Load: the per-node rate achieving load ρ. It equals
+// 4ρ/n for even n and 4nρ/(n²-1) for odd n.
+func LambdaForLoad(n int, rho float64) float64 {
+	return rho * float64(n) / float64(maxProd(n))
+}
+
+// StabilityLimit returns the largest per-node arrival rate for which the
+// standard array is stable: 4/n for even n and 4n/(n²-1) for odd n.
+func StabilityLimit(n int) float64 { return LambdaForLoad(n, 1) }
+
+// OptimalStabilityLimit returns §5.1's stability threshold 6/(n+1) for the
+// array whose transmission capacity is optimally redistributed under the
+// standard budget D = 4n(n-1) with unit costs.
+func OptimalStabilityLimit(n int) float64 { return 6 / (float64(n) + 1) }
+
+// rateIndex returns the 1-based index i such that the Theorem 6 rate of
+// edge e is (λ/n)·i(n-i).
+func rateIndex(a *topology.Array2D, e int) int {
+	r, c, d := a.EdgeInfo(e)
+	switch d {
+	case topology.Right:
+		return c + 1
+	case topology.Left:
+		return c
+	case topology.Down:
+		return r + 1
+	default: // Up
+		return r
+	}
+}
+
+// EdgeRate returns the Theorem 6 total packet arrival rate on edge e of the
+// array when every node generates packets at rate lambda with uniform
+// destinations.
+func EdgeRate(a *topology.Array2D, e int, lambda float64) float64 {
+	n := a.N()
+	i := rateIndex(a, e)
+	return lambda * float64(i*(n-i)) / float64(n)
+}
+
+// EdgeRates returns the Theorem 6 rate for every edge, indexed by edge id.
+func EdgeRates(a *topology.Array2D, lambda float64) []float64 {
+	rates := make([]float64, a.NumEdges())
+	for e := range rates {
+		rates[e] = EdgeRate(a, e, lambda)
+	}
+	return rates
+}
+
+// md1Number is the M/D/1 number-in-system at load u with unit service:
+// u + u²/(2(1-u)). Infinite at u >= 1.
+func md1Number(u float64) float64 {
+	if u >= 1 {
+		return math.Inf(1)
+	}
+	return u + u*u/(2*(1-u))
+}
+
+// mm1Number is the M/M/1 number-in-system at load u: u/(1-u).
+func mm1Number(u float64) float64 {
+	if u >= 1 {
+		return math.Inf(1)
+	}
+	return u / (1 - u)
+}
+
+// sumOverRates evaluates (4/(λn))·Σ_{i=1}^{n-1} f(r_i) with
+// r_i = λi(n-i)/n, exploiting that the array has exactly 4n edges of each
+// rate index. At λ = 0 the callers' limits all equal n̄, which is returned.
+func sumOverRates(n int, lambda float64, f func(u float64) float64) float64 {
+	if lambda == 0 {
+		return MeanDist(n)
+	}
+	total := 0.0
+	for i := 1; i < n; i++ {
+		total += f(lambda * float64(i*(n-i)) / float64(n))
+	}
+	return 4 / (lambda * float64(n)) * total
+}
+
+// UpperBoundT returns Theorem 7's upper bound on the average delay of the
+// standard array: the delay of the equivalent Jackson (product-form)
+// network, (4/(λn))·Σ_{i=1}^{n-1} r_i/(1-r_i). Infinite when unstable.
+func UpperBoundT(n int, lambda float64) float64 {
+	return sumOverRates(n, lambda, mm1Number)
+}
+
+// MD1ApproxT returns §4.2's independence approximation for the average
+// delay: each edge treated as an independent M/D/1 queue,
+// (4/(λn))·Σ_{i=1}^{n-1} r_i(2-r_i)/(2(1-r_i)).
+func MD1ApproxT(n int, lambda float64) float64 {
+	return sumOverRates(n, lambda, md1Number)
+}
+
+// LambdaTable returns the per-node arrival rate the paper's tables use for
+// a target load ρ: λ = 4ρ/n for every n. (For odd n the true bottleneck
+// load is then ρ·(1-1/n²), marginally below ρ; the published tables follow
+// the even-n conversion, which we reproduce for comparability.)
+func LambdaTable(n int, rho float64) float64 { return 4 * rho / float64(n) }
+
+// PaperEstimateT returns the exact formula behind Table I's "Est" column,
+// recovered by matching the published values to better than 0.1%:
+//
+//	T = (4/(λn)) Σ_{i=1}^{n-1} a_i[(n-a_i)² + n²] / (2n²(n-a_i)),  a_i = λi(n-i).
+//
+// Per queue this is T_e = (1-u)/2 + 1/(2(1-u)) with u = a_i/n, which equals
+// the standard M/D/1 time-in-system (2-u)/(2(1-u)) minus u/2. MD1ApproxT is
+// the textbook form; PaperEstimateT is what the paper tabulated. Both share
+// the λ→0 limit n̄ and the (1-u)⁻¹ blow-up, and differ by at most
+// (1/Λ)Σλ_e·u_e/2 — about 8% at worst in the table's range.
+func PaperEstimateT(n int, lambda float64) float64 {
+	if lambda == 0 {
+		return MeanDist(n)
+	}
+	nn := float64(n)
+	total := 0.0
+	for i := 1; i < n; i++ {
+		a := lambda * float64(i*(n-i))
+		if a >= nn {
+			return math.Inf(1)
+		}
+		total += a * ((nn-a)*(nn-a) + nn*nn) / (2 * nn * nn * (nn - a))
+	}
+	return 4 / (lambda * nn) * total
+}
+
+// STLowerFactor returns Theorem 8's prefactor f: 1/2 for even n and
+// 1/2 - 1/n² for odd n.
+func STLowerFactor(n int) float64 {
+	if n%2 == 0 {
+		return 0.5
+	}
+	return 0.5 - 1/float64(n*n)
+}
+
+// STLowerBoundAny returns Theorem 8's lower bound for any routing scheme on
+// the array: f·(1 + ρ/(2n(1-ρ))).
+func STLowerBoundAny(n int, lambda float64) float64 {
+	rho := Load(n, lambda)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return STLowerFactor(n) * (1 + rho/(2*float64(n)*(1-rho)))
+}
+
+// STLowerBoundOblivious returns Theorem 8's lower bound for oblivious
+// routing schemes (greedy is oblivious): f·(1 + ρ/(2(1-ρ))).
+func STLowerBoundOblivious(n int, lambda float64) float64 {
+	rho := Load(n, lambda)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return STLowerFactor(n) * (1 + rho/(2*(1-rho)))
+}
+
+// MaxRouteLen returns d = 2(n-1), the paper's maximum number of distinct
+// services required by any packet (Theorem 10's d).
+func MaxRouteLen(n int) int { return 2 * (n - 1) }
+
+// DBar returns d̄ = n - 1/2, the array's maximum expected remaining distance
+// (Definition 11); the maximum is achieved by a packet queued at a corner
+// heading along its row, e.g. at node (1,1) headed right.
+func DBar(n int) float64 { return float64(n) - 0.5 }
+
+// Thm10LowerBound returns the general copy-network lower bound of
+// Theorem 10 combined with Lemma 9 and Little's law:
+// T >= T_md1 / d with d = 2(n-1).
+func Thm10LowerBound(n int, lambda float64) float64 {
+	return MD1ApproxT(n, lambda) / float64(MaxRouteLen(n))
+}
+
+// Thm12LowerBound returns the Markovian-network lower bound of Theorem 12:
+// T >= T_md1 / d̄ with d̄ = n - 1/2.
+func Thm12LowerBound(n int, lambda float64) float64 {
+	return MD1ApproxT(n, lambda) / DBar(n)
+}
+
+// IsSaturatedIndex reports whether rate index i (1-based) attains the
+// maximum edge rate, i.e. i(n-i) = ⌊n²/4⌋.
+func IsSaturatedIndex(n, i int) bool { return i*(n-i) == maxProd(n) }
+
+// SaturatedEdges marks the array's saturated edges (λ_e/φ_e = ρ): those
+// whose rate index attains ⌊n²/4⌋. For even n these are the 4n edges
+// crossing the middle; for odd n the 8n edges at the two middle positions
+// (Figure 2). (For n ≤ 3 every edge is saturated.)
+func SaturatedEdges(a *topology.Array2D) []bool {
+	sat := make([]bool, a.NumEdges())
+	for e := range sat {
+		sat[e] = IsSaturatedIndex(a.N(), rateIndex(a, e))
+	}
+	return sat
+}
+
+// NumSaturatedEdges returns the count of saturated edges.
+func NumSaturatedEdges(n int) int {
+	count := 0
+	for i := 1; i < n; i++ {
+		if IsSaturatedIndex(n, i) {
+			count++
+		}
+	}
+	return 4 * n * count
+}
+
+// axisSaturated counts the saturated edges crossed when moving along one
+// axis from 0-based position from to position to (inclusive of the edge out
+// of from). Moving in the plus direction the edge leaving position m has
+// rate index m+1; in the minus direction it has rate index m.
+func axisSaturated(n, from, to int) int {
+	count := 0
+	if to > from {
+		for m := from; m < to; m++ {
+			if IsSaturatedIndex(n, m+1) {
+				count++
+			}
+		}
+	} else {
+		for m := from; m > to; m-- {
+			if IsSaturatedIndex(n, m) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// MaxSaturatedCrossings returns the maximum number of saturated edges on
+// any greedy route: 2 for even n >= 4, and up to 4 for odd n (Figure 2).
+// It is computed by scanning all axis movements, which is exact because a
+// greedy route decomposes into one horizontal and one vertical axis walk.
+func MaxSaturatedCrossings(n int) int {
+	maxAxis := 0
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if c := axisSaturated(n, from, to); c > maxAxis {
+				maxAxis = c
+			}
+		}
+	}
+	return 2 * maxAxis
+}
+
+// ExpectedRemaining returns d_e for every edge: the expected number of
+// distinct services a packet queued at e still needs (including e itself),
+// under the conditional destination distribution of packets crossing e.
+// The paper's Definition 11; max is DBar(n) = n - 1/2.
+func ExpectedRemaining(a *topology.Array2D) []float64 {
+	n := a.N()
+	out := make([]float64, a.NumEdges())
+	for e := range out {
+		r, c, d := a.EdgeInfo(e)
+		switch d {
+		case topology.Right:
+			// Destination column uniform on [c+1, n); remaining horizontal
+			// hops uniform on [1, n-1-c]; plus full-row vertical deviation.
+			out[e] = float64(1+(n-1-c))/2 + meanAbsDev(n, r)
+		case topology.Left:
+			out[e] = float64(1+c)/2 + meanAbsDev(n, r)
+		case topology.Down:
+			out[e] = float64(1+(n-1-r)) / 2
+		default: // Up
+			out[e] = float64(1+r) / 2
+		}
+	}
+	return out
+}
+
+// meanAbsDev returns E|B - r| for B uniform on [0, n).
+func meanAbsDev(n, r int) float64 {
+	total := 0
+	for b := 0; b < n; b++ {
+		if b > r {
+			total += b - r
+		} else {
+			total += r - b
+		}
+	}
+	return float64(total) / float64(n)
+}
+
+// ExpectedRemainingSaturated returns s_e for every edge: the expected
+// number of remaining services at saturated queues for a packet queued at e
+// (Definition 13), under the same conditional destination distribution as
+// ExpectedRemaining.
+func ExpectedRemainingSaturated(a *topology.Array2D) []float64 {
+	n := a.N()
+	out := make([]float64, a.NumEdges())
+	for e := range out {
+		r, c, d := a.EdgeInfo(e)
+		switch d {
+		case topology.Right:
+			out[e] = meanAxisSatRange(n, c, c+1, n-1) + meanAxisSatAll(n, r)
+		case topology.Left:
+			out[e] = meanAxisSatRange(n, c, 0, c-1) + meanAxisSatAll(n, r)
+		case topology.Down:
+			out[e] = meanAxisSatRange(n, r, r+1, n-1)
+		default: // Up
+			out[e] = meanAxisSatRange(n, r, 0, r-1)
+		}
+	}
+	return out
+}
+
+// meanAxisSatRange averages axisSaturated(n, from, to) over to uniform in
+// [lo, hi].
+func meanAxisSatRange(n, from, lo, hi int) float64 {
+	total := 0
+	for to := lo; to <= hi; to++ {
+		total += axisSaturated(n, from, to)
+	}
+	return float64(total) / float64(hi-lo+1)
+}
+
+// meanAxisSatAll averages axisSaturated(n, from, to) over to uniform in
+// [0, n).
+func meanAxisSatAll(n, from int) float64 {
+	return meanAxisSatRange(n, from, 0, n-1)
+}
+
+// SBar returns s̄ = max_e s_e, the maximum expected remaining saturated
+// distance. It equals 3/2 for even n and is < 3 for odd n (approaching 3 as
+// n grows), which is where Theorem 14's constant-factor gap comes from.
+func SBar(n int) float64 {
+	a := topology.NewArray2D(n)
+	sbar := 0.0
+	for _, s := range ExpectedRemainingSaturated(a) {
+		if s > sbar {
+			sbar = s
+		}
+	}
+	return sbar
+}
+
+// Thm14LowerBound returns the saturated-edge lower bound of Theorem 14:
+// counting only packets' services at saturated queues,
+//
+//	T >= (#saturated · N_MD1(ρ)) / (λn² · s̄).
+//
+// The bound is asymptotic — valid as ρ → 1, where unsaturated M/D/1 queues
+// stay bounded while saturated ones diverge; at moderate loads it can fall
+// below the other lower bounds and BestLowerBound takes the maximum.
+func Thm14LowerBound(n int, lambda float64) float64 {
+	rho := Load(n, lambda)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	sat := float64(NumSaturatedEdges(n))
+	return sat * md1Number(rho) / (lambda * float64(n*n) * SBar(n))
+}
+
+// GapLimit returns 2·s̄, the limiting ratio of Theorem 7's upper bound to
+// Theorem 14's lower bound as ρ → 1: exactly 3 for even n, at most 6 for
+// odd n.
+func GapLimit(n int) float64 { return 2 * SBar(n) }
+
+// BestLowerBound returns the strongest applicable lower bound at the given
+// load: the maximum of the trivial bound n̄, both Theorem 8 forms (greedy is
+// oblivious), and Theorem 12. Theorem 14 is excluded because it holds only
+// asymptotically; use Thm14LowerBound directly for ρ → 1 studies.
+func BestLowerBound(n int, lambda float64) float64 {
+	best := MeanDist(n)
+	for _, v := range []float64{
+		STLowerBoundAny(n, lambda),
+		STLowerBoundOblivious(n, lambda),
+		Thm12LowerBound(n, lambda),
+	} {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// JacksonT evaluates the product-form delay (1/Λ)·Σ λ_e/(φ_e-λ_e) for
+// arbitrary per-edge rates; it generalizes UpperBoundT to configured
+// networks (Theorem 15) and non-uniform destination distributions, where
+// the Markovian-routing argument keeps Theorem 5 valid.
+func JacksonT(edgeRates, serviceRates []float64, totalArrival float64) (float64, error) {
+	num, err := queueing.JacksonNumber(edgeRates, serviceRates)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return queueing.LittleT(num, totalArrival), nil
+}
+
+// MD1SystemT evaluates the §4.2 independence approximation for arbitrary
+// per-edge rates.
+func MD1SystemT(edgeRates, serviceRates []float64, totalArrival float64) (float64, error) {
+	num, err := queueing.MD1SystemNumber(edgeRates, serviceRates)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return queueing.LittleT(num, totalArrival), nil
+}

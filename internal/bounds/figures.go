@@ -1,0 +1,140 @@
+package bounds
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// This file regenerates the paper's two figures as text. Figure 1 shows the
+// Lemma 2 layering labels on a small array; Figure 2 marks the saturated
+// edges for an even and an odd side length.
+
+// RenderLayering draws the array with each edge annotated by its Lemma 2
+// layer label, in the style of Figure 1. Horizontal edges show
+// "right/left" labels as a>b pairs between nodes; vertical edges show
+// "down/up" pairs. Intended for small n (the paper uses n = 4).
+func RenderLayering(n int) string {
+	a := topology.NewArray2D(n)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Lemma 2 layering labels for the %d x %d array\n", n, n)
+	sb.WriteString("(horizontal: right>/<left, vertical: down v / up ^)\n\n")
+	for r := 0; r < n; r++ {
+		// Node row with horizontal labels.
+		for c := 0; c < n; c++ {
+			fmt.Fprintf(&sb, "(%d,%d)", r+1, c+1)
+			if c < n-1 {
+				er, _ := a.EdgeIn(r, c, topology.Right)
+				el, _ := a.EdgeIn(r, c+1, topology.Left)
+				fmt.Fprintf(&sb, " %d>/<%d ", a.LayerLabel(er), a.LayerLabel(el))
+			}
+		}
+		sb.WriteByte('\n')
+		if r == n-1 {
+			break
+		}
+		// Vertical labels between node rows.
+		for c := 0; c < n; c++ {
+			ed, _ := a.EdgeIn(r, c, topology.Down)
+			eu, _ := a.EdgeIn(r+1, c, topology.Up)
+			fmt.Fprintf(&sb, "%dv/%d^", a.LayerLabel(ed), a.LayerLabel(eu))
+			if c < n-1 {
+				sb.WriteString(strings.Repeat(" ", 6))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// VerifyLayering checks Lemma 2 exhaustively for side n: along every greedy
+// route the layer labels must strictly increase. It returns an error
+// describing the first violation, or nil.
+func VerifyLayering(n int) error {
+	a := topology.NewArray2D(n)
+	var buf []int
+	for src := 0; src < a.NumNodes(); src++ {
+		for dst := 0; dst < a.NumNodes(); dst++ {
+			buf = greedyRowFirst(a, buf[:0], src, dst)
+			prev := 0
+			for _, e := range buf {
+				l := a.LayerLabel(e)
+				if l <= prev {
+					return fmt.Errorf("bounds: layering violated on route %d->%d: label %d after %d", src, dst, l, prev)
+				}
+				prev = l
+			}
+		}
+	}
+	return nil
+}
+
+// greedyRowFirst regenerates the greedy route locally (row edges then
+// column edges) to keep this package independent of internal/routing.
+func greedyRowFirst(a *topology.Array2D, buf []int, src, dst int) []int {
+	r1, c1 := a.Coords(src)
+	r2, c2 := a.Coords(dst)
+	for c := c1; c < c2; c++ {
+		e, _ := a.EdgeIn(r1, c, topology.Right)
+		buf = append(buf, e)
+	}
+	for c := c1; c > c2; c-- {
+		e, _ := a.EdgeIn(r1, c, topology.Left)
+		buf = append(buf, e)
+	}
+	for r := r1; r < r2; r++ {
+		e, _ := a.EdgeIn(r, c2, topology.Down)
+		buf = append(buf, e)
+	}
+	for r := r1; r > r2; r-- {
+		e, _ := a.EdgeIn(r, c2, topology.Up)
+		buf = append(buf, e)
+	}
+	return buf
+}
+
+// RenderSaturated draws the array marking saturated edge positions in the
+// style of Figure 2: '=' marks a saturated horizontal pair, '‖' a saturated
+// vertical pair, '-' and '|' unsaturated ones.
+func RenderSaturated(n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Saturated edges of the %d x %d array (n %s): ", n, n, parity(n))
+	fmt.Fprintf(&sb, "%d saturated edges, max %d per greedy route, s̄ = %.4g\n\n",
+		NumSaturatedEdges(n), MaxSaturatedCrossings(n), SBar(n))
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			sb.WriteByte('o')
+			if c < n-1 {
+				if IsSaturatedIndex(n, c+1) { // right edge out of 1-based col c+1
+					sb.WriteString("===")
+				} else {
+					sb.WriteString("---")
+				}
+			}
+		}
+		sb.WriteByte('\n')
+		if r == n-1 {
+			break
+		}
+		for c := 0; c < n; c++ {
+			if IsSaturatedIndex(n, r+1) { // down edge out of 1-based row r+1
+				sb.WriteString("‖")
+			} else {
+				sb.WriteString("|")
+			}
+			if c < n-1 {
+				sb.WriteString("   ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func parity(n int) string {
+	if n%2 == 0 {
+		return "even"
+	}
+	return "odd"
+}

@@ -1,0 +1,241 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestCubeEdgeRateMatchesEnumeration(t *testing.T) {
+	// All cube edges carry λp; check against route counting for p = 1/2
+	// (uniform destinations), where each bit differs with probability 1/2.
+	d := 4
+	h := topology.NewHypercube(d)
+	lambda := 0.6
+	exact := ExactEdgeRates(h, routing.CubeGreedy{H: h}, lambda, UniformDist(h), nil)
+	want := CubeEdgeRate(lambda, 0.5)
+	for e, r := range exact {
+		if !almost(r, want, 1e-9) {
+			t.Fatalf("edge %d: rate %v, want %v", e, r, want)
+		}
+	}
+}
+
+func TestCubeBoundsOrderingAndGap(t *testing.T) {
+	d := 8
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		for _, rho := range []float64{0.3, 0.9, 0.999} {
+			lambda := rho / p
+			up := CubeUpperBoundT(d, p, lambda)
+			md := CubeMD1ApproxT(d, p, lambda)
+			l10 := CubeThm10LowerBound(d, p, lambda)
+			l12 := CubeThm12LowerBound(d, p, lambda)
+			if !(l10 <= l12 && l12 <= md+1e-9 && md <= up+1e-9) {
+				t.Errorf("d=%d p=%v rho=%v: ordering violated: %v %v %v %v", d, p, rho, l10, l12, md, up)
+			}
+		}
+		// Gap limit improves on Stamoulis–Tsitsiklis for all p in (0,1).
+		if CubeGapLimit(d, p) >= CubeSTGapLimit(d) {
+			t.Errorf("p=%v: new gap %v not below 2d", p, CubeGapLimit(d, p))
+		}
+		// Empirical ratio near capacity approaches the limit.
+		lambda := 0.999 / p
+		ratio := CubeUpperBoundT(d, p, lambda) / CubeThm12LowerBound(d, p, lambda)
+		if math.Abs(ratio-CubeGapLimit(d, p)) > 0.05*CubeGapLimit(d, p) {
+			t.Errorf("p=%v: ratio %v, want near %v", p, ratio, CubeGapLimit(d, p))
+		}
+	}
+	// p = 1/2 gives gap d+1 (the paper's "more usual case").
+	if !almost(CubeGapLimit(d, 0.5), float64(d+1), 1e-12) {
+		t.Errorf("CubeGapLimit(d,1/2) = %v, want %v", CubeGapLimit(d, 0.5), d+1)
+	}
+}
+
+func TestCubeLowLoadLimits(t *testing.T) {
+	if !almost(CubeUpperBoundT(6, 0.3, 0), CubeMeanDist(6, 0.3), 1e-12) {
+		t.Error("cube upper bound at λ=0")
+	}
+	if !almost(CubeMD1ApproxT(6, 0.3, 0), CubeMeanDist(6, 0.3), 1e-12) {
+		t.Error("cube approx at λ=0")
+	}
+	if !math.IsInf(CubeUpperBoundT(6, 0.5, 2.0), 1) {
+		t.Error("cube unstable should be +Inf")
+	}
+	if !almost(CubeStabilityLimit(0.5), 2, 1e-12) {
+		t.Error("cube stability limit")
+	}
+}
+
+func TestButterflyEdgeRateMatchesEnumeration(t *testing.T) {
+	d := 4
+	b := topology.NewButterfly(d)
+	lambda := 0.8
+	exact := ExactEdgeRates(b, routing.ButterflyRoute{B: b}, lambda,
+		UniformOverDist(b.OutputNodes()), b.OutputNodes())
+	want := ButterflyEdgeRate(lambda)
+	for e, r := range exact {
+		if !almost(r, want, 1e-9) {
+			t.Fatalf("edge %d: rate %v, want %v", e, r, want)
+		}
+	}
+}
+
+func TestButterflyBounds(t *testing.T) {
+	d := 6
+	for _, lambda := range []float64{0.5, 1.5, 1.99} {
+		up := ButterflyUpperBoundT(d, lambda)
+		md := ButterflyMD1ApproxT(d, lambda)
+		low := ButterflyThm10LowerBound(d, lambda)
+		if !(low <= md+1e-9 && md <= up+1e-9) {
+			t.Errorf("λ=%v: ordering violated: %v %v %v", lambda, low, md, up)
+		}
+	}
+	if !almost(ButterflyUpperBoundT(d, 0), float64(d), 1e-12) {
+		t.Error("butterfly upper at λ=0")
+	}
+	if !math.IsInf(ButterflyUpperBoundT(d, 2), 1) {
+		t.Error("butterfly at capacity should be +Inf")
+	}
+	// Near capacity the ratio approaches 2d.
+	ratio := ButterflyUpperBoundT(d, 1.999) / ButterflyThm10LowerBound(d, 1.999)
+	if math.Abs(ratio-ButterflyGapLimit(d)) > 0.05*ButterflyGapLimit(d) {
+		t.Errorf("butterfly gap ratio %v, want near %v", ratio, ButterflyGapLimit(d))
+	}
+	if ButterflyStabilityLimit() != 2 {
+		t.Error("butterfly stability limit")
+	}
+}
+
+func TestKDReducesTo2D(t *testing.T) {
+	for _, n := range []int{4, 5, 9} {
+		lambda := 0.8 * StabilityLimit(n)
+		if !almost(KDMeanDist(2, n), MeanDist(n), 1e-12) {
+			t.Errorf("n=%d: KDMeanDist(2) != MeanDist", n)
+		}
+		if !almost(KDUpperBoundT(2, n, lambda), UpperBoundT(n, lambda), 1e-12) {
+			t.Errorf("n=%d: KDUpperBoundT(2) != UpperBoundT", n)
+		}
+		if !almost(KDMD1ApproxT(2, n, lambda), MD1ApproxT(n, lambda), 1e-12) {
+			t.Errorf("n=%d: KDMD1ApproxT(2) != MD1ApproxT", n)
+		}
+		if !almost(KDDBar(2, n), DBar(n), 1e-12) {
+			t.Errorf("n=%d: KDDBar(2) != DBar", n)
+		}
+	}
+}
+
+func TestKDEdgeRatesMatchEnumeration(t *testing.T) {
+	// The per-dimension Theorem 6 rates carry over to k dimensions: every
+	// edge at axis position i carries (λ/n)·i(n-i).
+	n, k := 4, 3
+	a := topology.NewArrayKD(n, n, n)
+	lambda := 0.3
+	exact := ExactEdgeRates(a, routing.GreedyKD{A: a}, lambda, UniformDist(a), nil)
+	for e, got := range exact {
+		dim, plus, from := a.EdgeInfo(e)
+		// Axis position of the source in dimension dim.
+		stride := 1
+		for j := dim + 1; j < k; j++ {
+			stride *= n
+		}
+		c := from / stride % n
+		i := c // minus edge from position c has 1-based index c
+		if plus {
+			i = c + 1
+		}
+		want := lambda * float64(i*(n-i)) / float64(n)
+		if !almost(got, want, 1e-9) {
+			t.Fatalf("edge %d (dim %d, plus %v): rate %v, want %v", e, dim, plus, got, want)
+		}
+	}
+}
+
+func TestKDBoundsOrdering(t *testing.T) {
+	k, n := 3, 5
+	for _, rho := range []float64{0.2, 0.8, 0.99} {
+		lambda := LambdaForLoad(n, rho)
+		up := KDUpperBoundT(k, n, lambda)
+		md := KDMD1ApproxT(k, n, lambda)
+		low := KDThm12LowerBound(k, n, lambda)
+		if !(low <= md+1e-9 && md <= up+1e-9) {
+			t.Errorf("rho=%v: ordering violated: %v %v %v", rho, low, md, up)
+		}
+	}
+	if !almost(KDUpperBoundT(3, 5, 0), KDMeanDist(3, 5), 1e-12) {
+		t.Error("KD upper at λ=0")
+	}
+}
+
+func TestTorusRatesMatchEnumeration(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7} {
+		tor := topology.NewTorus2D(n)
+		lambda := 0.4
+		exact := ExactEdgeRates(tor, routing.TorusGreedy{T: tor}, lambda, UniformDist(tor), nil)
+		for e, got := range exact {
+			_, _, d := tor.EdgeInfo(e)
+			want := TorusMinusRate(n, lambda)
+			if d == topology.Right || d == topology.Down {
+				want = TorusPlusRate(n, lambda)
+			}
+			if !almost(got, want, 1e-9) {
+				t.Fatalf("n=%d edge %d (%v): rate %v, want %v", n, e, d, got, want)
+			}
+		}
+	}
+}
+
+func TestTorusMeanDistMatchesEnumeration(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 9} {
+		tor := topology.NewTorus2D(n)
+		got := MeanRouteLen(tor, routing.TorusGreedy{T: tor}, UniformDist(tor), nil)
+		if !almost(got, TorusMeanDist(n), 1e-9) {
+			t.Errorf("n=%d: enumerated %v, closed form %v", n, got, TorusMeanDist(n))
+		}
+	}
+}
+
+func TestTorusCarriesMoreThanArray(t *testing.T) {
+	// §6 motivation: the torus roughly doubles the stable load. For even n
+	// the plus-direction tie-breaking costs a bit: the exact ratio is
+	// 2n/(n+2), approaching 2 from below; for odd n it is exactly 2.
+	for _, n := range []int{4, 5, 8, 15, 50} {
+		ratio := TorusStabilityLimit(n) / StabilityLimit(n)
+		want := 2.0
+		if n%2 == 0 {
+			want = 2 * float64(n) / float64(n+2)
+		}
+		if !almost(ratio, want, 1e-9) {
+			t.Errorf("n=%d: torus/array stability ratio %v, want %v", n, ratio, want)
+		}
+	}
+}
+
+func TestTorusBoundsOrdering(t *testing.T) {
+	n := 6
+	for _, rho := range []float64{0.2, 0.9} {
+		lambda := rho / TorusPlusRate(n, 1)
+		md := TorusMD1ApproxT(n, lambda)
+		low := TorusThm10LowerBound(n, lambda)
+		if low > md {
+			t.Errorf("rho=%v: Thm 10 bound above approximation", rho)
+		}
+		if md < TorusMeanDist(n) {
+			t.Errorf("rho=%v: approximation below mean distance", rho)
+		}
+	}
+	if !almost(TorusMD1ApproxT(6, 0), TorusMeanDist(6), 1e-12) {
+		t.Error("torus approx at λ=0")
+	}
+	if TorusMaxRouteLen(7) != 6 || TorusMaxRouteLen(8) != 8 {
+		t.Error("torus max route len")
+	}
+}
+
+func TestUniformOverDist(t *testing.T) {
+	dist := UniformOverDist([]int{2, 5})
+	if dist(0, 2) != 0.5 || dist(0, 5) != 0.5 || dist(0, 3) != 0 {
+		t.Error("UniformOverDist wrong")
+	}
+}

@@ -1,0 +1,64 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperEstimateReproducesTableIEstColumn checks the recovered estimate
+// formula against every published value of Table I's "Est" column. This is
+// the strongest available validation that our formula-level reproduction
+// matches the paper's computations.
+func TestPaperEstimateReproducesTableIEstColumn(t *testing.T) {
+	cases := []struct {
+		n    int
+		rho  float64
+		want float64
+	}{
+		{5, 0.2, 3.256}, {5, 0.5, 3.722}, {5, 0.8, 5.984},
+		{5, 0.9, 8.970}, {5, 0.95, 12.877}, {5, 0.99, 21.384},
+		{10, 0.2, 6.711}, {10, 0.5, 7.641}, {10, 0.8, 12.183},
+		{10, 0.9, 18.444}, {10, 0.95, 28.014}, {10, 0.99, 77.309},
+		{15, 0.2, 10.123}, {15, 0.5, 11.518}, {15, 0.8, 18.329},
+		{15, 0.9, 27.718}, {15, 0.95, 41.990}, {15, 0.99, 103.312},
+		{20, 0.2, 13.523}, {20, 0.5, 15.383}, {20, 0.8, 24.465},
+		{20, 0.9, 36.983}, {20, 0.95, 56.015}, {20, 0.99, 141.127},
+	}
+	for _, c := range cases {
+		got := PaperEstimateT(c.n, LambdaTable(c.n, c.rho))
+		if math.Abs(got-c.want) > 0.002*c.want+0.001 {
+			t.Errorf("n=%d rho=%v: PaperEstimateT = %.4f, published %.3f", c.n, c.rho, got, c.want)
+		}
+	}
+}
+
+func TestPaperEstimateProperties(t *testing.T) {
+	// Same λ→0 limit as the other estimates, +Inf at capacity, and below
+	// the standard M/D/1 estimate (it subtracts u/2 per queue visit).
+	for _, n := range []int{4, 5, 10} {
+		if math.Abs(PaperEstimateT(n, 0)-MeanDist(n)) > 1e-12 {
+			t.Errorf("n=%d: PaperEstimateT(0) != n̄", n)
+		}
+		lambda := LambdaTable(n, 0.9)
+		if PaperEstimateT(n, lambda) >= MD1ApproxT(n, lambda) {
+			t.Errorf("n=%d: paper estimate not below standard M/D/1 estimate", n)
+		}
+		if !math.IsInf(PaperEstimateT(n, LambdaForLoad(n, 1)), 1) {
+			t.Errorf("n=%d: paper estimate finite at capacity", n)
+		}
+	}
+}
+
+func TestLambdaTableConvention(t *testing.T) {
+	if math.Abs(LambdaTable(10, 0.5)-0.2) > 1e-12 {
+		t.Error("LambdaTable(10, 0.5)")
+	}
+	// For even n the table convention equals the exact conversion.
+	if math.Abs(LambdaTable(8, 0.7)-LambdaForLoad(8, 0.7)) > 1e-12 {
+		t.Error("even-n conventions disagree")
+	}
+	// For odd n it is slightly below the exact conversion.
+	if LambdaTable(5, 0.7) >= LambdaForLoad(5, 0.7) {
+		t.Error("odd-n table rate should be below the exact rate")
+	}
+}

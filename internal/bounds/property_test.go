@@ -1,0 +1,161 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+// Property-based tests over random (n, ρ) points: the orderings and
+// identities the paper's argument chain depends on must hold everywhere in
+// the stable region, not just at the spot-checked values.
+
+func decodeParams(rawN, rawRho uint8) (n int, lambda float64) {
+	n = int(rawN%18) + 2                     // n in [2, 19]
+	rho := 0.02 + 0.96*float64(rawRho)/255.0 // rho in [0.02, 0.98]
+	return n, LambdaForLoad(n, rho)
+}
+
+func TestPropertyBoundChain(t *testing.T) {
+	f := func(rawN, rawRho uint8) bool {
+		n, lambda := decodeParams(rawN, rawRho)
+		low := BestLowerBound(n, lambda)
+		md := MD1ApproxT(n, lambda)
+		up := UpperBoundT(n, lambda)
+		pe := PaperEstimateT(n, lambda)
+		return low <= md+1e-9 &&
+			md <= up+1e-9 &&
+			up <= 2*md+1e-9 && // Lemma 9
+			pe <= md+1e-9 && // paper's estimate subtracts u/2 per queue
+			low >= MeanDist(n)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBoundsMonotoneInLoad(t *testing.T) {
+	// All delay quantities are nondecreasing in λ at fixed n.
+	f := func(rawN, rawA, rawB uint8) bool {
+		n := int(rawN%18) + 2
+		la := LambdaForLoad(n, 0.02+0.9*float64(rawA)/255.0)
+		lb := LambdaForLoad(n, 0.02+0.9*float64(rawB)/255.0)
+		if la > lb {
+			la, lb = lb, la
+		}
+		return UpperBoundT(n, la) <= UpperBoundT(n, lb)+1e-9 &&
+			MD1ApproxT(n, la) <= MD1ApproxT(n, lb)+1e-9 &&
+			Thm12LowerBound(n, la) <= Thm12LowerBound(n, lb)+1e-9 &&
+			STLowerBoundOblivious(n, la) <= STLowerBoundOblivious(n, lb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEdgeRateSymmetries(t *testing.T) {
+	// The Theorem 6 rate field has the array's symmetries: reflecting
+	// left/right or up/down maps edges to edges of equal rate, and the sum
+	// of rates equals n̄·λn².
+	f := func(rawN uint8) bool {
+		n := int(rawN%10) + 2
+		a := topology.NewArray2D(n)
+		lambda := 0.1
+		sum := 0.0
+		for e := 0; e < a.NumEdges(); e++ {
+			r, c, d := a.EdgeInfo(e)
+			rate := EdgeRate(a, e, lambda)
+			sum += rate
+			// Mirror horizontally: (r, c, Right) <-> (r, n-1-c, Left).
+			var me int
+			var ok bool
+			switch d {
+			case topology.Right:
+				me, ok = a.EdgeIn(r, n-1-c, topology.Left)
+			case topology.Left:
+				me, ok = a.EdgeIn(r, n-1-c, topology.Right)
+			case topology.Down:
+				me, ok = a.EdgeIn(n-1-r, c, topology.Up)
+			default:
+				me, ok = a.EdgeIn(n-1-r, c, topology.Down)
+			}
+			if !ok || math.Abs(EdgeRate(a, me, lambda)-rate) > 1e-12 {
+				return false
+			}
+		}
+		want := MeanDist(n) * lambda * float64(n*n)
+		return math.Abs(sum-want) < 1e-9*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLoadConversionRoundTrip(t *testing.T) {
+	f := func(rawN, rawRho uint8) bool {
+		n := int(rawN%30) + 2
+		rho := float64(rawRho) / 256.0
+		return math.Abs(Load(n, LambdaForLoad(n, rho))-rho) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRectGeneralizesSquare(t *testing.T) {
+	f := func(rawN, rawRho uint8) bool {
+		n := int(rawN%12) + 2
+		rho := 0.02 + 0.9*float64(rawRho)/255.0
+		lambda := LambdaForLoad(n, rho)
+		return math.Abs(RectUpperBoundT(n, n, lambda)-UpperBoundT(n, lambda)) < 1e-9 &&
+			math.Abs(RectMD1ApproxT(n, n, lambda)-MD1ApproxT(n, lambda)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCubeDBarMatchesEnumeration validates the hypercube's closed-form
+// maximum expected remaining distance d̄ = 1 + p(d-1) by brute force: a
+// packet queued to cross dimension k has, conditional on that crossing,
+// each later dimension still to fix independently with probability p, so
+// d_k = 1 + p(d-1-k), maximized at k = 0.
+func TestCubeDBarMatchesEnumeration(t *testing.T) {
+	for _, d := range []int{2, 4, 6} {
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			dbar := 0.0
+			for k := 0; k < d; k++ {
+				// Enumerate destination masks with bit k set, weighting by
+				// the Bernoulli(p) law restricted to that event.
+				condSum, condWeight := 0.0, 0.0
+				for mask := 0; mask < 1<<d; mask++ {
+					if mask&(1<<k) == 0 {
+						continue
+					}
+					w := 1.0
+					remaining := 0
+					for bit := 0; bit < d; bit++ {
+						if mask&(1<<bit) != 0 {
+							w *= p
+							if bit >= k {
+								remaining++
+							}
+						} else {
+							w *= 1 - p
+						}
+					}
+					condSum += w * float64(remaining)
+					condWeight += w
+				}
+				if dk := condSum / condWeight; dk > dbar {
+					dbar = dk
+				}
+			}
+			if math.Abs(dbar-CubeDBar(d, p)) > 1e-9 {
+				t.Errorf("d=%d p=%v: enumerated d̄ = %v, closed form %v", d, p, dbar, CubeDBar(d, p))
+			}
+		}
+	}
+}

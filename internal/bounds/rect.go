@@ -1,0 +1,71 @@
+package bounds
+
+import "math"
+
+// This file carries the paper's remark that "rectangular arrays are easily
+// handled similarly" to its conclusion: the Theorem 6/7 machinery for an
+// nr×nc mesh (nr rows of length nc). Horizontal edges see the column-axis
+// rates (λ/nc)·j(nc-j); vertical edges see (λ/nr)·i(nr-i); everything else
+// follows the square case with the two axes summed separately. These forms
+// are validated against exhaustive route enumeration in the tests.
+
+// RectMeanDist returns n̄ for the nr×nc array with uniform destinations:
+// (nc²-1)/(3nc) + (nr²-1)/(3nr).
+func RectMeanDist(nr, nc int) float64 {
+	r, c := float64(nr), float64(nc)
+	return (c*c-1)/(3*c) + (r*r-1)/(3*r)
+}
+
+// RectLoad returns ρ = λ·max(⌊nc²/4⌋/nc, ⌊nr²/4⌋/nr): the longer axis
+// saturates first.
+func RectLoad(nr, nc int, lambda float64) float64 {
+	h := float64(nc*nc/4) / float64(nc)
+	v := float64(nr*nr/4) / float64(nr)
+	return lambda * math.Max(h, v)
+}
+
+// RectStabilityLimit returns the largest stable per-node rate.
+func RectStabilityLimit(nr, nc int) float64 {
+	return 1 / (RectLoad(nr, nc, 1))
+}
+
+// rectSum evaluates (1/(λ·nr·nc))·Σ_e f(λ_e): for each horizontal index
+// j ∈ [1,nc) there are 2nr edges at rate λj(nc-j)/nc, and for each vertical
+// index i ∈ [1,nr) there are 2nc edges at rate λi(nr-i)/nr.
+func rectSum(nr, nc int, lambda float64, f func(float64) float64) float64 {
+	if lambda == 0 {
+		return RectMeanDist(nr, nc)
+	}
+	total := 0.0
+	for j := 1; j < nc; j++ {
+		total += 2 * float64(nr) * f(lambda*float64(j*(nc-j))/float64(nc))
+	}
+	for i := 1; i < nr; i++ {
+		total += 2 * float64(nc) * f(lambda*float64(i*(nr-i))/float64(nr))
+	}
+	return total / (lambda * float64(nr*nc))
+}
+
+// RectUpperBoundT returns the Theorem 7 upper bound for the nr×nc array.
+func RectUpperBoundT(nr, nc int, lambda float64) float64 {
+	return rectSum(nr, nc, lambda, mm1Number)
+}
+
+// RectMD1ApproxT returns the §4.2 estimate for the nr×nc array.
+func RectMD1ApproxT(nr, nc int, lambda float64) float64 {
+	return rectSum(nr, nc, lambda, md1Number)
+}
+
+// RectDBar returns the maximum expected remaining distance: a corner packet
+// heading along its row has nc/2 expected hops left on the row axis plus
+// (nr-1)/2 on the column axis — or the transpose, whichever is larger.
+func RectDBar(nr, nc int) float64 {
+	a := float64(nc)/2 + float64(nr-1)/2
+	b := float64(nr)/2 + float64(nc-1)/2
+	return math.Max(a, b)
+}
+
+// RectThm12LowerBound returns T ≥ T_md1/d̄ for the rectangle.
+func RectThm12LowerBound(nr, nc int, lambda float64) float64 {
+	return RectMD1ApproxT(nr, nc, lambda) / RectDBar(nr, nc)
+}

@@ -1,0 +1,116 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestRectReducesToSquare(t *testing.T) {
+	for _, n := range []int{4, 5, 9} {
+		lambda := 0.7 * StabilityLimit(n)
+		if !almost(RectMeanDist(n, n), MeanDist(n), 1e-12) {
+			t.Errorf("n=%d: RectMeanDist != MeanDist", n)
+		}
+		if !almost(RectUpperBoundT(n, n, lambda), UpperBoundT(n, lambda), 1e-12) {
+			t.Errorf("n=%d: RectUpperBoundT != UpperBoundT", n)
+		}
+		if !almost(RectMD1ApproxT(n, n, lambda), MD1ApproxT(n, lambda), 1e-12) {
+			t.Errorf("n=%d: RectMD1ApproxT != MD1ApproxT", n)
+		}
+		if !almost(RectDBar(n, n), DBar(n), 1e-12) {
+			t.Errorf("n=%d: RectDBar != DBar", n)
+		}
+		if !almost(RectStabilityLimit(n, n), StabilityLimit(n), 1e-12) {
+			t.Errorf("n=%d: RectStabilityLimit != StabilityLimit", n)
+		}
+	}
+}
+
+func TestRectRatesMatchEnumeration(t *testing.T) {
+	// The per-axis Theorem 6 rates must match exhaustive enumeration on the
+	// rectangular topology (ArrayKD with two unequal sizes; dimension-order
+	// greedy corrects rows first, which is the transpose of row-first
+	// routing — the rates are identical by symmetry of the construction).
+	for _, tc := range []struct{ nr, nc int }{{3, 5}, {4, 6}, {5, 4}} {
+		a := topology.NewArrayKD(tc.nr, tc.nc)
+		lambda := 0.3
+		exact := ExactEdgeRates(a, routing.GreedyKD{A: a}, lambda, UniformDist(a), nil)
+		for e, got := range exact {
+			dim, plus, from := a.EdgeInfo(e)
+			size := a.Size(dim)
+			stride := 1
+			if dim == 0 {
+				stride = a.Size(1)
+			}
+			c := from / stride % size
+			i := c
+			if plus {
+				i = c + 1
+			}
+			want := lambda * float64(i*(size-i)) / float64(size)
+			if !almost(got, want, 1e-9) {
+				t.Fatalf("%dx%d edge %d (dim %d): rate %v, want %v", tc.nr, tc.nc, e, dim, got, want)
+			}
+		}
+	}
+}
+
+func TestRectUpperMatchesJacksonOnEnumeratedRates(t *testing.T) {
+	nr, nc := 4, 7
+	a := topology.NewArrayKD(nr, nc)
+	lambda := 0.6 * RectStabilityLimit(nr, nc)
+	rates := ExactEdgeRates(a, routing.GreedyKD{A: a}, lambda, UniformDist(a), nil)
+	ones := make([]float64, len(rates))
+	for i := range ones {
+		ones[i] = 1
+	}
+	n, err := queueing.JacksonNumber(rates, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := queueing.LittleT(n, lambda*float64(nr*nc))
+	closed := RectUpperBoundT(nr, nc, lambda)
+	if !almost(direct, closed, 1e-9) {
+		t.Errorf("closed form %v != Jackson on enumerated rates %v", closed, direct)
+	}
+}
+
+func TestRectMeanDistMatchesEnumeration(t *testing.T) {
+	nr, nc := 3, 6
+	a := topology.NewArrayKD(nr, nc)
+	got := MeanRouteLen(a, routing.GreedyKD{A: a}, UniformDist(a), nil)
+	if !almost(got, RectMeanDist(nr, nc), 1e-9) {
+		t.Errorf("enumerated %v, closed form %v", got, RectMeanDist(nr, nc))
+	}
+}
+
+func TestRectBoundsOrderingAndStability(t *testing.T) {
+	nr, nc := 4, 8
+	for _, frac := range []float64{0.3, 0.8, 0.97} {
+		lambda := frac * RectStabilityLimit(nr, nc)
+		low := RectThm12LowerBound(nr, nc, lambda)
+		md := RectMD1ApproxT(nr, nc, lambda)
+		up := RectUpperBoundT(nr, nc, lambda)
+		if !(low <= md+1e-9 && md <= up+1e-9) {
+			t.Errorf("frac=%v: ordering violated: %v %v %v", frac, low, md, up)
+		}
+	}
+	if !math.IsInf(RectUpperBoundT(nr, nc, RectStabilityLimit(nr, nc)), 1) {
+		t.Error("rect at capacity should be +Inf")
+	}
+	// The longer axis saturates first: a 4x8 rect has the 8-axis limit 4/8.
+	if !almost(RectStabilityLimit(4, 8), 0.5, 1e-12) {
+		t.Errorf("RectStabilityLimit(4,8) = %v", RectStabilityLimit(4, 8))
+	}
+	// DBar is symmetric and equals the longer-axis corner value.
+	if RectDBar(4, 8) != RectDBar(8, 4) {
+		t.Error("RectDBar not symmetric")
+	}
+	if !almost(RectDBar(4, 8), 8.0/2+3.0/2, 1e-12) {
+		t.Errorf("RectDBar(4,8) = %v", RectDBar(4, 8))
+	}
+}

@@ -1,0 +1,195 @@
+// Package core is the high-level facade over the paper's machinery: it ties
+// together the array topology, greedy routing, the analytic bounds, and the
+// discrete-event simulator behind a small Model API. Commands, examples and
+// the public greedyroute package build on it.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ArrayModel is the paper's standard system: an n×n array with per-node
+// Poisson arrivals at rate Lambda, uniform destinations, greedy row-first
+// routing, and FIFO unit-service edges.
+type ArrayModel struct {
+	// N is the side length (N >= 2).
+	N int
+	// Lambda is the per-node packet generation rate.
+	Lambda float64
+}
+
+// NewArrayModel creates a model with an explicit per-node rate.
+func NewArrayModel(n int, lambda float64) ArrayModel {
+	if n < 2 {
+		panic("core: ArrayModel requires n >= 2")
+	}
+	if lambda < 0 {
+		panic("core: negative arrival rate")
+	}
+	return ArrayModel{N: n, Lambda: lambda}
+}
+
+// NewArrayModelAtLoad creates a model at network load ρ (using the exact
+// conversion λ = ρn/⌊n²/4⌋).
+func NewArrayModelAtLoad(n int, rho float64) ArrayModel {
+	return NewArrayModel(n, bounds.LambdaForLoad(n, rho))
+}
+
+// Load returns ρ = λ·⌊n²/4⌋/n.
+func (m ArrayModel) Load() float64 { return bounds.Load(m.N, m.Lambda) }
+
+// Stable reports whether the standard configuration has an equilibrium
+// (ρ < 1).
+func (m ArrayModel) Stable() bool { return m.Load() < 1 }
+
+// Topology returns the underlying array.
+func (m ArrayModel) Topology() *topology.Array2D { return topology.NewArray2D(m.N) }
+
+// BoundSet collects every analytic quantity the paper derives for one
+// (n, λ) point. All delays are mean time in system.
+type BoundSet struct {
+	// MeanDist is n̄, the trivial lower bound.
+	MeanDist float64
+	// STAny is Theorem 8's lower bound for any routing scheme.
+	STAny float64
+	// STOblivious is Theorem 8's lower bound for oblivious schemes.
+	STOblivious float64
+	// Thm10 is the general copy-network lower bound (T_md1 / 2(n-1)).
+	Thm10 float64
+	// Thm12 is the Markovian lower bound (T_md1 / (n-1/2)).
+	Thm12 float64
+	// Thm14 is the saturated-edge lower bound (asymptotic, ρ→1).
+	Thm14 float64
+	// Best is the strongest non-asymptotic lower bound.
+	Best float64
+	// MD1Estimate is §4.2's independence approximation.
+	MD1Estimate float64
+	// PaperEstimate is the exact formula behind Table I's Est column.
+	PaperEstimate float64
+	// Upper is Theorem 7's upper bound (the Jackson/PS delay).
+	Upper float64
+	// GapLimit is 2s̄, the ρ→1 upper/lower ratio (3 even, <6 odd).
+	GapLimit float64
+}
+
+// Bounds evaluates the full analytic ladder for the model.
+func (m ArrayModel) Bounds() BoundSet {
+	return BoundSet{
+		MeanDist:      bounds.MeanDist(m.N),
+		STAny:         bounds.STLowerBoundAny(m.N, m.Lambda),
+		STOblivious:   bounds.STLowerBoundOblivious(m.N, m.Lambda),
+		Thm10:         bounds.Thm10LowerBound(m.N, m.Lambda),
+		Thm12:         bounds.Thm12LowerBound(m.N, m.Lambda),
+		Thm14:         bounds.Thm14LowerBound(m.N, m.Lambda),
+		Best:          bounds.BestLowerBound(m.N, m.Lambda),
+		MD1Estimate:   bounds.MD1ApproxT(m.N, m.Lambda),
+		PaperEstimate: bounds.PaperEstimateT(m.N, m.Lambda),
+		Upper:         bounds.UpperBoundT(m.N, m.Lambda),
+		GapLimit:      bounds.GapLimit(m.N),
+	}
+}
+
+// SimParams tunes Simulate. Zero values mean sensible defaults.
+type SimParams struct {
+	// Horizon is the measured simulation time (default 5000).
+	Horizon float64
+	// Warmup is the discarded prefix (default Horizon/4).
+	Warmup float64
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Replicas is the number of independent runs (default 4).
+	Replicas int
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// TrackSaturated enables Table III's R_s measurement.
+	TrackSaturated bool
+	// Randomized switches to §6's randomized greedy routing.
+	Randomized bool
+	// Discipline selects FIFO (default) or PS servers.
+	Discipline sim.Discipline
+	// Service selects Deterministic (default) or Exponential service.
+	Service sim.ServiceModel
+}
+
+func (p SimParams) withDefaults() SimParams {
+	if p.Horizon <= 0 {
+		p.Horizon = 5000
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = p.Horizon / 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Replicas <= 0 {
+		p.Replicas = 4
+	}
+	return p
+}
+
+// Config materializes the sim.Config for the model.
+func (m ArrayModel) Config(p SimParams) sim.Config {
+	p = p.withDefaults()
+	a := m.Topology()
+	var router routing.Router = routing.GreedyXY{A: a}
+	if p.Randomized {
+		router = routing.RandGreedy{A: a}
+	}
+	cfg := sim.Config{
+		Net:        a,
+		Router:     router,
+		Dest:       routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:   m.Lambda,
+		Warmup:     p.Warmup,
+		Horizon:    p.Horizon,
+		Seed:       p.Seed,
+		Discipline: p.Discipline,
+		Service:    p.Service,
+	}
+	if p.TrackSaturated {
+		cfg.Saturated = bounds.SaturatedEdges(a)
+	}
+	return cfg
+}
+
+// Simulate runs replicated simulations of the model.
+func (m ArrayModel) Simulate(p SimParams) (sim.ReplicaSet, error) {
+	p = p.withDefaults()
+	return sim.RunReplicas(m.Config(p), p.Replicas, p.Workers)
+}
+
+// Report simulates the model and renders a comparison of the measured delay
+// against the full bound ladder.
+func (m ArrayModel) Report(p SimParams) (string, error) {
+	b := m.Bounds()
+	rs, err := m.Simulate(p)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "greedy routing on the %dx%d array, λ=%.4f (ρ=%.3f)\n", m.N, m.N, m.Lambda, m.Load())
+	fmt.Fprintf(&sb, "  mean distance n̄:          %8.3f\n", b.MeanDist)
+	fmt.Fprintf(&sb, "  lower bound (Thm 8):      %8.3f\n", b.STOblivious)
+	fmt.Fprintf(&sb, "  lower bound (Thm 12):     %8.3f\n", b.Thm12)
+	fmt.Fprintf(&sb, "  simulated delay T:        %8.3f ± %.3f (95%%)\n", rs.MeanDelay, rs.DelayCI)
+	fmt.Fprintf(&sb, "  M/D/1 estimate (§4.2):    %8.3f\n", b.MD1Estimate)
+	fmt.Fprintf(&sb, "  paper Table I estimate:   %8.3f\n", b.PaperEstimate)
+	fmt.Fprintf(&sb, "  upper bound (Thm 7):      %8.3f\n", b.Upper)
+	fmt.Fprintf(&sb, "  mean packets in system N: %8.3f (Little check: %.2f%%)\n",
+		rs.MeanN, 100*avgLittleErr(rs))
+	return sb.String(), nil
+}
+
+func avgLittleErr(rs sim.ReplicaSet) float64 {
+	total := 0.0
+	for _, r := range rs.Replicas {
+		total += r.LittleRelErr
+	}
+	return total / float64(len(rs.Replicas))
+}

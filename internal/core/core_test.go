@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/sim"
+)
+
+func TestModelConstructionAndLoad(t *testing.T) {
+	m := NewArrayModelAtLoad(8, 0.8)
+	if math.Abs(m.Load()-0.8) > 1e-12 {
+		t.Errorf("Load = %v", m.Load())
+	}
+	if !m.Stable() {
+		t.Error("should be stable at rho=0.8")
+	}
+	hot := NewArrayModelAtLoad(8, 1.0)
+	if hot.Stable() {
+		t.Error("should be unstable at rho=1")
+	}
+	if m.Topology().N() != 8 {
+		t.Error("topology side mismatch")
+	}
+}
+
+func TestModelPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"small n":  func() { NewArrayModel(1, 0.1) },
+		"negative": func() { NewArrayModel(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBoundSetOrdering(t *testing.T) {
+	m := NewArrayModelAtLoad(6, 0.9)
+	b := m.Bounds()
+	if !(b.MeanDist <= b.Best && b.Best <= b.MD1Estimate && b.MD1Estimate <= b.Upper) {
+		t.Errorf("bound ordering violated: %+v", b)
+	}
+	if b.Thm12 <= b.Thm10 {
+		t.Error("Thm 12 should beat Thm 10")
+	}
+	if math.Abs(b.GapLimit-3) > 1e-9 {
+		t.Errorf("even-n gap limit %v", b.GapLimit)
+	}
+	if b.PaperEstimate >= b.MD1Estimate {
+		t.Error("paper estimate should be below textbook estimate")
+	}
+}
+
+func TestSimulateDefaultsAndDeterminism(t *testing.T) {
+	m := NewArrayModelAtLoad(5, 0.6)
+	p := SimParams{Horizon: 800, Replicas: 2, Seed: 5}
+	a, err := m.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanDelay != b.MeanDelay {
+		t.Error("Simulate not deterministic for equal params")
+	}
+	if len(a.Replicas) != 2 {
+		t.Error("replica count ignored")
+	}
+}
+
+func TestConfigReflectsParams(t *testing.T) {
+	m := NewArrayModelAtLoad(5, 0.5)
+	cfg := m.Config(SimParams{TrackSaturated: true, Randomized: true, Discipline: sim.PS, Service: sim.Exponential})
+	if cfg.Saturated == nil {
+		t.Error("saturated tracking missing")
+	}
+	if cfg.Discipline != sim.PS || cfg.Service != sim.Exponential {
+		t.Error("discipline/service not forwarded")
+	}
+	if cfg.Warmup <= 0 || cfg.Horizon <= 0 || cfg.Seed == 0 {
+		t.Error("defaults not applied")
+	}
+	count := 0
+	for _, s := range cfg.Saturated {
+		if s {
+			count++
+		}
+	}
+	if count != bounds.NumSaturatedEdges(5) {
+		t.Error("wrong saturated census")
+	}
+}
+
+func TestReportContainsLadder(t *testing.T) {
+	m := NewArrayModelAtLoad(4, 0.5)
+	rep, err := m.Report(SimParams{Horizon: 600, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"upper bound", "Thm 12", "simulated delay", "4x4"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

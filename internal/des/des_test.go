@@ -1,0 +1,334 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestHeapOrdersByTime(t *testing.T) {
+	var h EventHeap[int]
+	times := []float64{5, 1, 3, 2, 4, 0.5, 3.5}
+	for i, tm := range times {
+		h.Push(tm, i)
+	}
+	var got []float64
+	for {
+		ev, ok := h.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, ev.Time)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("pop order not sorted: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("lost events: %d of %d", len(got), len(times))
+	}
+}
+
+func TestHeapTieBreaksFIFO(t *testing.T) {
+	var h EventHeap[int]
+	for i := 0; i < 10; i++ {
+		h.Push(7, i)
+	}
+	for i := 0; i < 10; i++ {
+		ev, ok := h.Pop()
+		if !ok || ev.Payload != i {
+			t.Fatalf("tie order: got %d at position %d", ev.Payload, i)
+		}
+	}
+}
+
+func TestHeapEmpty(t *testing.T) {
+	var h EventHeap[string]
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	h.Push(1, "a")
+	if ev, ok := h.Peek(); !ok || ev.Payload != "a" {
+		t.Fatal("peek wrong")
+	}
+	if h.Len() != 1 {
+		t.Fatal("len wrong")
+	}
+}
+
+func TestHeapRandomOrderProperty(t *testing.T) {
+	rng := xrand.New(5)
+	f := func(count uint8) bool {
+		var h EventHeap[int]
+		n := int(count%100) + 1
+		for i := 0; i < n; i++ {
+			h.Push(rng.Float64()*100, i)
+		}
+		prev := math.Inf(-1)
+		for {
+			ev, ok := h.Pop()
+			if !ok {
+				break
+			}
+			if ev.Time < prev {
+				return false
+			}
+			prev = ev.Time
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFOStationSemantics(t *testing.T) {
+	var s FIFOStation[int]
+	if !s.Arrive(1) {
+		t.Fatal("first arrival should start service")
+	}
+	if s.Arrive(2) || s.Arrive(3) {
+		t.Fatal("arrivals to busy server should not start service")
+	}
+	if s.Len() != 3 || !s.Busy() {
+		t.Fatalf("len=%d busy=%v", s.Len(), s.Busy())
+	}
+	if head, ok := s.Head(); !ok || head != 1 {
+		t.Fatal("head should be first arrival")
+	}
+	fin, next, hasNext := s.Complete()
+	if fin != 1 || next != 2 || !hasNext {
+		t.Fatalf("complete: fin=%d next=%d has=%v", fin, next, hasNext)
+	}
+	fin, next, hasNext = s.Complete()
+	if fin != 2 || next != 3 || !hasNext {
+		t.Fatalf("complete2: fin=%d next=%d has=%v", fin, next, hasNext)
+	}
+	fin, _, hasNext = s.Complete()
+	if fin != 3 || hasNext {
+		t.Fatalf("complete3: fin=%d has=%v", fin, hasNext)
+	}
+	if s.Busy() || s.Len() != 0 {
+		t.Fatal("station should be idle and empty")
+	}
+}
+
+func TestFIFOStationRingGrowth(t *testing.T) {
+	// Interleave arrivals and completions so head wraps, then grow.
+	var s FIFOStation[int]
+	next := 0
+	arrive := func(k int) {
+		for i := 0; i < k; i++ {
+			s.Arrive(next)
+			next++
+		}
+	}
+	expect := 0
+	complete := func(k int) {
+		for i := 0; i < k; i++ {
+			fin, _, _ := s.Complete()
+			if fin != expect {
+				t.Fatalf("FIFO order broken: got %d want %d", fin, expect)
+			}
+			expect++
+		}
+	}
+	arrive(3)
+	complete(2)
+	arrive(6) // forces growth with wrapped head
+	complete(5)
+	arrive(20)
+	complete(22)
+	if s.Len() != 0 {
+		t.Fatal("not drained")
+	}
+}
+
+func TestFIFOCompleteOnIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s FIFOStation[int]
+	s.Complete()
+}
+
+func TestPriorityStationOrdering(t *testing.T) {
+	var s PriorityStation[string]
+	if !s.Arrive("first", 1) {
+		t.Fatal("first arrival should start service")
+	}
+	// While "first" is in service, higher-priority work arrives; it must
+	// wait (non-preemptive) but be served before lower-priority work.
+	s.Arrive("low", 1)
+	s.Arrive("high", 9)
+	s.Arrive("mid", 5)
+	if s.Len() != 4 || !s.Busy() {
+		t.Fatalf("len=%d busy=%v", s.Len(), s.Busy())
+	}
+	if head, ok := s.Head(); !ok || head != "first" {
+		t.Fatalf("in-service = %q, want first", head)
+	}
+	var order []string
+	fin, _, has := s.Complete()
+	order = append(order, fin)
+	for has {
+		fin, _, has = s.Complete()
+		order = append(order, fin)
+	}
+	want := []string{"first", "high", "mid", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+	if s.Busy() || s.Len() != 0 {
+		t.Fatal("station should be idle")
+	}
+}
+
+func TestPriorityStationFIFOTieBreak(t *testing.T) {
+	var s PriorityStation[int]
+	s.Arrive(0, 1) // in service
+	for i := 1; i <= 5; i++ {
+		s.Arrive(i, 7) // equal priorities
+	}
+	expect := 0
+	fin, _, has := s.Complete()
+	for {
+		if fin != expect {
+			t.Fatalf("got %d, want %d", fin, expect)
+		}
+		expect++
+		if !has {
+			break
+		}
+		fin, _, has = s.Complete()
+	}
+	if expect != 6 {
+		t.Fatalf("served %d jobs, want 6", expect)
+	}
+}
+
+func TestPriorityStationRandomizedHeapProperty(t *testing.T) {
+	rng := xrand.New(17)
+	f := func(count uint8) bool {
+		var s PriorityStation[float64]
+		n := int(count%50) + 2
+		s.Arrive(-1, 0) // in service, drained first
+		for i := 1; i < n; i++ {
+			p := rng.Float64()
+			s.Arrive(p, p)
+		}
+		fin, _, has := s.Complete() // the in-service job
+		if fin != -1 {
+			return false
+		}
+		prev := math.Inf(1)
+		for has {
+			fin, _, has = s.Complete()
+			if fin > prev {
+				return false
+			}
+			prev = fin
+		}
+		return s.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriorityCompleteOnIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s PriorityStation[int]
+	s.Complete()
+}
+
+func TestPSStationTextbookScenario(t *testing.T) {
+	// Job A (work 1) arrives at t=0; job B (work 1) arrives at t=0.5.
+	// A finishes at 1.5, B at 2.0 — the classic PS timeline.
+	var s PSStation[string]
+	s.Arrive(0, "A", 1)
+	tc, ok := s.NextCompletion(0)
+	if !ok || math.Abs(tc-1) > 1e-12 {
+		t.Fatalf("solo completion at %v, want 1", tc)
+	}
+	s.Arrive(0.5, "B", 1)
+	tc, ok = s.NextCompletion(0.5)
+	if !ok || math.Abs(tc-1.5) > 1e-12 {
+		t.Fatalf("shared completion at %v, want 1.5", tc)
+	}
+	if got := s.CompleteOne(1.5); got != "A" {
+		t.Fatalf("first completion %q, want A", got)
+	}
+	tc, ok = s.NextCompletion(1.5)
+	if !ok || math.Abs(tc-2.0) > 1e-12 {
+		t.Fatalf("B completion at %v, want 2.0", tc)
+	}
+	if got := s.CompleteOne(2.0); got != "B" {
+		t.Fatalf("second completion %q, want B", got)
+	}
+	if s.Len() != 0 {
+		t.Fatal("station not empty")
+	}
+}
+
+func TestPSStationEpochBumps(t *testing.T) {
+	var s PSStation[int]
+	e0 := s.Epoch()
+	s.Arrive(0, 1, 1)
+	if s.Epoch() == e0 {
+		t.Fatal("arrival did not bump epoch")
+	}
+	e1 := s.Epoch()
+	s.CompleteOne(1)
+	if s.Epoch() == e1 {
+		t.Fatal("completion did not bump epoch")
+	}
+}
+
+func TestPSStationWorkConservation(t *testing.T) {
+	// Total completion time of k simultaneous unit jobs equals k (server
+	// works at rate 1 whenever nonempty), regardless of sharing.
+	var s PSStation[int]
+	const k = 5
+	for i := 0; i < k; i++ {
+		s.Arrive(0, i, 1)
+	}
+	now := 0.0
+	for i := 0; i < k; i++ {
+		tc, ok := s.NextCompletion(now)
+		if !ok {
+			t.Fatal("no completion")
+		}
+		now = tc
+		s.CompleteOne(now)
+	}
+	if math.Abs(now-k) > 1e-9 {
+		t.Fatalf("drain time %v, want %d", now, k)
+	}
+}
+
+func TestPSEmptyStation(t *testing.T) {
+	var s PSStation[int]
+	if _, ok := s.NextCompletion(0); ok {
+		t.Fatal("empty station has a completion")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CompleteOne on empty should panic")
+		}
+	}()
+	s.CompleteOne(0)
+}

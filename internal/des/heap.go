@@ -1,0 +1,94 @@
+// Package des provides the discrete-event-simulation core used by the
+// network simulator: a deterministic event heap and FIFO and
+// Processor-Sharing (PS) stations. The engine is sequential — event
+// causality in a single queueing network does not parallelize — and the
+// simulator gets its parallelism from running independent replicas on
+// separate goroutines (see internal/sim).
+package des
+
+// Event is a scheduled occurrence: a time plus an opaque payload. Ties in
+// time break by insertion order (Seq), which keeps runs deterministic.
+type Event[T any] struct {
+	Time    float64
+	Seq     uint64
+	Payload T
+}
+
+// EventHeap is a binary min-heap of events ordered by (Time, Seq). The zero
+// value is an empty heap ready for use.
+type EventHeap[T any] struct {
+	items []Event[T]
+	seq   uint64
+}
+
+// Len returns the number of pending events.
+func (h *EventHeap[T]) Len() int { return len(h.items) }
+
+// Push schedules payload at time t.
+func (h *EventHeap[T]) Push(t float64, payload T) {
+	h.seq++
+	h.items = append(h.items, Event[T]{Time: t, Seq: h.seq, Payload: payload})
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the earliest event. ok is false if the heap is
+// empty.
+func (h *EventHeap[T]) Pop() (ev Event[T], ok bool) {
+	if len(h.items) == 0 {
+		return ev, false
+	}
+	ev = h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return ev, true
+}
+
+// Peek returns the earliest event without removing it.
+func (h *EventHeap[T]) Peek() (ev Event[T], ok bool) {
+	if len(h.items) == 0 {
+		return ev, false
+	}
+	return h.items[0], true
+}
+
+func (h *EventHeap[T]) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Seq < b.Seq
+}
+
+func (h *EventHeap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *EventHeap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,297 @@
+package des
+
+// FIFOStation is a single-server queue with first-in-first-out service.
+// It tracks only queue membership and busyness; the caller owns the clock
+// and schedules completion events. The zero value is an idle, empty station.
+//
+// The queue is a growable ring buffer so that steady-state operation does
+// not allocate.
+type FIFOStation[J any] struct {
+	buf        []J
+	head, size int
+	busy       bool
+}
+
+// Arrive enqueues job j and reports whether the server was idle, in which
+// case the caller must start service for j now (j became the in-service
+// job).
+func (s *FIFOStation[J]) Arrive(j J) (startService bool) {
+	s.push(j)
+	if s.busy {
+		return false
+	}
+	s.busy = true
+	return true
+}
+
+// Complete removes the in-service job (the queue head) and returns the next
+// job to serve, if any. The caller must schedule the returned job's
+// completion. If the queue empties, the station goes idle.
+func (s *FIFOStation[J]) Complete() (finished J, next J, hasNext bool) {
+	if !s.busy || s.size == 0 {
+		panic("des: Complete on idle FIFO station")
+	}
+	finished = s.pop()
+	if s.size == 0 {
+		s.busy = false
+		var zero J
+		return finished, zero, false
+	}
+	return finished, s.buf[s.head], true
+}
+
+// Head returns the in-service job without removing it.
+func (s *FIFOStation[J]) Head() (j J, ok bool) {
+	if s.size == 0 {
+		var zero J
+		return zero, false
+	}
+	return s.buf[s.head], true
+}
+
+// Len returns the number of jobs at the station, including the one in
+// service.
+func (s *FIFOStation[J]) Len() int { return s.size }
+
+// Busy reports whether a job is in service.
+func (s *FIFOStation[J]) Busy() bool { return s.busy }
+
+func (s *FIFOStation[J]) push(j J) {
+	if s.size == len(s.buf) {
+		grown := make([]J, max(4, 2*len(s.buf)))
+		for i := 0; i < s.size; i++ {
+			grown[i] = s.buf[(s.head+i)%len(s.buf)]
+		}
+		s.buf = grown
+		s.head = 0
+	}
+	s.buf[(s.head+s.size)%len(s.buf)] = j
+	s.size++
+}
+
+func (s *FIFOStation[J]) pop() J {
+	j := s.buf[s.head]
+	var zero J
+	s.buf[s.head] = zero
+	s.head = (s.head + 1) % len(s.buf)
+	s.size--
+	return j
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PriorityStation is a non-preemptive single server that always serves the
+// queued job with the highest priority (ties broken FIFO). It implements
+// Leighton's furthest-to-travel-first service order, which the paper's
+// introduction contrasts with FIFO service. The zero value is an idle,
+// empty station.
+type PriorityStation[J any] struct {
+	heap      []prioJob[J]
+	seq       uint64
+	serving   bool
+	inService J
+}
+
+type prioJob[J any] struct {
+	payload  J
+	priority float64
+	seq      uint64
+}
+
+// Arrive enqueues j with the given priority and reports whether the server
+// was idle, in which case j entered service and the caller must schedule
+// its completion. The in-service job is held outside the queue: a later,
+// higher-priority arrival waits (service is non-preemptive).
+func (s *PriorityStation[J]) Arrive(j J, priority float64) (startService bool) {
+	if !s.serving {
+		s.serving = true
+		s.inService = j
+		return true
+	}
+	s.seq++
+	s.heap = append(s.heap, prioJob[J]{payload: j, priority: priority, seq: s.seq})
+	s.up(len(s.heap) - 1)
+	return false
+}
+
+// Complete finishes the in-service job and promotes the highest-priority
+// waiting job (ties FIFO), which the caller must schedule.
+func (s *PriorityStation[J]) Complete() (finished J, next J, hasNext bool) {
+	if !s.serving {
+		panic("des: Complete on idle priority station")
+	}
+	finished = s.inService
+	var zero J
+	s.inService = zero
+	if len(s.heap) == 0 {
+		s.serving = false
+		return finished, zero, false
+	}
+	s.inService = s.pop()
+	return finished, s.inService, true
+}
+
+// Head returns the in-service job.
+func (s *PriorityStation[J]) Head() (j J, ok bool) {
+	if !s.serving {
+		var zero J
+		return zero, false
+	}
+	return s.inService, true
+}
+
+// Len returns the number of jobs at the station, including the one in
+// service.
+func (s *PriorityStation[J]) Len() int {
+	n := len(s.heap)
+	if s.serving {
+		n++
+	}
+	return n
+}
+
+// Busy reports whether a job is in service.
+func (s *PriorityStation[J]) Busy() bool { return s.serving }
+
+func (s *PriorityStation[J]) less(i, j int) bool {
+	a, b := &s.heap[i], &s.heap[j]
+	if a.priority != b.priority {
+		return a.priority > b.priority // max-heap on priority
+	}
+	return a.seq < b.seq // FIFO among equals
+}
+
+func (s *PriorityStation[J]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *PriorityStation[J]) pop() J {
+	j := s.heap[0].payload
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	var zero prioJob[J]
+	s.heap[last] = zero
+	s.heap = s.heap[:last]
+	// sift down
+	i := 0
+	n := len(s.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && s.less(right, left) {
+			best = right
+		}
+		if !s.less(best, i) {
+			break
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+	return j
+}
+
+// PSStation is an egalitarian Processor-Sharing server: all present jobs
+// receive service simultaneously at rate 1/k when k jobs are present. It is
+// the discipline of Theorem 5's comparison network Q̄. The zero value is an
+// empty station.
+//
+// The caller drives time: Arrive and CompleteOne advance the internal work
+// accounting to the supplied clock value, and NextCompletion tells the
+// caller when to schedule the next completion event. Because arrivals
+// change completion times, scheduled events are validated with Epoch:
+// events carrying a stale epoch must be discarded.
+type PSStation[J any] struct {
+	jobs  []psJob[J]
+	last  float64
+	epoch uint64
+}
+
+type psJob[J any] struct {
+	payload   J
+	remaining float64
+}
+
+// Epoch returns the current scheduling epoch; it changes whenever the set
+// of jobs changes.
+func (s *PSStation[J]) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of jobs in service.
+func (s *PSStation[J]) Len() int { return len(s.jobs) }
+
+// advance applies shared service between s.last and now.
+func (s *PSStation[J]) advance(now float64) {
+	if len(s.jobs) > 0 && now > s.last {
+		share := (now - s.last) / float64(len(s.jobs))
+		for i := range s.jobs {
+			s.jobs[i].remaining -= share
+		}
+	}
+	s.last = now
+}
+
+// Arrive adds a job needing `work` units of service at time now.
+func (s *PSStation[J]) Arrive(now float64, j J, work float64) {
+	s.advance(now)
+	s.jobs = append(s.jobs, psJob[J]{payload: j, remaining: work})
+	s.epoch++
+}
+
+// NextCompletion returns the time at which the job with the least remaining
+// work will finish if no further arrivals occur, and false if the station
+// is empty.
+func (s *PSStation[J]) NextCompletion(now float64) (float64, bool) {
+	if len(s.jobs) == 0 {
+		return 0, false
+	}
+	s.advance(now)
+	minRem := s.jobs[0].remaining
+	for _, j := range s.jobs[1:] {
+		if j.remaining < minRem {
+			minRem = j.remaining
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	return now + minRem*float64(len(s.jobs)), true
+}
+
+// CompleteOne removes the job with the least remaining work at time now and
+// returns it. The caller should have arrived here via a valid (non-stale)
+// completion event, so the minimum remaining work is ~0; any numerical
+// residue is absorbed.
+func (s *PSStation[J]) CompleteOne(now float64) J {
+	if len(s.jobs) == 0 {
+		panic("des: CompleteOne on empty PS station")
+	}
+	s.advance(now)
+	minIdx := 0
+	for i := range s.jobs {
+		if s.jobs[i].remaining < s.jobs[minIdx].remaining {
+			minIdx = i
+		}
+	}
+	j := s.jobs[minIdx].payload
+	last := len(s.jobs) - 1
+	s.jobs[minIdx] = s.jobs[last]
+	var zero psJob[J]
+	s.jobs[last] = zero
+	s.jobs = s.jobs[:last]
+	s.epoch++
+	return j
+}

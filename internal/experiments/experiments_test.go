@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 3} }
+
+// TestAllExperimentsRunQuick smoke-runs every registered experiment in
+// quick mode and checks the tables are well formed.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still simulates; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Errorf("%s: row width %d != header width %d", e.ID, len(row), len(tb.Header))
+					}
+				}
+				if !strings.Contains(tb.String(), tb.Title) {
+					t.Errorf("%s: render misses title", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("table1")
+	if err != nil || e.ID != "table1" {
+		t.Fatalf("ByID(table1) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{ID: "x", Title: "demo", Header: []string{"a", "longcol"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.AddNote("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"demo", "longcol", "333", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if f2(1.005) == "" || f3(-1e301) != "-inf" || f4(1e301) != "inf" {
+		t.Error("ffmt edge cases")
+	}
+	nan := func() float64 { var z float64; return z / z }()
+	if f2(nan) != "nan" {
+		t.Error("nan formatting")
+	}
+}
+
+// TestGapTableValues pins the analytic gap experiment's convergence:
+// the even-n column at ρ=0.9999 must be within 2% of 3.
+func TestGapTableValues(t *testing.T) {
+	tables, err := GapConvergence(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for _, row := range tb.Rows {
+		if row[1] != "even" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 2.94 || v > 3.06 {
+			t.Errorf("even-n gap at ρ=0.9999 is %v, want ≈3", v)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seed() != 1 {
+		t.Error("zero seed should default to 1")
+	}
+	if o.horizonScale() != 1 {
+		t.Error("full scale should be 1")
+	}
+	if (Options{Quick: true}).horizonScale() >= 1 {
+		t.Error("quick scale should shrink")
+	}
+	if o.replicas(6) != 6 || (Options{Quick: true}).replicas(6) != 2 {
+		t.Error("replica defaults")
+	}
+}

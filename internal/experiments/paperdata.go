@@ -1,0 +1,52 @@
+package experiments
+
+// Published values transcribed from the paper (JCSS 53, 1996). These are the
+// comparison targets; we aim to match their shape, not their exact digits —
+// the paper's simulation horizons and seeds are unreported, and its own
+// high-load cells are visibly noisy.
+
+// tableICell is one row of the paper's Table I ("Simulation vs M/D/1
+// Estimate").
+type tableICell struct {
+	N        int
+	Rho      float64
+	PaperSim float64
+	PaperEst float64
+}
+
+var paperTableI = []tableICell{
+	{5, 0.2, 3.545, 3.256}, {5, 0.5, 4.176, 3.722}, {5, 0.8, 6.252, 5.984},
+	{5, 0.9, 8.867, 8.970}, {5, 0.95, 12.172, 12.877}, {5, 0.99, 20.333, 21.384},
+	{10, 0.2, 6.929, 6.711}, {10, 0.5, 7.748, 7.641}, {10, 0.8, 10.652, 12.183},
+	{10, 0.9, 14.718, 18.444}, {10, 0.95, 21.034, 28.014}, {10, 0.99, 63.950, 77.309},
+	{15, 0.2, 10.289, 10.123}, {15, 0.5, 11.192, 11.518}, {15, 0.8, 14.563, 18.329},
+	{15, 0.9, 19.226, 27.718}, {15, 0.95, 28.867, 41.990}, {15, 0.99, 68.220, 103.312},
+	{20, 0.2, 13.649, 13.523}, {20, 0.5, 14.589, 15.383}, {20, 0.8, 18.191, 24.465},
+	{20, 0.9, 20.041, 36.983}, {20, 0.95, 31.771, 56.015}, {20, 0.99, 77.283, 141.127},
+}
+
+// tableIICell is one row of Table II ("Simulation Measurement of r"),
+// r = E[R]/E[N] with R the remaining services over in-flight packets.
+type tableIICell struct {
+	N      int
+	Rho    float64
+	PaperR float64
+}
+
+var paperTableII = []tableIICell{
+	{5, 0.2, 2.568}, {5, 0.5, 2.574}, {5, 0.8, 2.600}, {5, 0.9, 2.610}, {5, 0.99, 2.613},
+	{10, 0.2, 4.665}, {10, 0.5, 4.694}, {10, 0.8, 4.746}, {10, 0.9, 4.775}, {10, 0.99, 4.776},
+	{15, 0.2, 6.755}, {15, 0.5, 6.796}, {15, 0.8, 6.875}, {15, 0.9, 6.913}, {15, 0.99, 6.924},
+	{20, 0.2, 8.841}, {20, 0.5, 8.887}, {20, 0.8, 8.982}, {20, 0.9, 9.041}, {20, 0.99, 9.029},
+}
+
+// tableIIICell is one row of Table III ("Simulation Measurement of r_s"),
+// measured at rho = 0.99.
+type tableIIICell struct {
+	N       int
+	PaperRs float64
+}
+
+var paperTableIII = []tableIIICell{
+	{5, 1.875}, {10, 1.250}, {15, 2.106}, {20, 1.230}, {25, 2.209},
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "fmt"
+
+// All returns every experiment in presentation order: first the paper's
+// tables and figures, then the in-text claims and extensions.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: simulation vs M/D/1 estimate", TableI},
+		{"table2", "Table II: remaining services per packet (r)", TableII},
+		{"table3", "Table III: remaining saturated services (r_s)", TableIII},
+		{"fig1", "Figure 1: layering the array (Lemma 2)", Figure1},
+		{"fig2", "Figure 2: saturated edges (§4.6)", Figure2},
+		{"ladder", "Bound ladder: Thm 7/8/12/14 vs simulation", BoundLadder},
+		{"gap", "Gap convergence to 3 (even) / <6 (odd) as ρ→1", GapConvergence},
+		{"psdom", "Theorem 5: PS/Jackson dominates FIFO", PSDomination},
+		{"rates", "Theorem 6: edge arrival rates", RateValidation},
+		{"alloc", "Theorem 15/§5.1: optimal transmission rates", OptimalAllocation},
+		{"hypercube", "§4.5: hypercube bounds and improved gap", Hypercube},
+		{"butterfly", "§4.5: butterfly bounds", Butterfly},
+		{"randomized", "§6: randomized greedy vs standard", RandomizedGreedy},
+		{"torus", "§6: greedy routing on the torus", Torus},
+		{"nonuniform", "§5.2: distance-biased destinations", NonUniform},
+		{"slotted", "§5.2: slotted-time model", Slotted},
+		{"kdarray", "§5.2: k-dimensional arrays", KDArray},
+		{"lemma3", "Lemma 3: Markov destination walk", Lemma3},
+		{"little", "Little's law self-check", LittleCheck},
+		{"middles", "§4.4: queue lengths peak in the middle", MiddleOccupancy},
+		{"ndist", "Theorem 5 at the distribution level", Domination},
+		{"klgrowth", "§4.2: excess delay growth (Kahale–Leighton)", KLGrowth},
+		{"hotspot", "§5.1: one slow wire (variable rates)", HotSpot},
+		{"rect", "§2.1: rectangular arrays", Rectangular},
+		{"tandem", "§4.4: Theorem 10 tightness on the tandem line", Tandem},
+		{"torusps", "§6 probe: PS vs FIFO on the torus", TorusPS},
+		{"priority", "Leighton's furthest-first service order vs FIFO", Priority},
+		{"xval", "engine cross-validation (event vs synchronous)", CrossValidate},
+	}
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

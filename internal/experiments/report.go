@@ -1,0 +1,141 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation, plus the in-text quantitative claims (bound orderings, gap
+// limits, stability thresholds, extension models). Each experiment compares
+// published values with freshly measured ones and renders a plain-text
+// table; cmd/tables, the root benchmarks, and EXPERIMENTS.md are all driven
+// from this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered comparison table.
+type Table struct {
+	// ID is the experiment identifier (e.g. "table1").
+	ID string
+	// Title describes the table.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the cell text.
+	Rows [][]string
+	// Notes holds free-form annotations printed under the table.
+	Notes []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len([]rune(cell)); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(t.Header) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// f2, f3, f4 format floats with fixed precision; inf-aware.
+func f2(v float64) string { return ffmt(v, 2) }
+func f3(v float64) string { return ffmt(v, 3) }
+func f4(v float64) string { return ffmt(v, 4) }
+
+func ffmt(v float64, prec int) string {
+	switch {
+	case v != v:
+		return "nan"
+	case v > 1e300:
+		return "inf"
+	case v < -1e300:
+		return "-inf"
+	default:
+		return fmt.Sprintf("%.*f", prec, v)
+	}
+}
+
+// Options tunes the experiment runs.
+type Options struct {
+	// Quick shrinks horizons, replica counts and parameter grids so the
+	// whole suite runs in seconds (used by tests and benchmarks). Full runs
+	// (Quick=false) target the paper's parameter grid.
+	Quick bool
+	// Seed is the base random seed (0 means 1).
+	Seed uint64
+	// Workers bounds simulation goroutines (0 means GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// horizonScale shortens runs in quick mode.
+func (o Options) horizonScale() float64 {
+	if o.Quick {
+		return 0.05
+	}
+	return 1
+}
+
+func (o Options) replicas(full int) int {
+	if o.Quick {
+		return 2
+	}
+	return full
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	// ID is the short name used on the command line.
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment and returns its tables.
+	Run func(Options) ([]Table, error)
+}

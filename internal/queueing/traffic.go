@@ -1,0 +1,148 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transition is one entry of a routing Markov chain on queues: after
+// completing service at some queue, a customer moves to queue To with
+// probability Prob (probabilities not summing to 1 mean the customer exits
+// with the remaining probability).
+type Transition struct {
+	To   int
+	Prob float64
+}
+
+// Traffic describes the flow structure of an open queueing network: external
+// Poisson arrival rates per queue and a routing chain. It exists so the
+// per-edge arrival rates λ_e of Theorem 6 can be recovered two independent
+// ways — combinatorially and by solving the traffic equations λ = a + λP —
+// and cross-checked.
+type Traffic struct {
+	// External[j] is the external arrival rate a_j at queue j.
+	External []float64
+	// Routes[j] lists the transitions out of queue j.
+	Routes [][]Transition
+}
+
+// NewTraffic creates an empty traffic description for nq queues.
+func NewTraffic(nq int) *Traffic {
+	return &Traffic{
+		External: make([]float64, nq),
+		Routes:   make([][]Transition, nq),
+	}
+}
+
+// Validate checks rates are nonnegative and outflow probabilities sum to at
+// most 1 per queue.
+func (tr *Traffic) Validate() error {
+	if len(tr.External) != len(tr.Routes) {
+		return fmt.Errorf("queueing: traffic arrays differ in length")
+	}
+	for j := range tr.Routes {
+		if tr.External[j] < 0 {
+			return fmt.Errorf("queueing: negative external rate at queue %d", j)
+		}
+		sum := 0.0
+		for _, t := range tr.Routes[j] {
+			if t.Prob < 0 || t.To < 0 || t.To >= len(tr.External) {
+				return fmt.Errorf("queueing: bad transition %+v at queue %d", t, j)
+			}
+			sum += t.Prob
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("queueing: outflow probability %v > 1 at queue %d", sum, j)
+		}
+	}
+	return nil
+}
+
+// SolveIterative computes the total arrival rates λ satisfying the traffic
+// equations λ = a + λP by fixed-point iteration, which converges whenever
+// the network is open (customers eventually leave, i.e. the spectral radius
+// of P is < 1). tol is the absolute convergence threshold per queue.
+func (tr *Traffic) SolveIterative(tol float64, maxIter int) ([]float64, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	nq := len(tr.External)
+	lambda := append([]float64(nil), tr.External...)
+	next := make([]float64, nq)
+	for iter := 0; iter < maxIter; iter++ {
+		copy(next, tr.External)
+		for j := range tr.Routes {
+			lj := lambda[j]
+			if lj == 0 {
+				continue
+			}
+			for _, t := range tr.Routes[j] {
+				next[t.To] += lj * t.Prob
+			}
+		}
+		maxDelta := 0.0
+		for j := range next {
+			if d := math.Abs(next[j] - lambda[j]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		lambda, next = next, lambda
+		if maxDelta < tol {
+			return lambda, nil
+		}
+	}
+	return nil, fmt.Errorf("queueing: traffic equations did not converge in %d iterations", maxIter)
+}
+
+// SolveDense computes the traffic equations exactly by Gaussian elimination
+// on (I - Pᵀ)λ = a. It is O(nq³) and intended for small networks and for
+// cross-validating SolveIterative.
+func (tr *Traffic) SolveDense() ([]float64, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	nq := len(tr.External)
+	// Build the augmented matrix for (I - Pᵀ) λ = a.
+	m := make([][]float64, nq)
+	for i := range m {
+		m[i] = make([]float64, nq+1)
+		m[i][i] = 1
+		m[i][nq] = tr.External[i]
+	}
+	for j := range tr.Routes {
+		for _, t := range tr.Routes[j] {
+			m[t.To][j] -= t.Prob
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < nq; col++ {
+		pivot := col
+		for r := col + 1; r < nq; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("queueing: singular traffic system at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < nq; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= nq; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	lambda := make([]float64, nq)
+	for row := nq - 1; row >= 0; row-- {
+		v := m[row][nq]
+		for c := row + 1; c < nq; c++ {
+			v -= m[row][c] * lambda[c]
+		}
+		lambda[row] = v / m[row][row]
+	}
+	return lambda, nil
+}

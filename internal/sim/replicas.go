@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// ReplicaSet aggregates independent replications of one configuration.
+// Replicas differ only in their derived random streams, so across-replica
+// variability gives an honest confidence interval even when a single run's
+// batch means are correlated.
+type ReplicaSet struct {
+	// Replicas holds the individual run results.
+	Replicas []Result
+	// MeanDelay is the across-replica mean of per-replica mean delays.
+	MeanDelay float64
+	// DelayCI is the 95% across-replica half-width for MeanDelay.
+	DelayCI float64
+	// MeanN, MeanR, MeanRs average the per-replica time averages.
+	MeanN, MeanR, MeanRs float64
+	// RPerN and RsPerN are ratio-of-averages estimates of Table II's r and
+	// Table III's r_s.
+	RPerN, RsPerN float64
+	// Delay merges all per-packet statistics across replicas.
+	Delay stats.Welford
+}
+
+// RunReplicas executes `replicas` independent runs of cfg on up to
+// `workers` goroutines (0 means GOMAXPROCS) and aggregates them. Replica i
+// uses the random stream Split(cfg.Seed, i), so results are independent of
+// scheduling and of the worker count.
+func RunReplicas(cfg Config, replicas, workers int) (ReplicaSet, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > replicas {
+		workers = replicas
+	}
+	results := make([]Result, replicas)
+	errs := make([]error, replicas)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rcfg := cfg
+				// Derive a distinct, scheduling-independent stream per
+				// replica. xrand.Split mixes the index, so sequential seeds
+				// do not overlap.
+				rcfg.Seed = xrand.Split(cfg.Seed, uint64(i)).Uint64()
+				results[i], errs[i] = Run(rcfg)
+			}
+		}()
+	}
+	for i := 0; i < replicas; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ReplicaSet{}, err
+		}
+	}
+	return aggregate(results), nil
+}
+
+func aggregate(results []Result) ReplicaSet {
+	rs := ReplicaSet{Replicas: results}
+	var perReplica stats.Welford
+	for _, r := range results {
+		perReplica.Add(r.MeanDelay)
+		rs.MeanN += r.MeanN
+		rs.MeanR += r.MeanR
+		rs.MeanRs += r.MeanRs
+		rs.Delay.Merge(r.Delay)
+	}
+	k := float64(len(results))
+	rs.MeanDelay = perReplica.Mean()
+	rs.MeanN /= k
+	rs.MeanR /= k
+	rs.MeanRs /= k
+	if rs.MeanN > 0 {
+		rs.RPerN = rs.MeanR / rs.MeanN
+		rs.RsPerN = rs.MeanRs / rs.MeanN
+	}
+	if len(results) >= 2 {
+		rs.DelayCI = ci95(perReplica)
+	} else {
+		rs.DelayCI = results[0].DelayCI
+	}
+	return rs
+}
+
+// ci95 returns the 95% half-width for the mean of a small sample using the
+// normal critical value; callers wanting exact t-values should use more
+// replicas instead.
+func ci95(w stats.Welford) float64 {
+	if w.Count() < 2 {
+		return 0
+	}
+	return 1.96 * w.StdDev() / math.Sqrt(float64(w.Count()))
+}
+
+// Parallel runs fn(i) for i in [0, n) on up to `workers` goroutines
+// (0 means GOMAXPROCS). It is the building block for parameter sweeps.
+func Parallel(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

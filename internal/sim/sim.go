@@ -1,0 +1,600 @@
+// Package sim is the discrete-event simulator for the paper's dynamic
+// routing model: packets are generated at network nodes by Poisson
+// processes, routed along precomputed greedy routes, and queue at each
+// directed edge, which serves them FIFO (or Processor-Sharing) with
+// deterministic or exponential service times.
+//
+// The simulator measures exactly the quantities the paper reports:
+//
+//   - T, the mean packet delay (Table I), with batch-means confidence
+//     intervals;
+//   - E[N], the time-averaged number of packets in the system;
+//   - E[R], the time-averaged total remaining services over all packets in
+//     the system, giving Table II's r = E[R]/E[N];
+//   - E[R_s], the remaining services at saturated queues only, giving
+//     Table III's r_s = E[R_s]/E[N];
+//   - per-edge arrival rates, validating Theorem 6.
+//
+// A single run is strictly sequential and deterministic given its seed;
+// parallelism comes from independent replicas (see replicas.go).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Discipline selects the queueing discipline at every edge.
+type Discipline int
+
+// Disciplines. FIFO is the paper's standard model; PS is the comparison
+// network of Theorem 5, whose equilibrium matches the Jackson model;
+// FurthestFirst is Leighton's service order (packets with the furthest
+// still to travel served first, non-preemptively), which the paper's
+// introduction contrasts with FIFO.
+const (
+	FIFO Discipline = iota
+	PS
+	FurthestFirst
+)
+
+// ServiceModel selects the service-time distribution at every edge.
+type ServiceModel int
+
+// Service models. Deterministic unit service is the standard model;
+// Exponential turns the network into the Jackson model of §3.3.
+const (
+	Deterministic ServiceModel = iota
+	Exponential
+)
+
+// Config describes one simulation run. Net, Router, Dest and NodeRate are
+// required; zero values elsewhere mean defaults.
+type Config struct {
+	// Net is the network topology.
+	Net topology.Network
+	// Router generates packet routes.
+	Router routing.Router
+	// Dest samples packet destinations.
+	Dest routing.DestSampler
+	// NodeRate is λ, the Poisson packet-generation rate per source node.
+	NodeRate float64
+	// Warmup is the simulated time discarded before measurement starts.
+	Warmup float64
+	// Horizon is the measured simulated time after warmup.
+	Horizon float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Discipline selects FIFO (default) or PS servers.
+	Discipline Discipline
+	// Service selects Deterministic (default) or Exponential service.
+	Service ServiceModel
+	// ServiceTime optionally gives each edge's mean service time (1/φ_e);
+	// nil means unit service everywhere.
+	ServiceTime []float64
+	// Saturated optionally marks saturated edges to enable R_s tracking.
+	Saturated []bool
+	// BatchCount sets the number of batches for the delay confidence
+	// interval; 0 means 16.
+	BatchCount int
+	// PerNodeArrivals switches from the merged Poisson source (one
+	// exponential clock at rate λ·#sources) to one independent clock per
+	// source node. The two are statistically identical; the merged form is
+	// the default because it keeps the event heap small.
+	PerNodeArrivals bool
+	// SlotTau, if positive, switches to §5.2's slotted-time model: at each
+	// multiple of SlotTau every source receives a Poisson(λ·SlotTau) batch.
+	SlotTau float64
+	// TrackEdgeOccupancy enables per-edge time-averaged queue lengths
+	// (Result.EdgeOccupancy), used to verify §4.4's observation that the
+	// middle queues grow largest.
+	TrackEdgeOccupancy bool
+	// TrackNDist enables the exact time-weighted distribution of the
+	// number-in-system process N(t) (Result.NDist), used to check the
+	// stochastic dominance of Theorems 1 and 5 at the distribution level
+	// rather than just in expectation.
+	TrackNDist bool
+	// DelayHistWidth, if positive, enables a delay histogram with the given
+	// bucket width (Result.DelayHist), for tail quantiles.
+	DelayHistWidth float64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Net == nil || c.Router == nil || c.Dest == nil:
+		return fmt.Errorf("sim: Net, Router and Dest are required")
+	case c.NodeRate < 0:
+		return fmt.Errorf("sim: negative NodeRate")
+	case c.Horizon <= 0:
+		return fmt.Errorf("sim: Horizon must be positive")
+	case c.Warmup < 0 || c.SlotTau < 0:
+		return fmt.Errorf("sim: negative Warmup or SlotTau")
+	case c.ServiceTime != nil && len(c.ServiceTime) != c.Net.NumEdges():
+		return fmt.Errorf("sim: ServiceTime has %d entries, want %d", len(c.ServiceTime), c.Net.NumEdges())
+	case c.Saturated != nil && len(c.Saturated) != c.Net.NumEdges():
+		return fmt.Errorf("sim: Saturated has %d entries, want %d", len(c.Saturated), c.Net.NumEdges())
+	case c.SlotTau > 0 && c.PerNodeArrivals:
+		return fmt.Errorf("sim: SlotTau and PerNodeArrivals are mutually exclusive arrival models")
+	}
+	return nil
+}
+
+// Result holds the measurements of one run.
+type Result struct {
+	// MeanDelay is T̂: the mean time in system over measured packets
+	// (including zero-hop packets, as in the paper's model).
+	MeanDelay float64
+	// DelayCI is the 95% batch-means half-width for MeanDelay.
+	DelayCI float64
+	// Delay holds the full per-packet delay statistics.
+	Delay stats.Welford
+	// MeanN is the time-averaged number of packets in the system.
+	MeanN float64
+	// MeanR is the time-averaged total remaining services E[R].
+	MeanR float64
+	// MeanRs is the time-averaged remaining saturated services E[R_s]
+	// (zero unless Config.Saturated was set).
+	MeanRs float64
+	// RPerN is Table II's r = E[R]/E[N].
+	RPerN float64
+	// RsPerN is Table III's r_s = E[R_s]/E[N].
+	RsPerN float64
+	// Generated and Delivered count measured packets.
+	Generated, Delivered int64
+	// Time is the measured horizon.
+	Time float64
+	// EdgeRates is the measured per-edge arrival rate (arrivals/time).
+	EdgeRates []float64
+	// MaxN is the peak number of packets in the system during measurement.
+	MaxN float64
+	// LittleRelErr is the relative discrepancy |N - Λ̂·T̂|/N, a self-check
+	// of the simulator's bookkeeping (small but nonzero due to boundary
+	// censoring).
+	LittleRelErr float64
+	// EdgeOccupancy is the per-edge time-averaged queue length (including
+	// the packet in service); nil unless Config.TrackEdgeOccupancy.
+	EdgeOccupancy []float64
+	// NDist[k] is the fraction of measured time with exactly k packets in
+	// the system; nil unless Config.TrackNDist.
+	NDist []float64
+	// DelayHist is the per-packet delay histogram; nil unless
+	// Config.DelayHistWidth > 0.
+	DelayHist *stats.Histogram
+}
+
+// TailProb returns Pr[N > k] under the measured NDist (0 when untracked).
+func (r *Result) TailProb(k int) float64 {
+	total := 0.0
+	for i := k + 1; i < len(r.NDist); i++ {
+		total += r.NDist[i]
+	}
+	return total
+}
+
+// packet is one in-flight packet. Packets and their route buffers are
+// recycled through a freelist to keep the steady state allocation-free.
+type packet struct {
+	genTime  float64
+	hop      int
+	route    []int
+	measured bool
+}
+
+// Event kinds.
+const (
+	evArrival     uint8 = iota // merged-source packet generation
+	evNodeArrival              // per-node packet generation (id = source index)
+	evSlot                     // slotted-time batch generation
+	evDeparture                // FIFO service completion (id = edge)
+	evPSDone                   // PS service completion (id = edge, epoch-checked)
+)
+
+type ev struct {
+	kind  uint8
+	id    int32
+	epoch uint64
+}
+
+// engine is the per-run state.
+type engine struct {
+	cfg     Config
+	rng     *xrand.RNG
+	heap    des.EventHeap[ev]
+	fifo    []des.FIFOStation[*packet]
+	ps      []des.PSStation[*packet]
+	prio    []des.PriorityStation[*packet]
+	sources []int
+	free    []*packet
+
+	// measurement plane
+	measuring  bool
+	start, end float64
+	nInt       stats.TimeWeighted
+	rInt       stats.TimeWeighted
+	rsInt      stats.TimeWeighted
+	nNow       float64
+	rNow       float64
+	rsNow      float64
+	delay      stats.Welford
+	batches    *stats.BatchMeans
+	edgeCount  []int64
+	generated  int64
+	delivered  int64
+
+	// optional trackers
+	edgeOcc   []stats.TimeWeighted
+	nDur      []float64
+	nLast     float64
+	delayHist *stats.Histogram
+}
+
+// bumpN shifts the number-in-system process by delta at time t, keeping the
+// mean integrator and (when enabled) the exact time-at-each-level record.
+func (e *engine) bumpN(t, delta float64) {
+	if e.nDur != nil && e.measuring {
+		idx := int(e.nNow)
+		for idx >= len(e.nDur) {
+			e.nDur = append(e.nDur, 0)
+		}
+		e.nDur[idx] += t - e.nLast
+		e.nLast = t
+	}
+	e.nNow += delta
+	if e.measuring {
+		e.nInt.Set(t, e.nNow)
+	}
+}
+
+// stationLen returns the queue length (including in service) at edge.
+func (e *engine) stationLen(edge int) int {
+	switch e.cfg.Discipline {
+	case PS:
+		return e.ps[edge].Len()
+	case FurthestFirst:
+		return e.prio[edge].Len()
+	default:
+		return e.fifo[edge].Len()
+	}
+}
+
+// noteOccupancy records edge's queue length after a change.
+func (e *engine) noteOccupancy(t float64, edge int) {
+	if e.edgeOcc != nil && e.measuring {
+		e.edgeOcc[edge].Set(t, float64(e.stationLen(edge)))
+	}
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	e := &engine{
+		cfg:       cfg,
+		rng:       xrand.New(cfg.Seed),
+		sources:   topology.Sources(cfg.Net),
+		edgeCount: make([]int64, cfg.Net.NumEdges()),
+		start:     cfg.Warmup,
+		end:       cfg.Warmup + cfg.Horizon,
+	}
+	switch cfg.Discipline {
+	case PS:
+		e.ps = make([]des.PSStation[*packet], cfg.Net.NumEdges())
+	case FurthestFirst:
+		e.prio = make([]des.PriorityStation[*packet], cfg.Net.NumEdges())
+	default:
+		e.fifo = make([]des.FIFOStation[*packet], cfg.Net.NumEdges())
+	}
+	batchCount := cfg.BatchCount
+	if batchCount <= 0 {
+		batchCount = 16
+	}
+	expected := cfg.NodeRate * float64(len(e.sources)) * cfg.Horizon
+	batchSize := int64(expected) / int64(batchCount)
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	e.batches = stats.NewBatchMeans(batchSize)
+	if cfg.TrackEdgeOccupancy {
+		e.edgeOcc = make([]stats.TimeWeighted, cfg.Net.NumEdges())
+	}
+	if cfg.TrackNDist {
+		e.nDur = make([]float64, 64)
+	}
+	if cfg.DelayHistWidth > 0 {
+		e.delayHist = stats.NewHistogram(cfg.DelayHistWidth, 4096)
+	}
+
+	e.scheduleSources()
+	e.loop()
+	return e.result(), nil
+}
+
+// scheduleSources seeds the generator events.
+func (e *engine) scheduleSources() {
+	totalRate := e.cfg.NodeRate * float64(len(e.sources))
+	switch {
+	case e.cfg.SlotTau > 0:
+		e.heap.Push(e.cfg.SlotTau, ev{kind: evSlot})
+	case e.cfg.PerNodeArrivals:
+		for i := range e.sources {
+			if e.cfg.NodeRate > 0 {
+				e.heap.Push(e.rng.Exp(e.cfg.NodeRate), ev{kind: evNodeArrival, id: int32(i)})
+			}
+		}
+	default:
+		if totalRate > 0 {
+			e.heap.Push(e.rng.Exp(totalRate), ev{kind: evArrival})
+		}
+	}
+}
+
+// loop drains events until the measurement horizon ends.
+func (e *engine) loop() {
+	for {
+		item, ok := e.heap.Pop()
+		if !ok {
+			break
+		}
+		t := item.Time
+		if t > e.end {
+			break
+		}
+		if !e.measuring && t >= e.start {
+			e.beginMeasurement()
+		}
+		switch item.Payload.kind {
+		case evArrival:
+			src := e.sources[e.rng.Intn(len(e.sources))]
+			e.generate(t, src)
+			totalRate := e.cfg.NodeRate * float64(len(e.sources))
+			e.heap.Push(t+e.rng.Exp(totalRate), ev{kind: evArrival})
+		case evNodeArrival:
+			idx := int(item.Payload.id)
+			e.generate(t, e.sources[idx])
+			e.heap.Push(t+e.rng.Exp(e.cfg.NodeRate), ev{kind: evNodeArrival, id: item.Payload.id})
+		case evSlot:
+			mean := e.cfg.NodeRate * e.cfg.SlotTau
+			for _, src := range e.sources {
+				for k := e.rng.Poisson(mean); k > 0; k-- {
+					e.generate(t, src)
+				}
+			}
+			e.heap.Push(t+e.cfg.SlotTau, ev{kind: evSlot})
+		case evDeparture:
+			e.fifoDepart(t, int(item.Payload.id))
+		case evPSDone:
+			e.psDepart(t, int(item.Payload.id), item.Payload.epoch)
+		}
+	}
+}
+
+// beginMeasurement resets the measurement plane at the warmup boundary.
+func (e *engine) beginMeasurement() {
+	e.measuring = true
+	e.nInt.StartAt(e.start, e.nNow)
+	e.rInt.StartAt(e.start, e.rNow)
+	e.rsInt.StartAt(e.start, e.rsNow)
+	for i := range e.edgeCount {
+		e.edgeCount[i] = 0
+	}
+	e.generated = 0
+	e.delivered = 0
+	for i := range e.edgeOcc {
+		e.edgeOcc[i].StartAt(e.start, float64(e.stationLen(i)))
+	}
+	e.nLast = e.start
+}
+
+// getPacket recycles or allocates a packet.
+func (e *engine) getPacket() *packet {
+	if n := len(e.free); n > 0 {
+		p := e.free[n-1]
+		e.free = e.free[:n-1]
+		p.hop = 0
+		p.route = p.route[:0]
+		p.measured = false
+		return p
+	}
+	return &packet{}
+}
+
+// generate creates a packet at src at time t and injects it.
+func (e *engine) generate(t float64, src int) {
+	p := e.getPacket()
+	p.genTime = t
+	p.measured = e.measuring
+	dst := e.cfg.Dest.Sample(src, e.rng)
+	p.route = e.cfg.Router.AppendRoute(p.route, src, dst, e.rng)
+	if e.measuring {
+		e.generated++
+	}
+	if len(p.route) == 0 {
+		// Source equals destination: delivered instantly with zero delay,
+		// never entering any queue (the paper allows these packets).
+		e.deliver(t, p)
+		return
+	}
+	e.bumpN(t, 1)
+	e.rNow += float64(len(p.route))
+	if e.cfg.Saturated != nil {
+		e.rsNow += float64(e.countSaturated(p.route))
+	}
+	if e.measuring {
+		e.rInt.Set(t, e.rNow)
+		e.rsInt.Set(t, e.rsNow)
+	}
+	e.enqueue(t, p)
+}
+
+func (e *engine) countSaturated(route []int) int {
+	count := 0
+	for _, edge := range route {
+		if e.cfg.Saturated[edge] {
+			count++
+		}
+	}
+	return count
+}
+
+// serviceTime samples the service requirement at edge.
+func (e *engine) serviceTime(edge int) float64 {
+	mean := 1.0
+	if e.cfg.ServiceTime != nil {
+		mean = e.cfg.ServiceTime[edge]
+	}
+	if e.cfg.Service == Exponential {
+		return e.rng.Exp(1 / mean)
+	}
+	return mean
+}
+
+// enqueue places p at its current edge's station.
+func (e *engine) enqueue(t float64, p *packet) {
+	edge := p.route[p.hop]
+	if e.measuring {
+		e.edgeCount[edge]++
+	}
+	switch e.cfg.Discipline {
+	case PS:
+		st := &e.ps[edge]
+		st.Arrive(t, p, e.serviceTime(edge))
+		e.schedulePS(t, edge)
+	case FurthestFirst:
+		remaining := float64(len(p.route) - p.hop)
+		if e.prio[edge].Arrive(p, remaining) {
+			e.heap.Push(t+e.serviceTime(edge), ev{kind: evDeparture, id: int32(edge)})
+		}
+	default:
+		if e.fifo[edge].Arrive(p) {
+			e.heap.Push(t+e.serviceTime(edge), ev{kind: evDeparture, id: int32(edge)})
+		}
+	}
+	e.noteOccupancy(t, edge)
+}
+
+// schedulePS pushes a fresh completion event for edge's PS station.
+func (e *engine) schedulePS(t float64, edge int) {
+	st := &e.ps[edge]
+	if tc, ok := st.NextCompletion(t); ok {
+		e.heap.Push(tc, ev{kind: evPSDone, id: int32(edge), epoch: st.Epoch()})
+	}
+}
+
+// fifoDepart completes the in-service packet at edge (FIFO or priority).
+func (e *engine) fifoDepart(t float64, edge int) {
+	var finished *packet
+	var hasNext bool
+	if e.cfg.Discipline == FurthestFirst {
+		finished, _, hasNext = e.prio[edge].Complete()
+	} else {
+		finished, _, hasNext = e.fifo[edge].Complete()
+	}
+	if hasNext {
+		e.heap.Push(t+e.serviceTime(edge), ev{kind: evDeparture, id: int32(edge)})
+	}
+	e.noteOccupancy(t, edge)
+	e.advance(t, finished, edge)
+}
+
+// psDepart completes the least-remaining packet at edge's PS station if the
+// event is still valid.
+func (e *engine) psDepart(t float64, edge int, epoch uint64) {
+	st := &e.ps[edge]
+	if st.Epoch() != epoch {
+		return // stale event; a newer one is already scheduled
+	}
+	finished := st.CompleteOne(t)
+	e.schedulePS(t, edge)
+	e.noteOccupancy(t, edge)
+	e.advance(t, finished, edge)
+}
+
+// advance moves p past its just-completed service at edge.
+func (e *engine) advance(t float64, p *packet, edge int) {
+	e.rNow--
+	if e.cfg.Saturated != nil && e.cfg.Saturated[edge] {
+		e.rsNow--
+	}
+	p.hop++
+	done := p.hop == len(p.route)
+	if done {
+		e.bumpN(t, -1)
+	}
+	if e.measuring {
+		e.rInt.Set(t, e.rNow)
+		e.rsInt.Set(t, e.rsNow)
+	}
+	if done {
+		e.deliver(t, p)
+		return
+	}
+	e.enqueue(t, p)
+}
+
+// deliver finishes p's lifetime and records its delay if measured.
+func (e *engine) deliver(t float64, p *packet) {
+	if p.measured && e.measuring {
+		d := t - p.genTime
+		e.delay.Add(d)
+		e.batches.Add(d)
+		if e.delayHist != nil {
+			e.delayHist.Add(d)
+		}
+		e.delivered++
+	}
+	e.free = append(e.free, p)
+}
+
+// result assembles the Result at the end of the horizon.
+func (e *engine) result() Result {
+	r := Result{
+		Delay:     e.delay,
+		MeanDelay: e.delay.Mean(),
+		DelayCI:   e.batches.HalfWidth95(),
+		MeanN:     e.nInt.MeanAt(e.end),
+		MeanR:     e.rInt.MeanAt(e.end),
+		MeanRs:    e.rsInt.MeanAt(e.end),
+		Generated: e.generated,
+		Delivered: e.delivered,
+		Time:      e.end - e.start,
+		MaxN:      e.nInt.Max(),
+	}
+	if r.MeanN > 0 {
+		r.RPerN = r.MeanR / r.MeanN
+		r.RsPerN = r.MeanRs / r.MeanN
+	}
+	r.EdgeRates = make([]float64, len(e.edgeCount))
+	for i, c := range e.edgeCount {
+		r.EdgeRates[i] = float64(c) / r.Time
+	}
+	if r.MeanN > 0 && r.Time > 0 {
+		littleN := float64(r.Delivered) / r.Time * r.MeanDelay
+		r.LittleRelErr = math.Abs(littleN-r.MeanN) / r.MeanN
+	}
+	if e.edgeOcc != nil {
+		r.EdgeOccupancy = make([]float64, len(e.edgeOcc))
+		for i := range e.edgeOcc {
+			r.EdgeOccupancy[i] = e.edgeOcc[i].MeanAt(e.end)
+		}
+	}
+	if e.nDur != nil {
+		idx := int(e.nNow)
+		for idx >= len(e.nDur) {
+			e.nDur = append(e.nDur, 0)
+		}
+		e.nDur[idx] += e.end - e.nLast
+		r.NDist = make([]float64, len(e.nDur))
+		for i, d := range e.nDur {
+			r.NDist[i] = d / r.Time
+		}
+	}
+	r.DelayHist = e.delayHist
+	return r
+}

@@ -1,0 +1,327 @@
+// Package stats provides the streaming statistics used by the simulator's
+// measurement plane: Welford accumulators for per-packet quantities,
+// time-weighted integrators for quantities like the number-in-system process
+// N(t), fixed-width histograms for delay distributions, and batch-means
+// confidence intervals for steady-state estimates.
+//
+// All accumulators are plain structs whose zero values are ready to use, so
+// the simulator can embed them without constructors.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a sample mean and variance in one pass using
+// Welford's algorithm, which is numerically stable for long runs.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 if fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds other into w, as if all of other's observations had been
+// added to w. Used to combine per-replica statistics.
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	delta := other.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += other.m2 + delta*delta*n1*n2/total
+	w.n += other.n
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+}
+
+// TimeWeighted integrates a piecewise-constant process X(t), yielding its
+// time average (1/T)∫X dt. The process value is updated with Set; the
+// integral accumulates between updates.
+type TimeWeighted struct {
+	value    float64
+	lastT    float64
+	start    float64
+	integral float64
+	started  bool
+	maxVal   float64
+}
+
+// StartAt begins integration at time t with the current value v.
+// Calling StartAt again resets the accumulator (used to discard warmup).
+func (tw *TimeWeighted) StartAt(t, v float64) {
+	tw.value = v
+	tw.lastT = t
+	tw.start = t
+	tw.integral = 0
+	tw.started = true
+	tw.maxVal = v
+}
+
+// Set records that the process changed to value v at time t.
+// Updates must arrive in nondecreasing time order.
+func (tw *TimeWeighted) Set(t, v float64) {
+	if !tw.started {
+		tw.StartAt(t, v)
+		return
+	}
+	if t < tw.lastT {
+		panic(fmt.Sprintf("stats: TimeWeighted.Set time went backwards: %v < %v", t, tw.lastT))
+	}
+	tw.integral += tw.value * (t - tw.lastT)
+	tw.value = v
+	tw.lastT = t
+	if v > tw.maxVal {
+		tw.maxVal = v
+	}
+}
+
+// Add shifts the process value by delta at time t (convenience for counters).
+func (tw *TimeWeighted) Add(t, delta float64) { tw.Set(t, tw.value+delta) }
+
+// Value returns the current process value.
+func (tw *TimeWeighted) Value() float64 { return tw.value }
+
+// Max returns the largest value seen since StartAt.
+func (tw *TimeWeighted) Max() float64 { return tw.maxVal }
+
+// MeanAt returns the time average over [start, t], extending the current
+// value to time t.
+func (tw *TimeWeighted) MeanAt(t float64) float64 {
+	if !tw.started || t <= tw.start {
+		return tw.value
+	}
+	return (tw.integral + tw.value*(t-tw.lastT)) / (t - tw.start)
+}
+
+// Histogram is a fixed-width bucket histogram over [0, Width*Buckets), with
+// an overflow bucket at the end. The zero value is unusable; create with
+// NewHistogram.
+type Histogram struct {
+	width   float64
+	counts  []int64
+	total   int64
+	overMax float64
+}
+
+// NewHistogram creates a histogram with the given bucket width and count.
+func NewHistogram(width float64, buckets int) *Histogram {
+	if width <= 0 || buckets <= 0 {
+		panic("stats: NewHistogram requires positive width and buckets")
+	}
+	return &Histogram{width: width, counts: make([]int64, buckets+1)}
+}
+
+// Add records one observation (negative values clamp to bucket 0).
+func (h *Histogram) Add(x float64) {
+	idx := 0
+	if x > 0 {
+		idx = int(x / h.width)
+	}
+	if idx >= len(h.counts)-1 {
+		idx = len(h.counts) - 1
+		if x > h.overMax {
+			h.overMax = x
+		}
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1), resolved
+// to bucket granularity. Observations in the overflow bucket report the
+// maximum overflow value seen.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == len(h.counts)-1 {
+				return h.overMax
+			}
+			return float64(i+1) * h.width
+		}
+	}
+	return h.overMax
+}
+
+// Counts returns a copy of the bucket counts (last bucket is overflow).
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// BatchMeans estimates a steady-state mean with a confidence interval from a
+// single long run, by partitioning post-warmup observations into contiguous
+// batches and treating batch means as approximately independent samples.
+type BatchMeans struct {
+	batchSize int64
+	current   Welford
+	means     []float64
+	all       Welford
+}
+
+// NewBatchMeans creates an accumulator with the given observations per batch.
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: NewBatchMeans requires positive batch size")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add incorporates one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.all.Add(x)
+	b.current.Add(x)
+	if b.current.Count() >= b.batchSize {
+		b.means = append(b.means, b.current.Mean())
+		b.current = Welford{}
+	}
+}
+
+// Mean returns the grand sample mean over all observations.
+func (b *BatchMeans) Mean() float64 { return b.all.Mean() }
+
+// Count returns the total number of observations.
+func (b *BatchMeans) Count() int64 { return b.all.Count() }
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.means) }
+
+// HalfWidth95 returns the half width of an approximate 95% confidence
+// interval for the mean, from the completed batch means. It returns +Inf if
+// fewer than 2 batches have completed.
+func (b *BatchMeans) HalfWidth95() float64 {
+	k := len(b.means)
+	if k < 2 {
+		return math.Inf(1)
+	}
+	var w Welford
+	for _, m := range b.means {
+		w.Add(m)
+	}
+	return tCrit95(k-1) * w.StdDev() / math.Sqrt(float64(k))
+}
+
+// tCrit95 returns the two-sided 95% critical value of Student's t with df
+// degrees of freedom (df >= 1), from a table for small df and the normal
+// limit beyond.
+func tCrit95(df int) float64 {
+	table := []float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	switch {
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
+// Quantile returns the q-quantile of a sample (sorted in place).
+// q is clamped to [0, 1].
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(sample)
+	if q <= 0 {
+		return sample[0]
+	}
+	if q >= 1 {
+		return sample[len(sample)-1]
+	}
+	pos := q * float64(len(sample)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sample) {
+		return sample[lo]
+	}
+	return sample[lo]*(1-frac) + sample[lo+1]*frac
+}
+
+// RelErr returns |got-want|/|want|, or |got| when want == 0. It is the
+// tolerance metric used across the statistical tests and experiment reports.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

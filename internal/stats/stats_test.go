@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Count() != 0 {
+		t.Error("zero value not neutral")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	r := xrand.New(1)
+	f := func(na, nb uint8) bool {
+		var a, b, all Welford
+		for i := 0; i < int(na); i++ {
+			x := r.Float64()*10 - 5
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nb); i++ {
+			x := r.Float64() * 3
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.Count() == all.Count() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var tw TimeWeighted
+	tw.StartAt(0, 1) // value 1 on [0,2)
+	tw.Set(2, 3)     // value 3 on [2,5)
+	tw.Set(5, 0)     // value 0 on [5,10)
+	got := tw.MeanAt(10)
+	want := (1*2 + 3*3 + 0*5) / 10.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if tw.Max() != 3 {
+		t.Errorf("max = %v, want 3", tw.Max())
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var tw TimeWeighted
+	tw.StartAt(0, 0)
+	tw.Add(1, 2)  // 2 on [1,4)
+	tw.Add(4, -1) // 1 on [4,8)
+	got := tw.MeanAt(8)
+	want := (0*1 + 2*3 + 1*4) / 8.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if tw.Value() != 1 {
+		t.Errorf("value = %v, want 1", tw.Value())
+	}
+}
+
+func TestTimeWeightedRestart(t *testing.T) {
+	var tw TimeWeighted
+	tw.StartAt(0, 100)
+	tw.Set(10, 100)
+	tw.StartAt(10, 2) // warmup discard: integral restarts
+	tw.Set(20, 4)
+	got := tw.MeanAt(30)
+	want := (2*10 + 4*10) / 20.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean after restart = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time going backwards did not panic")
+		}
+	}()
+	var tw TimeWeighted
+	tw.StartAt(5, 1)
+	tw.Set(4, 2)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	if h.Total() != 100 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	med := h.Quantile(0.5)
+	if med < 4 || med > 6 {
+		t.Errorf("median = %v, want within [4,6]", med)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(1, 4)
+	h.Add(100)
+	h.Add(-3) // clamps to first bucket
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("overflow quantile = %v, want 100", got)
+	}
+	counts := h.Counts()
+	if counts[0] != 1 || counts[len(counts)-1] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestBatchMeansCoverage(t *testing.T) {
+	// CI from batch means should cover the true mean of an i.i.d. stream.
+	r := xrand.New(2)
+	b := NewBatchMeans(1000)
+	for i := 0; i < 32000; i++ {
+		b.Add(r.Exp(0.5)) // mean 2
+	}
+	if b.Batches() != 32 {
+		t.Fatalf("batches = %d, want 32", b.Batches())
+	}
+	hw := b.HalfWidth95()
+	if math.IsInf(hw, 1) {
+		t.Fatal("no confidence interval")
+	}
+	if math.Abs(b.Mean()-2) > 3*hw+0.05 {
+		t.Errorf("CI does not cover true mean: %v ± %v vs 2", b.Mean(), hw)
+	}
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	b := NewBatchMeans(100)
+	for i := 0; i < 50; i++ {
+		b.Add(1)
+	}
+	if !math.IsInf(b.HalfWidth95(), 1) {
+		t.Error("expected +Inf half-width with <2 batches")
+	}
+	if b.Mean() != 1 {
+		t.Errorf("mean = %v", b.Mean())
+	}
+}
+
+func TestTCrit95Monotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := tCrit95(df)
+		if v > prev+1e-9 {
+			t.Fatalf("tCrit95 not nonincreasing at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+	if got := tCrit95(1000000); math.Abs(got-1.96) > 1e-9 {
+		t.Errorf("large-df tCrit = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(s, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(s, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(s, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(s, 0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Errorf("RelErr(11,10) = %v", RelErr(11, 10))
+	}
+	if RelErr(0.5, 0) != 0.5 {
+		t.Errorf("RelErr(0.5,0) = %v", RelErr(0.5, 0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0,0) did not panic")
+		}
+	}()
+	NewHistogram(0, 0)
+}
+
+func TestBatchMeansPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBatchMeans(0) did not panic")
+		}
+	}()
+	NewBatchMeans(0)
+}

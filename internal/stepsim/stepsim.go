@@ -1,0 +1,158 @@
+// Package stepsim is a second, independent implementation of the paper's
+// slotted-time model (§5.2): time advances in unit slots; at the start of
+// each slot every source receives a Poisson(λτ) batch of new packets; each
+// edge serves exactly one queued packet per slot (FIFO); and a packet that
+// completes a hop becomes eligible for service at its next edge in the
+// following slot.
+//
+// Its purpose is cross-validation: the event-driven engine in internal/sim,
+// configured with SlotTau = 1 and deterministic unit service, simulates the
+// same stochastic system through an entirely different mechanism (event
+// heap vs. synchronous phases). The two implementations share no simulation
+// code, so statistical agreement between them is strong evidence that
+// neither misimplements the model. The agreement is asserted in tests and
+// reported by the `xval` experiment.
+package stepsim
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Config describes one slotted run. All fields mirror internal/sim's Config
+// where they overlap; times are measured in slots.
+type Config struct {
+	// Net is the network topology.
+	Net topology.Network
+	// Router generates packet routes.
+	Router routing.Router
+	// Dest samples packet destinations.
+	Dest routing.DestSampler
+	// NodeRate is λ: each source receives a Poisson(NodeRate) batch per slot.
+	NodeRate float64
+	// WarmupSlots are discarded before measurement.
+	WarmupSlots int
+	// Slots is the number of measured slots.
+	Slots int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Result holds the measurements of one slotted run.
+type Result struct {
+	// MeanDelay is the mean packet delay in slots (zero-hop packets count
+	// with delay 0, as in the paper's model).
+	MeanDelay float64
+	// Delay holds full per-packet statistics.
+	Delay stats.Welford
+	// MeanN is the per-slot average number of packets in the system,
+	// sampled during the service phase (after arrivals, before
+	// departures), which matches the continuous-time time average: a
+	// packet with delay d slots is present in exactly d samples, so
+	// MeanN = Λ·MeanDelay as Little's law requires.
+	MeanN float64
+	// Delivered counts measured packets.
+	Delivered int64
+}
+
+type packet struct {
+	genSlot  int
+	hop      int
+	route    []int
+	measured bool
+}
+
+// Run executes the synchronous simulation.
+func Run(cfg Config) (Result, error) {
+	if cfg.Net == nil || cfg.Router == nil || cfg.Dest == nil {
+		return Result{}, fmt.Errorf("stepsim: Net, Router and Dest are required")
+	}
+	if cfg.Slots <= 0 || cfg.WarmupSlots < 0 || cfg.NodeRate < 0 {
+		return Result{}, fmt.Errorf("stepsim: invalid slot counts or rate")
+	}
+	rng := xrand.New(cfg.Seed)
+	sources := topology.Sources(cfg.Net)
+	queues := make([][]*packet, cfg.Net.NumEdges())
+	var free []*packet
+
+	getPacket := func() *packet {
+		if n := len(free); n > 0 {
+			p := free[n-1]
+			free = free[:n-1]
+			p.hop = 0
+			p.route = p.route[:0]
+			return p
+		}
+		return &packet{}
+	}
+
+	var res Result
+	var nSum float64
+	inSystem := 0
+	total := cfg.WarmupSlots + cfg.Slots
+	moved := make([]*packet, 0, 256)
+	for slot := 0; slot < total; slot++ {
+		measuring := slot >= cfg.WarmupSlots
+		// Phase 1: batch arrivals at every source.
+		for _, src := range sources {
+			for k := rng.Poisson(cfg.NodeRate); k > 0; k-- {
+				p := getPacket()
+				p.genSlot = slot
+				p.measured = measuring
+				dst := cfg.Dest.Sample(src, rng)
+				p.route = cfg.Router.AppendRoute(p.route, src, dst, rng)
+				if len(p.route) == 0 {
+					if measuring {
+						res.Delay.Add(0)
+						res.Delivered++
+					}
+					free = append(free, p)
+					continue
+				}
+				queues[p.route[0]] = append(queues[p.route[0]], p)
+				inSystem++
+			}
+		}
+		// Sample N during the service phase: these are the packets that
+		// occupy the system over this slot's interior.
+		if measuring {
+			nSum += float64(inSystem)
+		}
+		// Phase 2: every nonempty edge serves its head packet during this
+		// slot; completions land at the next edge for service next slot.
+		moved = moved[:0]
+		for e := range queues {
+			q := queues[e]
+			if len(q) == 0 {
+				continue
+			}
+			p := q[0]
+			copy(q, q[1:])
+			queues[e] = q[:len(q)-1]
+			p.hop++
+			if p.hop == len(p.route) {
+				if p.measured && measuring {
+					res.Delay.Add(float64(slot + 1 - p.genSlot))
+					res.Delivered++
+				}
+				inSystem--
+				free = append(free, p)
+				continue
+			}
+			moved = append(moved, p)
+		}
+		// Phase 3: place moved packets after all services, so none is
+		// served twice in one slot.
+		for _, p := range moved {
+			e := p.route[p.hop]
+			queues[e] = append(queues[e], p)
+		}
+	}
+	res.MeanDelay = res.Delay.Mean()
+	res.MeanN = nSum / float64(cfg.Slots)
+	return res, nil
+}

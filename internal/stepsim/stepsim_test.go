@@ -1,0 +1,142 @@
+package stepsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func rel(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func arrayCfg(n int, rho float64, seed uint64) Config {
+	a := topology.NewArray2D(n)
+	return Config{
+		Net:         a,
+		Router:      routing.GreedyXY{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    bounds.LambdaTable(n, rho),
+		WarmupSlots: 2000,
+		Slots:       20000,
+		Seed:        seed,
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(arrayCfg(5, 0.6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(arrayCfg(5, 0.6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanDelay != b.MeanDelay || a.Delivered != b.Delivered {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := arrayCfg(4, 0.5, 1)
+	cfg.Slots = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+// TestCrossValidationAgainstEventEngine is the point of this package: the
+// synchronous simulator and the event-driven engine (in slotted mode) are
+// independent implementations of the same model and must agree
+// statistically on both the mean delay and the mean number in system.
+func TestCrossValidationAgainstEventEngine(t *testing.T) {
+	for _, tc := range []struct {
+		n   int
+		rho float64
+	}{{5, 0.5}, {6, 0.8}} {
+		step, err := Run(arrayCfg(tc.n, tc.rho, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := topology.NewArray2D(tc.n)
+		evCfg := sim.Config{
+			Net:      a,
+			Router:   routing.GreedyXY{A: a},
+			Dest:     routing.UniformDest{NumNodes: a.NumNodes()},
+			NodeRate: bounds.LambdaTable(tc.n, tc.rho),
+			Warmup:   2000,
+			Horizon:  20000,
+			Seed:     6,
+			SlotTau:  1,
+		}
+		event, err := sim.Run(evCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel(step.MeanDelay, event.MeanDelay) > 0.05 {
+			t.Errorf("n=%d rho=%v: delay %v (step) vs %v (event)", tc.n, tc.rho, step.MeanDelay, event.MeanDelay)
+		}
+		if rel(step.MeanN, event.MeanN) > 0.07 {
+			t.Errorf("n=%d rho=%v: N %v (step) vs %v (event)", tc.n, tc.rho, step.MeanN, event.MeanN)
+		}
+	}
+}
+
+// TestSlottedNearContinuous reproduces §5.2's claim from the synchronous
+// side: the slotted delay is within one slot of the continuous-time delay.
+func TestSlottedNearContinuous(t *testing.T) {
+	n, rho := 5, 0.7
+	step, err := Run(arrayCfg(n, rho, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := topology.NewArray2D(n)
+	cont, err := sim.Run(sim.Config{
+		Net:      a,
+		Router:   routing.GreedyXY{A: a},
+		Dest:     routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate: bounds.LambdaTable(n, rho),
+		Warmup:   2000,
+		Horizon:  20000,
+		Seed:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(step.MeanDelay - cont.MeanDelay); diff > 1.1 {
+		t.Errorf("slotted %v vs continuous %v differ by %v > 1 slot", step.MeanDelay, cont.MeanDelay, diff)
+	}
+}
+
+func TestZeroHopPacketsCounted(t *testing.T) {
+	// A 2×2 array with uniform destinations: a quarter of packets are
+	// zero-hop and must appear with delay 0.
+	a := topology.NewArray2D(2)
+	res, err := Run(Config{
+		Net:      a,
+		Router:   routing.GreedyXY{A: a},
+		Dest:     routing.UniformDest{NumNodes: 4},
+		NodeRate: 0.2,
+		Slots:    5000,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay.Min() != 0 {
+		t.Errorf("expected zero-delay packets, min = %v", res.Delay.Min())
+	}
+	if res.MeanDelay <= 0 || res.Delivered == 0 {
+		t.Error("no traffic simulated")
+	}
+}

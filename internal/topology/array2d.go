@@ -1,0 +1,239 @@
+package topology
+
+import "fmt"
+
+// Dir is one of the four mesh edge directions.
+type Dir int
+
+// The four directions of travel on a mesh. Row index grows downward, matching
+// the paper's convention that node (1,1) is the upper-left corner.
+const (
+	Right Dir = iota
+	Left
+	Down
+	Up
+	numDirs
+)
+
+// String returns the direction name.
+func (d Dir) String() string {
+	switch d {
+	case Right:
+		return "right"
+	case Left:
+		return "left"
+	case Down:
+		return "down"
+	case Up:
+		return "up"
+	default:
+		return fmt.Sprintf("Dir(%d)", int(d))
+	}
+}
+
+// Array2D is the paper's n×n array network: nodes at (row, col) with
+// 0 <= row, col < n, and two directed edges between each pair of neighbors
+// in the same row or column. The paper indexes nodes from 1; this package
+// uses 0-based coordinates and converts inside the closed-form formulas.
+//
+// Edge ids are dense in [0, 4n(n-1)), grouped by direction:
+//
+//	Right ((r,c)->(r,c+1)): id = r*(n-1) + c            for c in [0, n-1)
+//	Left  ((r,c)->(r,c-1)): id = H + r*(n-1) + (c-1)    for c in [1, n)
+//	Down  ((r,c)->(r+1,c)): id = 2H + c*(n-1) + r       for r in [0, n-1)
+//	Up    ((r,c)->(r-1,c)): id = 3H + c*(n-1) + (r-1)   for r in [1, n)
+//
+// where H = n(n-1) is the number of edges per direction.
+type Array2D struct {
+	n int
+}
+
+// NewArray2D creates an n×n array. n must be at least 2.
+func NewArray2D(n int) *Array2D {
+	if n < 2 {
+		panic("topology: Array2D requires n >= 2")
+	}
+	return &Array2D{n: n}
+}
+
+// N returns the side length.
+func (a *Array2D) N() int { return a.n }
+
+// Name implements Network.
+func (a *Array2D) Name() string { return fmt.Sprintf("array2d(%d)", a.n) }
+
+// NumNodes implements Network.
+func (a *Array2D) NumNodes() int { return a.n * a.n }
+
+// NumEdges implements Network.
+func (a *Array2D) NumEdges() int { return 4 * a.n * (a.n - 1) }
+
+// Node returns the node id of (row, col).
+func (a *Array2D) Node(row, col int) int { return row*a.n + col }
+
+// Coords returns the (row, col) of a node id.
+func (a *Array2D) Coords(node int) (row, col int) { return node / a.n, node % a.n }
+
+// perDir is the number of edges in each direction group.
+func (a *Array2D) perDir() int { return a.n * (a.n - 1) }
+
+// EdgeIn returns the id of the edge leaving (row, col) in direction d, and
+// false if no such edge exists (leaving the array).
+func (a *Array2D) EdgeIn(row, col int, d Dir) (int, bool) {
+	n, h := a.n, a.perDir()
+	switch d {
+	case Right:
+		if col >= n-1 {
+			return 0, false
+		}
+		return row*(n-1) + col, true
+	case Left:
+		if col <= 0 {
+			return 0, false
+		}
+		return h + row*(n-1) + (col - 1), true
+	case Down:
+		if row >= n-1 {
+			return 0, false
+		}
+		return 2*h + col*(n-1) + row, true
+	case Up:
+		if row <= 0 {
+			return 0, false
+		}
+		return 3*h + col*(n-1) + (row - 1), true
+	default:
+		panic("topology: invalid direction")
+	}
+}
+
+// EdgeInfo decodes edge id e into its direction and source coordinates.
+func (a *Array2D) EdgeInfo(e int) (row, col int, d Dir) {
+	n, h := a.n, a.perDir()
+	if e < 0 || e >= 4*h {
+		panic(fmt.Sprintf("topology: edge %d out of range for %s", e, a.Name()))
+	}
+	d = Dir(e / h)
+	rem := e % h
+	switch d {
+	case Right:
+		return rem / (n - 1), rem % (n - 1), d
+	case Left:
+		return rem / (n - 1), rem%(n-1) + 1, d
+	case Down:
+		return rem % (n - 1), rem / (n - 1), d
+	default: // Up
+		return rem%(n-1) + 1, rem / (n - 1), d
+	}
+}
+
+// EdgeFrom implements Network.
+func (a *Array2D) EdgeFrom(e int) int {
+	r, c, _ := a.EdgeInfo(e)
+	return a.Node(r, c)
+}
+
+// EdgeTo implements Network.
+func (a *Array2D) EdgeTo(e int) int {
+	r, c, d := a.EdgeInfo(e)
+	switch d {
+	case Right:
+		return a.Node(r, c+1)
+	case Left:
+		return a.Node(r, c-1)
+	case Down:
+		return a.Node(r+1, c)
+	default:
+		return a.Node(r-1, c)
+	}
+}
+
+// LayerLabel returns the Lemma 2 layering label of edge e, in [1, 2n-2].
+// In the paper's 1-based coordinates:
+//
+//	((i,j),(i,j+1)) -> j        ((i,j+1),(i,j)) -> n-j
+//	((i,j),(i+1,j)) -> n+i-1    ((i+1,j),(i,j)) -> 2n-i-1
+//
+// Under greedy routing the labels along any packet's path are strictly
+// increasing, which is what makes the Stamoulis–Tsitsiklis upper bound
+// (Theorem 1) applicable to the array.
+func (a *Array2D) LayerLabel(e int) int {
+	row, col, d := a.EdgeInfo(e)
+	n := a.n
+	switch d {
+	case Right: // 1-based j = col+1
+		return col + 1
+	case Left: // from 1-based column col+1 to col, so j = col
+		return n - col
+	case Down: // 1-based i = row+1
+		return n + row
+	default: // Up: from 1-based row row+1 to row, so i = row
+		return 2*n - row - 1
+	}
+}
+
+// Distance returns the greedy route length |Δrow| + |Δcol| between nodes.
+func (a *Array2D) Distance(src, dst int) int {
+	r1, c1 := a.Coords(src)
+	r2, c2 := a.Coords(dst)
+	return abs(r1-r2) + abs(c1-c2)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Linear is a 1-dimensional array of n nodes with directed edges both ways
+// between neighbors. It is used by Lemma 3 (the Markov destination walk) and
+// as the worst-case example for the Theorem 10/12 lower bounds.
+//
+// Edge ids: right ((i)->(i+1)): id = i for i in [0, n-1);
+// left ((i)->(i-1)): id = (n-1) + (i-1) for i in [1, n).
+type Linear struct {
+	n int
+}
+
+// NewLinear creates a linear array with n >= 2 nodes.
+func NewLinear(n int) *Linear {
+	if n < 2 {
+		panic("topology: Linear requires n >= 2")
+	}
+	return &Linear{n: n}
+}
+
+// N returns the number of nodes.
+func (l *Linear) N() int { return l.n }
+
+// Name implements Network.
+func (l *Linear) Name() string { return fmt.Sprintf("linear(%d)", l.n) }
+
+// NumNodes implements Network.
+func (l *Linear) NumNodes() int { return l.n }
+
+// NumEdges implements Network.
+func (l *Linear) NumEdges() int { return 2 * (l.n - 1) }
+
+// EdgeRight returns the id of the edge i -> i+1.
+func (l *Linear) EdgeRight(i int) int { return i }
+
+// EdgeLeft returns the id of the edge i -> i-1.
+func (l *Linear) EdgeLeft(i int) int { return (l.n - 1) + (i - 1) }
+
+// EdgeFrom implements Network.
+func (l *Linear) EdgeFrom(e int) int {
+	if e < l.n-1 {
+		return e
+	}
+	return e - (l.n - 1) + 1
+}
+
+// EdgeTo implements Network.
+func (l *Linear) EdgeTo(e int) int {
+	if e < l.n-1 {
+		return e + 1
+	}
+	return e - (l.n - 1)
+}

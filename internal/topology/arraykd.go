@@ -1,0 +1,174 @@
+package topology
+
+import "fmt"
+
+// ArrayKD is the k-dimensional array of §5.2, generalizing Array2D. Sizes
+// may differ per dimension (the paper notes rectangular arrays are handled
+// the same way). Nodes are indexed row-major with dimension 0 most
+// significant.
+//
+// Edge ids are dense: for each dimension m there is a "plus" group
+// (coord[m] -> coord[m]+1) and a "minus" group, each containing one edge per
+// (line, position) pair, where a line fixes every coordinate except m.
+type ArrayKD struct {
+	sizes   []int
+	strides []int
+	nodes   int
+	groups  []kdGroup
+	edges   int
+}
+
+type kdGroup struct {
+	dim    int
+	plus   bool
+	offset int
+	count  int
+}
+
+// NewArrayKD creates an array with the given per-dimension sizes, each >= 2.
+func NewArrayKD(sizes ...int) *ArrayKD {
+	if len(sizes) == 0 {
+		panic("topology: ArrayKD requires at least one dimension")
+	}
+	a := &ArrayKD{sizes: append([]int(nil), sizes...)}
+	a.nodes = 1
+	for _, s := range sizes {
+		if s < 2 {
+			panic("topology: ArrayKD requires every size >= 2")
+		}
+		a.nodes *= s
+	}
+	a.strides = make([]int, len(sizes))
+	stride := 1
+	for m := len(sizes) - 1; m >= 0; m-- {
+		a.strides[m] = stride
+		stride *= sizes[m]
+	}
+	offset := 0
+	for m := range sizes {
+		count := (sizes[m] - 1) * (a.nodes / sizes[m])
+		a.groups = append(a.groups,
+			kdGroup{dim: m, plus: true, offset: offset, count: count},
+			kdGroup{dim: m, plus: false, offset: offset + count, count: count})
+		offset += 2 * count
+	}
+	a.edges = offset
+	return a
+}
+
+// K returns the number of dimensions.
+func (a *ArrayKD) K() int { return len(a.sizes) }
+
+// Size returns the extent of dimension m.
+func (a *ArrayKD) Size(m int) int { return a.sizes[m] }
+
+// Name implements Network.
+func (a *ArrayKD) Name() string { return fmt.Sprintf("arraykd%v", a.sizes) }
+
+// NumNodes implements Network.
+func (a *ArrayKD) NumNodes() int { return a.nodes }
+
+// NumEdges implements Network.
+func (a *ArrayKD) NumEdges() int { return a.edges }
+
+// Node returns the node id for the given coordinates.
+func (a *ArrayKD) Node(coords ...int) int {
+	if len(coords) != len(a.sizes) {
+		panic("topology: wrong coordinate count")
+	}
+	id := 0
+	for m, c := range coords {
+		if c < 0 || c >= a.sizes[m] {
+			panic(fmt.Sprintf("topology: coordinate %d out of range for dim %d", c, m))
+		}
+		id += c * a.strides[m]
+	}
+	return id
+}
+
+// Coords writes the coordinates of node into buf (allocating if nil) and
+// returns it.
+func (a *ArrayKD) Coords(node int, buf []int) []int {
+	if buf == nil {
+		buf = make([]int, len(a.sizes))
+	}
+	for m := range a.sizes {
+		buf[m] = node / a.strides[m] % a.sizes[m]
+	}
+	return buf
+}
+
+// lineIndex returns the dense index of node's line in dimension m (the node
+// index with coordinate m removed).
+func (a *ArrayKD) lineIndex(node, m int) int {
+	hi := node / (a.strides[m] * a.sizes[m]) // digits above m, unchanged radix
+	lo := node % a.strides[m]                // digits below m
+	return hi*a.strides[m] + lo
+}
+
+// EdgeStep returns the edge id leaving node along dimension m in the plus
+// (coord+1) or minus direction, and false if it would leave the array.
+func (a *ArrayKD) EdgeStep(node, m int, plus bool) (int, bool) {
+	c := node / a.strides[m] % a.sizes[m]
+	if plus && c >= a.sizes[m]-1 || !plus && c <= 0 {
+		return 0, false
+	}
+	g := a.groups[2*m]
+	if !plus {
+		g = a.groups[2*m+1]
+	}
+	pos := c
+	if !plus {
+		pos = c - 1 // minus edge from c -> c-1 is stored at position c-1
+	}
+	return g.offset + a.lineIndex(node, m)*(a.sizes[m]-1) + pos, true
+}
+
+// EdgeInfo decodes edge id e into (dim, plus, fromNode).
+func (a *ArrayKD) EdgeInfo(e int) (dim int, plus bool, from int) {
+	if e < 0 || e >= a.edges {
+		panic(fmt.Sprintf("topology: edge %d out of range for %s", e, a.Name()))
+	}
+	for _, g := range a.groups {
+		if e < g.offset+g.count {
+			local := e - g.offset
+			line := local / (a.sizes[g.dim] - 1)
+			pos := local % (a.sizes[g.dim] - 1)
+			c := pos
+			if !g.plus {
+				c = pos + 1
+			}
+			hi := line / a.strides[g.dim]
+			lo := line % a.strides[g.dim]
+			from = hi*a.strides[g.dim]*a.sizes[g.dim] + c*a.strides[g.dim] + lo
+			return g.dim, g.plus, from
+		}
+	}
+	panic("unreachable")
+}
+
+// EdgeFrom implements Network.
+func (a *ArrayKD) EdgeFrom(e int) int {
+	_, _, from := a.EdgeInfo(e)
+	return from
+}
+
+// EdgeTo implements Network.
+func (a *ArrayKD) EdgeTo(e int) int {
+	dim, plus, from := a.EdgeInfo(e)
+	if plus {
+		return from + a.strides[dim]
+	}
+	return from - a.strides[dim]
+}
+
+// Distance returns the greedy route length (L1 distance) between nodes.
+func (a *ArrayKD) Distance(src, dst int) int {
+	d := 0
+	for m := range a.sizes {
+		cs := src / a.strides[m] % a.sizes[m]
+		cd := dst / a.strides[m] % a.sizes[m]
+		d += abs(cs - cd)
+	}
+	return d
+}

@@ -1,0 +1,160 @@
+package topology
+
+import "fmt"
+
+// Hypercube is the d-dimensional binary cube of §4.5: 2^d nodes labeled by
+// d-bit strings, with a pair of directed edges between nodes differing in
+// exactly one bit. Greedy routing corrects bits in canonical order, which is
+// Markovian and layered, so both the paper's upper and lower bounds apply.
+//
+// Edge ids are dense in [0, d·2^d): id = dim*2^d + node for the edge that
+// leaves node by flipping bit dim.
+type Hypercube struct {
+	d int
+}
+
+// NewHypercube creates a d-dimensional cube, 1 <= d <= 30.
+func NewHypercube(d int) *Hypercube {
+	if d < 1 || d > 30 {
+		panic("topology: Hypercube requires 1 <= d <= 30")
+	}
+	return &Hypercube{d: d}
+}
+
+// D returns the dimension.
+func (h *Hypercube) D() int { return h.d }
+
+// Name implements Network.
+func (h *Hypercube) Name() string { return fmt.Sprintf("hypercube(%d)", h.d) }
+
+// NumNodes implements Network.
+func (h *Hypercube) NumNodes() int { return 1 << h.d }
+
+// NumEdges implements Network.
+func (h *Hypercube) NumEdges() int { return h.d << h.d }
+
+// EdgeIn returns the id of the edge leaving node by flipping bit dim.
+func (h *Hypercube) EdgeIn(node, dim int) int { return dim<<h.d + node }
+
+// EdgeInfo decodes edge id e into its source node and dimension.
+func (h *Hypercube) EdgeInfo(e int) (node, dim int) {
+	if e < 0 || e >= h.NumEdges() {
+		panic(fmt.Sprintf("topology: edge %d out of range for %s", e, h.Name()))
+	}
+	return e & (1<<h.d - 1), e >> h.d
+}
+
+// EdgeFrom implements Network.
+func (h *Hypercube) EdgeFrom(e int) int {
+	node, _ := h.EdgeInfo(e)
+	return node
+}
+
+// EdgeTo implements Network.
+func (h *Hypercube) EdgeTo(e int) int {
+	node, dim := h.EdgeInfo(e)
+	return node ^ (1 << dim)
+}
+
+// Distance returns the Hamming distance between two nodes.
+func (h *Hypercube) Distance(src, dst int) int {
+	x := src ^ dst
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// Butterfly is the d-level butterfly of §4.5: levels 0..d each containing
+// 2^d nodes; a node (l, r) with l < d has a "straight" edge to (l+1, r) and
+// a "cross" edge to (l+1, r XOR 2^l). Packets enter at level 0 and exit at
+// level d, so every packet crosses exactly d edges, and by symmetry every
+// edge carries rate λ/2 — all queues saturate together.
+//
+// Node ids: id = level*2^d + row. Edge ids are dense in [0, 2d·2^d):
+// id = 2*(level*2^d + row) + b with b = 0 straight, b = 1 cross.
+type Butterfly struct {
+	d int
+}
+
+// NewButterfly creates a butterfly with d >= 1 levels of edges.
+func NewButterfly(d int) *Butterfly {
+	if d < 1 || d > 28 {
+		panic("topology: Butterfly requires 1 <= d <= 28")
+	}
+	return &Butterfly{d: d}
+}
+
+// D returns the number of edge levels.
+func (b *Butterfly) D() int { return b.d }
+
+// Rows returns the number of rows, 2^d.
+func (b *Butterfly) Rows() int { return 1 << b.d }
+
+// Name implements Network.
+func (b *Butterfly) Name() string { return fmt.Sprintf("butterfly(%d)", b.d) }
+
+// NumNodes implements Network.
+func (b *Butterfly) NumNodes() int { return (b.d + 1) << b.d }
+
+// NumEdges implements Network.
+func (b *Butterfly) NumEdges() int { return 2 * b.d << b.d }
+
+// Node returns the node id of (level, row).
+func (b *Butterfly) Node(level, row int) int { return level<<b.d + row }
+
+// NodeInfo returns the (level, row) of a node id.
+func (b *Butterfly) NodeInfo(node int) (level, row int) {
+	return node >> b.d, node & (1<<b.d - 1)
+}
+
+// EdgeIn returns the id of the edge leaving (level, row); cross selects the
+// bit-flipping edge.
+func (b *Butterfly) EdgeIn(level, row int, cross bool) int {
+	e := 2 * b.Node(level, row)
+	if cross {
+		e++
+	}
+	return e
+}
+
+// EdgeInfo decodes edge id e.
+func (b *Butterfly) EdgeInfo(e int) (level, row int, cross bool) {
+	if e < 0 || e >= b.NumEdges() {
+		panic(fmt.Sprintf("topology: edge %d out of range for %s", e, b.Name()))
+	}
+	level, row = b.NodeInfo(e / 2)
+	return level, row, e%2 == 1
+}
+
+// EdgeFrom implements Network.
+func (b *Butterfly) EdgeFrom(e int) int { return e / 2 }
+
+// EdgeTo implements Network.
+func (b *Butterfly) EdgeTo(e int) int {
+	level, row, cross := b.EdgeInfo(e)
+	if cross {
+		row ^= 1 << level
+	}
+	return b.Node(level+1, row)
+}
+
+// SourceNodes implements SourceSet: packets enter only at level 0.
+func (b *Butterfly) SourceNodes() []int {
+	nodes := make([]int, b.Rows())
+	for r := range nodes {
+		nodes[r] = b.Node(0, r)
+	}
+	return nodes
+}
+
+// OutputNodes returns the level-d exit nodes.
+func (b *Butterfly) OutputNodes() []int {
+	nodes := make([]int, b.Rows())
+	for r := range nodes {
+		nodes[r] = b.Node(b.d, r)
+	}
+	return nodes
+}

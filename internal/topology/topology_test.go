@@ -1,0 +1,400 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkDenseEdges verifies that edge ids are dense, decode to valid
+// endpoints, and that every EdgeIn-style encoding round-trips.
+func checkDenseEdges(t *testing.T, net Network) {
+	t.Helper()
+	seen := make(map[[2]int]int)
+	for e := 0; e < net.NumEdges(); e++ {
+		from, to := net.EdgeFrom(e), net.EdgeTo(e)
+		if from < 0 || from >= net.NumNodes() || to < 0 || to >= net.NumNodes() {
+			t.Fatalf("%s: edge %d has endpoints (%d,%d) out of range", net.Name(), e, from, to)
+		}
+		if from == to {
+			t.Fatalf("%s: edge %d is a self-loop at %d", net.Name(), e, from)
+		}
+		key := [2]int{from, to}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("%s: duplicate edge %d->%d (ids %d and %d)", net.Name(), from, to, prev, e)
+		}
+		seen[key] = e
+	}
+}
+
+func TestArray2DEdgeCountAndDensity(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		a := NewArray2D(n)
+		if got, want := a.NumEdges(), 4*n*(n-1); got != want {
+			t.Errorf("n=%d: NumEdges = %d, want %d", n, got, want)
+		}
+		if got, want := a.NumNodes(), n*n; got != want {
+			t.Errorf("n=%d: NumNodes = %d, want %d", n, got, want)
+		}
+		checkDenseEdges(t, a)
+	}
+}
+
+func TestArray2DEdgeRoundTrip(t *testing.T) {
+	a := NewArray2D(6)
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			for d := Right; d < numDirs; d++ {
+				e, ok := a.EdgeIn(r, c, d)
+				wantOK := !(d == Right && c == 5 || d == Left && c == 0 ||
+					d == Down && r == 5 || d == Up && r == 0)
+				if ok != wantOK {
+					t.Fatalf("EdgeIn(%d,%d,%v) ok = %v, want %v", r, c, d, ok, wantOK)
+				}
+				if !ok {
+					continue
+				}
+				gr, gc, gd := a.EdgeInfo(e)
+				if gr != r || gc != c || gd != d {
+					t.Fatalf("EdgeInfo(%d) = (%d,%d,%v), want (%d,%d,%v)", e, gr, gc, gd, r, c, d)
+				}
+				if a.EdgeFrom(e) != a.Node(r, c) {
+					t.Fatalf("EdgeFrom mismatch for %d", e)
+				}
+			}
+		}
+	}
+}
+
+func TestArray2DEdgeToNeighbors(t *testing.T) {
+	a := NewArray2D(4)
+	e, ok := a.EdgeIn(1, 2, Right)
+	if !ok || a.EdgeTo(e) != a.Node(1, 3) {
+		t.Error("Right edge target wrong")
+	}
+	e, ok = a.EdgeIn(1, 2, Left)
+	if !ok || a.EdgeTo(e) != a.Node(1, 1) {
+		t.Error("Left edge target wrong")
+	}
+	e, ok = a.EdgeIn(1, 2, Down)
+	if !ok || a.EdgeTo(e) != a.Node(2, 2) {
+		t.Error("Down edge target wrong")
+	}
+	e, ok = a.EdgeIn(1, 2, Up)
+	if !ok || a.EdgeTo(e) != a.Node(0, 2) {
+		t.Error("Up edge target wrong")
+	}
+}
+
+func TestArray2DLayerLabelRanges(t *testing.T) {
+	// Row edges must have labels in [1, n-1]; column edges in [n, 2n-2],
+	// which is what makes "rows before columns" a valid layering.
+	for _, n := range []int{3, 4, 7} {
+		a := NewArray2D(n)
+		for e := 0; e < a.NumEdges(); e++ {
+			_, _, d := a.EdgeInfo(e)
+			l := a.LayerLabel(e)
+			if d == Right || d == Left {
+				if l < 1 || l > n-1 {
+					t.Fatalf("n=%d row edge %d label %d out of [1,%d]", n, e, l, n-1)
+				}
+			} else if l < n || l > 2*n-2 {
+				t.Fatalf("n=%d column edge %d label %d out of [%d,%d]", n, e, l, n, 2*n-2)
+			}
+		}
+	}
+}
+
+func TestArray2DLayerLabelPaperTable(t *testing.T) {
+	// Spot-check the paper's label table for n=4 in 1-based coordinates:
+	// ((i,j),(i,j+1)) -> j, ((i,j+1),(i,j)) -> n-j,
+	// ((i,j),(i+1,j)) -> n+i-1, ((i+1,j),(i,j)) -> 2n-i-1.
+	a := NewArray2D(4)
+	cases := []struct {
+		r, c  int // 0-based source
+		d     Dir
+		label int
+	}{
+		{0, 0, Right, 1}, // (1,1)->(1,2): j=1
+		{0, 2, Right, 3}, // (1,3)->(1,4): j=3
+		{0, 1, Left, 3},  // (1,2)->(1,1): n-j = 4-1
+		{0, 3, Left, 1},  // (1,4)->(1,3): n-j = 4-3
+		{0, 0, Down, 4},  // (1,1)->(2,1): n+i-1 = 4+1-1
+		{2, 0, Down, 6},  // (3,1)->(4,1): 4+3-1
+		{1, 0, Up, 6},    // (2,1)->(1,1): 2n-i-1 = 8-1-1
+		{3, 0, Up, 4},    // (4,1)->(3,1): 8-3-1
+	}
+	for _, c := range cases {
+		e, ok := a.EdgeIn(c.r, c.c, c.d)
+		if !ok {
+			t.Fatalf("edge (%d,%d,%v) missing", c.r, c.c, c.d)
+		}
+		if got := a.LayerLabel(e); got != c.label {
+			t.Errorf("label (%d,%d,%v) = %d, want %d", c.r, c.c, c.d, got, c.label)
+		}
+	}
+}
+
+func TestArray2DDistance(t *testing.T) {
+	a := NewArray2D(5)
+	if got := a.Distance(a.Node(0, 0), a.Node(4, 4)); got != 8 {
+		t.Errorf("corner distance = %d, want 8", got)
+	}
+	if got := a.Distance(a.Node(2, 2), a.Node(2, 2)); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	l := NewLinear(5)
+	if l.NumEdges() != 8 {
+		t.Fatalf("NumEdges = %d, want 8", l.NumEdges())
+	}
+	checkDenseEdges(t, l)
+	for i := 0; i < 4; i++ {
+		e := l.EdgeRight(i)
+		if l.EdgeFrom(e) != i || l.EdgeTo(e) != i+1 {
+			t.Errorf("right edge %d: %d->%d", e, l.EdgeFrom(e), l.EdgeTo(e))
+		}
+	}
+	for i := 1; i < 5; i++ {
+		e := l.EdgeLeft(i)
+		if l.EdgeFrom(e) != i || l.EdgeTo(e) != i-1 {
+			t.Errorf("left edge %d: %d->%d", e, l.EdgeFrom(e), l.EdgeTo(e))
+		}
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	tor := NewTorus2D(4)
+	if tor.NumEdges() != 64 {
+		t.Fatalf("NumEdges = %d, want 64", tor.NumEdges())
+	}
+	checkDenseEdges(t, tor)
+	// Wraparound targets.
+	e := tor.EdgeIn(0, 3, Right)
+	if tor.EdgeTo(e) != tor.Node(0, 0) {
+		t.Error("right wrap broken")
+	}
+	e = tor.EdgeIn(0, 0, Up)
+	if tor.EdgeTo(e) != tor.Node(3, 0) {
+		t.Error("up wrap broken")
+	}
+	// Every node has out-degree 4.
+	deg := make(map[int]int)
+	for e := 0; e < tor.NumEdges(); e++ {
+		deg[tor.EdgeFrom(e)]++
+	}
+	for node, d := range deg {
+		if d != 4 {
+			t.Errorf("node %d out-degree %d", node, d)
+		}
+	}
+}
+
+func TestWrapDist(t *testing.T) {
+	plus, minus := WrapDist(1, 3, 5)
+	if plus != 2 || minus != 3 {
+		t.Errorf("WrapDist(1,3,5) = (%d,%d)", plus, minus)
+	}
+	plus, minus = WrapDist(3, 1, 5)
+	if plus != 3 || minus != 2 {
+		t.Errorf("WrapDist(3,1,5) = (%d,%d)", plus, minus)
+	}
+	plus, minus = WrapDist(2, 2, 5)
+	if plus != 0 || minus != 0 {
+		t.Errorf("WrapDist(2,2,5) = (%d,%d)", plus, minus)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	h := NewHypercube(4)
+	if h.NumNodes() != 16 || h.NumEdges() != 64 {
+		t.Fatalf("sizes: %d nodes, %d edges", h.NumNodes(), h.NumEdges())
+	}
+	checkDenseEdges(t, h)
+	for node := 0; node < h.NumNodes(); node++ {
+		for dim := 0; dim < 4; dim++ {
+			e := h.EdgeIn(node, dim)
+			gn, gd := h.EdgeInfo(e)
+			if gn != node || gd != dim {
+				t.Fatalf("EdgeInfo(%d) = (%d,%d), want (%d,%d)", e, gn, gd, node, dim)
+			}
+			if h.EdgeTo(e) != node^(1<<dim) {
+				t.Fatalf("EdgeTo(%d) = %d", e, h.EdgeTo(e))
+			}
+		}
+	}
+	if h.Distance(0b0000, 0b1011) != 3 {
+		t.Error("Hamming distance wrong")
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	b := NewButterfly(3)
+	if b.NumNodes() != 32 || b.NumEdges() != 48 {
+		t.Fatalf("sizes: %d nodes, %d edges", b.NumNodes(), b.NumEdges())
+	}
+	checkDenseEdges(t, b)
+	// Straight edge keeps the row; cross edge flips bit `level`.
+	for level := 0; level < 3; level++ {
+		for row := 0; row < b.Rows(); row++ {
+			es := b.EdgeIn(level, row, false)
+			if b.EdgeTo(es) != b.Node(level+1, row) {
+				t.Fatalf("straight edge (%d,%d) wrong target", level, row)
+			}
+			ec := b.EdgeIn(level, row, true)
+			if b.EdgeTo(ec) != b.Node(level+1, row^(1<<level)) {
+				t.Fatalf("cross edge (%d,%d) wrong target", level, row)
+			}
+			gl, gr, gc := b.EdgeInfo(ec)
+			if gl != level || gr != row || !gc {
+				t.Fatalf("EdgeInfo round-trip failed for (%d,%d,cross)", level, row)
+			}
+		}
+	}
+	if len(b.SourceNodes()) != 8 || len(b.OutputNodes()) != 8 {
+		t.Error("source/output sets wrong size")
+	}
+	for _, s := range b.SourceNodes() {
+		if l, _ := b.NodeInfo(s); l != 0 {
+			t.Errorf("source node %d not at level 0", s)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	a := NewArray2D(3)
+	if got := Sources(a); len(got) != 9 || got[0] != 0 || got[8] != 8 {
+		t.Errorf("array sources = %v", got)
+	}
+	b := NewButterfly(2)
+	if got := Sources(b); len(got) != 4 {
+		t.Errorf("butterfly sources = %v", got)
+	}
+}
+
+func TestArrayKDMatchesArray2D(t *testing.T) {
+	// A 2-dimensional ArrayKD must be graph-isomorphic to Array2D under the
+	// identity on node ids (same row-major layout).
+	n := 5
+	a2 := NewArray2D(n)
+	ak := NewArrayKD(n, n)
+	if ak.NumNodes() != a2.NumNodes() || ak.NumEdges() != a2.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+			ak.NumNodes(), a2.NumNodes(), ak.NumEdges(), a2.NumEdges())
+	}
+	edges2 := make(map[[2]int]bool)
+	for e := 0; e < a2.NumEdges(); e++ {
+		edges2[[2]int{a2.EdgeFrom(e), a2.EdgeTo(e)}] = true
+	}
+	for e := 0; e < ak.NumEdges(); e++ {
+		key := [2]int{ak.EdgeFrom(e), ak.EdgeTo(e)}
+		if !edges2[key] {
+			t.Fatalf("ArrayKD edge %v not in Array2D", key)
+		}
+	}
+}
+
+func TestArrayKDEdgeRoundTrip(t *testing.T) {
+	a := NewArrayKD(3, 4, 2)
+	checkDenseEdges(t, a)
+	buf := make([]int, 3)
+	for node := 0; node < a.NumNodes(); node++ {
+		coords := a.Coords(node, buf)
+		if a.Node(coords...) != node {
+			t.Fatalf("coords round-trip failed for node %d", node)
+		}
+		for m := 0; m < a.K(); m++ {
+			for _, plus := range []bool{true, false} {
+				e, ok := a.EdgeStep(node, m, plus)
+				atEdge := plus && coords[m] == a.Size(m)-1 || !plus && coords[m] == 0
+				if ok == atEdge {
+					t.Fatalf("EdgeStep(%d,%d,%v) ok=%v at coords %v", node, m, plus, ok, coords)
+				}
+				if !ok {
+					continue
+				}
+				dim, gp, from := a.EdgeInfo(e)
+				if dim != m || gp != plus || from != node {
+					t.Fatalf("EdgeInfo(%d) = (%d,%v,%d), want (%d,%v,%d)", e, dim, gp, from, m, plus, node)
+				}
+				to := a.EdgeTo(e)
+				if a.Distance(node, to) != 1 {
+					t.Fatalf("edge %d does not connect neighbors", e)
+				}
+			}
+		}
+	}
+}
+
+func TestArrayKDDistanceQuick(t *testing.T) {
+	a := NewArrayKD(4, 5, 3)
+	f := func(s, d uint16) bool {
+		src := int(s) % a.NumNodes()
+		dst := int(d) % a.NumNodes()
+		cs := a.Coords(src, nil)
+		cd := a.Coords(dst, nil)
+		want := 0
+		for m := range cs {
+			want += abs(cs[m] - cd[m])
+		}
+		return a.Distance(src, dst) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindEdgeAndValidatePath(t *testing.T) {
+	a := NewArray2D(3)
+	e, ok := FindEdge(a, a.Node(0, 0), a.Node(0, 1))
+	if !ok || a.EdgeFrom(e) != a.Node(0, 0) {
+		t.Fatal("FindEdge failed")
+	}
+	if _, ok := FindEdge(a, a.Node(0, 0), a.Node(2, 2)); ok {
+		t.Fatal("FindEdge found a non-edge")
+	}
+	e2, _ := FindEdge(a, a.Node(0, 1), a.Node(1, 1))
+	if err := ValidatePath(a, a.Node(0, 0), a.Node(1, 1), []int{e, e2}); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+	if err := ValidatePath(a, a.Node(0, 0), a.Node(1, 1), []int{e2, e}); err == nil {
+		t.Error("disconnected path accepted")
+	}
+	if err := ValidatePath(a, a.Node(0, 0), a.Node(0, 0), nil); err != nil {
+		t.Errorf("empty self path rejected: %v", err)
+	}
+	if err := ValidatePath(a, a.Node(0, 0), a.Node(0, 1), nil); err == nil {
+		t.Error("empty non-self path accepted")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"array2d":   func() { NewArray2D(1) },
+		"linear":    func() { NewLinear(1) },
+		"torus":     func() { NewTorus2D(2) },
+		"hypercube": func() { NewHypercube(0) },
+		"butterfly": func() { NewButterfly(0) },
+		"arraykd":   func() { NewArrayKD(3, 1) },
+		"arraykd0":  func() { NewArrayKD() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDirString(t *testing.T) {
+	names := map[Dir]string{Right: "right", Left: "left", Down: "down", Up: "up"}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("Dir(%d).String() = %q", int(d), d.String())
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package xrand provides the deterministic random-number substrate used by
+// the simulator. It implements xoshiro256** seeded via splitmix64, plus the
+// variate generators the queueing model needs (uniform, exponential, Poisson,
+// Bernoulli). Every stream is reproducible from a single uint64 seed, and
+// streams for parallel replicas are derived with Split so replicas never
+// share state.
+//
+// The package deliberately avoids math/rand so that results are bit-stable
+// across Go releases.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a xoshiro256** generator. The zero value is not usable; construct
+// with New. RNG is not safe for concurrent use; derive one per goroutine
+// with Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances a splitmix64 state and returns the next output.
+// It is the recommended seeding procedure for xoshiro generators.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	// xoshiro must not start in the all-zero state; splitmix64 of any seed
+	// makes that astronomically unlikely, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s3 = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives an independent child generator from seed and stream index.
+// Children with distinct indices have unrelated state, which is what the
+// parallel replica runner relies on.
+func Split(seed, index uint64) *RNG {
+	sm := seed
+	base := splitmix64(&sm)
+	mix := index*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	return New(base ^ splitmix64(&mix))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform float64 in (0, 1); it never returns 0, which
+// makes it safe to pass to math.Log.
+func (r *RNG) Float64Open() float64 {
+	for {
+		f := (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+		if f > 0 && f < 1 {
+			return f
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Exp returns an exponentially distributed variate with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: Exp with non-positive rate")
+	}
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Poisson returns a Poisson-distributed variate with the given mean.
+// For small means it uses Knuth multiplication; for large means it uses the
+// standard normal approximation with a continuity correction, which is ample
+// for the slotted-time batch model where the mean is O(1).
+func (r *RNG) Poisson(mean float64) int {
+	switch {
+	case mean < 0:
+		panic("xrand: Poisson with negative mean")
+	case mean == 0:
+		return 0
+	case mean < 30:
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64Open()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		// Normal approximation: Poisson(m) ≈ round(N(m, m)).
+		n := r.Norm()*math.Sqrt(mean) + mean
+		if n < 0 {
+			return 0
+		}
+		return int(n + 0.5)
+	}
+}
+
+// Norm returns a standard normal variate via the Marsaglia polar method.
+func (r *RNG) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a uniform random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

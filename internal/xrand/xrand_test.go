@@ -1,0 +1,244 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := Split(7, 0)
+	b := Split(7, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d identical draws", same)
+	}
+	// Same (seed, index) must reproduce.
+	c := Split(7, 1)
+	d := Split(7, 1)
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	f := func(skip uint8) bool {
+		for i := 0; i < int(skip); i++ {
+			r.Uint64()
+		}
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64Open()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	r := New(5)
+	const n = 7
+	const draws = 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(6)
+	for _, rate := range []float64{0.5, 1, 4} {
+		sum := 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			v := r.Exp(rate)
+			if v < 0 {
+				t.Fatalf("negative exponential variate %v", v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		want := 1 / rate
+		if math.Abs(mean-want) > 0.02*want {
+			t.Errorf("Exp(%v) mean = %v, want ~%v", rate, mean, want)
+		}
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(7)
+	for _, mean := range []float64{0.3, 2, 10, 80} {
+		const n = 100000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sumsq += v * v
+		}
+		m := sum / n
+		v := sumsq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.02 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(v-mean) > 0.1*mean+0.05 {
+			t.Errorf("Poisson(%v) variance = %v", mean, v)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(9)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	f := func(raw uint8) bool {
+		n := int(raw%20) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnLargeBound(t *testing.T) {
+	r := New(11)
+	const n = 1 << 40
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(1<<40) out of range: %d", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Exp(1)
+	}
+	_ = sink
+}
