@@ -1,0 +1,33 @@
+# Development targets. CI runs the same sequence (.github/workflows/ci.yml).
+
+BENCH ?= BenchmarkSimulatorEvents
+COUNT ?= 5
+
+.PHONY: test bench bench-compare vet
+
+test:
+	go vet ./...
+	go build ./...
+	go test ./...
+
+# bench runs the hot-path benchmarks with allocation reporting.
+bench:
+	go test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=2s -count=$(COUNT) .
+
+# bench-compare records $(COUNT) runs into bench-{old,new}.txt across two
+# checkouts and diffs them with benchstat:
+#
+#   git stash && make bench-compare-old && git stash pop && make bench-compare-new
+#   benchstat bench-old.txt bench-new.txt
+.PHONY: bench-compare-old bench-compare-new bench-compare
+bench-compare-old:
+	go test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=2s -count=$(COUNT) . | tee bench-old.txt
+bench-compare-new:
+	go test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=2s -count=$(COUNT) . | tee bench-new.txt
+bench-compare: bench-compare-new
+	@test -f bench-old.txt || { echo "run 'make bench-compare-old' on the baseline checkout first"; exit 1; }
+	@command -v benchstat >/dev/null && benchstat bench-old.txt bench-new.txt || \
+		echo "benchstat not installed; compare bench-old.txt and bench-new.txt manually"
+
+vet:
+	go vet ./...

@@ -114,7 +114,7 @@ func BenchmarkRouteGeneration(b *testing.B) {
 	_ = buf
 }
 
-// BenchmarkEventHeap measures heap push/pop pairs.
+// BenchmarkEventHeap measures generic 4-ary heap push/pop pairs.
 func BenchmarkEventHeap(b *testing.B) {
 	var h des.EventHeap[int]
 	rng := xrand.New(2)
@@ -125,6 +125,58 @@ func BenchmarkEventHeap(b *testing.B) {
 		ev, _ := h.Pop()
 		h.Push(ev.Time+rng.Float64(), ev.Payload)
 	}
+}
+
+// BenchmarkHeap4 measures the packed 16-byte-record heap on the same
+// hold pattern as BenchmarkEventHeap.
+func BenchmarkHeap4(b *testing.B) {
+	var h des.Heap4
+	rng := xrand.New(2)
+	for i := 0; i < 1024; i++ {
+		h.Push(rng.Float64(), uint32(i))
+	}
+	for i := 0; i < b.N; i++ {
+		t, p, _ := h.Pop()
+		h.Push(t+rng.Float64(), p)
+	}
+}
+
+// BenchmarkEventTree measures the simulator's fire-and-reschedule pattern
+// on the tournament tree: read the head, reschedule its slot.
+func BenchmarkEventTree(b *testing.B) {
+	tree := des.NewEventTree(256)
+	rng := xrand.New(3)
+	for i := 0; i < 256; i++ {
+		tree.Schedule(i, rng.Float64(), uint32(i))
+	}
+	for i := 0; i < b.N; i++ {
+		t, p, _ := tree.Head()
+		tree.Schedule(int(p), t+rng.Float64(), p)
+	}
+}
+
+// BenchmarkStepperRoute measures walking a route incrementally via
+// routing.Stepper, the hot-loop replacement for BenchmarkRouteGeneration's
+// materialized AppendRoute.
+func BenchmarkStepperRoute(b *testing.B) {
+	a := topology.NewArray2D(32)
+	g := routing.GreedyXY{A: a}
+	rng := xrand.New(1)
+	hops := 0
+	for i := 0; i < b.N; i++ {
+		src := rng.Intn(a.NumNodes())
+		dst := rng.Intn(a.NumNodes())
+		cur := src
+		for {
+			e, done := g.NextEdge(cur, dst)
+			if done {
+				break
+			}
+			cur = a.EdgeTo(e)
+			hops++
+		}
+	}
+	_ = hops
 }
 
 // BenchmarkUpperBound measures the analytic evaluation (used inside sweeps).

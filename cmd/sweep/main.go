@@ -116,24 +116,25 @@ func main() {
 		cells = append(cells, c)
 	}
 
-	results := make([]sim.ReplicaSet, len(cells))
-	errs := make([]error, len(cells))
-	sim.Parallel(len(cells), *workers, func(i int) {
-		results[i], errs[i] = sim.RunReplicas(cells[i].cfg, *replicas, 1)
-	})
-
-	fmt.Println("topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper")
+	// One shared worker pool over every (load, replica) pair: the pool
+	// saturates the machine even for short load lists, and rows stream out
+	// in input order as soon as each cell's replicas finish.
+	cfgs := make([]sim.Config, len(cells))
 	for i, c := range cells {
-		if errs[i] != nil {
-			fmt.Fprintf(os.Stderr, "sweep: rho=%v: %v\n", c.rho, errs[i])
-			continue
+		cfgs[i] = c.cfg
+	}
+	fmt.Println("topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper")
+	sim.StreamSweep(cfgs, *replicas, *workers, func(i int, r sim.ReplicaSet, err error) {
+		c := cells[i]
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: rho=%v: %v\n", c.rho, err)
+			return
 		}
-		r := results[i]
 		fmt.Printf("%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s\n",
 			*topo, c.rho, c.cfg.NodeRate,
 			r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
 			c.lower, c.estimate, upperStr(c.upper))
-	}
+	})
 }
 
 func upperStr(v float64) string {

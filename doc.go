@@ -29,6 +29,39 @@
 //	if err != nil { ... }
 //	fmt.Printf("simulated:   %.3f ± %.3f\n", rs.MeanDelay, rs.DelayCI)
 //
+// # Performance architecture
+//
+// Every number the paper reports comes from long discrete-event runs, so
+// the simulator's steady state is engineered to be allocation-free and
+// cache-friendly (measured results in BENCH.md):
+//
+//   - Implicit routing (internal/routing.Stepper): greedy routes on arrays
+//     are fully determined by the (current node, destination) pair, so
+//     every deterministic router hands the engine one edge at a time and
+//     packets never carry a materialized route slice. The randomized
+//     §6 router resolves its coin at generation time into a 1-bit stepper
+//     choice. Router.AppendRoute remains the reference implementation and
+//     cross-check oracle.
+//   - Packet arena (internal/sim): in-flight packets are 24-byte structs
+//     in one contiguous slice, addressed by generation-checked int32
+//     handles; queues hold handles, not pointers.
+//   - Tournament event tree (internal/des.EventTree): every scheduling
+//     entity (edge server, source clock) has at most one pending event, so
+//     the event queue is a winner tree of 16-byte packed records — the
+//     next event is a root read, rescheduling is one branch-free
+//     leaf-to-root replay, and the merged arrival clock lives in two
+//     scalars outside the tree. A packed 4-ary heap (des.Heap4) and a
+//     generic 4-ary EventHeap remain for schedules without the
+//     one-event-per-slot structure.
+//   - Deterministic worker pool (internal/sim.StreamSweep): sweeps
+//     parallelize across (point, replica) tasks with per-task seeds
+//     derived only from the point seed and replica index, streaming cells
+//     back in input order, so results never depend on worker count.
+//
+// All of it preserves the exact (Time, Seq) event order and RNG call
+// sequence of the original engine: seeded runs are bit-identical, which
+// the golden-value and cross-check tests in internal/sim enforce.
+//
 // See the examples directory for runnable programs and DESIGN.md for the
 // full system inventory.
 package greedyroute

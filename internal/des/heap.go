@@ -1,5 +1,5 @@
 // Package des provides the discrete-event-simulation core used by the
-// network simulator: a deterministic event heap and FIFO and
+// network simulator: deterministic event heaps and FIFO, Priority and
 // Processor-Sharing (PS) stations. The engine is sequential — event
 // causality in a single queueing network does not parallelize — and the
 // simulator gets its parallelism from running independent replicas on
@@ -14,12 +14,23 @@ type Event[T any] struct {
 	Payload T
 }
 
-// EventHeap is a binary min-heap of events ordered by (Time, Seq). The zero
+// EventHeap is a 4-ary min-heap of events ordered by (Time, Seq). The zero
 // value is an empty heap ready for use.
+//
+// The 4-ary layout halves the tree depth of a binary heap and keeps the
+// four children of a node on at most two cache lines, which is what makes
+// Pop's sift-down — the dominant heap cost in a simulation loop, where
+// every Push is soon followed by a Pop — measurably cheaper. Because
+// (Time, Seq) is a strict total order, the pop sequence is identical to the
+// binary heap's, so seeded simulations reproduce bit-for-bit across the
+// layout change.
 type EventHeap[T any] struct {
 	items []Event[T]
 	seq   uint64
 }
+
+// heapArity is the fan-out of EventHeap and Heap4.
+const heapArity = 4
 
 // Len returns the number of pending events.
 func (h *EventHeap[T]) Len() int { return len(h.items) }
@@ -40,6 +51,9 @@ func (h *EventHeap[T]) Pop() (ev Event[T], ok bool) {
 	ev = h.items[0]
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
+	// Clear the vacated slot so pointer-bearing payloads do not stay live
+	// in the backing array after they leave the heap.
+	h.items[last] = Event[T]{}
 	h.items = h.items[:last]
 	if last > 0 {
 		h.down(0)
@@ -65,7 +79,7 @@ func (h *EventHeap[T]) less(i, j int) bool {
 
 func (h *EventHeap[T]) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !h.less(i, parent) {
 			break
 		}
@@ -77,13 +91,19 @@ func (h *EventHeap[T]) up(i int) {
 func (h *EventHeap[T]) down(i int) {
 	n := len(h.items)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := heapArity*i + 1
+		if first >= n {
 			return
 		}
-		smallest := left
-		if right := left + 1; right < n && h.less(right, left) {
-			smallest = right
+		smallest := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if !h.less(smallest, i) {
 			return

@@ -1,0 +1,247 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// oracleEvent mirrors one scheduled event for the sort-based oracle.
+type oracleEvent struct {
+	time    float64
+	seq     uint64
+	payload uint32
+}
+
+func oracleLess(a, b oracleEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// TestHeap4AgainstSortOracle fuzzes interleaved pushes and pops and checks
+// every pop against a fully sorted oracle of the same schedule, including
+// deliberate time collisions that exercise the packed seq tie-break.
+func TestHeap4AgainstSortOracle(t *testing.T) {
+	rng := xrand.New(11)
+	for round := 0; round < 50; round++ {
+		var h Heap4
+		var pending []oracleEvent
+		seq := uint64(0)
+		push := func() {
+			tm := rng.Float64() * 100
+			if rng.Bernoulli(0.3) && len(pending) > 0 {
+				// Force a tie with an already-scheduled time.
+				tm = pending[rng.Intn(len(pending))].time
+			}
+			payload := uint32(rng.Intn(1 << 24))
+			seq++
+			h.Push(tm, payload)
+			pending = append(pending, oracleEvent{time: tm, seq: seq, payload: payload})
+		}
+		popCheck := func() {
+			tm, payload, ok := h.Pop()
+			if len(pending) == 0 {
+				if ok {
+					t.Fatal("pop on empty heap returned an event")
+				}
+				return
+			}
+			if !ok {
+				t.Fatal("pop lost an event")
+			}
+			best := 0
+			for i := range pending {
+				if oracleLess(pending[i], pending[best]) {
+					best = i
+				}
+			}
+			want := pending[best]
+			pending = append(pending[:best], pending[best+1:]...)
+			if tm != want.time || payload != want.payload {
+				t.Fatalf("pop = (%v, %d), oracle (%v, %d)", tm, payload, want.time, want.payload)
+			}
+		}
+		ops := 200 + rng.Intn(200)
+		for i := 0; i < ops; i++ {
+			if rng.Bernoulli(0.6) {
+				push()
+			} else {
+				popCheck()
+			}
+		}
+		// Drain and compare against the oracle's full sort.
+		rest := append([]oracleEvent(nil), pending...)
+		sort.Slice(rest, func(i, j int) bool { return oracleLess(rest[i], rest[j]) })
+		for _, want := range rest {
+			tm, payload, ok := h.Pop()
+			if !ok || tm != want.time || payload != want.payload {
+				t.Fatalf("drain: got (%v,%d,%v), want (%v,%d)", tm, payload, ok, want.time, want.payload)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatal("heap not empty after drain")
+		}
+	}
+}
+
+// TestHeap4MatchesEventHeap runs one interleaved schedule through both
+// implementations; their pop sequences must be identical because both
+// order by the same (Time, Seq) key.
+func TestHeap4MatchesEventHeap(t *testing.T) {
+	rng := xrand.New(13)
+	var h4 Heap4
+	var hg EventHeap[uint32]
+	for i := 0; i < 5000; i++ {
+		if rng.Bernoulli(0.55) {
+			tm := float64(rng.Intn(64)) // coarse times: many exact ties
+			p := uint32(i)
+			h4.Push(tm, p)
+			hg.Push(tm, p)
+		} else {
+			t4, p4, ok4 := h4.Pop()
+			evg, okg := hg.Pop()
+			if ok4 != okg {
+				t.Fatalf("op %d: emptiness diverged", i)
+			}
+			if ok4 && (t4 != evg.Time || p4 != evg.Payload) {
+				t.Fatalf("op %d: Heap4 (%v,%d) != EventHeap (%v,%d)", i, t4, p4, evg.Time, evg.Payload)
+			}
+		}
+	}
+}
+
+// TestHeap4PayloadLimit verifies the 24-bit payload guard.
+func TestHeap4PayloadLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized payload")
+		}
+	}()
+	var h Heap4
+	h.Push(1, MaxHeap4Payload+1)
+}
+
+// TestHeap4ClearsVacatedSlots checks that popped records do not linger in
+// the backing array (the retention fix also applied to EventHeap.Pop).
+func TestHeap4ClearsVacatedSlots(t *testing.T) {
+	var h Heap4
+	for i := 0; i < 16; i++ {
+		h.Push(float64(i), uint32(i))
+	}
+	for i := 0; i < 16; i++ {
+		h.Pop()
+	}
+	for i, it := range h.items[:cap(h.items)] {
+		if it != (event16{}) {
+			t.Fatalf("slot %d retains %+v after drain", i, it)
+		}
+	}
+}
+
+// TestEventHeapClearsVacatedSlot is the EventHeap.Pop retention fix: the
+// vacated last slot must be zeroed so pointer payloads can be collected.
+func TestEventHeapClearsVacatedSlot(t *testing.T) {
+	var h EventHeap[*int]
+	x := new(int)
+	h.Push(1, x)
+	h.Push(2, x)
+	h.Pop()
+	items := h.items[:cap(h.items)]
+	if items[1].Payload != nil {
+		t.Fatal("vacated slot still holds the payload pointer")
+	}
+	h.Pop()
+	if items[0].Payload != nil {
+		t.Fatal("slot 0 still holds the payload pointer after drain")
+	}
+}
+
+// TestEventTreeAgainstOracle fuzzes Schedule/Clear over a fixed slot set
+// and checks Head against a brute-force minimum of the live slot map.
+func TestEventTreeAgainstOracle(t *testing.T) {
+	rng := xrand.New(17)
+	for _, slots := range []int{1, 2, 3, 7, 8, 64, 100} {
+		tree := NewEventTree(slots)
+		type live struct {
+			time    float64
+			seq     uint64
+			payload uint32
+			ok      bool
+		}
+		oracle := make([]live, slots)
+		seq := uint64(0)
+		for op := 0; op < 4000; op++ {
+			slot := rng.Intn(slots)
+			if rng.Bernoulli(0.8) {
+				tm := rng.Float64() * 50
+				if rng.Bernoulli(0.25) {
+					tm = float64(rng.Intn(8)) // frequent exact ties
+				}
+				payload := uint32(rng.Intn(1 << 24))
+				seq++
+				tree.Schedule(slot, tm, payload)
+				oracle[slot] = live{time: tm, seq: seq, payload: payload, ok: true}
+			} else {
+				tree.Clear(slot)
+				oracle[slot] = live{}
+			}
+			best, any := 0, false
+			for i := range oracle {
+				if !oracle[i].ok {
+					continue
+				}
+				if !any || oracle[i].time < oracle[best].time ||
+					(oracle[i].time == oracle[best].time && oracle[i].seq < oracle[best].seq) {
+					best, any = i, true
+				}
+			}
+			at, payload, ok := tree.Head()
+			if ok != any {
+				t.Fatalf("slots=%d op=%d: Head ok=%v, oracle %v", slots, op, ok, any)
+			}
+			if any && (at != oracle[best].time || payload != oracle[best].payload) {
+				t.Fatalf("slots=%d op=%d: Head (%v,%d), oracle slot %d (%v,%d)",
+					slots, op, at, payload, best, oracle[best].time, oracle[best].payload)
+			}
+		}
+	}
+}
+
+// TestEventTreeHeadAfter pins the side-channel ordering used by the
+// simulator's merged arrival clock.
+func TestEventTreeHeadAfter(t *testing.T) {
+	tree := NewEventTree(4)
+	if !tree.HeadAfter(5, tree.ReserveSeq()) {
+		t.Fatal("empty tree must order after any key")
+	}
+	arrMeta := tree.ReserveSeq()
+	tree.Schedule(2, 7, 9) // later seq than arrMeta
+	if !tree.HeadAfter(5, arrMeta) {
+		t.Fatal("arrival at t=5 must precede event at t=7")
+	}
+	if !tree.HeadAfter(7, arrMeta) {
+		t.Fatal("tie at t=7 must break toward the earlier sequence word")
+	}
+	if tree.HeadAfter(8, tree.ReserveSeq()) {
+		t.Fatal("arrival at t=8 must come after the t=7 event")
+	}
+}
+
+// TestEventTreeSentinelRejectsBadTimes ensures NaN/negative/inf schedule
+// times fail fast instead of corrupting the order.
+func TestEventTreeSentinelRejectsBadTimes(t *testing.T) {
+	for _, bad := range []float64{-1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Schedule(%v) did not panic", bad)
+				}
+			}()
+			NewEventTree(2).Schedule(0, bad, 0)
+		}()
+	}
+}

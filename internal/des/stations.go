@@ -5,11 +5,27 @@ package des
 // and schedules completion events. The zero value is an idle, empty station.
 //
 // The queue is a growable ring buffer so that steady-state operation does
-// not allocate.
+// not allocate. Its capacity is kept a power of two so index wrap-around is
+// a mask, not a hardware divide — push/pop run once per routed hop.
 type FIFOStation[J any] struct {
 	buf        []J
 	head, size int
 	busy       bool
+}
+
+// InitRing seeds an empty, never-used station with a caller-provided ring
+// buffer; len(buf) must be a positive power of two. A simulator warming
+// thousands of stations carves them all from one slab, so steady-state ring
+// growth (the dominant allocation source once packets live in an arena)
+// almost never happens.
+func (s *FIFOStation[J]) InitRing(buf []J) {
+	if s.size != 0 || s.buf != nil {
+		panic("des: InitRing on a used FIFO station")
+	}
+	if len(buf) == 0 || len(buf)&(len(buf)-1) != 0 {
+		panic("des: InitRing buffer length must be a positive power of two")
+	}
+	s.buf = buf
 }
 
 // Arrive enqueues job j and reports whether the server was idle, in which
@@ -58,6 +74,7 @@ func (s *FIFOStation[J]) Busy() bool { return s.busy }
 
 func (s *FIFOStation[J]) push(j J) {
 	if s.size == len(s.buf) {
+		// Doubling from a power-of-two floor keeps capacity a power of two.
 		grown := make([]J, max(4, 2*len(s.buf)))
 		for i := 0; i < s.size; i++ {
 			grown[i] = s.buf[(s.head+i)%len(s.buf)]
@@ -65,7 +82,7 @@ func (s *FIFOStation[J]) push(j J) {
 		s.buf = grown
 		s.head = 0
 	}
-	s.buf[(s.head+s.size)%len(s.buf)] = j
+	s.buf[(s.head+s.size)&(len(s.buf)-1)] = j
 	s.size++
 }
 
@@ -73,7 +90,7 @@ func (s *FIFOStation[J]) pop() J {
 	j := s.buf[s.head]
 	var zero J
 	s.buf[s.head] = zero
-	s.head = (s.head + 1) % len(s.buf)
+	s.head = (s.head + 1) & (len(s.buf) - 1)
 	s.size--
 	return j
 }
@@ -227,7 +244,10 @@ type psJob[J any] struct {
 }
 
 // Epoch returns the current scheduling epoch; it changes whenever the set
-// of jobs changes.
+// of jobs changes. Heap-based schedules stamp completion events with it to
+// detect staleness; the simulator's EventTree does not need it, because
+// rescheduling overwrites the station's single event slot in place and a
+// stale completion can never fire.
 func (s *PSStation[J]) Epoch() uint64 { return s.epoch }
 
 // Len returns the number of jobs in service.

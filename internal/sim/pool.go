@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// This file is the orchestration layer shared by RunReplicas, RunSweep and
+// cmd/sweep: one deterministic worker pool that parallelizes across sweep
+// points and replicas at once. A sweep of 4 points × 4 replicas exposes 16
+// units of work to the pool instead of 4, so it saturates wide machines
+// even when the point count is small, and a slow cell no longer serializes
+// the cells behind it.
+//
+// Determinism: replica r of cell c always runs with the stream
+// Split(cfgs[c].Seed, r), regardless of worker count or scheduling, so
+// sweep results are bit-identical from 1 worker to GOMAXPROCS. Results are
+// delivered in input order.
+
+// sweepTask is one (cell, replica) simulation.
+type sweepTask struct {
+	cell, rep int
+}
+
+// sweepDone is one finished task.
+type sweepDone struct {
+	sweepTask
+	res Result
+	err error
+}
+
+// StreamSweep runs every configuration in cfgs with `replicas` independent
+// replicas (minimum 1) on a pool of up to `workers` goroutines (0 means
+// GOMAXPROCS). emit is called exactly once per configuration, in input
+// order, as soon as that cell and all earlier cells have finished — a long
+// sweep prints its first rows while later cells are still running. err is
+// the first per-replica error of that cell (rs is zero-valued when err is
+// non-nil). emit runs on the calling goroutine.
+func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs ReplicaSet, err error)) {
+	if len(cfgs) == 0 {
+		return
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	total := len(cfgs) * replicas
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	tasks := make(chan sweepTask)
+	done := make(chan sweepDone)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				rcfg := cfgs[tk.cell]
+				// Derive a distinct, scheduling-independent stream per
+				// (cell, replica). xrand.Split mixes the index, so
+				// sequential seeds do not overlap.
+				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(tk.rep)).Uint64()
+				res, err := Run(rcfg)
+				done <- sweepDone{sweepTask: tk, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for c := range cfgs {
+			for r := 0; r < replicas; r++ {
+				tasks <- sweepTask{cell: c, rep: r}
+			}
+		}
+		close(tasks)
+		wg.Wait()
+		close(done)
+	}()
+
+	// Reorder-buffer collector: cells complete in any order but emit in
+	// input order.
+	results := make([][]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	remaining := make([]int, len(cfgs))
+	for i := range results {
+		results[i] = make([]Result, replicas)
+		remaining[i] = replicas
+	}
+	next := 0
+	for d := range done {
+		results[d.cell][d.rep] = d.res
+		if d.err != nil && errs[d.cell] == nil {
+			errs[d.cell] = d.err
+		}
+		remaining[d.cell]--
+		for next < len(cfgs) && remaining[next] == 0 {
+			if errs[next] != nil {
+				emit(next, ReplicaSet{}, errs[next])
+			} else {
+				emit(next, aggregate(results[next]), nil)
+			}
+			results[next] = nil // free replica results as cells stream out
+			next++
+		}
+	}
+}
+
+// RunSweep executes every configuration with `replicas` replicas on one
+// shared worker pool and returns the aggregated cells in input order. The
+// returned error is the first cell error encountered (its cell's ReplicaSet
+// is zero-valued; later cells still run).
+func RunSweep(cfgs []Config, replicas, workers int) ([]ReplicaSet, error) {
+	sets := make([]ReplicaSet, len(cfgs))
+	var first error
+	StreamSweep(cfgs, replicas, workers, func(i int, rs ReplicaSet, err error) {
+		sets[i] = rs
+		if err != nil && first == nil {
+			first = err
+		}
+	})
+	return sets, first
+}

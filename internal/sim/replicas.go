@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/stats"
-	"repro/internal/xrand"
 )
 
 // ReplicaSet aggregates independent replications of one configuration.
@@ -30,48 +29,16 @@ type ReplicaSet struct {
 }
 
 // RunReplicas executes `replicas` independent runs of cfg on up to
-// `workers` goroutines (0 means GOMAXPROCS) and aggregates them. Replica i
-// uses the random stream Split(cfg.Seed, i), so results are independent of
-// scheduling and of the worker count.
+// `workers` goroutines (0 means GOMAXPROCS) and aggregates them. It is the
+// single-cell form of RunSweep: replica i uses the random stream
+// Split(cfg.Seed, i), so results are independent of scheduling and of the
+// worker count.
 func RunReplicas(cfg Config, replicas, workers int) (ReplicaSet, error) {
-	if replicas < 1 {
-		replicas = 1
+	sets, err := RunSweep([]Config{cfg}, replicas, workers)
+	if err != nil {
+		return ReplicaSet{}, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > replicas {
-		workers = replicas
-	}
-	results := make([]Result, replicas)
-	errs := make([]error, replicas)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				rcfg := cfg
-				// Derive a distinct, scheduling-independent stream per
-				// replica. xrand.Split mixes the index, so sequential seeds
-				// do not overlap.
-				rcfg.Seed = xrand.Split(cfg.Seed, uint64(i)).Uint64()
-				results[i], errs[i] = Run(rcfg)
-			}
-		}()
-	}
-	for i := 0; i < replicas; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return ReplicaSet{}, err
-		}
-	}
-	return aggregate(results), nil
+	return sets[0], nil
 }
 
 func aggregate(results []Result) ReplicaSet {
@@ -112,7 +79,9 @@ func ci95(w stats.Welford) float64 {
 }
 
 // Parallel runs fn(i) for i in [0, n) on up to `workers` goroutines
-// (0 means GOMAXPROCS). It is the building block for parameter sweeps.
+// (0 means GOMAXPROCS). It is the generic building block for callers whose
+// work units are not simulation configs; sweeps should prefer RunSweep /
+// StreamSweep, which also parallelize across replicas.
 func Parallel(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return

@@ -45,7 +45,8 @@ func (d Dir) String() string {
 //
 // where H = n(n-1) is the number of edges per direction.
 type Array2D struct {
-	n int
+	n    int
+	divN fastDiv
 }
 
 // NewArray2D creates an n×n array. n must be at least 2.
@@ -53,7 +54,7 @@ func NewArray2D(n int) *Array2D {
 	if n < 2 {
 		panic("topology: Array2D requires n >= 2")
 	}
-	return &Array2D{n: n}
+	return &Array2D{n: n, divN: newFastDiv(n)}
 }
 
 // N returns the side length.
@@ -72,7 +73,7 @@ func (a *Array2D) NumEdges() int { return 4 * a.n * (a.n - 1) }
 func (a *Array2D) Node(row, col int) int { return row*a.n + col }
 
 // Coords returns the (row, col) of a node id.
-func (a *Array2D) Coords(node int) (row, col int) { return node / a.n, node % a.n }
+func (a *Array2D) Coords(node int) (row, col int) { return a.divN.DivMod(node) }
 
 // perDir is the number of edges in each direction group.
 func (a *Array2D) perDir() int { return a.n * (a.n - 1) }

@@ -16,6 +16,13 @@ type ArrayKD struct {
 	nodes   int
 	groups  []kdGroup
 	edges   int
+
+	// divStride[m], divSize[m] and divLine[m] are reciprocal dividers for
+	// strides[m], sizes[m] and strides[m]·sizes[m]; Coord, Distance and
+	// EdgeStep run on the routing hot path.
+	divStride []fastDiv
+	divSize   []fastDiv
+	divLine   []fastDiv
 }
 
 type kdGroup struct {
@@ -53,6 +60,14 @@ func NewArrayKD(sizes ...int) *ArrayKD {
 		offset += 2 * count
 	}
 	a.edges = offset
+	a.divStride = make([]fastDiv, len(sizes))
+	a.divSize = make([]fastDiv, len(sizes))
+	a.divLine = make([]fastDiv, len(sizes))
+	for m := range sizes {
+		a.divStride[m] = newFastDiv(a.strides[m])
+		a.divSize[m] = newFastDiv(sizes[m])
+		a.divLine[m] = newFastDiv(a.strides[m] * sizes[m])
+	}
 	return a
 }
 
@@ -86,6 +101,13 @@ func (a *ArrayKD) Node(coords ...int) int {
 	return id
 }
 
+// Coord returns node's coordinate in dimension m without materializing the
+// full coordinate vector; it is the allocation-free form routing hot paths
+// use.
+func (a *ArrayKD) Coord(node, m int) int {
+	return a.divSize[m].Mod(a.divStride[m].Div(node))
+}
+
 // Coords writes the coordinates of node into buf (allocating if nil) and
 // returns it.
 func (a *ArrayKD) Coords(node int, buf []int) []int {
@@ -101,15 +123,15 @@ func (a *ArrayKD) Coords(node int, buf []int) []int {
 // lineIndex returns the dense index of node's line in dimension m (the node
 // index with coordinate m removed).
 func (a *ArrayKD) lineIndex(node, m int) int {
-	hi := node / (a.strides[m] * a.sizes[m]) // digits above m, unchanged radix
-	lo := node % a.strides[m]                // digits below m
+	hi := a.divLine[m].Div(node)   // digits above m, unchanged radix
+	lo := a.divStride[m].Mod(node) // digits below m
 	return hi*a.strides[m] + lo
 }
 
 // EdgeStep returns the edge id leaving node along dimension m in the plus
 // (coord+1) or minus direction, and false if it would leave the array.
 func (a *ArrayKD) EdgeStep(node, m int, plus bool) (int, bool) {
-	c := node / a.strides[m] % a.sizes[m]
+	c := a.Coord(node, m)
 	if plus && c >= a.sizes[m]-1 || !plus && c <= 0 {
 		return 0, false
 	}
@@ -166,9 +188,7 @@ func (a *ArrayKD) EdgeTo(e int) int {
 func (a *ArrayKD) Distance(src, dst int) int {
 	d := 0
 	for m := range a.sizes {
-		cs := src / a.strides[m] % a.sizes[m]
-		cd := dst / a.strides[m] % a.sizes[m]
-		d += abs(cs - cd)
+		d += abs(a.Coord(src, m) - a.Coord(dst, m))
 	}
 	return d
 }

@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"math"
+	"math/bits"
+)
+
+// fastDiv computes exact n/d and n%d for 32-bit n without a hardware
+// divide, using the Lemire–Kaser reciprocal method: with
+// M = ceil(2^64 / d), the quotient is the high word of M·n and the
+// remainder is the high word of low(M·n)·d. Topology coordinate math
+// (node → row/col decomposition) runs once per routed hop in the
+// simulator's hot loop, where the ~25-cycle divide latency is the single
+// largest arithmetic cost; two multiplies replace it.
+type fastDiv struct {
+	m uint64 // ceil(2^64 / d)
+	d uint32
+}
+
+// newFastDiv prepares a divider for d >= 1.
+func newFastDiv(d int) fastDiv {
+	if d < 1 {
+		panic("topology: fastDiv divisor must be >= 1")
+	}
+	return fastDiv{m: ^uint64(0)/uint64(d) + 1, d: uint32(d)}
+}
+
+// DivMod returns (n/d, n%d) for non-negative n. The reciprocal trick is
+// exact for 32-bit operands, which covers every dense node and edge id the
+// simulator accepts (its event encoding caps them far lower); larger
+// operands — possible in purely analytic uses of huge topologies — fall
+// back to the hardware divide, and d == 1 is handled separately because
+// its reciprocal 2^64 does not fit the 64-bit word. Both guards are
+// perfectly predicted branches in the hot loop.
+func (f fastDiv) DivMod(n int) (q, r int) {
+	if f.d == 1 {
+		return n, 0
+	}
+	if uint64(n) > math.MaxUint32 {
+		return n / int(f.d), n % int(f.d)
+	}
+	hi, lo := bits.Mul64(f.m, uint64(uint32(n)))
+	rhi, _ := bits.Mul64(lo, uint64(f.d))
+	return int(uint32(hi)), int(uint32(rhi))
+}
+
+// Div returns n/d.
+func (f fastDiv) Div(n int) int {
+	if f.d == 1 {
+		return n
+	}
+	if uint64(n) > math.MaxUint32 {
+		return n / int(f.d)
+	}
+	hi, _ := bits.Mul64(f.m, uint64(uint32(n)))
+	return int(uint32(hi))
+}
+
+// Mod returns n%d.
+func (f fastDiv) Mod(n int) int {
+	_, r := f.DivMod(n)
+	return r
+}

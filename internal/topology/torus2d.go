@@ -10,7 +10,8 @@ import "fmt"
 // Edge ids are dense in [0, 4n²): id = dir*n² + node, with dir ordered
 // Right, Left, Down, Up as in Array2D.
 type Torus2D struct {
-	n int
+	n    int
+	divN fastDiv
 }
 
 // NewTorus2D creates an n×n torus. n must be at least 3 so that the two
@@ -19,7 +20,7 @@ func NewTorus2D(n int) *Torus2D {
 	if n < 3 {
 		panic("topology: Torus2D requires n >= 3")
 	}
-	return &Torus2D{n: n}
+	return &Torus2D{n: n, divN: newFastDiv(n)}
 }
 
 // N returns the side length.
@@ -38,7 +39,7 @@ func (t *Torus2D) NumEdges() int { return 4 * t.n * t.n }
 func (t *Torus2D) Node(row, col int) int { return row*t.n + col }
 
 // Coords returns the (row, col) of a node id.
-func (t *Torus2D) Coords(node int) (row, col int) { return node / t.n, node % t.n }
+func (t *Torus2D) Coords(node int) (row, col int) { return t.divN.DivMod(node) }
 
 // EdgeIn returns the id of the edge leaving (row, col) in direction d.
 // On a torus the edge always exists.
