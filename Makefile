@@ -3,12 +3,30 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test bench bench-compare vet
+.PHONY: test race examples scenario-smoke bench bench-compare vet
 
 test:
 	go vet ./...
 	go build ./...
 	go test ./...
+
+# race runs the full suite under the race detector (the sweep pool and
+# StreamSweep collector are the concurrency surface).
+race:
+	go test -race ./...
+
+# examples compiles every runnable program under examples/.
+examples:
+	go build ./examples/...
+
+# scenario-smoke exercises the workload subsystem end to end: registry
+# listing, spec validation, and one quick simulated ladder per arrival
+# model. CI runs it on every push.
+scenario-smoke:
+	go run ./cmd/scenario list
+	go run ./cmd/scenario validate tornado-8x8
+	go run ./cmd/scenario run hotspot-8x8 -quick -replicas 2
+	go run ./cmd/scenario run bursty-8x8 -quick -replicas 2 -json >/dev/null
 
 # bench runs the hot-path benchmarks with allocation reporting.
 bench:

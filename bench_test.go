@@ -16,6 +16,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
@@ -64,6 +65,60 @@ func BenchmarkTandem(b *testing.B)            { benchExperiment(b, "tandem") }
 func BenchmarkTorusPS(b *testing.B)           { benchExperiment(b, "torusps") }
 func BenchmarkPriority(b *testing.B)          { benchExperiment(b, "priority") }
 func BenchmarkCrossValidate(b *testing.B)     { benchExperiment(b, "xval") }
+func BenchmarkHotSpotLadder(b *testing.B)     { benchExperiment(b, "hotladder") }
+func BenchmarkBurstyDelay(b *testing.B)       { benchExperiment(b, "bursty") }
+
+// BenchmarkScenarioSweep measures one load point of a workload scenario
+// per iteration (8×8 array at 0.8·λ*, horizon 500), pinning the arrival
+// generalization to the zero-allocation steady state:
+//
+//   - poisson: the demand-aware stability validation forced on (Bind
+//     marks its configs pre-validated, so this measures the check's cost
+//     for hand-built configs — a few setup-time allocations);
+//   - poisson-nocheck: the Bind default, isolating the engine — its
+//     allocs/op must stay at BenchmarkSimulatorEvents' per-run setup
+//     floor (34), since a Demand-wrapped uniform sampler and the default
+//     merged clock allocate nothing at steady state;
+//   - bursty: the MMPP on-off arrival process, whose extra allocations
+//     are its per-run state plus ring/arena capacity growth to burst
+//     depth (amortizing toward zero per event; see BENCH.md).
+func BenchmarkScenarioSweep(b *testing.B) {
+	cases := []struct {
+		name, scenario string
+		nocheck        bool
+	}{
+		{"poisson", "uniform-8x8", false},
+		{"poisson-nocheck", "uniform-8x8", true},
+		{"bursty", "bursty-8x8", false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			s, err := workload.ByName(c.scenario)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Loads = []float64{0.8}
+			s.Horizon, s.Warmup = 500, 50
+			bound, err := s.Bind()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := bound.Configs[0]
+			cfg.AllowUnstable = c.nocheck // overrides Bind's pre-validated default
+			var delivered int64
+			b.ResetTimer() // binding (analysis, dense traffic solve) is setup
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered += res.Delivered
+			}
+			b.ReportMetric(float64(delivered)/float64(b.N), "packets/op")
+		})
+	}
+}
 
 // BenchmarkSimulatorEvents measures raw engine throughput: one 8×8 array at
 // ρ=0.8 for a fixed horizon per iteration; the reported metric is

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCapture(t, "list")
+	if code != 0 {
+		t.Fatalf("list exit %d", code)
+	}
+	for _, want := range []string{"hotspot-8x8", "tornado-8x8", "bursty-8x8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output misses %q", want)
+		}
+	}
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	if code, _, _ := runCapture(t); code != 2 {
+		t.Error("no-args should exit 2")
+	}
+	if code, _, errOut := runCapture(t, "frobnicate"); code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Error("unknown command should exit 2 with a message")
+	}
+	if code, out, _ := runCapture(t, "help"); code != 0 || !strings.Contains(out, "usage:") {
+		t.Error("help should print usage")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	code, out, _ := runCapture(t, "describe", "hotspot-8x8")
+	if code != 0 {
+		t.Fatalf("describe exit %d", code)
+	}
+	for _, want := range []string{"lambda*", "bottleneck edge", `"kind": "hotspot"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe output misses %q:\n%s", want, out)
+		}
+	}
+	if code, _, _ := runCapture(t, "describe", "nope"); code != 1 {
+		t.Error("describe of unknown scenario should exit 1")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if code, out, _ := runCapture(t, "validate", "transpose-8x8"); code != 0 || !strings.Contains(out, "ok") {
+		t.Errorf("validate failed: %d %q", code, out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","topology":{"kind":"array","n":8},"pattern":{"kind":"tornado"},"loads":[0.5]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runCapture(t, "validate", bad); code != 1 || !strings.Contains(errOut, "tornado") {
+		t.Errorf("tornado-on-array spec accepted: %d %q", code, errOut)
+	}
+	if code, _, _ := runCapture(t, "validate", "missing-file.json"); code != 1 {
+		t.Error("missing spec file should exit 1")
+	}
+}
+
+func TestRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(t, "run", "hotspot-8x8", "-quick", "-replicas", "1")
+	if code != 0 {
+		t.Fatalf("run exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"lambda* = 0.125000", "rho_max", "T(sim)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output misses %q:\n%s", want, out)
+		}
+	}
+	// One row per registry load point plus the headers.
+	if got := strings.Count(out, "\n"); got < 8 {
+		t.Errorf("run produced %d lines, want >= 8:\n%s", got, out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(t, "run", "neighbor-8x8", "-quick", "-replicas", "1", "-json")
+	if code != 0 {
+		t.Fatalf("run -json exit %d: %s", code, errOut)
+	}
+	var res struct {
+		LambdaStar float64 `json:"lambdaStar"`
+		MeanHops   float64 `json:"meanHops"`
+		Points     []struct {
+			Load      float64 `json:"load"`
+			MeanDelay float64 `json:"meanDelay"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.LambdaStar <= 0 || math.Abs(res.MeanHops-1) > 1e-9 || len(res.Points) == 0 {
+		t.Errorf("implausible JSON result: %+v", res)
+	}
+	for _, p := range res.Points {
+		if p.MeanDelay < 1 {
+			t.Errorf("load %v: delay %v below the 1-hop service floor", p.Load, p.MeanDelay)
+		}
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	spec := filepath.Join(t.TempDir(), "tiny.json")
+	body := `{"name":"tiny","topology":{"kind":"array","n":4},"pattern":{"kind":"transpose"},
+		"loads":[0.5],"horizon":200,"replicas":1}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCapture(t, "run", spec)
+	if code != 0 {
+		t.Fatalf("run spec file exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "tiny:") || !strings.Contains(out, "transpose") {
+		t.Errorf("spec-file run output unexpected:\n%s", out)
+	}
+}

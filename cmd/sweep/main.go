@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -34,26 +35,34 @@ type cell struct {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		topo     = flag.String("topology", "array", "array | torus | cube | butterfly | kd")
-		n        = flag.Int("n", 8, "side length (array/torus/kd)")
-		k        = flag.Int("k", 3, "dimensions (kd)")
-		d        = flag.Int("d", 7, "dimension/levels (cube/butterfly)")
-		p        = flag.Float64("p", 0.5, "cube destination bit-flip probability")
-		rhoList  = flag.String("rhos", "0.2,0.5,0.8,0.9", "comma-separated loads")
-		horizon  = flag.Float64("horizon", 20000, "measured time per run")
-		replicas = flag.Int("replicas", 4, "replicas per cell")
-		seed     = flag.Uint64("seed", 1, "base seed")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		topo     = fs.String("topology", "array", "array | torus | cube | butterfly | kd")
+		n        = fs.Int("n", 8, "side length (array/torus/kd)")
+		k        = fs.Int("k", 3, "dimensions (kd)")
+		d        = fs.Int("d", 7, "dimension/levels (cube/butterfly)")
+		p        = fs.Float64("p", 0.5, "cube destination bit-flip probability")
+		rhoList  = fs.String("rhos", "0.2,0.5,0.8,0.9", "comma-separated loads")
+		horizon  = fs.Float64("horizon", 20000, "measured time per run")
+		replicas = fs.Int("replicas", 4, "replicas per cell")
+		seed     = fs.Uint64("seed", 1, "base seed")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var rhos []float64
 	for _, s := range strings.Split(*rhoList, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil || v <= 0 || v >= 1 {
-			fmt.Fprintf(os.Stderr, "sweep: bad load %q\n", s)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "sweep: bad load %q\n", s)
+			return 2
 		}
 		rhos = append(rhos, v)
 	}
@@ -110,8 +119,8 @@ func main() {
 			c.estimate = bounds.KDMD1ApproxT(*k, *n, c.cfg.NodeRate)
 			c.upper = bounds.KDUpperBoundT(*k, *n, c.cfg.NodeRate)
 		default:
-			fmt.Fprintf(os.Stderr, "sweep: unknown topology %q\n", *topo)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "sweep: unknown topology %q\n", *topo)
+			return 2
 		}
 		cells = append(cells, c)
 	}
@@ -123,18 +132,24 @@ func main() {
 	for i, c := range cells {
 		cfgs[i] = c.cfg
 	}
-	fmt.Println("topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper")
+	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper")
+	failed := 0
 	sim.StreamSweep(cfgs, *replicas, *workers, func(i int, r sim.ReplicaSet, err error) {
 		c := cells[i]
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: rho=%v: %v\n", c.rho, err)
+			fmt.Fprintf(stderr, "sweep: rho=%v: %v\n", c.rho, err)
+			failed++
 			return
 		}
-		fmt.Printf("%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s\n",
+		fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s\n",
 			*topo, c.rho, c.cfg.NodeRate,
 			r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
 			c.lower, c.estimate, upperStr(c.upper))
 	})
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 func upperStr(v float64) string {

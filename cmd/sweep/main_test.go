@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCapture(args ...string) (int, string, string) {
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFlagParsing(t *testing.T) {
+	if code, _, _ := runCapture("-rhos", "1.5"); code != 2 {
+		t.Error("load outside (0,1) accepted")
+	}
+	if code, _, _ := runCapture("-rhos", "0.5,zebra"); code != 2 {
+		t.Error("non-numeric load accepted")
+	}
+	if code, _, errOut := runCapture("-topology", "klein-bottle", "-rhos", "0.5"); code != 2 ||
+		!strings.Contains(errOut, "unknown topology") {
+		t.Error("unknown topology accepted")
+	}
+	if code, _, _ := runCapture("-no-such-flag"); code != 2 {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestTinySweepCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(
+		"-topology", "array", "-n", "4", "-rhos", "0.3,0.6",
+		"-horizon", "300", "-replicas", "1")
+	if code != 0 {
+		t.Fatalf("sweep exit %d: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "topology,rho,lambda") {
+		t.Errorf("bad CSV header %q", lines[0])
+	}
+	for _, row := range lines[1:] {
+		if fields := strings.Split(row, ","); len(fields) != 10 || fields[0] != "array" {
+			t.Errorf("bad CSV row %q", row)
+		}
+	}
+}
+
+func TestTorusSweepHasNoUpper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(
+		"-topology", "torus", "-n", "4", "-rhos", "0.4",
+		"-horizon", "200", "-replicas", "1")
+	if code != 0 {
+		t.Fatalf("sweep exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, ",none") {
+		t.Errorf("torus row should report no upper bound:\n%s", out)
+	}
+}

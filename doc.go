@@ -18,6 +18,10 @@
 //   - the paper's extensions: optimally configured transmission rates
 //     (Theorem 15), non-uniform destination distributions, k-dimensional
 //     arrays, slotted time, tori, hypercubes and butterflies;
+//   - a workload layer (internal/workload, cmd/scenario): named traffic
+//     patterns, bursty arrival processes, and declarative scenario specs
+//     that pair every simulation sweep with its exact analytic traffic
+//     view;
 //   - regeneration harnesses for every table and figure in the paper
 //     (internal/experiments, cmd/tables, and the root benchmarks).
 //
@@ -61,6 +65,26 @@
 // All of it preserves the exact (Time, Seq) event order and RNG call
 // sequence of the original engine: seeded runs are bit-identical, which
 // the golden-value and cross-check tests in internal/sim enforce.
+//
+// # Workload architecture
+//
+// Traffic is a first-class object (internal/workload). A Pattern binds to
+// a topology as a Demand — simultaneously a routing.DestSampler for the
+// simulator and an exact distribution P[dst|src] for analytics. Eight
+// built-ins cover the classic interconnect patterns: uniform, hot-spot,
+// transpose, bit reversal, bit complement, tornado, nearest-neighbor and
+// Zipf-over-distance. The demand-matrix → queueing.Traffic bridge solves
+// the traffic equations λ = a + λP for exact per-edge rates, the
+// bottleneck edge, and the saturation rate λ*, letting declarative
+// Scenario specs express load points as fractions of λ* across any
+// pattern. sim.ArrivalProcess generalizes the merged Poisson clock to
+// MMPP/on-off bursty sources and deterministic periodic injection without
+// touching the allocation-free event loop (the process shares the
+// out-of-tree merged-clock scalars; the Poisson default path is
+// untouched and stays golden-pinned). Simulation runs whose demand is
+// exactly known are validated for stability up front: a pattern-implied
+// edge utilization at or above 1 is rejected with the saturating edge
+// named, instead of silently producing horizon-dependent garbage.
 //
 // See the examples directory for runnable programs and DESIGN.md for the
 // full system inventory.

@@ -34,6 +34,8 @@ func All() []Experiment {
 		{"torusps", "§6 probe: PS vs FIFO on the torus", TorusPS},
 		{"priority", "Leighton's furthest-first service order vs FIFO", Priority},
 		{"xval", "engine cross-validation (event vs synchronous)", CrossValidate},
+		{"hotladder", "workloads: hot-spot bound ladder vs analytic λ*", HotSpotLadder},
+		{"bursty", "workloads: bursty/periodic vs Poisson delay", BurstyDelay},
 	}
 }
 

@@ -94,6 +94,38 @@ func (tr *Traffic) SolveIterative(tol float64, maxIter int) ([]float64, error) {
 	return nil, fmt.Errorf("queueing: traffic equations did not converge in %d iterations", maxIter)
 }
 
+// Utilizations converts solved per-queue arrival rates into utilizations
+// ρ_j = λ_j·s_j. svcMean may be nil for unit service everywhere. It is the
+// last stage of the demand-matrix → Traffic pipeline: internal/workload
+// builds a Traffic from a pattern's demand matrix, solves λ = a + λP, and
+// reads stability off the utilizations.
+func Utilizations(lambda, svcMean []float64) ([]float64, error) {
+	if svcMean != nil && len(svcMean) != len(lambda) {
+		return nil, fmt.Errorf("queueing: svcMean has %d entries, want %d", len(svcMean), len(lambda))
+	}
+	util := make([]float64, len(lambda))
+	for j, l := range lambda {
+		s := 1.0
+		if svcMean != nil {
+			s = svcMean[j]
+		}
+		util[j] = l * s
+	}
+	return util, nil
+}
+
+// Bottleneck returns the index and value of the maximum utilization (the
+// saturating queue); index -1 on an empty slice.
+func Bottleneck(util []float64) (int, float64) {
+	idx, max := -1, 0.0
+	for j, u := range util {
+		if idx == -1 || u > max {
+			idx, max = j, u
+		}
+	}
+	return idx, max
+}
+
 // SolveDense computes the traffic equations exactly by Gaussian elimination
 // on (I - Pᵀ)λ = a. It is O(nq³) and intended for small networks and for
 // cross-validating SolveIterative.

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// testPoisson re-expresses the engine's default merged clock through the
+// ArrivalProcess hook. Next consumes exactly the variate the default path
+// would, so the two paths must produce bit-identical runs.
+type testPoisson struct{ rate float64 }
+
+func (p testPoisson) Rate() float64                          { return p.rate }
+func (p testPoisson) Next(t float64, rng *xrand.RNG) float64 { return t + rng.Exp(p.rate) }
+
+// TestPoissonArrivalProcessMatchesDefault pins the ArrivalProcess hook to
+// the merged-clock fast path: expressing the same Poisson stream through
+// the interface must reproduce the default engine bit for bit.
+func TestPoissonArrivalProcessMatchesDefault(t *testing.T) {
+	cfg := arrayConfig(5, 0.7, 97)
+	cfg.Warmup, cfg.Horizon = 200, 1500
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked := cfg
+	total := cfg.NodeRate * float64(len(topology.Sources(cfg.Net)))
+	hooked.NodeRate = 0
+	hooked.Arrivals = func() ArrivalProcess { return testPoisson{rate: total} }
+	got, err := Run(hooked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.MeanDelay) != math.Float64bits(want.MeanDelay) ||
+		math.Float64bits(got.MeanN) != math.Float64bits(want.MeanN) ||
+		got.Generated != want.Generated || got.Delivered != want.Delivered {
+		t.Errorf("hooked Poisson diverges from default: %+v vs %+v", got, want)
+	}
+	for e := range want.EdgeRates {
+		if got.EdgeRates[e] != want.EdgeRates[e] {
+			t.Fatalf("EdgeRates[%d] diverge", e)
+		}
+	}
+}
+
+// endingStream emits a burst of arrivals and then ends (+Inf), checking
+// the engine drains in-flight packets and retires the stream cleanly.
+type endingStream struct {
+	rate  float64
+	until float64
+}
+
+func (s *endingStream) Rate() float64 { return s.rate }
+func (s *endingStream) Next(t float64, rng *xrand.RNG) float64 {
+	next := t + rng.Exp(s.rate)
+	if next > s.until {
+		return math.Inf(1)
+	}
+	return next
+}
+
+func TestArrivalStreamCanEnd(t *testing.T) {
+	cfg := arrayConfig(5, 0.5, 3)
+	total := cfg.NodeRate * float64(len(topology.Sources(cfg.Net)))
+	cfg.NodeRate = 0
+	cfg.Warmup, cfg.Horizon = 0, 2000
+	cfg.Arrivals = func() ArrivalProcess { return &endingStream{rate: total, until: 500} }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 {
+		t.Fatal("no packets before the stream ended")
+	}
+	if res.Generated != res.Delivered {
+		t.Errorf("stream ended at t=500 but %d of %d packets undelivered by t=2000",
+			res.Generated-res.Delivered, res.Generated)
+	}
+}
+
+func TestArrivalsConfigValidation(t *testing.T) {
+	base := arrayConfig(5, 0.5, 1)
+	factory := func() ArrivalProcess { return testPoisson{rate: 1} }
+
+	cfg := base
+	cfg.Arrivals = factory
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "NodeRate") {
+		t.Errorf("nonzero NodeRate with Arrivals accepted: %v", err)
+	}
+	cfg = base
+	cfg.NodeRate = 0
+	cfg.Arrivals = factory
+	cfg.SlotTau = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("Arrivals with SlotTau accepted")
+	}
+	cfg = base
+	cfg.NodeRate = 0
+	cfg.Arrivals = factory
+	cfg.PerNodeArrivals = true
+	if _, err := Run(cfg); err == nil {
+		t.Error("Arrivals with PerNodeArrivals accepted")
+	}
+	cfg = base
+	cfg.NodeRate = 0
+	cfg.Arrivals = func() ArrivalProcess { return nil }
+	if _, err := Run(cfg); err == nil {
+		t.Error("nil-returning Arrivals factory accepted")
+	}
+}
+
+// TestStabilityCheckRejectsSaturation exercises the pattern-implied
+// utilization check: a demand-exposing destination sampler pushing an edge
+// to ρ >= 1 must be rejected with the saturating edge named, and
+// AllowUnstable must bypass the check.
+func TestStabilityCheckRejectsSaturation(t *testing.T) {
+	l := topology.NewLinear(2)
+	cfg := Config{
+		Net:      l,
+		Router:   routing.LinearRoute{L: l},
+		Dest:     routing.PermDest{Perm: []int{1, 0}}, // exposes Prob
+		NodeRate: 1.25,
+		Horizon:  100,
+		Seed:     1,
+	}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("saturated config accepted")
+	}
+	for _, want := range []string{"utilization", "edge 0", "AllowUnstable"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q misses %q", err, want)
+		}
+	}
+	cfg.AllowUnstable = true
+	if _, err := Run(cfg); err != nil {
+		t.Errorf("AllowUnstable did not bypass the check: %v", err)
+	}
+	// The same demand under the stability boundary must run.
+	cfg.AllowUnstable = false
+	cfg.NodeRate = 0.8
+	if _, err := Run(cfg); err != nil {
+		t.Errorf("stable config rejected: %v", err)
+	}
+	// Per-edge service times participate: slow service saturates earlier.
+	cfg.ServiceTime = []float64{1.5, 1}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "edge 0") {
+		t.Errorf("slow-edge saturation not caught: %v", err)
+	}
+}
+
+// TestStabilityCheckSkipsOpaqueSamplers: samplers without Prob (the
+// paper's standard UniformDest) must never pay for or trip the check,
+// even at deliberately unstable loads.
+func TestStabilityCheckSkipsOpaqueSamplers(t *testing.T) {
+	cfg := arrayConfig(4, 0.5, 1)
+	cfg.NodeRate = 100 // absurdly unstable, but the demand is opaque
+	cfg.Warmup, cfg.Horizon = 0, 2
+	if _, err := Run(cfg); err != nil {
+		t.Errorf("opaque sampler tripped the stability check: %v", err)
+	}
+}

@@ -117,6 +117,19 @@ type Config struct {
 	// source node. The two are statistically identical; the merged form is
 	// the default because it keeps the event heap small.
 	PerNodeArrivals bool
+	// Arrivals optionally replaces the merged Poisson clock with a custom
+	// merged arrival process (bursty MMPP/on-off sources, deterministic
+	// periodic injection; see internal/workload). The factory is invoked
+	// once per run so parallel replicas never share mutable process state.
+	// When set, NodeRate must be zero (the process's Rate() defines the
+	// offered load) and each arrival picks a uniform source node, exactly
+	// like the merged Poisson stream. Mutually exclusive with SlotTau and
+	// PerNodeArrivals.
+	Arrivals func() ArrivalProcess
+	// AllowUnstable skips the pattern-implied stability check performed
+	// when Dest exposes its exact distribution (see DemandDist); set it
+	// for experiments that deliberately saturate edges.
+	AllowUnstable bool
 	// SlotTau, if positive, switches to §5.2's slotted-time model: at each
 	// multiple of SlotTau every source receives a Poisson(λ·SlotTau) batch.
 	SlotTau float64
@@ -160,6 +173,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("sim: Saturated has %d entries, want %d", len(c.Saturated), c.Net.NumEdges())
 	case c.SlotTau > 0 && c.PerNodeArrivals:
 		return fmt.Errorf("sim: SlotTau and PerNodeArrivals are mutually exclusive arrival models")
+	case c.Arrivals != nil && (c.SlotTau > 0 || c.PerNodeArrivals):
+		return fmt.Errorf("sim: Arrivals is mutually exclusive with SlotTau and PerNodeArrivals")
+	case c.Arrivals != nil && c.NodeRate != 0:
+		return fmt.Errorf("sim: NodeRate must be zero when Arrivals is set (the process's Rate() defines the load)")
 	case c.Net.NumEdges() > maxEventID+1 || c.Net.NumNodes() > maxEventID+1:
 		return fmt.Errorf("sim: %s exceeds the %d edge/node event-encoding limit", c.Net.Name(), maxEventID+1)
 	}
@@ -247,6 +264,10 @@ type engine struct {
 	sources []int
 	arena   arena
 
+	// arrivals is the custom merged arrival process (nil on the default
+	// Poisson / slotted / per-node paths).
+	arrivals ArrivalProcess
+
 	// routing plane: steppers is nil on the legacy AppendRoute path.
 	steppers []routing.Stepper
 	choose   func(*xrand.RNG) int
@@ -332,10 +353,22 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
+	var arrivals ArrivalProcess
+	if cfg.Arrivals != nil {
+		if arrivals = cfg.Arrivals(); arrivals == nil {
+			return Result{}, fmt.Errorf("sim: Arrivals factory returned nil")
+		}
+	}
+	if !cfg.AllowUnstable {
+		if err := cfg.checkStability(arrivals); err != nil {
+			return Result{}, err
+		}
+	}
 	numEdges := cfg.Net.NumEdges()
 	e := &engine{
 		cfg:       cfg,
 		rng:       xrand.New(cfg.Seed),
+		arrivals:  arrivals,
 		sources:   topology.Sources(cfg.Net),
 		edgeCount: make([]int64, numEdges),
 		start:     cfg.Warmup,
@@ -359,6 +392,11 @@ func Run(cfg Config) (Result, error) {
 	}
 	e.fastFIFO = cfg.Discipline == FIFO && e.steppers != nil
 	e.totalRate = cfg.NodeRate * float64(len(e.sources))
+	if e.arrivals != nil {
+		// Batch sizing and rate bookkeeping use the process's mean rate;
+		// the loop never draws from totalRate on this path.
+		e.totalRate = e.arrivals.Rate()
+	}
 	e.slotMean = cfg.NodeRate * cfg.SlotTau
 	e.svcMean = make([]float64, numEdges)
 	for ed := range e.svcMean {
@@ -420,6 +458,12 @@ func (e *engine) scheduleSources() {
 	case e.cfg.SlotTau > 0:
 		e.nextArr = e.cfg.SlotTau
 		e.nextArrMeta = e.tree.ReserveSeq()
+	case e.arrivals != nil:
+		// The custom process shares the merged clock's two scalars; +Inf
+		// (an ended stream) orders after every tree event and the horizon,
+		// so the loop retires it without a special case.
+		e.nextArr = e.arrivals.Next(0, e.rng)
+		e.nextArrMeta = e.tree.ReserveSeq()
 	case e.cfg.PerNodeArrivals:
 		for i := range e.sources {
 			if e.cfg.NodeRate > 0 {
@@ -450,14 +494,19 @@ func (e *engine) loop() {
 			if !e.measuring && t >= e.start {
 				e.beginMeasurement()
 			}
-			if e.cfg.SlotTau > 0 {
+			switch {
+			case e.cfg.SlotTau > 0:
 				for _, src := range e.sources {
 					for k := e.rng.Poisson(e.slotMean); k > 0; k-- {
 						e.generate(t, src)
 					}
 				}
 				e.nextArr = t + e.cfg.SlotTau
-			} else {
+			case e.arrivals != nil:
+				src := e.sources[e.rng.Intn(len(e.sources))]
+				e.generate(t, src)
+				e.nextArr = e.arrivals.Next(t, e.rng)
+			default:
 				src := e.sources[e.rng.Intn(len(e.sources))]
 				e.generate(t, src)
 				e.nextArr = t + e.rng.Exp(e.totalRate)

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Poisson is the stationary merged Poisson stream at TotalRate — the
+// engine's default clock expressed through the sim.ArrivalProcess hook, so
+// the two paths can be cross-checked statistically.
+type Poisson struct {
+	// TotalRate is the merged arrival rate (per-node λ times #sources).
+	TotalRate float64
+}
+
+// New returns a fresh process; Poisson is stateless, so it returns the
+// value itself.
+func (p Poisson) New() sim.ArrivalProcess { return p }
+
+// Rate implements sim.ArrivalProcess.
+func (p Poisson) Rate() float64 { return p.TotalRate }
+
+// Next implements sim.ArrivalProcess.
+func (p Poisson) Next(t float64, rng *xrand.RNG) float64 { return t + rng.Exp(p.TotalRate) }
+
+// MMPP2 is a two-phase Markov-modulated Poisson process: arrivals are
+// Poisson at Rate0 while the modulating chain is in phase 0 and Rate1 in
+// phase 1, with exponential phase sojourns of means Sojourn0 and Sojourn1.
+// Rate0 = 0 gives the classic on-off (interrupted Poisson) bursty source.
+// The modulating phase starts from its stationary distribution, so the
+// stream is stationary from t = 0.
+type MMPP2 struct {
+	// Rate0, Rate1 are the merged arrival rates in each phase.
+	Rate0, Rate1 float64
+	// Sojourn0, Sojourn1 are the mean phase durations; both must be
+	// positive.
+	Sojourn0, Sojourn1 float64
+}
+
+// Validate checks the parameters describe a proper MMPP.
+func (m MMPP2) Validate() error {
+	switch {
+	case m.Rate0 < 0 || m.Rate1 < 0:
+		return fmt.Errorf("workload: negative MMPP phase rate")
+	case m.Sojourn0 <= 0 || m.Sojourn1 <= 0:
+		return fmt.Errorf("workload: MMPP phase sojourns must be positive")
+	case m.Rate0 == 0 && m.Rate1 == 0:
+		return fmt.Errorf("workload: MMPP with both phase rates zero generates nothing")
+	}
+	return nil
+}
+
+// Rate returns the long-run mean rate Σ π_i·Rate_i under the stationary
+// phase distribution π_i ∝ Sojourn_i.
+func (m MMPP2) Rate() float64 {
+	total := m.Sojourn0 + m.Sojourn1
+	return (m.Rate0*m.Sojourn0 + m.Rate1*m.Sojourn1) / total
+}
+
+// New implements the process factory for sim.Config.Arrivals. It panics
+// on invalid parameters (a rateless or zero-sojourn chain would hang the
+// event loop); use Validate, OnOff or ArrivalSpec for checked
+// construction.
+func (m MMPP2) New() sim.ArrivalProcess {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return &mmpp2Proc{p: m}
+}
+
+// OnOff builds the on-off source with the given mean merged rate: silent
+// for exponential off-periods of mean meanOff, Poisson at burstFactor
+// times the mean rate during on-periods of mean meanOn. burstFactor must
+// satisfy 1 < burstFactor ≤ (meanOn+meanOff)/meanOn so the on-rate
+// reproduces meanRate exactly.
+func OnOff(meanRate, burstFactor, meanOn, meanOff float64) (MMPP2, error) {
+	if meanRate <= 0 || meanOn <= 0 || meanOff <= 0 {
+		return MMPP2{}, fmt.Errorf("workload: on-off rate and sojourns must be positive")
+	}
+	maxFactor := (meanOn + meanOff) / meanOn
+	if burstFactor <= 1 || burstFactor > maxFactor {
+		return MMPP2{}, fmt.Errorf("workload: burst factor %v outside (1, %v]", burstFactor, maxFactor)
+	}
+	on := burstFactor * meanRate
+	// Rate0 keeps the long-run mean exactly meanRate; it is zero when
+	// burstFactor hits its maximum (the pure on-off source).
+	off := meanRate*(meanOn+meanOff)/meanOff - on*meanOn/meanOff
+	if off < 0 {
+		off = 0
+	}
+	m := MMPP2{Rate0: off, Rate1: on, Sojourn0: meanOff, Sojourn1: meanOn}
+	return m, m.Validate()
+}
+
+// mmpp2Proc is the per-run mutable state of an MMPP2.
+type mmpp2Proc struct {
+	p        MMPP2
+	phase    int
+	switchAt float64
+	started  bool
+}
+
+// Rate implements sim.ArrivalProcess.
+func (m *mmpp2Proc) Rate() float64 { return m.p.Rate() }
+
+// Next implements sim.ArrivalProcess. Because within-phase arrivals are
+// Poisson, a candidate interarrival that overshoots the phase switch can
+// be discarded memorylessly and redrawn in the next phase.
+func (m *mmpp2Proc) Next(t float64, rng *xrand.RNG) float64 {
+	if !m.started {
+		m.started = true
+		pi1 := m.p.Sojourn1 / (m.p.Sojourn0 + m.p.Sojourn1)
+		if rng.Bernoulli(pi1) {
+			m.phase = 1
+		}
+		m.switchAt = t + rng.Exp(1/m.sojourn())
+	}
+	for {
+		if rate := m.rate(); rate > 0 {
+			if next := t + rng.Exp(rate); next <= m.switchAt {
+				return next
+			}
+		}
+		t = m.switchAt
+		m.phase ^= 1
+		m.switchAt = t + rng.Exp(1/m.sojourn())
+	}
+}
+
+func (m *mmpp2Proc) rate() float64 {
+	if m.phase == 0 {
+		return m.p.Rate0
+	}
+	return m.p.Rate1
+}
+
+func (m *mmpp2Proc) sojourn() float64 {
+	if m.phase == 0 {
+		return m.p.Sojourn0
+	}
+	return m.p.Sojourn1
+}
+
+// Periodic injects one packet every Interval time units, starting at
+// Interval — the deterministic, zero-variance extreme of the arrival
+// spectrum (each arrival still picks a uniform source).
+type Periodic struct {
+	// Interval is the fixed interarrival time of the merged stream.
+	Interval float64
+}
+
+// Validate checks the interval is usable.
+func (p Periodic) Validate() error {
+	if p.Interval <= 0 || math.IsInf(p.Interval, 1) {
+		return fmt.Errorf("workload: periodic interval must be positive and finite")
+	}
+	return nil
+}
+
+// New returns a fresh process; Periodic is stateless. It panics on an
+// invalid interval (a zero interval would freeze simulated time).
+func (p Periodic) New() sim.ArrivalProcess {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Rate implements sim.ArrivalProcess.
+func (p Periodic) Rate() float64 { return 1 / p.Interval }
+
+// Next implements sim.ArrivalProcess; it consumes no randomness.
+func (p Periodic) Next(t float64, _ *xrand.RNG) float64 { return t + p.Interval }

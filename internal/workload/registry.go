@@ -1,0 +1,106 @@
+package workload
+
+import "fmt"
+
+// stdLoads is the default load ladder: fractions of λ* spanning light
+// traffic to near saturation.
+func stdLoads() []float64 { return []float64{0.2, 0.4, 0.6, 0.8, 0.9} }
+
+// Registry returns the named built-in scenarios. Each exercises one
+// pattern or arrival process on a reference topology; cmd/scenario lists,
+// describes, validates and runs them.
+func Registry() []Scenario {
+	array8 := TopologySpec{Kind: "array", N: 8}
+	torus8 := TopologySpec{Kind: "torus", N: 8}
+	return []Scenario{
+		{
+			Name:        "uniform-8x8",
+			Description: "baseline: uniform destinations on the 8x8 array (the paper's standard model)",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "uniform"},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "hotspot-8x8",
+			Description: "20% of all traffic converges on the central node of the 8x8 array",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "hotspot", K: 1, Weight: 0.2},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "hotspot4-8x8",
+			Description: "heavier skew: 40% of traffic split over the four central nodes",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "hotspot", K: 4, Weight: 0.4},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "transpose-8x8",
+			Description: "matrix-transpose permutation (r,c)->(c,r) on the 8x8 array",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "transpose"},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "bitrev-8x8",
+			Description: "FFT bit-reversal permutation per axis on the 8x8 array",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "bitrev"},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "bitcomp-8x8",
+			Description: "bit-complement permutation: every route crosses the array center",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "bitcomp"},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "tornado-8x8",
+			Description: "tornado permutation on the 8x8 torus: maximal one-way ring traffic",
+			Topology:    torus8,
+			Pattern:     PatternSpec{Kind: "tornado"},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "neighbor-8x8",
+			Description: "nearest-neighbor demand on the 8x8 array: one hop per packet",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "neighbor"},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "zipf-8x8",
+			Description: "distance-biased demand P[dst] ~ (1+d)^-2 on the 8x8 array (general form of the paper's 5.2 walk)",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "zipf", S: 2},
+			Loads:       stdLoads(),
+		},
+		{
+			Name:        "bursty-8x8",
+			Description: "uniform destinations with on-off MMPP sources (4x rate bursts) on the 8x8 array",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "uniform"},
+			Arrivals:    ArrivalSpec{Kind: "bursty", BurstFactor: 4, MeanOn: 10, MeanOff: 30},
+			Loads:       []float64{0.2, 0.4, 0.6, 0.8},
+		},
+		{
+			Name:        "periodic-8x8",
+			Description: "uniform destinations with deterministic periodic injection on the 8x8 array",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "uniform"},
+			Arrivals:    ArrivalSpec{Kind: "periodic"},
+			Loads:       stdLoads(),
+		},
+	}
+}
+
+// ByName finds a registered scenario.
+func ByName(name string) (Scenario, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q (try: scenario list)", name)
+}

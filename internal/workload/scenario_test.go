@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func TestRegistryScenariosBind(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Registry() {
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Description == "" {
+			t.Errorf("scenario %q has no description", s.Name)
+		}
+		b, err := s.Bind()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(b.Configs) != len(s.Loads) || len(b.Points) != len(s.Loads) {
+			t.Fatalf("%s: %d configs for %d loads", s.Name, len(b.Configs), len(s.Loads))
+		}
+		for i, pt := range b.Points {
+			if want := s.Loads[i] * b.Analysis.LambdaStar; math.Abs(pt.NodeRate-want) > 1e-12 {
+				t.Errorf("%s point %d: rate %v, want %v", s.Name, i, pt.NodeRate, want)
+			}
+			cfg := b.Configs[i]
+			if cfg.Arrivals != nil {
+				if cfg.NodeRate != 0 {
+					t.Errorf("%s point %d: both NodeRate and Arrivals set", s.Name, i)
+				}
+				merged := pt.NodeRate * float64(len(topologySources(b)))
+				if got := cfg.Arrivals().Rate(); math.Abs(got-merged)/merged > 1e-9 {
+					t.Errorf("%s point %d: arrival rate %v, want %v", s.Name, i, got, merged)
+				}
+			} else if cfg.NodeRate != pt.NodeRate {
+				t.Errorf("%s point %d: config rate %v != point rate %v", s.Name, i, cfg.NodeRate, pt.NodeRate)
+			}
+		}
+	}
+}
+
+func topologySources(b *Bound) []int {
+	nodes := make([]int, b.Net.NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+func TestScenarioValidation(t *testing.T) {
+	base := func() Scenario {
+		s, err := ByName("hotspot-8x8")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := base()
+	s.Loads = []float64{1.2}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "lambda*") {
+		t.Errorf("overload load accepted: %v", err)
+	}
+	s = base()
+	s.Name = ""
+	if err := s.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	s = base()
+	s.Pattern.Kind = "tornado" // needs a torus
+	if err := s.Validate(); err == nil {
+		t.Error("tornado on the array accepted")
+	}
+	s = base()
+	s.Arrivals = ArrivalSpec{Kind: "warp"}
+	if err := s.Validate(); err == nil {
+		t.Error("unknown arrival kind accepted")
+	}
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	s, err := ByName("bursty-8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.Pattern.Kind != s.Pattern.Kind || back.Arrivals.Kind != s.Arrivals.Kind {
+		t.Errorf("round trip mutated the scenario: %+v vs %+v", back, s)
+	}
+	if _, err := ParseScenario([]byte(`{"name":"x"`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ParseScenario([]byte(`{"name":"x","topology":{"kind":"array","n":4},"pattern":{"kind":"uniform"},"loads":[]}`)); err == nil {
+		t.Error("empty load list accepted")
+	}
+}
+
+// TestQuickScenarioRuns end-to-end: a shrunk registry scenario must
+// simulate cleanly and produce finite delays at every load point.
+func TestQuickScenarioRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	for _, name := range []string{"hotspot-8x8", "bursty-8x8"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Quick().Bind()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets, err := sim.RunSweep(b.Configs, b.Scenario.Replicas, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, rs := range sets {
+			if rs.MeanDelay < b.Analysis.MeanHops*0.5 || math.IsInf(rs.MeanDelay, 0) || math.IsNaN(rs.MeanDelay) {
+				t.Errorf("%s load %v: implausible delay %v", name, b.Points[i].Load, rs.MeanDelay)
+			}
+		}
+	}
+}
+
+// TestArrivalProcessRates checks each process's long-run empirical rate
+// against its declared Rate().
+func TestArrivalProcessRates(t *testing.T) {
+	procs := []struct {
+		name string
+		make func() sim.ArrivalProcess
+	}{
+		{"poisson", Poisson{TotalRate: 2}.New},
+		{"periodic", Periodic{Interval: 0.5}.New},
+		{"mmpp", MMPP2{Rate0: 0.5, Rate1: 6, Sojourn0: 20, Sojourn1: 5}.New},
+	}
+	for _, p := range procs {
+		proc := p.make()
+		rng := xrand.New(5)
+		// MMPP counts are heavily over-dispersed (index of dispersion ~25
+		// for these parameters), so the horizon is long enough to make 2%
+		// a multi-sigma bound.
+		const horizon = 1e6
+		count := 0
+		for t0 := proc.Next(0, rng); t0 < horizon; t0 = proc.Next(t0, rng) {
+			count++
+		}
+		got := float64(count) / horizon
+		want := proc.Rate()
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("%s: empirical rate %v vs declared %v", p.name, got, want)
+		}
+	}
+}
+
+func TestOnOffParameters(t *testing.T) {
+	m, err := OnOff(2, 4, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rate0 != 0 {
+		t.Errorf("maximal burst factor should silence the off phase, got rate0 %v", m.Rate0)
+	}
+	if math.Abs(m.Rate()-2) > 1e-12 {
+		t.Errorf("on-off mean rate %v, want 2", m.Rate())
+	}
+	if _, err := OnOff(2, 5, 10, 30); err == nil {
+		t.Error("burst factor above (on+off)/on accepted")
+	}
+	if _, err := OnOff(2, 1, 10, 30); err == nil {
+		t.Error("burst factor 1 accepted")
+	}
+	if err := (MMPP2{Rate0: 0, Rate1: 0, Sojourn0: 1, Sojourn1: 1}).Validate(); err == nil {
+		t.Error("silent MMPP accepted")
+	}
+	// New must refuse parameters that would hang the event loop rather
+	// than hand the engine a process that never produces an arrival.
+	mustPanic(t, "MMPP2.New", func() { MMPP2{Sojourn0: 1, Sojourn1: 1}.New() })
+	mustPanic(t, "Periodic.New", func() { Periodic{}.New() })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic on invalid parameters", name)
+		}
+	}()
+	fn()
+}
+
+// TestBurstyRunsDeterministic pins the custom-arrivals path to seeded
+// reproducibility: two runs of the same bursty config must agree bitwise.
+func TestBurstyRunsDeterministic(t *testing.T) {
+	s, err := ByName("bursty-8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = s.Quick()
+	s.Loads = s.Loads[:1]
+	b, err := s.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sim.Run(b.Configs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(b.Configs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MeanDelay != r2.MeanDelay || r1.Generated != r2.Generated || r1.MeanN != r2.MeanN {
+		t.Errorf("bursty runs diverge: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// bindAll returns every built-in pattern bound to net (skipping patterns
+// the topology does not support).
+func bindAll(t *testing.T, net topology.Network) map[string]*Demand {
+	t.Helper()
+	out := map[string]*Demand{}
+	for _, p := range Patterns() {
+		d, err := p.Bind(net)
+		if err != nil {
+			continue
+		}
+		out[p.Name()] = d
+	}
+	return out
+}
+
+func TestPatternRowsSumToOne(t *testing.T) {
+	nets := []topology.Network{
+		topology.NewArray2D(4),
+		topology.NewTorus2D(5),
+		topology.NewHypercube(3),
+	}
+	for _, net := range nets {
+		for name, d := range bindAll(t, net) {
+			for src := 0; src < net.NumNodes(); src++ {
+				sum := 0.0
+				for dst := 0; dst < net.NumNodes(); dst++ {
+					p := d.Prob(src, dst)
+					if p < 0 {
+						t.Fatalf("%s on %s: negative P[%d|%d]", name, net.Name(), dst, src)
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Errorf("%s on %s: row %d sums to %v", name, net.Name(), src, sum)
+				}
+			}
+		}
+	}
+}
+
+// TestSamplerMatchesProb checks each pattern's sampler empirically follows
+// its declared distribution.
+func TestSamplerMatchesProb(t *testing.T) {
+	net := topology.NewArray2D(4)
+	const draws = 40000
+	for name, d := range bindAll(t, net) {
+		rng := xrand.New(7)
+		for _, src := range []int{0, 5, 15} {
+			counts := make([]int, net.NumNodes())
+			for i := 0; i < draws; i++ {
+				counts[d.Sample(src, rng)]++
+			}
+			for dst, c := range counts {
+				want := d.Prob(src, dst)
+				got := float64(c) / draws
+				// Absolute tolerance sized for draws=40k multinomial noise.
+				if math.Abs(got-want) > 0.01 {
+					t.Errorf("%s: P[%d|%d] empirical %v vs exact %v", name, dst, src, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPermutationShapes(t *testing.T) {
+	a := topology.NewArray2D(4)
+	tr, err := Transpose{}.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Sample(a.Node(1, 3), nil); got != a.Node(3, 1) {
+		t.Errorf("transpose(1,3) = %d, want node (3,1)", got)
+	}
+	bc, err := BitComplement{}.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bc.Sample(a.Node(0, 1), nil); got != a.Node(3, 2) {
+		t.Errorf("bitcomp(0,1) = %d, want node (3,2)", got)
+	}
+	br, err := BitReversal{}.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 = 2 bits per axis: row 1 (01) -> 2 (10); col 2 -> 1.
+	if got := br.Sample(a.Node(1, 2), nil); got != a.Node(2, 1) {
+		t.Errorf("bitrev(1,2) = %d, want node (2,1)", got)
+	}
+	if _, err := (BitReversal{}).Bind(topology.NewArray2D(5)); err == nil {
+		t.Error("bitrev accepted a non-power-of-two grid")
+	}
+	tor := topology.NewTorus2D(5)
+	tn, err := Tornado{}.Bind(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(5/2)-1 = 2 columns around the row ring.
+	if got := tn.Sample(tor.Node(2, 4), nil); got != tor.Node(2, 1) {
+		t.Errorf("tornado(2,4) = %d, want node (2,1)", got)
+	}
+	if _, err := (Tornado{}).Bind(a); err == nil {
+		t.Error("tornado accepted the array")
+	}
+	h := topology.NewHypercube(4)
+	hr, err := BitReversal{}.Bind(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hr.Sample(0b0011, nil); got != 0b1100 {
+		t.Errorf("cube bitrev(0011) = %04b, want 1100", got)
+	}
+}
+
+func TestHotSpotCenters(t *testing.T) {
+	a := topology.NewArray2D(4)
+	d, err := HotSpot{K: 1, Weight: 0.5}.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The geometric center of an even grid falls between nodes; the four
+	// nearest tie and the lowest id wins.
+	center := a.Node(1, 1)
+	want := 0.5 + 0.5/16
+	if got := d.Prob(0, center); math.Abs(got-want) > 1e-12 {
+		t.Errorf("hotspot center mass %v, want %v", got, want)
+	}
+	if got := d.Prob(0, 0); math.Abs(got-0.5/16) > 1e-12 {
+		t.Errorf("hotspot cold mass %v, want %v", got, 0.5/16)
+	}
+	if _, err := (HotSpot{K: 1, Weight: 1.5}).Bind(a); err == nil {
+		t.Error("hotspot accepted weight > 1")
+	}
+	if _, err := (HotSpot{Hot: []int{99}, Weight: 0.2}).Bind(a); err == nil {
+		t.Error("hotspot accepted an out-of-range hot node")
+	}
+	// k = 4 on an even grid must pick the symmetric 2x2 center block.
+	a8 := topology.NewArray2D(8)
+	got := centerNodes(a8, 4)
+	want4 := []int{a8.Node(3, 3), a8.Node(3, 4), a8.Node(4, 3), a8.Node(4, 4)}
+	for i, w := range want4 {
+		if got[i] != w {
+			t.Fatalf("centerNodes(8x8, 4) = %v, want %v", got, want4)
+		}
+	}
+}
+
+func TestNeighborOneHop(t *testing.T) {
+	a := topology.NewArray2D(4)
+	d, err := NearestNeighbor{}.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A corner has out-degree 2, an interior node 4.
+	if got := d.Prob(a.Node(0, 0), a.Node(0, 1)); got != 0.5 {
+		t.Errorf("corner neighbor mass %v, want 0.5", got)
+	}
+	if got := d.Prob(a.Node(1, 1), a.Node(1, 2)); got != 0.25 {
+		t.Errorf("interior neighbor mass %v, want 0.25", got)
+	}
+	if got := d.Prob(a.Node(0, 0), a.Node(3, 3)); got != 0 {
+		t.Errorf("non-neighbor mass %v, want 0", got)
+	}
+	an, err := Analyze(a, routing.GreedyXY{A: a}, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.MeanHops-1) > 1e-12 {
+		t.Errorf("neighbor mean hops %v, want 1", an.MeanHops)
+	}
+}
+
+func TestZipfLocality(t *testing.T) {
+	a := topology.NewArray2D(4)
+	d, err := ZipfDistance{S: 2}.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := a.Node(1, 1)
+	if d.Prob(src, a.Node(1, 2)) <= d.Prob(src, a.Node(3, 3)) {
+		t.Error("zipf should prefer near destinations")
+	}
+	flat, err := ZipfDistance{}.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := flat.Prob(src, 0); math.Abs(p-1.0/16) > 1e-12 {
+		t.Errorf("zipf s=0 should be uniform, got %v", p)
+	}
+}
