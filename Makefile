@@ -3,7 +3,7 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test race examples scenario-smoke bench bench-compare vet
+.PHONY: test race examples scenario-smoke bench bench-slotted bench-compare vet
 
 test:
 	go vet ./...
@@ -26,11 +26,19 @@ scenario-smoke:
 	go run ./cmd/scenario list
 	go run ./cmd/scenario validate tornado-8x8
 	go run ./cmd/scenario run hotspot-8x8 -quick -replicas 2
+	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted
 	go run ./cmd/scenario run bursty-8x8 -quick -replicas 2 -json >/dev/null
 
 # bench runs the hot-path benchmarks with allocation reporting.
 bench:
 	go test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=2s -count=$(COUNT) .
+
+# bench-slotted measures the synchronous slotted engine and the Poisson
+# sampler, plus the pre-rewrite pointer engine (the test oracle) for a
+# before/after table — see the slotted section of BENCH.md.
+bench-slotted:
+	go test -run='^$$' -bench='BenchmarkStepSlots$$|BenchmarkPoissonDraw' -benchmem -benchtime=2s -count=$(COUNT) .
+	go test -run='^$$' -bench='BenchmarkStepSlotsOracle' -benchmem -benchtime=2s -count=$(COUNT) ./internal/stepsim/
 
 # bench-compare records $(COUNT) runs into bench-{old,new}.txt across two
 # checkouts and diffs them with benchstat:

@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/stepsim"
 	"repro/internal/topology"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -120,6 +121,70 @@ func BenchmarkScenarioSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkStepSlots measures the synchronous slotted engine
+// (internal/stepsim): one full run per iteration at ρ = 0.8, with the
+// Engine reused across iterations exactly as the sweep pool reuses it, so
+// allocs/op shows the amortized steady state (~0 after the first run's
+// setup). The pre-rewrite pointer engine is kept runnable as
+// BenchmarkStepSlotsOracle in internal/stepsim for before/after
+// comparisons (see BENCH.md). The 256×256 case is the scale target —
+// ≈10⁶ node-slots, iterations are whole large-array runs.
+func BenchmarkStepSlots(b *testing.B) {
+	cases := []struct {
+		name  string
+		n     int
+		slots int
+	}{
+		{"8x8", 8, 2000},
+		{"64x64", 64, 200},
+		{"256x256", 256, 250},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			a := topology.NewArray2D(c.n)
+			cfg := stepsim.Config{
+				Net:         a,
+				Router:      routing.GreedyXY{A: a},
+				Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+				NodeRate:    bounds.LambdaTable(c.n, 0.8),
+				WarmupSlots: c.slots / 4,
+				Slots:       c.slots,
+			}
+			var eng stepsim.Engine
+			var delivered int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err := eng.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered += res.Delivered
+			}
+			b.ReportMetric(float64(delivered)/float64(b.N), "packets/op")
+		})
+	}
+}
+
+// BenchmarkPoissonDraw measures xrand.Poisson across the regimes of its
+// piecewise sampler: Knuth product-of-uniforms below mean 10 (O(mean)
+// uniforms — the per-source slotted draw lives at the far left) and PTRS
+// transformed rejection above (constant cost). Before this split, means in
+// [10, 30) rode the Knuth loop toward a throughput cliff and means above 30
+// used an inexact normal approximation.
+func BenchmarkPoissonDraw(b *testing.B) {
+	for _, mean := range []float64{0.4, 5, 9.9, 10, 30, 200} {
+		b.Run(fmt.Sprintf("mean=%g", mean), func(b *testing.B) {
+			rng := xrand.New(1)
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += rng.Poisson(mean)
+			}
+			_ = sink
+		})
+	}
+}
+
 // BenchmarkSimulatorEvents measures raw engine throughput: one 8×8 array at
 // ρ=0.8 for a fixed horizon per iteration; the reported metric is
 // events/op via b.ReportMetric.
@@ -130,6 +195,26 @@ func BenchmarkSimulatorEvents(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
 		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered += res.Delivered
+	}
+	b.ReportMetric(float64(delivered)/float64(b.N), "packets/op")
+}
+
+// BenchmarkSimulatorEventsReused is BenchmarkSimulatorEvents through a
+// persistent sim.Runner, the engine-reuse path the sweep pool workers use:
+// the ~34 per-run setup allocations amortize to a handful, isolating what
+// sweep-scoped reuse is worth per run.
+func BenchmarkSimulatorEventsReused(b *testing.B) {
+	m := NewArrayModelAtLoad(8, 0.8)
+	cfg := m.Config(SimParams{Horizon: 500, Warmup: 50})
+	var runner sim.Runner
+	var delivered int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := runner.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/stepsim"
 	"repro/internal/workload"
 )
 
@@ -43,10 +44,11 @@ commands:
   run <name|file.json>       simulate a scenario across its load ladder
       -quick     shrink horizon and replicas for a smoke run
       -json      emit results as JSON instead of a table
+      -engine    des (event-driven, default) | slotted (synchronous §5.2 model)
       -replicas  override the replica count
       -workers   max parallel simulations (0 = GOMAXPROCS)
       -seed      override the base seed
-      -horizon   override the measured horizon`)
+      -horizon   override the measured horizon (slots when -engine=slotted)`)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -147,6 +149,7 @@ type pointResult struct {
 // runResult is the -json document.
 type runResult struct {
 	Scenario   workload.Scenario `json:"scenario"`
+	Engine     string            `json:"engine"`
 	LambdaStar float64           `json:"lambdaStar"`
 	Bottleneck int               `json:"bottleneckEdge"`
 	MeanHops   float64           `json:"meanHops"`
@@ -159,6 +162,7 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 	var (
 		quick    = fs.Bool("quick", false, "shrink horizon and replicas for a smoke run")
 		jsonOut  = fs.Bool("json", false, "emit JSON instead of a table")
+		engine   = fs.String("engine", "des", "des (event-driven) | slotted (synchronous)")
 		replicas = fs.Int("replicas", 0, "override the replica count")
 		workers  = fs.Int("workers", 0, "max parallel simulations (0 = GOMAXPROCS)")
 		seed     = fs.Uint64("seed", 0, "override the base seed")
@@ -203,21 +207,26 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	if *engine != "des" && *engine != "slotted" {
+		fmt.Fprintf(stderr, "scenario: unknown engine %q (want des or slotted)\n", *engine)
+		return 2
+	}
 	an := b.Analysis
 	out := runResult{
 		Scenario:   b.Scenario,
+		Engine:     *engine,
 		LambdaStar: an.LambdaStar,
 		Bottleneck: an.Bottleneck,
 		MeanHops:   an.MeanHops,
 	}
 	if !*jsonOut {
-		fmt.Fprintf(stdout, "%s: %s\n", b.Scenario.Name, b.Scenario.Description)
+		fmt.Fprintf(stdout, "%s: %s [engine: %s]\n", b.Scenario.Name, b.Scenario.Description, *engine)
 		printHeader(stdout, b)
 		fmt.Fprintf(stdout, "\n%-6s %-10s %-8s %-9s %-8s %-9s %s\n",
 			"load", "lambda", "rho_max", "T(sim)", "±95%", "N(sim)", "T(md1)")
 	}
 	failed := 0
-	sim.StreamSweep(b.Configs, b.Scenario.Replicas, *workers, func(i int, rs sim.ReplicaSet, err error) {
+	record := func(i int, meanDelay, delayCI, meanN float64, err error) {
 		pt := b.Points[i]
 		pr := pointResult{
 			Load:     pt.Load,
@@ -232,15 +241,29 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "scenario: load %.2f: %v\n", pt.Load, err)
 			}
 		} else {
-			pr.MeanDelay, pr.DelayCI, pr.MeanN = rs.MeanDelay, rs.DelayCI, rs.MeanN
+			pr.MeanDelay, pr.DelayCI, pr.MeanN = meanDelay, delayCI, meanN
 			if !*jsonOut {
 				fmt.Fprintf(stdout, "%-6.2f %-10.6f %-8.2f %-9.3f %-8.3f %-9.3f %s\n",
 					pt.Load, pt.NodeRate, pr.RhoMax,
-					rs.MeanDelay, rs.DelayCI, rs.MeanN, fmtMD1(pr.MD1Delay))
+					meanDelay, delayCI, meanN, fmtMD1(pr.MD1Delay))
 			}
 		}
 		out.Points = append(out.Points, pr)
-	})
+	}
+	if *engine == "slotted" {
+		cfgs, err := b.SlottedConfigs()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		stepsim.StreamSweep(cfgs, b.Scenario.Replicas, *workers, func(i int, rs stepsim.ReplicaSet, err error) {
+			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, err)
+		})
+	} else {
+		sim.StreamSweep(b.Configs, b.Scenario.Replicas, *workers, func(i int, rs sim.ReplicaSet, err error) {
+			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, err)
+		})
+	}
 	if *jsonOut {
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

@@ -138,3 +138,47 @@ func TestRunSpecFile(t *testing.T) {
 		t.Errorf("spec-file run output unexpected:\n%s", out)
 	}
 }
+
+func TestRunSlottedEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-engine", "slotted", "-replicas", "2", "-json")
+	if code != 0 {
+		t.Fatalf("slotted run exit %d: %s", code, errOut)
+	}
+	var res runResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if res.Engine != "slotted" {
+		t.Errorf("engine = %q, want slotted", res.Engine)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("want 5 load points, got %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Error != "" || pt.MeanDelay <= 0 {
+			t.Errorf("load %.2f: error %q, delay %v", pt.Load, pt.Error, pt.MeanDelay)
+		}
+		// The slotted model's delay must sit within about one slot of the
+		// continuous-time M/D/1 estimate at moderate load (§5.2).
+		if pt.Load <= 0.6 && math.Abs(pt.MeanDelay-pt.MD1Delay) > 2 {
+			t.Errorf("load %.2f: slotted delay %v far from estimate %v", pt.Load, pt.MeanDelay, pt.MD1Delay)
+		}
+	}
+}
+
+func TestRunSlottedRejectsBursty(t *testing.T) {
+	code, _, errOut := runCapture(t, "run", "bursty-8x8", "-quick", "-engine", "slotted")
+	if code != 1 || !strings.Contains(errOut, "slotted engine") {
+		t.Errorf("bursty scenario on the slotted engine should fail with an explanation, got exit %d: %s", code, errOut)
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	code, _, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-engine", "warp")
+	if code != 2 || !strings.Contains(errOut, "unknown engine") {
+		t.Errorf("unknown engine should exit 2, got %d: %s", code, errOut)
+	}
+}

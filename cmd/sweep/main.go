@@ -9,6 +9,13 @@
 //	sweep -topology torus -n 8 -rhos 0.5,0.8
 //	sweep -topology cube -d 7 -p 0.5 -rhos 0.5,0.9
 //	sweep -topology kd -n 5 -k 3 -rhos 0.5
+//	sweep -topology array -n 256 -rhos 0.8 -engine slotted -horizon 2000
+//
+// -engine selects the simulator: des (the continuous-time event engine,
+// default) or slotted (the synchronous §5.2 engine in internal/stepsim,
+// built for large arrays; -horizon is then measured in slots and the
+// r_per_n column is empty, as the slotted engine does not track remaining
+// services).
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/stepsim"
 	"repro/internal/topology"
 )
 
@@ -48,7 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		d        = fs.Int("d", 7, "dimension/levels (cube/butterfly)")
 		p        = fs.Float64("p", 0.5, "cube destination bit-flip probability")
 		rhoList  = fs.String("rhos", "0.2,0.5,0.8,0.9", "comma-separated loads")
-		horizon  = fs.Float64("horizon", 20000, "measured time per run")
+		engine   = fs.String("engine", "des", "des (event-driven) | slotted (synchronous; array-family topologies)")
+		horizon  = fs.Float64("horizon", 20000, "measured time per run (slots when -engine=slotted)")
 		replicas = fs.Int("replicas", 4, "replicas per cell")
 		seed     = fs.Uint64("seed", 1, "base seed")
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -125,27 +134,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cells = append(cells, c)
 	}
 
+	if *engine != "des" && *engine != "slotted" {
+		fmt.Fprintf(stderr, "sweep: unknown engine %q (want des or slotted)\n", *engine)
+		return 2
+	}
+
 	// One shared worker pool over every (load, replica) pair: the pool
 	// saturates the machine even for short load lists, and rows stream out
 	// in input order as soon as each cell's replicas finish.
-	cfgs := make([]sim.Config, len(cells))
-	for i, c := range cells {
-		cfgs[i] = c.cfg
-	}
 	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper")
 	failed := 0
-	sim.StreamSweep(cfgs, *replicas, *workers, func(i int, r sim.ReplicaSet, err error) {
-		c := cells[i]
-		if err != nil {
-			fmt.Fprintf(stderr, "sweep: rho=%v: %v\n", c.rho, err)
-			failed++
-			return
+	switch *engine {
+	case "des":
+		cfgs := make([]sim.Config, len(cells))
+		for i, c := range cells {
+			cfgs[i] = c.cfg
 		}
-		fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s\n",
-			*topo, c.rho, c.cfg.NodeRate,
-			r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
-			c.lower, c.estimate, upperStr(c.upper))
-	})
+		sim.StreamSweep(cfgs, *replicas, *workers, func(i int, r sim.ReplicaSet, err error) {
+			c := cells[i]
+			if err != nil {
+				fmt.Fprintf(stderr, "sweep: rho=%v: %v\n", c.rho, err)
+				failed++
+				return
+			}
+			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s\n",
+				*topo, c.rho, c.cfg.NodeRate,
+				r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
+				c.lower, c.estimate, upperStr(c.upper))
+		})
+	case "slotted":
+		cfgs := make([]stepsim.Config, len(cells))
+		for i, c := range cells {
+			cfgs[i] = stepsim.Config{
+				Net:         c.cfg.Net,
+				Router:      c.cfg.Router,
+				Dest:        c.cfg.Dest,
+				NodeRate:    c.cfg.NodeRate,
+				WarmupSlots: int(c.cfg.Warmup),
+				Slots:       int(c.cfg.Horizon),
+				Seed:        c.cfg.Seed,
+			}
+		}
+		stepsim.StreamSweep(cfgs, *replicas, *workers, func(i int, r stepsim.ReplicaSet, err error) {
+			c := cells[i]
+			if err != nil {
+				fmt.Fprintf(stderr, "sweep: rho=%v: %v\n", c.rho, err)
+				failed++
+				return
+			}
+			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,,%.4f,%.4f,%s\n",
+				*topo, c.rho, c.cfg.NodeRate,
+				r.MeanDelay, r.DelayCI, r.MeanN,
+				c.lower, c.estimate, upperStr(c.upper))
+		})
+	}
 	if failed > 0 {
 		return 1
 	}

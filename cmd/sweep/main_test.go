@@ -66,3 +66,33 @@ func TestTorusSweepHasNoUpper(t *testing.T) {
 		t.Errorf("torus row should report no upper bound:\n%s", out)
 	}
 }
+
+func TestSlottedSweepCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(
+		"-topology", "array", "-n", "4", "-rhos", "0.5",
+		"-engine", "slotted", "-horizon", "400", "-replicas", "1")
+	if code != 0 {
+		t.Fatalf("slotted sweep exit %d: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), out)
+	}
+	fields := strings.Split(lines[1], ",")
+	if len(fields) != 10 || fields[0] != "array" {
+		t.Fatalf("bad CSV row %q", lines[1])
+	}
+	if fields[6] != "" {
+		t.Errorf("slotted r_per_n column should be empty, got %q", fields[6])
+	}
+}
+
+func TestUnknownEngine(t *testing.T) {
+	if code, _, errOut := runCapture("-engine", "quantum", "-rhos", "0.5"); code != 2 ||
+		!strings.Contains(errOut, "unknown engine") {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -61,10 +61,50 @@
 //     parallelize across (point, replica) tasks with per-task seeds
 //     derived only from the point seed and replica index, streaming cells
 //     back in input order, so results never depend on worker count.
+//   - Sweep-scoped engine reuse (internal/sim.Runner): each pool worker
+//     keeps one Runner whose event tree, stations, ring slab, packet arena
+//     and per-edge tables are reset — not reallocated — between runs, so
+//     the ~34-allocation per-run setup amortizes to ~5 across a sweep.
+//     Reuse is semantically invisible: every reused structure resets to a
+//     fresh-identical state and Runner.Run is bit-identical to Run for any
+//     config sequence (TestRunnerMatchesRun).
 //
 // All of it preserves the exact (Time, Seq) event order and RNG call
 // sequence of the original engine: seeded runs are bit-identical, which
 // the golden-value and cross-check tests in internal/sim enforce.
+//
+// # Two engines
+//
+// The library ships two independent simulators of the same model, and
+// which one to reach for depends on the question:
+//
+//   - internal/sim is the continuous-time discrete-event engine: Poisson
+//     arrivals in continuous time, FIFO/PS/FurthestFirst disciplines,
+//     deterministic or exponential service, and the full measurement plane
+//     (E[R], E[R_s], occupancy, N-distributions). It also simulates §5.2's
+//     slotted model via Config.SlotTau.
+//   - internal/stepsim is the synchronous slotted engine, a
+//     structure-of-arrays cycle machine for the paper's own slotted model
+//     (unit slots, per-slot Poisson batches, one service per edge per
+//     slot). Packets are single 64-bit ring entries whose position is
+//     implicit in the queue they occupy; greedy array routing reduces to
+//     closed-form edge-id arithmetic; and per-slot batch draws hoist
+//     exp(−λ) (xrand.PoissonExp) with Hörmann's PTRS above mean 10. It
+//     measures delay and E[N] only, but reaches 256×256 and 512×512
+//     arrays (≈10⁶ node-slots per run) in seconds — the regime where the
+//     paper's asymptotic bounds actually bite. stepsim.Engine is reusable
+//     across runs (the slotted mirror of sim.Runner), and
+//     stepsim.StreamSweep mirrors the deterministic sweep pool with one
+//     engine per worker.
+//
+// The two engines share no simulation code, which is the point: their
+// statistical agreement (the `xval` experiment, now up to 128×128) is
+// strong evidence that neither misimplements the model. Both are
+// deterministic — stepsim runs are additionally pinned bit-for-bit against
+// the pre-rewrite pointer implementation, which survives as the test-only
+// oracle in internal/stepsim/oracle_test.go — and both are exposed through
+// the workload layer (`cmd/scenario run -engine=slotted`,
+// `cmd/sweep -engine=slotted`, workload.Bound.SlottedConfigs).
 //
 // # Workload architecture
 //

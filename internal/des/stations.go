@@ -28,6 +28,15 @@ func (s *FIFOStation[J]) InitRing(buf []J) {
 	s.buf = buf
 }
 
+// Reset empties the station for reuse, keeping its (possibly grown) ring
+// buffer. Leftover buffer contents are not zeroed, so J should be a value
+// type (the simulator queues int32 handles); a pointer-typed J would keep
+// stale references alive until overwritten.
+func (s *FIFOStation[J]) Reset() {
+	s.head, s.size = 0, 0
+	s.busy = false
+}
+
 // Arrive enqueues job j and reports whether the server was idle, in which
 // case the caller must start service for j now (j became the in-service
 // job).
@@ -118,6 +127,19 @@ type prioJob[J any] struct {
 	payload  J
 	priority float64
 	seq      uint64
+}
+
+// Reset empties the station for reuse, keeping its heap storage (payloads
+// are zeroed so no stale references survive).
+func (s *PriorityStation[J]) Reset() {
+	for i := range s.heap {
+		s.heap[i] = prioJob[J]{}
+	}
+	s.heap = s.heap[:0]
+	s.seq = 0
+	s.serving = false
+	var zero J
+	s.inService = zero
 }
 
 // Arrive enqueues j with the given priority and reports whether the server
@@ -241,6 +263,17 @@ type PSStation[J any] struct {
 type psJob[J any] struct {
 	payload   J
 	remaining float64
+}
+
+// Reset empties the station for reuse, keeping its job storage (payloads
+// are zeroed so no stale references survive).
+func (s *PSStation[J]) Reset() {
+	for i := range s.jobs {
+		s.jobs[i] = psJob[J]{}
+	}
+	s.jobs = s.jobs[:0]
+	s.last = 0
+	s.epoch = 0
 }
 
 // Epoch returns the current scheduling epoch; it changes whenever the set

@@ -84,6 +84,30 @@ func NewEventTree(slots int) *EventTree {
 // Slots returns the slot count.
 func (t *EventTree) Slots() int { return t.slots }
 
+// Reset empties the tree, restarts its sequence counter, and resizes it to
+// the given slot count, reusing the key array whenever the rounded-up leaf
+// count is unchanged. After Reset the tree is indistinguishable from
+// NewEventTree(slots); engines that persist across runs (sim.Runner) reset
+// their tree instead of reallocating it.
+func (t *EventTree) Reset(slots int) {
+	if slots < 1 {
+		panic("des: EventTree needs at least one slot")
+	}
+	leaves := 1
+	for leaves < slots {
+		leaves *= 2
+	}
+	if leaves != t.leaves {
+		t.keys = make([]event16, 2*leaves)
+		t.leaves = leaves
+	}
+	t.slots = slots
+	t.seq = 0
+	for i := range t.keys {
+		t.keys[i] = infKey
+	}
+}
+
 // nextSeq draws the next tie-break sequence word.
 func (t *EventTree) nextSeq() uint64 {
 	t.seq++

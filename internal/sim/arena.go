@@ -43,6 +43,22 @@ type arena struct {
 	legacy  bool
 }
 
+// reset empties the arena for reuse, keeping the packet and free-list
+// capacity, and switches it to the given mode. Recycled slots restart at
+// generation 0 exactly as in a fresh arena (alloc overwrites each slot with
+// a zero packet as it re-extends the slice), so handle sequences are
+// indistinguishable from a fresh arena's. Legacy route buffers are dropped
+// and regrow on demand.
+func (a *arena) reset(legacy bool) {
+	a.packets = a.packets[:0]
+	for i := range a.routes {
+		a.routes[i] = nil
+	}
+	a.routes = a.routes[:0]
+	a.free = a.free[:0]
+	a.legacy = legacy
+}
+
 // alloc returns a handle and pointer to a zero-hop-initialized packet slot.
 // The pointer is valid until the next alloc (which may grow the backing
 // slice).

@@ -7,28 +7,105 @@ import (
 	"repro/internal/xrand"
 )
 
-// This file is the orchestration layer shared by RunReplicas, RunSweep and
-// cmd/sweep: one deterministic worker pool that parallelizes across sweep
-// points and replicas at once. A sweep of 4 points × 4 replicas exposes 16
-// units of work to the pool instead of 4, so it saturates wide machines
-// even when the point count is small, and a slow cell no longer serializes
-// the cells behind it.
+// This file is the orchestration layer shared by RunReplicas, RunSweep,
+// cmd/sweep and the slotted engine's pool (internal/stepsim): one
+// deterministic worker pool that parallelizes across sweep points and
+// replicas at once. A sweep of 4 points × 4 replicas exposes 16 units of
+// work to the pool instead of 4, so it saturates wide machines even when
+// the point count is small, and a slow cell no longer serializes the cells
+// behind it.
 //
 // Determinism: replica r of cell c always runs with the stream
 // Split(cfgs[c].Seed, r), regardless of worker count or scheduling, so
 // sweep results are bit-identical from 1 worker to GOMAXPROCS. Results are
 // delivered in input order.
 
-// sweepTask is one (cell, replica) simulation.
-type sweepTask struct {
-	cell, rep int
-}
+// StreamCells is the engine-agnostic core of the sweep pool: it runs
+// `replicas` tasks for each of `cells` cells on up to `workers` goroutines
+// (0 means GOMAXPROCS) and calls emit exactly once per cell, in input
+// order, as soon as that cell and all earlier cells have finished. newRun
+// is invoked once per worker goroutine and returns that worker's task
+// function — per-worker state (a reused engine) lives in its closure. err
+// is the first-observed per-replica error of the cell (rs is nil when err
+// is non-nil). emit runs on the calling goroutine.
+//
+// Both simulation engines' sweeps (StreamSweep here, stepsim.StreamSweep)
+// are thin wrappers over this one implementation, so the reorder-buffer
+// and error-selection semantics cannot drift between them.
+func StreamCells[R any](cells, replicas, workers int, newRun func() func(cell, rep int) (R, error), emit func(cell int, rs []R, err error)) {
+	if cells <= 0 {
+		return
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	total := cells * replicas
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
 
-// sweepDone is one finished task.
-type sweepDone struct {
-	sweepTask
-	res Result
-	err error
+	type task struct {
+		cell, rep int
+	}
+	type taskDone struct {
+		task
+		res R
+		err error
+	}
+	tasks := make(chan task)
+	done := make(chan taskDone)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := newRun()
+			for tk := range tasks {
+				res, err := run(tk.cell, tk.rep)
+				done <- taskDone{task: tk, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for c := 0; c < cells; c++ {
+			for r := 0; r < replicas; r++ {
+				tasks <- task{cell: c, rep: r}
+			}
+		}
+		close(tasks)
+		wg.Wait()
+		close(done)
+	}()
+
+	// Reorder-buffer collector: cells complete in any order but emit in
+	// input order.
+	results := make([][]R, cells)
+	errs := make([]error, cells)
+	remaining := make([]int, cells)
+	for i := range results {
+		results[i] = make([]R, replicas)
+		remaining[i] = replicas
+	}
+	next := 0
+	for d := range done {
+		results[d.cell][d.rep] = d.res
+		if d.err != nil && errs[d.cell] == nil {
+			errs[d.cell] = d.err
+		}
+		remaining[d.cell]--
+		for next < cells && remaining[next] == 0 {
+			if errs[next] != nil {
+				emit(next, nil, errs[next])
+			} else {
+				emit(next, results[next], nil)
+			}
+			results[next] = nil // free replica results as cells stream out
+			next++
+		}
+	}
 }
 
 // StreamSweep runs every configuration in cfgs with `replicas` independent
@@ -39,75 +116,29 @@ type sweepDone struct {
 // the first per-replica error of that cell (rs is zero-valued when err is
 // non-nil). emit runs on the calling goroutine.
 func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs ReplicaSet, err error)) {
-	if len(cfgs) == 0 {
-		return
-	}
-	if replicas < 1 {
-		replicas = 1
-	}
-	total := len(cfgs) * replicas
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-
-	tasks := make(chan sweepTask)
-	done := make(chan sweepDone)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tk := range tasks {
-				rcfg := cfgs[tk.cell]
+	StreamCells(len(cfgs), replicas, workers,
+		func() func(cell, rep int) (Result, error) {
+			// One Runner per worker: engine state (tree, stations, arena,
+			// tables) is reused across this worker's tasks, amortizing the
+			// per-run setup allocations to ~0 over a sweep. Results are
+			// bit-identical to fresh Runs.
+			var runner Runner
+			return func(cell, rep int) (Result, error) {
+				rcfg := cfgs[cell]
 				// Derive a distinct, scheduling-independent stream per
 				// (cell, replica). xrand.Split mixes the index, so
 				// sequential seeds do not overlap.
-				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(tk.rep)).Uint64()
-				res, err := Run(rcfg)
-				done <- sweepDone{sweepTask: tk, res: res, err: err}
+				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(rep)).Uint64()
+				return runner.Run(rcfg)
 			}
-		}()
-	}
-	go func() {
-		for c := range cfgs {
-			for r := 0; r < replicas; r++ {
-				tasks <- sweepTask{cell: c, rep: r}
-			}
-		}
-		close(tasks)
-		wg.Wait()
-		close(done)
-	}()
-
-	// Reorder-buffer collector: cells complete in any order but emit in
-	// input order.
-	results := make([][]Result, len(cfgs))
-	errs := make([]error, len(cfgs))
-	remaining := make([]int, len(cfgs))
-	for i := range results {
-		results[i] = make([]Result, replicas)
-		remaining[i] = replicas
-	}
-	next := 0
-	for d := range done {
-		results[d.cell][d.rep] = d.res
-		if d.err != nil && errs[d.cell] == nil {
-			errs[d.cell] = d.err
-		}
-		remaining[d.cell]--
-		for next < len(cfgs) && remaining[next] == 0 {
-			if errs[next] != nil {
-				emit(next, ReplicaSet{}, errs[next])
+		},
+		func(i int, rs []Result, err error) {
+			if err != nil {
+				emit(i, ReplicaSet{}, err)
 			} else {
-				emit(next, aggregate(results[next]), nil)
+				emit(i, aggregate(rs), nil)
 			}
-			results[next] = nil // free replica results as cells stream out
-			next++
-		}
-	}
+		})
 }
 
 // RunSweep executes every configuration with `replicas` replicas on one

@@ -234,6 +234,19 @@ func NewBatchMeans(batchSize int64) *BatchMeans {
 	return &BatchMeans{batchSize: batchSize}
 }
 
+// Reset empties the accumulator and sets a new batch size, keeping the
+// batch-means storage; after Reset the accumulator behaves exactly like
+// NewBatchMeans(batchSize).
+func (b *BatchMeans) Reset(batchSize int64) {
+	if batchSize <= 0 {
+		panic("stats: BatchMeans.Reset requires positive batch size")
+	}
+	b.batchSize = batchSize
+	b.current = Welford{}
+	b.means = b.means[:0]
+	b.all = Welford{}
+}
+
 // Add incorporates one observation.
 func (b *BatchMeans) Add(x float64) {
 	b.all.Add(x)

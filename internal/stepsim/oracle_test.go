@@ -1,0 +1,343 @@
+package stepsim
+
+// The pre-rewrite slotted engine — heap-allocated *packet records carrying
+// materialized AppendRoute slices, copy(q, q[1:]) head-of-line dequeues —
+// survives here as the test oracle. It consumes the identical RNG variate
+// sequence as the SoA engine (Poisson count, then per packet destination
+// and routing coin), so for every router the two must agree BIT FOR BIT on
+// the same seed, which is a far stronger check than statistical agreement;
+// the statistical test below additionally compares independent seeds with
+// matched confidence intervals, guarding the semantics rather than the
+// draw order.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+type oraclePacket struct {
+	genSlot  int
+	hop      int
+	route    []int
+	measured bool
+}
+
+// runOracle is the seed-era stepsim.Run, verbatim apart from the rename.
+func runOracle(cfg Config) (Result, error) {
+	if cfg.Net == nil || cfg.Router == nil || cfg.Dest == nil {
+		return Result{}, fmt.Errorf("stepsim oracle: Net, Router and Dest are required")
+	}
+	if cfg.Slots <= 0 || cfg.WarmupSlots < 0 || cfg.NodeRate < 0 {
+		return Result{}, fmt.Errorf("stepsim oracle: invalid slot counts or rate")
+	}
+	rng := xrand.New(cfg.Seed)
+	sources := topology.Sources(cfg.Net)
+	queues := make([][]*oraclePacket, cfg.Net.NumEdges())
+	var free []*oraclePacket
+
+	getPacket := func() *oraclePacket {
+		if n := len(free); n > 0 {
+			p := free[n-1]
+			free = free[:n-1]
+			p.hop = 0
+			p.route = p.route[:0]
+			return p
+		}
+		return &oraclePacket{}
+	}
+
+	var res Result
+	var nSum float64
+	inSystem := 0
+	total := cfg.WarmupSlots + cfg.Slots
+	moved := make([]*oraclePacket, 0, 256)
+	for slot := 0; slot < total; slot++ {
+		measuring := slot >= cfg.WarmupSlots
+		for _, src := range sources {
+			for k := rng.Poisson(cfg.NodeRate); k > 0; k-- {
+				p := getPacket()
+				p.genSlot = slot
+				p.measured = measuring
+				dst := cfg.Dest.Sample(src, rng)
+				p.route = cfg.Router.AppendRoute(p.route, src, dst, rng)
+				if len(p.route) == 0 {
+					if measuring {
+						res.Delay.Add(0)
+						res.Delivered++
+					}
+					free = append(free, p)
+					continue
+				}
+				queues[p.route[0]] = append(queues[p.route[0]], p)
+				inSystem++
+			}
+		}
+		if measuring {
+			nSum += float64(inSystem)
+		}
+		moved = moved[:0]
+		for e := range queues {
+			q := queues[e]
+			if len(q) == 0 {
+				continue
+			}
+			p := q[0]
+			copy(q, q[1:])
+			queues[e] = q[:len(q)-1]
+			p.hop++
+			if p.hop == len(p.route) {
+				if p.measured && measuring {
+					res.Delay.Add(float64(slot + 1 - p.genSlot))
+					res.Delivered++
+				}
+				inSystem--
+				free = append(free, p)
+				continue
+			}
+			moved = append(moved, p)
+		}
+		for _, p := range moved {
+			e := p.route[p.hop]
+			queues[e] = append(queues[e], p)
+		}
+	}
+	res.MeanDelay = res.Delay.Mean()
+	res.MeanN = nSum / float64(cfg.Slots)
+	return res, nil
+}
+
+// TestEngineMatchesOracleBitForBit runs the SoA engine and the pointer
+// oracle on the same seeds and requires bit-identical results, across
+// deterministic and randomized routers and several topologies.
+func TestEngineMatchesOracleBitForBit(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"array-greedy-xy", arrayCfg(6, 0.8, 11)},
+		{"array-greedy-xy-light", arrayCfg(4, 0.3, 13)},
+	}
+	{
+		a := topology.NewArray2D(6)
+		cfg := arrayCfg(6, 0.7, 17)
+		cfg.Router = routing.RandGreedy{A: a}
+		cfg.Net = cfg.Router.(routing.RandGreedy).A
+		cases = append(cases, struct {
+			name string
+			cfg  Config
+		}{"array-rand-greedy", cfg})
+	}
+	{
+		tor := topology.NewTorus2D(5)
+		cases = append(cases, struct {
+			name string
+			cfg  Config
+		}{"torus-greedy", Config{
+			Net: tor, Router: routing.TorusGreedy{T: tor},
+			Dest:     routing.UniformDest{NumNodes: tor.NumNodes()},
+			NodeRate: 0.15, WarmupSlots: 500, Slots: 4000, Seed: 19,
+		}})
+	}
+	{
+		h := topology.NewHypercube(4)
+		cases = append(cases, struct {
+			name string
+			cfg  Config
+		}{"hypercube", Config{
+			Net: h, Router: routing.CubeGreedy{H: h},
+			Dest:     routing.UniformDest{NumNodes: h.NumNodes()},
+			NodeRate: 0.1, WarmupSlots: 500, Slots: 4000, Seed: 23,
+		}})
+	}
+	var eng Engine // deliberately shared across cases: reuse must not leak state
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := eng.Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := runOracle(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got.MeanDelay) != math.Float64bits(want.MeanDelay) {
+				t.Errorf("MeanDelay: engine %v != oracle %v", got.MeanDelay, want.MeanDelay)
+			}
+			if math.Float64bits(got.MeanN) != math.Float64bits(want.MeanN) {
+				t.Errorf("MeanN: engine %v != oracle %v", got.MeanN, want.MeanN)
+			}
+			if got.Delivered != want.Delivered {
+				t.Errorf("Delivered: engine %d != oracle %d", got.Delivered, want.Delivered)
+			}
+			if got.Delay.Count() != want.Delay.Count() ||
+				math.Float64bits(got.Delay.Variance()) != math.Float64bits(want.Delay.Variance()) ||
+				got.Delay.Min() != want.Delay.Min() || got.Delay.Max() != want.Delay.Max() {
+				t.Error("per-packet Welford statistics diverge")
+			}
+		})
+	}
+}
+
+// TestEngineOracleStatisticalEquivalence compares the two implementations
+// on independent seeds with matched confidence intervals: the across-
+// replica mean delays must agree within the root-sum-square of the two 95%
+// half-widths (plus a small floor for CI noise at this replica count).
+func TestEngineOracleStatisticalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated statistical sweep; skipped with -short")
+	}
+	cfg := arrayCfg(6, 0.8, 100)
+	const replicas = 8
+	newRS, err := RunReplicas(cfg, replicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracleMeans []float64
+	sum := 0.0
+	for rep := 0; rep < replicas; rep++ {
+		rcfg := cfg
+		rcfg.Seed = xrand.Split(cfg.Seed+1, uint64(rep)).Uint64()
+		res, err := runOracle(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleMeans = append(oracleMeans, res.MeanDelay)
+		sum += res.MeanDelay
+	}
+	oracleMean := sum / replicas
+	varSum := 0.0
+	for _, m := range oracleMeans {
+		varSum += (m - oracleMean) * (m - oracleMean)
+	}
+	oracleCI := 1.96 * math.Sqrt(varSum/(replicas-1)) / math.Sqrt(replicas)
+	diff := math.Abs(newRS.MeanDelay - oracleMean)
+	limit := math.Sqrt(newRS.DelayCI*newRS.DelayCI+oracleCI*oracleCI) + 0.05
+	if diff > limit {
+		t.Errorf("engines disagree: new %.4f±%.4f vs oracle %.4f±%.4f (|Δ|=%.4f > %.4f)",
+			newRS.MeanDelay, newRS.DelayCI, oracleMean, oracleCI, diff, limit)
+	}
+}
+
+// TestSlottedGoldenDeterminism pins the SoA engine to math.Float64bits
+// golden values recorded from the pre-rewrite pointer engine (the oracle
+// above reproduces them), locking the RNG call order and phase semantics.
+// Regenerate with SIM_GOLDEN_PRINT=1 go test ./internal/stepsim -run Golden -v.
+func TestSlottedGoldenDeterminism(t *testing.T) {
+	print := os.Getenv("SIM_GOLDEN_PRINT") != ""
+	cases := []struct {
+		name             string
+		cfg              Config
+		meanDelay, meanN uint64
+		delivered        int64
+	}{
+		{
+			name: "array-6-rho08", cfg: arrayCfg(6, 0.8, 42),
+			meanDelay: 0x401c2f19dc2c23ce, meanN: 0x4060e730be0ded29, delivered: 383633,
+		},
+		{
+			name: "array-5-rho05", cfg: arrayCfg(5, 0.5, 7),
+			meanDelay: 0x40100098000d1a0a, meanN: 0x4044036fd21ff2e5, delivered: 200057,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if print {
+				fmt.Printf("%s: meanDelay: %#x, meanN: %#x, delivered: %d,\n",
+					tc.name, math.Float64bits(res.MeanDelay), math.Float64bits(res.MeanN), res.Delivered)
+				return
+			}
+			if got := math.Float64bits(res.MeanDelay); got != tc.meanDelay {
+				t.Errorf("MeanDelay bits %#x, want %#x (value %v)", got, tc.meanDelay, res.MeanDelay)
+			}
+			if got := math.Float64bits(res.MeanN); got != tc.meanN {
+				t.Errorf("MeanN bits %#x, want %#x (value %v)", got, tc.meanN, res.MeanN)
+			}
+			if res.Delivered != tc.delivered {
+				t.Errorf("Delivered %d, want %d", res.Delivered, tc.delivered)
+			}
+		})
+	}
+}
+
+// TestEngineReuseSteadyStateAllocs verifies the tentpole's allocation
+// contract: after a first run warms an Engine, further runs of the same
+// shape allocate (next to) nothing.
+func TestEngineReuseSteadyStateAllocs(t *testing.T) {
+	cfg := arrayCfg(6, 0.8, 5)
+	cfg.WarmupSlots, cfg.Slots = 200, 2000
+	var eng Engine
+	if _, err := eng.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		cfg.Seed++
+		if _, err := eng.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A handful of late ring/arena doublings can still happen on unlucky
+	// seeds; the seed-era engine spent thousands per run.
+	if allocs > 10 {
+		t.Errorf("reused engine allocates %.0f times per run, want ~0", allocs)
+	}
+}
+
+// TestStreamSweepDeterministicAcrossWorkers mirrors the event engine's
+// pool guarantee on the slotted side.
+func TestStreamSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfgs := []Config{arrayCfg(5, 0.5, 3), arrayCfg(5, 0.7, 3), arrayCfg(4, 0.6, 9)}
+	for i := range cfgs {
+		cfgs[i].WarmupSlots, cfgs[i].Slots = 200, 2000
+	}
+	one, err := RunSweep(cfgs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunSweep(cfgs, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one {
+		if math.Float64bits(one[i].MeanDelay) != math.Float64bits(many[i].MeanDelay) ||
+			one[i].Delivered != many[i].Delivered {
+			t.Errorf("cell %d differs across worker counts", i)
+		}
+	}
+}
+
+// BenchmarkStepSlotsOracle is the pre-rewrite engine on the headline 8×8
+// configuration, kept runnable so the BENCH.md before/after table can be
+// regenerated on any machine (compare with BenchmarkStepSlots/8x8 at the
+// repo root).
+func BenchmarkStepSlotsOracle(b *testing.B) {
+	a := topology.NewArray2D(8)
+	cfg := Config{
+		Net:         a,
+		Router:      routing.GreedyXY{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    bounds.LambdaTable(8, 0.8),
+		WarmupSlots: 500,
+		Slots:       2000,
+	}
+	var delivered int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := runOracle(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered += res.Delivered
+	}
+	b.ReportMetric(float64(delivered)/float64(b.N), "packets/op")
+}

@@ -1,0 +1,104 @@
+package stepsim
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// This file is the slotted mirror of internal/sim's sweep surface. The
+// worker pool, in-order reorder buffer and error selection are the SAME
+// implementation (sim.StreamCells), so the two engines' sweep semantics
+// cannot drift; the seed derivation also matches — replica r of cell c
+// runs the stream Split(cfgs[c].Seed, r) — so a slotted sweep is
+// bit-identical from 1 worker to GOMAXPROCS and its replica streams line
+// up with the event engine's for matched comparisons. Each worker owns one
+// Engine and resets it per task, so the per-run setup (arena, ring slab,
+// tables, scratch) amortizes to ~0 allocations across a sweep.
+
+// ReplicaSet aggregates independent replications of one slotted
+// configuration, mirroring sim.ReplicaSet for the fields the slotted model
+// measures.
+type ReplicaSet struct {
+	// Replicas holds the individual run results.
+	Replicas []Result
+	// MeanDelay is the across-replica mean of per-replica mean delays.
+	MeanDelay float64
+	// DelayCI is the 95% across-replica half-width for MeanDelay.
+	DelayCI float64
+	// MeanN averages the per-replica per-slot averages.
+	MeanN float64
+	// Delivered sums measured packets over all replicas.
+	Delivered int64
+	// Delay merges all per-packet statistics across replicas.
+	Delay stats.Welford
+}
+
+// StreamSweep runs every configuration in cfgs with `replicas` independent
+// replicas (minimum 1) on a pool of up to `workers` goroutines (0 means
+// GOMAXPROCS). emit is called exactly once per configuration, in input
+// order, as soon as that cell and all earlier cells have finished. err is
+// the first per-replica error of that cell (rs is zero-valued when err is
+// non-nil). emit runs on the calling goroutine.
+func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs ReplicaSet, err error)) {
+	sim.StreamCells(len(cfgs), replicas, workers,
+		func() func(cell, rep int) (Result, error) {
+			var eng Engine // reused across this worker's tasks
+			return func(cell, rep int) (Result, error) {
+				rcfg := cfgs[cell]
+				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(rep)).Uint64()
+				return eng.Run(rcfg)
+			}
+		},
+		func(i int, rs []Result, err error) {
+			if err != nil {
+				emit(i, ReplicaSet{}, err)
+			} else {
+				emit(i, aggregate(rs), nil)
+			}
+		})
+}
+
+// RunSweep executes every configuration with `replicas` replicas on one
+// shared worker pool and returns the aggregated cells in input order. The
+// returned error is the first cell error encountered.
+func RunSweep(cfgs []Config, replicas, workers int) ([]ReplicaSet, error) {
+	sets := make([]ReplicaSet, len(cfgs))
+	var first error
+	StreamSweep(cfgs, replicas, workers, func(i int, rs ReplicaSet, err error) {
+		sets[i] = rs
+		if err != nil && first == nil {
+			first = err
+		}
+	})
+	return sets, first
+}
+
+// RunReplicas executes `replicas` independent runs of cfg and aggregates
+// them; replica i uses the stream Split(cfg.Seed, i).
+func RunReplicas(cfg Config, replicas, workers int) (ReplicaSet, error) {
+	sets, err := RunSweep([]Config{cfg}, replicas, workers)
+	if err != nil {
+		return ReplicaSet{}, err
+	}
+	return sets[0], nil
+}
+
+func aggregate(results []Result) ReplicaSet {
+	rs := ReplicaSet{Replicas: results}
+	var perReplica stats.Welford
+	for _, r := range results {
+		perReplica.Add(r.MeanDelay)
+		rs.MeanN += r.MeanN
+		rs.Delivered += r.Delivered
+		rs.Delay.Merge(r.Delay)
+	}
+	rs.MeanDelay = perReplica.Mean()
+	rs.MeanN /= float64(len(results))
+	if perReplica.Count() >= 2 {
+		rs.DelayCI = 1.96 * perReplica.StdDev() / math.Sqrt(float64(perReplica.Count()))
+	}
+	return rs
+}

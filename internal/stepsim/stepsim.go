@@ -1,21 +1,57 @@
-// Package stepsim is a second, independent implementation of the paper's
-// slotted-time model (§5.2): time advances in unit slots; at the start of
-// each slot every source receives a Poisson(λτ) batch of new packets; each
-// edge serves exactly one queued packet per slot (FIFO); and a packet that
-// completes a hop becomes eligible for service at its next edge in the
-// following slot.
+// Package stepsim is the synchronous slotted-time engine: a second,
+// independent implementation of the paper's §5.2 model in which time
+// advances in unit slots, every source receives a Poisson(λτ) batch of new
+// packets at the start of each slot, each edge serves exactly one queued
+// packet per slot (FIFO), and a packet that completes a hop becomes
+// eligible for service at its next edge in the following slot.
 //
-// Its purpose is cross-validation: the event-driven engine in internal/sim,
-// configured with SlotTau = 1 and deterministic unit service, simulates the
-// same stochastic system through an entirely different mechanism (event
-// heap vs. synchronous phases). The two implementations share no simulation
-// code, so statistical agreement between them is strong evidence that
-// neither misimplements the model. The agreement is asserted in tests and
-// reported by the `xval` experiment.
+// It serves two purposes. First, cross-validation: the event-driven engine
+// in internal/sim, configured with SlotTau = 1 and deterministic unit
+// service, simulates the same stochastic system through an entirely
+// different mechanism (event tree vs. synchronous phases); the two share no
+// simulation code, so statistical agreement between them is strong evidence
+// that neither misimplements the model (asserted in tests and reported by
+// the `xval` experiment). Second, scale: the slotted model is the paper's
+// own, and the asymptotic bounds bite only on large arrays, so this engine
+// is built to push 256×256 and 512×512 arrays (≈10⁶ node-slots per run)
+// through in seconds.
+//
+// # Engine architecture
+//
+// The engine is a structure-of-arrays cycle machine with an allocation-free
+// steady state. Its central trick is that a queued packet's position is
+// implicit: a packet waiting at edge e stands at EdgeTo(e), so packets
+// carry no current-node field at all. Each in-flight packet is one 64-bit
+// ring entry — the destination key in the high word, and a 24-bit arena
+// index (for its generation slot), the stepper choice and the measured bit
+// in the low word:
+//
+//   - routing is implicit via routing.Stepper: the destination key plus the
+//     popped edge's endpoint determine the next edge, so routes are never
+//     materialized (the pre-rewrite pointer engine survives as the
+//     test-only oracle in oracle_test.go);
+//   - on 2-D arrays with greedy row/column routers (the paper's core
+//     model) the key packs the destination coordinates, precomputed
+//     endpoint/coordinate tables replace every division, and the next edge
+//     comes from the closed-form edge-id arithmetic — a few ALU ops per
+//     hop, no interface calls;
+//   - per-edge FIFO queues are power-of-two ring slices carved from one
+//     slab — O(1) dequeue with a mask, no head-of-line memmove;
+//   - the three phases (arrivals, service, placement) are tight flat
+//     loops; packets that completed a hop park in a reusable `moved`
+//     scratch array so no packet is served twice in one slot;
+//   - per-slot Poisson batches hoist exp(−λ) out of the per-source loop
+//     (xrand.PoissonExp), with Hörmann's PTRS taking over at large means.
+//
+// An Engine's state survives across runs: Run resets bookkeeping but keeps
+// the packet arena, ring slab, tables and scratch, so a sweep that reuses
+// one Engine per worker (see StreamSweep) amortizes setup to ~0 allocations
+// per point. The zero Engine value is ready to use.
 package stepsim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/routing"
 	"repro/internal/stats"
@@ -28,7 +64,10 @@ import (
 type Config struct {
 	// Net is the network topology.
 	Net topology.Network
-	// Router generates packet routes.
+	// Router generates packet routes. It must expose an incremental form
+	// (routing.Stepper or routing.ChoiceRouter — all routers in
+	// internal/routing do); materialized AppendRoute-only routers are
+	// rejected.
 	Router routing.Router
 	// Dest samples packet destinations.
 	Dest routing.DestSampler
@@ -59,100 +98,390 @@ type Result struct {
 	Delivered int64
 }
 
-type packet struct {
-	genSlot  int
-	hop      int
-	route    []int
-	measured bool
+// Ring-entry layout. The low word is the packet: arena index (24 bits,
+// capping simultaneously-live packets at 16.7M), stepper choice (7 bits)
+// and the measured flag. The high word is the destination key: the node id
+// on the generic path, or 13-bit packed (row, col) coordinates on the
+// array fast path.
+const (
+	entIdxBits    = 24
+	entIdxMask    = 1<<entIdxBits - 1
+	entChoiceMask = 0x7f
+	entMeasured   = 1 << 31
+	entKeyShift   = 32
+
+	coordBits = 13 // fast path handles n up to 8191 per side
+	coordMask = 1<<coordBits - 1
+)
+
+// ringCap is each edge queue's initial ring capacity (a power of two).
+// Stable loads keep per-edge queues around ρ/(1−ρ), so 4 covers the common
+// case; hot edges grow their ring privately by doubling.
+const ringCap = 4
+
+// movedRec parks one packet between the service and placement phases.
+type movedRec struct {
+	ent  uint64
+	edge int32
 }
 
-// Run executes the synchronous simulation.
+// Engine is a reusable slotted simulator. The zero value is ready; Run
+// resets all bookkeeping while keeping the packet arena, ring slab, lookup
+// tables and scratch, so reusing one Engine across the points of a sweep
+// makes the steady state allocation-free after the first run. An Engine is
+// not safe for concurrent use; the sweep pool gives each worker its own.
+type Engine struct {
+	cfg      Config
+	rng      *xrand.RNG
+	steppers []routing.Stepper
+	choose   func(*xrand.RNG) int
+	sources  []int
+
+	// poissonL is exp(−NodeRate), hoisted for the per-source Knuth draws;
+	// zero means the mean is large enough that PTRS is used instead.
+	poissonL float64
+
+	// fast selects the 2-D-array closed-form path; n/n1/h are its edge-id
+	// arithmetic constants and colFirstTab maps a stepper choice to
+	// column-first routing.
+	fast        bool
+	n, n1, h    int
+	colFirstTab [2]uint32
+
+	// edgeKey[e] identifies EdgeTo(e): packed coordinates (fast) or the
+	// node id (generic). nodeKey[v] is the per-node key in the same format.
+	edgeKey []int32
+	nodeKey []int32
+
+	// Packet arena: genSlot[i] is packet i's generation slot; everything
+	// else about a packet lives in its 64-bit ring entry. Indices are
+	// recycled through free.
+	genSlot []int32
+	free    []int32
+
+	// Per-edge FIFO rings: qbuf[e] is a power-of-two slice (initially
+	// carved from one slab), qhead[e]/qsize[e] its head index and length.
+	qbuf  [][]uint64
+	qhead []int32
+	qsize []int32
+
+	// moved parks packets that completed a hop this slot until every edge
+	// has served (phase 3 placement).
+	moved []movedRec
+}
+
+// Run executes one synchronous simulation, reusing the engine's storage.
+func (e *Engine) Run(cfg Config) (Result, error) {
+	if err := e.reset(cfg); err != nil {
+		return Result{}, err
+	}
+	return e.run(), nil
+}
+
+// Run executes one synchronous simulation on a throwaway engine. Sweeps
+// should reuse an Engine (or go through RunReplicas/StreamSweep, which do).
 func Run(cfg Config) (Result, error) {
+	var e Engine
+	return e.Run(cfg)
+}
+
+// reset validates cfg and prepares the engine, reusing prior storage when
+// capacities allow.
+func (e *Engine) reset(cfg Config) error {
 	if cfg.Net == nil || cfg.Router == nil || cfg.Dest == nil {
-		return Result{}, fmt.Errorf("stepsim: Net, Router and Dest are required")
+		return fmt.Errorf("stepsim: Net, Router and Dest are required")
 	}
 	if cfg.Slots <= 0 || cfg.WarmupSlots < 0 || cfg.NodeRate < 0 {
-		return Result{}, fmt.Errorf("stepsim: invalid slot counts or rate")
+		return fmt.Errorf("stepsim: invalid slot counts or rate")
 	}
-	rng := xrand.New(cfg.Seed)
-	sources := topology.Sources(cfg.Net)
-	queues := make([][]*packet, cfg.Net.NumEdges())
-	var free []*packet
+	steppers, choose, ok := routing.Steppers(cfg.Router)
+	if !ok {
+		return fmt.Errorf("stepsim: router %T does not implement routing.Stepper; the slotted engine routes implicitly (the materialized-route implementation survives only as the test oracle)", cfg.Router)
+	}
+	if len(steppers) > entChoiceMask+1 {
+		return fmt.Errorf("stepsim: router %T exposes %d steppers, more than the %d a ring entry can index", cfg.Router, len(steppers), entChoiceMask+1)
+	}
+	numNodes, numEdges := cfg.Net.NumNodes(), cfg.Net.NumEdges()
+	if numNodes > math.MaxInt32 {
+		return fmt.Errorf("stepsim: %s exceeds the int32 node-id limit", cfg.Net.Name())
+	}
+	e.cfg = cfg
+	e.steppers, e.choose = steppers, choose
+	if e.rng == nil {
+		e.rng = xrand.New(cfg.Seed)
+	} else {
+		e.rng.Reseed(cfg.Seed)
+	}
+	e.poissonL = 0
+	if cfg.NodeRate > 0 && cfg.NodeRate < 10 {
+		e.poissonL = math.Exp(-cfg.NodeRate)
+	}
 
-	getPacket := func() *packet {
-		if n := len(free); n > 0 {
-			p := free[n-1]
-			free = free[:n-1]
-			p.hop = 0
-			p.route = p.route[:0]
-			return p
+	// Source set, rebuilt into the engine-owned buffer. SourceSet
+	// topologies' slices are COPIED, never aliased: a reused engine
+	// truncates and refills e.sources on every reset, which would
+	// otherwise scribble over the topology's own node list.
+	e.sources = e.sources[:0]
+	if ss, isRestricted := cfg.Net.(topology.SourceSet); isRestricted {
+		e.sources = append(e.sources, ss.SourceNodes()...)
+	} else {
+		for i := 0; i < numNodes; i++ {
+			e.sources = append(e.sources, i)
 		}
-		return &packet{}
 	}
 
+	e.setupFastPath()
+
+	// Lookup tables, refilled every reset (contents depend on the net).
+	e.edgeKey = growI32(e.edgeKey, numEdges)
+	e.nodeKey = growI32(e.nodeKey, numNodes)
+	if e.fast {
+		a := cfg.Net.(*topology.Array2D)
+		for v := 0; v < numNodes; v++ {
+			r, c := a.Coords(v)
+			e.nodeKey[v] = int32(r<<coordBits | c)
+		}
+	} else {
+		for v := 0; v < numNodes; v++ {
+			e.nodeKey[v] = int32(v)
+		}
+	}
+	for ed := 0; ed < numEdges; ed++ {
+		e.edgeKey[ed] = e.nodeKey[cfg.Net.EdgeTo(ed)]
+	}
+
+	// Rings: reuse grown buffers when the edge count matches, else carve a
+	// fresh power-of-two ring per edge from one slab.
+	if len(e.qbuf) == numEdges {
+		for i := range e.qhead {
+			e.qhead[i], e.qsize[i] = 0, 0
+		}
+	} else {
+		e.qbuf = make([][]uint64, numEdges)
+		e.qhead = make([]int32, numEdges)
+		e.qsize = make([]int32, numEdges)
+		slab := make([]uint64, numEdges*ringCap)
+		for i := range e.qbuf {
+			e.qbuf[i] = slab[i*ringCap : (i+1)*ringCap : (i+1)*ringCap]
+		}
+	}
+
+	// Packet arena and scratch: keep capacity, drop contents.
+	e.genSlot = e.genSlot[:0]
+	e.free = e.free[:0]
+	e.moved = e.moved[:0]
+	return nil
+}
+
+// setupFastPath enables the closed-form array path when the topology is a
+// 2-D array small enough for packed coordinates and every stepper is a
+// greedy row/column router on that same array.
+func (e *Engine) setupFastPath() {
+	e.fast = false
+	a, isArray := e.cfg.Net.(*topology.Array2D)
+	if !isArray || a.N() > coordMask || len(e.steppers) > 2 {
+		return
+	}
+	for i, st := range e.steppers {
+		switch g := st.(type) {
+		case routing.GreedyXY:
+			if g.A != a {
+				return
+			}
+			e.colFirstTab[i] = 0
+		case routing.GreedyYX:
+			if g.A != a {
+				return
+			}
+			e.colFirstTab[i] = 1
+		default:
+			return
+		}
+	}
+	e.fast = true
+	e.n = a.N()
+	e.n1 = e.n - 1
+	e.h = e.n * e.n1
+}
+
+// growI32 returns buf resized to n, reusing its capacity.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// alloc returns a free arena index.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	if len(e.genSlot) > entIdxMask {
+		panic(fmt.Sprintf("stepsim: more than %d simultaneously live packets", entIdxMask+1))
+	}
+	e.genSlot = append(e.genSlot, 0)
+	return int32(len(e.genSlot) - 1)
+}
+
+// push appends entry ent to edge's ring, doubling the ring (privately,
+// detached from the slab) when full.
+func (e *Engine) push(edge int32, ent uint64) {
+	buf := e.qbuf[edge]
+	size := e.qsize[edge]
+	if int(size) == len(buf) {
+		grown := make([]uint64, 2*len(buf))
+		head := e.qhead[edge]
+		mask := int32(len(buf) - 1)
+		for i := int32(0); i < size; i++ {
+			grown[i] = buf[(head+i)&mask]
+		}
+		buf = grown
+		e.qbuf[edge] = buf
+		e.qhead[edge] = 0
+	}
+	buf[(e.qhead[edge]+size)&int32(len(buf)-1)] = ent
+	e.qsize[edge] = size + 1
+}
+
+// nextArrayEdge is the closed-form greedy step on the n×n array: from
+// packed position pos toward packed destination key, taking row edges
+// before column edges unless colFirst. The caller guarantees pos != key.
+func (e *Engine) nextArrayEdge(pos, key int32, colFirst uint32) int32 {
+	r, c := int(pos>>coordBits), int(pos&coordMask)
+	dr, dc := int(key>>coordBits), int(key&coordMask)
+	if c != dc && (colFirst == 0 || r == dr) {
+		if c < dc {
+			return int32(r*e.n1 + c) // Right
+		}
+		return int32(e.h + r*e.n1 + c - 1) // Left
+	}
+	if r < dr {
+		return int32(2*e.h + c*e.n1 + r) // Down
+	}
+	return int32(3*e.h + c*e.n1 + r - 1) // Up
+}
+
+// nextEdge returns the next edge for a packet at position pos (in key
+// format) heading for key, on either path.
+func (e *Engine) nextEdge(pos, key int32, choice uint32) int32 {
+	if e.fast {
+		return e.nextArrayEdge(pos, key, e.colFirstTab[choice])
+	}
+	edge, _ := e.steppers[choice].NextEdge(int(pos), int(key))
+	return int32(edge)
+}
+
+// run is the three-phase cycle loop.
+func (e *Engine) run() Result {
 	var res Result
 	var nSum float64
-	inSystem := 0
-	total := cfg.WarmupSlots + cfg.Slots
-	moved := make([]*packet, 0, 256)
+	live := 0
+	rng := e.rng
+	mean := e.cfg.NodeRate
+	poissonL := e.poissonL
+	dest := e.cfg.Dest
+	// Hoist the hot slices out of the receiver so the loop body keeps them
+	// in registers instead of reloading headers through e.
+	qbuf, qhead, qsize := e.qbuf, e.qhead, e.qsize
+	edgeKey, nodeKey, genSlot := e.edgeKey, e.nodeKey, e.genSlot
+	total := e.cfg.WarmupSlots + e.cfg.Slots
 	for slot := 0; slot < total; slot++ {
-		measuring := slot >= cfg.WarmupSlots
-		// Phase 1: batch arrivals at every source.
-		for _, src := range sources {
-			for k := rng.Poisson(cfg.NodeRate); k > 0; k-- {
-				p := getPacket()
-				p.genSlot = slot
-				p.measured = measuring
-				dst := cfg.Dest.Sample(src, rng)
-				p.route = cfg.Router.AppendRoute(p.route, src, dst, rng)
-				if len(p.route) == 0 {
+		measuring := slot >= e.cfg.WarmupSlots
+		// Phase 1: batch arrivals at every source. The RNG call order
+		// (Poisson count, then per packet destination and stepper choice)
+		// matches the oracle's (destination, then AppendRoute's coin), so
+		// seeded runs are bit-identical to the pre-rewrite engine.
+		for _, src := range e.sources {
+			var k int
+			switch {
+			case poissonL > 0:
+				// First Knuth iteration inlined (most sources draw a zero
+				// batch): identical variate stream to xrand.PoissonExp.
+				if p := rng.Float64Open(); p > poissonL {
+					k = 1
+					for {
+						p *= rng.Float64Open()
+						if p <= poissonL {
+							break
+						}
+						k++
+					}
+				}
+			case mean > 0:
+				k = rng.Poisson(mean)
+			}
+			for ; k > 0; k-- {
+				dst := dest.Sample(src, rng)
+				var choice uint32
+				if e.choose != nil {
+					choice = uint32(e.choose(rng))
+				}
+				if dst == src {
+					// Zero-hop packet: delivered instantly with delay 0,
+					// never entering any queue (the paper allows these).
 					if measuring {
 						res.Delay.Add(0)
 						res.Delivered++
 					}
-					free = append(free, p)
 					continue
 				}
-				queues[p.route[0]] = append(queues[p.route[0]], p)
-				inSystem++
+				idx := e.alloc()
+				genSlot = e.genSlot // alloc may have grown the arena
+				genSlot[idx] = int32(slot)
+				ent := uint64(nodeKey[dst])<<entKeyShift | uint64(choice)<<entIdxBits | uint64(idx)
+				if measuring {
+					ent |= entMeasured
+				}
+				e.push(e.nextEdge(nodeKey[src], nodeKey[dst], choice), ent)
+				live++
 			}
 		}
 		// Sample N during the service phase: these are the packets that
 		// occupy the system over this slot's interior.
 		if measuring {
-			nSum += float64(inSystem)
+			nSum += float64(live)
 		}
 		// Phase 2: every nonempty edge serves its head packet during this
-		// slot; completions land at the next edge for service next slot.
-		moved = moved[:0]
-		for e := range queues {
-			q := queues[e]
-			if len(q) == 0 {
+		// slot; completions land at the next edge for service next slot. A
+		// served packet's new position is implicit — the popped edge's
+		// endpoint — so the only per-packet state consulted here is its
+		// ring entry (and the arena's generation slot on delivery).
+		moved := e.moved[:0]
+		for edge, size := range qsize {
+			if size == 0 {
 				continue
 			}
-			p := q[0]
-			copy(q, q[1:])
-			queues[e] = q[:len(q)-1]
-			p.hop++
-			if p.hop == len(p.route) {
-				if p.measured && measuring {
-					res.Delay.Add(float64(slot + 1 - p.genSlot))
+			buf := qbuf[edge]
+			head := qhead[edge]
+			ent := buf[head]
+			qhead[edge] = (head + 1) & int32(len(buf)-1)
+			qsize[edge] = size - 1
+			pos := edgeKey[edge]
+			key := int32(ent >> entKeyShift)
+			if pos == key {
+				if ent&entMeasured != 0 && measuring {
+					idx := ent & entIdxMask
+					res.Delay.Add(float64(int32(slot+1) - genSlot[idx]))
 					res.Delivered++
 				}
-				inSystem--
-				free = append(free, p)
+				live--
+				e.free = append(e.free, int32(ent&entIdxMask))
 				continue
 			}
-			moved = append(moved, p)
+			choice := uint32(ent>>entIdxBits) & entChoiceMask
+			moved = append(moved, movedRec{ent: ent, edge: e.nextEdge(pos, key, choice)})
 		}
 		// Phase 3: place moved packets after all services, so none is
 		// served twice in one slot.
-		for _, p := range moved {
-			e := p.route[p.hop]
-			queues[e] = append(queues[e], p)
+		for _, m := range moved {
+			e.push(m.edge, m.ent)
 		}
+		e.moved = moved[:0]
 	}
 	res.MeanDelay = res.Delay.Mean()
-	res.MeanN = nSum / float64(cfg.Slots)
-	return res, nil
+	res.MeanN = nSum / float64(e.cfg.Slots)
+	return res
 }

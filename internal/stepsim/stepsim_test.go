@@ -140,3 +140,41 @@ func TestZeroHopPacketsCounted(t *testing.T) {
 		t.Error("no traffic simulated")
 	}
 }
+
+// TestEngineReuseDoesNotCorruptSourceSet pins the reset contract that a
+// reused engine copies — never aliases — a SourceSet topology's node list:
+// a later reset on a dense topology truncates and refills the engine's
+// source buffer, which must not scribble over the restricted topology's
+// own slice.
+func TestEngineReuseDoesNotCorruptSourceSet(t *testing.T) {
+	lin := topology.NewLinear(6)
+	nodes := []int{0, 2}
+	restricted := topology.Restrict{Network: lin, Nodes: nodes}
+	rcfg := Config{
+		Net:      restricted,
+		Router:   routing.LinearRoute{L: lin},
+		Dest:     routing.UniformDest{NumNodes: lin.NumNodes()},
+		NodeRate: 0.1,
+		Slots:    200,
+		Seed:     1,
+	}
+	var eng Engine
+	if _, err := eng.Run(rcfg); err != nil {
+		t.Fatal(err)
+	}
+	// A dense-topology reset refills the source buffer in place.
+	if _, err := eng.Run(arrayCfg(4, 0.3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0] != 0 || nodes[1] != 2 {
+		t.Fatalf("engine reuse corrupted the Restrict source list: %v", nodes)
+	}
+	// And the restricted config must still run correctly afterwards.
+	res, err := eng.Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Error("restricted rerun generated no traffic")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/stepsim"
 	"repro/internal/topology"
 )
 
@@ -416,4 +417,40 @@ func (s Scenario) Bind() (*Bound, error) {
 		b.Configs = append(b.Configs, cfg)
 	}
 	return b, nil
+}
+
+// SlottedConfigs lowers the bound scenario onto the synchronous slotted
+// engine (internal/stepsim): one stepsim.Config per load point, with the
+// per-node rate reinterpreted as the per-slot Poisson batch mean (τ = 1, so
+// a load point means the same offered traffic as the event engine's
+// SlotTau = 1 mode) and the horizon/warmup rounded to whole slots. Only
+// Poisson arrivals have a slotted counterpart: bursty and periodic
+// scenarios are rejected, as are routers without an incremental stepper
+// form (none of the built-ins are).
+func (b *Bound) SlottedConfigs() ([]stepsim.Config, error) {
+	s := b.Scenario.withDefaults()
+	if kind := s.Arrivals.withDefaults().Kind; kind != "poisson" {
+		return nil, fmt.Errorf("workload: scenario %q uses %s arrivals; the slotted engine models only per-slot Poisson batches", s.Name, kind)
+	}
+	if _, _, ok := routing.Steppers(b.Router); !ok {
+		return nil, fmt.Errorf("workload: scenario %q router %T has no incremental stepper form required by the slotted engine", s.Name, b.Router)
+	}
+	slots := int(s.Horizon + 0.5)
+	warmup := int(s.Warmup + 0.5)
+	if slots <= 0 {
+		return nil, fmt.Errorf("workload: scenario %q horizon %v rounds to zero slots", s.Name, s.Horizon)
+	}
+	cfgs := make([]stepsim.Config, 0, len(b.Points))
+	for _, pt := range b.Points {
+		cfgs = append(cfgs, stepsim.Config{
+			Net:         b.Net,
+			Router:      b.Router,
+			Dest:        b.Demand,
+			NodeRate:    pt.NodeRate,
+			WarmupSlots: warmup,
+			Slots:       slots,
+			Seed:        s.Seed,
+		})
+	}
+	return cfgs, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/stepsim"
 	"repro/internal/xrand"
 )
 
@@ -228,5 +229,59 @@ func TestBurstyRunsDeterministic(t *testing.T) {
 	}
 	if r1.MeanDelay != r2.MeanDelay || r1.Generated != r2.Generated || r1.MeanN != r2.MeanN {
 		t.Errorf("bursty runs diverge: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSlottedConfigs(t *testing.T) {
+	s, err := ByName("uniform-8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := b.SlottedConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != len(b.Configs) {
+		t.Fatalf("got %d slotted configs, want %d", len(cfgs), len(b.Configs))
+	}
+	for i, cfg := range cfgs {
+		if cfg.NodeRate != b.Points[i].NodeRate {
+			t.Errorf("point %d: NodeRate %v != %v", i, cfg.NodeRate, b.Points[i].NodeRate)
+		}
+		if cfg.Slots != int(b.Scenario.Horizon+0.5) || cfg.WarmupSlots != int(b.Scenario.Warmup+0.5) {
+			t.Errorf("point %d: slots %d/%d do not round from horizon %v/%v",
+				i, cfg.Slots, cfg.WarmupSlots, b.Scenario.Horizon, b.Scenario.Warmup)
+		}
+		if cfg.Net != b.Net || cfg.Dest == nil {
+			t.Errorf("point %d: topology or demand not threaded through", i)
+		}
+	}
+	// One quick run end to end: the demand sampler and router must be
+	// directly usable by the slotted engine.
+	cfgs[0].WarmupSlots, cfgs[0].Slots = 50, 400
+	res, err := stepsim.Run(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 || res.MeanDelay <= 0 {
+		t.Error("slotted run from a bound scenario produced no traffic")
+	}
+}
+
+func TestSlottedConfigsRejectsNonPoisson(t *testing.T) {
+	s, err := ByName("bursty-8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SlottedConfigs(); err == nil {
+		t.Error("bursty scenario lowered onto the slotted engine without error")
 	}
 }

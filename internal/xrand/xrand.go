@@ -34,6 +34,14 @@ func splitmix64(state *uint64) uint64 {
 // New returns a generator seeded deterministically from seed.
 func New(seed uint64) *RNG {
 	var r RNG
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets r to the exact state New(seed) would produce, without
+// allocating. Engines that reuse their state across runs (sim.Runner,
+// stepsim.Engine) reseed their generator in place.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	r.s0 = splitmix64(&sm)
 	r.s1 = splitmix64(&sm)
@@ -44,7 +52,6 @@ func New(seed uint64) *RNG {
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s3 = 0x9e3779b97f4a7c15
 	}
-	return &r
 }
 
 // Split derives an independent child generator from seed and stream index.
@@ -117,17 +124,24 @@ func (r *RNG) Bernoulli(p float64) bool {
 	return r.Float64() < p
 }
 
-// Poisson returns a Poisson-distributed variate with the given mean.
-// For small means it uses Knuth multiplication; for large means it uses the
-// standard normal approximation with a continuity correction, which is ample
-// for the slotted-time batch model where the mean is O(1).
+// Poisson returns a Poisson-distributed variate with the given mean. Both
+// regimes sample the exact distribution:
+//
+//   - mean < 10: Knuth's product-of-uniforms, whose cost is O(mean)
+//     uniform draws — cheap exactly where the slotted batch model lives
+//     (per-slot means well under 1);
+//   - mean >= 10: Hörmann's PTRS transformed rejection, a constant ~2.3
+//     uniforms per variate at any mean. It replaces both the former Knuth
+//     range [10, 30) — whose cost climbed linearly toward a throughput
+//     cliff just under the old mean=30 crossover — and the former normal
+//     approximation above it, which was not exact.
 func (r *RNG) Poisson(mean float64) int {
 	switch {
 	case mean < 0:
 		panic("xrand: Poisson with negative mean")
 	case mean == 0:
 		return 0
-	case mean < 30:
+	case mean < 10:
 		l := math.Exp(-mean)
 		k := 0
 		p := 1.0
@@ -139,12 +153,52 @@ func (r *RNG) Poisson(mean float64) int {
 			k++
 		}
 	default:
-		// Normal approximation: Poisson(m) ≈ round(N(m, m)).
-		n := r.Norm()*math.Sqrt(mean) + mean
-		if n < 0 {
-			return 0
+		return r.poissonPTRS(mean)
+	}
+}
+
+// PoissonExp returns a Poisson variate by Knuth's method given
+// l = math.Exp(-mean), consuming the identical variate stream Poisson(mean)
+// would for mean in (0, 10). Batch engines drawing many variates at one
+// fixed small mean (the slotted simulator draws one per source per slot)
+// hoist the exponential out of the loop this way.
+func (r *RNG) PoissonExp(l float64) int {
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64Open()
+		if p <= l {
+			return k
 		}
-		return int(n + 0.5)
+		k++
+	}
+}
+
+// poissonPTRS samples Poisson(mean) by transformed rejection with squeeze
+// (Hörmann 1993, "The transformed rejection method for generating Poisson
+// random variables", algorithm PTRS). Valid for mean >= 10; exact, and uses
+// ~2.3 uniform draws per variate independent of the mean.
+func (r *RNG) poissonPTRS(mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64Open()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMean-mean-lg {
+			return int(k)
+		}
 	}
 }
 

@@ -242,3 +242,117 @@ func BenchmarkExp(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	r.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatalf("Reseed state diverges from New at draw %d", i)
+		}
+	}
+}
+
+func TestPoissonExpMatchesPoisson(t *testing.T) {
+	for _, mean := range []float64{0.05, 0.4, 3, 9.9} {
+		a, b := New(5), New(5)
+		l := math.Exp(-mean)
+		for i := 0; i < 10000; i++ {
+			if got, want := a.PoissonExp(l), b.Poisson(mean); got != want {
+				t.Fatalf("PoissonExp(exp(-%v)) draw %d = %d, Poisson = %d", mean, i, got, want)
+			}
+		}
+	}
+}
+
+// TestPoissonGoldenSequence pins the exact PTRS draw sequence: any change
+// to the sampler's variate consumption breaks seeded reproducibility of
+// every simulation that draws large-mean batches.
+func TestPoissonGoldenSequence(t *testing.T) {
+	r := New(99)
+	got := make([]int, 0, 16)
+	for i := 0; i < 8; i++ {
+		got = append(got, r.Poisson(15))
+	}
+	for i := 0; i < 8; i++ {
+		got = append(got, r.Poisson(200))
+	}
+	want := []int{13, 13, 19, 12, 20, 18, 10, 14, 183, 198, 217, 207, 193, 205, 169, 179}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d = %d, want %d (full sequence %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// poissonPMF returns P[X = k] for X ~ Poisson(mean).
+func poissonPMF(mean float64, k int) float64 {
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(mean) - mean - lg)
+}
+
+// TestPoissonChiSquared checks the PTRS sampler against the exact pmf with
+// a chi-squared test over the central bins (plus pooled tails). The seed is
+// fixed, so the test is deterministic; the acceptance threshold is the 99.9%
+// quantile-ish bound 1.5·df + 30, generous enough to be stable yet far too
+// tight for any systematically wrong sampler to pass.
+func TestPoissonChiSquared(t *testing.T) {
+	r := New(31)
+	for _, mean := range []float64{12, 35, 150} {
+		const draws = 200000
+		sigma := math.Sqrt(mean)
+		lo := int(mean - 5*sigma)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int(mean + 5*sigma)
+		counts := make([]int, hi-lo+1)
+		var below, above int
+		for i := 0; i < draws; i++ {
+			k := r.Poisson(mean)
+			switch {
+			case k < lo:
+				below++
+			case k > hi:
+				above++
+			default:
+				counts[k-lo]++
+			}
+		}
+		chi2 := 0.0
+		df := 0
+		pBelow, pAbove := 0.0, 1.0
+		for k := 0; k < lo; k++ {
+			pBelow += poissonPMF(mean, k)
+		}
+		for k := lo; k <= hi; k++ {
+			p := poissonPMF(mean, k)
+			pAbove -= p
+			exp := p * draws
+			if exp < 5 {
+				continue // pool ultra-rare central bins into the tails implicitly
+			}
+			d := float64(counts[k-lo]) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		pAbove -= pBelow
+		if exp := pBelow * draws; exp >= 5 {
+			d := float64(below) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		if exp := pAbove * draws; exp >= 5 {
+			d := float64(above) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		if limit := 1.5*float64(df) + 30; chi2 > limit {
+			t.Errorf("Poisson(%v): chi-squared %0.1f over %d bins exceeds %0.1f", mean, chi2, df, limit)
+		}
+	}
+}
