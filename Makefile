@@ -3,7 +3,7 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test race examples scenario-smoke bench bench-slotted bench-compare vet
+.PHONY: test race examples scenario-smoke bench bench-slotted bench-sharded bench-compare profile vet
 
 test:
 	go vet ./...
@@ -27,6 +27,7 @@ scenario-smoke:
 	go run ./cmd/scenario validate tornado-8x8
 	go run ./cmd/scenario run hotspot-8x8 -quick -replicas 2
 	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted
+	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted -shards 2
 	go run ./cmd/scenario run bursty-8x8 -quick -replicas 2 -json >/dev/null
 
 # bench runs the hot-path benchmarks with allocation reporting.
@@ -39,6 +40,30 @@ bench:
 bench-slotted:
 	go test -run='^$$' -bench='BenchmarkStepSlots$$|BenchmarkPoissonDraw' -benchmem -benchtime=2s -count=$(COUNT) .
 	go test -run='^$$' -bench='BenchmarkStepSlotsOracle' -benchmem -benchtime=2s -count=$(COUNT) ./internal/stepsim/
+
+# bench-sharded measures the tile-sharded slotted engine at 1/2/4 tiles
+# (serial-vs-sharded wall-clock; results are bit-identical by contract).
+# Run with GOMAXPROCS >= 4 on a multi-core box for meaningful ratios.
+bench-sharded:
+	go test -run='^$$' -bench='BenchmarkStepSlotsSharded' -benchmem -benchtime=2s -count=$(COUNT) .
+
+# profile records CPU and heap profiles for the two hot engines into
+# ./prof/ so perf work starts from a flame graph instead of guesses. The
+# test binary is kept next to the profiles for symbolization.
+profile:
+	mkdir -p prof
+	go test -run='^$$' -bench='BenchmarkStepSlots$$' -benchtime=2s \
+		-cpuprofile=prof/stepslots.cpu.pb.gz -memprofile=prof/stepslots.mem.pb.gz \
+		-o prof/stepslots.test .
+	go test -run='^$$' -bench='BenchmarkSimulatorEvents$$' -benchtime=2s \
+		-cpuprofile=prof/simevents.cpu.pb.gz -memprofile=prof/simevents.mem.pb.gz \
+		-o prof/simevents.test .
+	@echo ""
+	@echo "profiles recorded; explore with:"
+	@echo "  go tool pprof -top prof/stepslots.test prof/stepslots.cpu.pb.gz"
+	@echo "  go tool pprof -top -sample_index=alloc_space prof/stepslots.test prof/stepslots.mem.pb.gz"
+	@echo "  go tool pprof -top prof/simevents.test prof/simevents.cpu.pb.gz"
+	@echo "  go tool pprof -http=:8080 prof/stepslots.test prof/stepslots.cpu.pb.gz   # flame graph"
 
 # bench-compare records $(COUNT) runs into bench-{old,new}.txt across two
 # checkouts and diffs them with benchstat:

@@ -166,6 +166,54 @@ func BenchmarkStepSlots(b *testing.B) {
 	}
 }
 
+// BenchmarkStepSlotsSharded measures the tile-sharded slotted engine
+// (stepsim.ShardedEngine) at 1, 2 and 4 tiles on the large-array
+// configurations where intra-run parallelism matters. Results are
+// bit-identical across shard counts (pinned by TestShardInvariance), so
+// these rows differ only in wall-clock: the shards=1 row is the serial
+// reference, and the speedup of the others is bounded by min(shards,
+// physical cores) — on a single-vCPU container all rows converge to the
+// serial time plus barrier overhead. The engine is reused across
+// iterations exactly as the sweep pool reuses it.
+func BenchmarkStepSlotsSharded(b *testing.B) {
+	cases := []struct {
+		name  string
+		n     int
+		slots int
+	}{
+		{"64x64", 64, 200},
+		{"256x256", 256, 250},
+	}
+	for _, c := range cases {
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", c.name, shards), func(b *testing.B) {
+				a := topology.NewArray2D(c.n)
+				cfg := stepsim.Config{
+					Net:         a,
+					Router:      routing.GreedyXY{A: a},
+					Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+					NodeRate:    bounds.LambdaTable(c.n, 0.8),
+					WarmupSlots: c.slots / 4,
+					Slots:       c.slots,
+					Shards:      shards,
+				}
+				var eng stepsim.ShardedEngine
+				var delivered int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg.Seed = uint64(i + 1)
+					res, err := eng.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					delivered += res.Delivered
+				}
+				b.ReportMetric(float64(delivered)/float64(b.N), "packets/op")
+			})
+		}
+	}
+}
+
 // BenchmarkPoissonDraw measures xrand.Poisson across the regimes of its
 // piecewise sampler: Knuth product-of-uniforms below mean 10 (O(mean)
 // uniforms — the per-source slotted draw lives at the far left) and PTRS

@@ -176,6 +176,60 @@ func TestRunSlottedRejectsBursty(t *testing.T) {
 	}
 }
 
+func TestRunShardsFlag(t *testing.T) {
+	code, _, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-shards", "zebra")
+	if code != 2 || !strings.Contains(errOut, "bad -shards") {
+		t.Errorf("bad -shards should exit 2, got %d: %s", code, errOut)
+	}
+	code, _, errOut = runCapture(t, "run", "uniform-8x8", "-quick", "-engine", "des", "-shards", "2")
+	if code != 2 || !strings.Contains(errOut, "slotted only") {
+		t.Errorf("-shards on the event engine should exit 2, got %d: %s", code, errOut)
+	}
+}
+
+// TestRunSpecShardsIgnoredOnDES pins the workload contract at the CLI: a
+// scenario FILE carrying a shards field runs fine under the event engine
+// (the field is slotted-only and documented as ignored there); only the
+// explicit -shards flag conflicts with -engine des.
+func TestRunSpecShardsIgnoredOnDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	spec := filepath.Join(t.TempDir(), "sharded.json")
+	if err := os.WriteFile(spec, []byte(`{"name":"sharded-spec","topology":{"kind":"array","n":4},
+		"pattern":{"kind":"uniform"},"loads":[0.4],"horizon":200,"replicas":1,"shards":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCapture(t, "run", spec)
+	if code != 0 {
+		t.Fatalf("des run of a spec with shards failed: exit %d: %s", code, errOut)
+	}
+	code, _, errOut = runCapture(t, "run", spec, "-engine", "slotted")
+	if code != 0 {
+		t.Fatalf("slotted run of the same spec failed: exit %d: %s", code, errOut)
+	}
+}
+
+// TestRunSlottedSharded pins the end-to-end determinism contract at the
+// CLI: the same scenario serial and pinned to 2 shards must print
+// byte-identical tables.
+func TestRunSlottedSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, serialOut, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-engine", "slotted", "-replicas", "2", "-shards", "1")
+	if code != 0 {
+		t.Fatalf("serial slotted run exit %d: %s", code, errOut)
+	}
+	code, shardedOut, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-engine", "slotted", "-replicas", "2", "-shards", "2")
+	if code != 0 {
+		t.Fatalf("sharded slotted run exit %d: %s", code, errOut)
+	}
+	if serialOut != shardedOut {
+		t.Errorf("sharded table differs from serial:\n--- serial\n%s--- sharded\n%s", serialOut, shardedOut)
+	}
+}
+
 func TestRunUnknownEngine(t *testing.T) {
 	code, _, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-engine", "warp")
 	if code != 2 || !strings.Contains(errOut, "unknown engine") {

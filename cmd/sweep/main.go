@@ -10,12 +10,22 @@
 //	sweep -topology cube -d 7 -p 0.5 -rhos 0.5,0.9
 //	sweep -topology kd -n 5 -k 3 -rhos 0.5
 //	sweep -topology array -n 256 -rhos 0.8 -engine slotted -horizon 2000
+//	sweep -topology array -n 1024 -rhos 0.8 -engine slotted -shards 4
 //
 // -engine selects the simulator: des (the continuous-time event engine,
 // default) or slotted (the synchronous §5.2 engine in internal/stepsim,
 // built for large arrays; -horizon is then measured in slots and the
 // r_per_n column is empty, as the slotted engine does not track remaining
 // services).
+//
+// -shards controls the slotted engine's intra-run tile parallelism: an
+// explicit N pins every run to N tiles, auto (the default) lets the sweep
+// pool spend spare cores inside runs when there are fewer points×replicas
+// than workers. Results are bit-identical at every shard count.
+//
+// CSV output is self-describing: a leading `#` comment records the
+// engine, sharding, pool shape and GOMAXPROCS, and a trailing one the
+// wall-clock at which each point's row streamed out.
 package main
 
 import (
@@ -24,8 +34,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/routing"
@@ -61,8 +73,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replicas = fs.Int("replicas", 4, "replicas per cell")
 		seed     = fs.Uint64("seed", 1, "base seed")
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		shards   = fs.String("shards", "auto", "slotted intra-run tiles per run: N, or auto (spend spare cores; results are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Resolve -shards: auto (0) lets the sweep pool spend spare cores
+	// inside runs; an explicit N pins every run to N tiles. Bit-identical
+	// results at every value make this a pure wall-clock knob.
+	shardCount := 0
+	if *shards != "auto" {
+		v, err := strconv.Atoi(*shards)
+		if err != nil || v < 0 {
+			fmt.Fprintf(stderr, "sweep: bad -shards %q (want a count or auto)\n", *shards)
+			return 2
+		}
+		shardCount = v
+	}
+	if shardCount > 1 && *engine != "slotted" {
+		fmt.Fprintf(stderr, "sweep: -shards applies to -engine=slotted only (the event engine has no intra-run parallelism)\n")
 		return 2
 	}
 
@@ -142,8 +171,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// One shared worker pool over every (load, replica) pair: the pool
 	// saturates the machine even for short load lists, and rows stream out
 	// in input order as soon as each cell's replicas finish.
+	//
+	// The leading `#` comments make recorded sweeps self-describing —
+	// engine, sharding, pool shape and Go scheduler width — and the
+	// trailing one records wall-clock per point (cumulative elapsed when
+	// that row streamed out, i.e. when the point and all earlier ones had
+	// finished) so perf regressions are visible in the CSV itself.
+	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d\n",
+		*engine, *topo, *shards, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed)
 	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper")
 	failed := 0
+	start := time.Now()
+	var wall []string
+	clock := func(rho float64) {
+		wall = append(wall, fmt.Sprintf("rho=%.4f t+%.3fs", rho, time.Since(start).Seconds()))
+	}
 	switch *engine {
 	case "des":
 		cfgs := make([]sim.Config, len(cells))
@@ -157,6 +199,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				failed++
 				return
 			}
+			clock(c.rho)
 			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s\n",
 				*topo, c.rho, c.cfg.NodeRate,
 				r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
@@ -173,6 +216,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				WarmupSlots: int(c.cfg.Warmup),
 				Slots:       int(c.cfg.Horizon),
 				Seed:        c.cfg.Seed,
+				Shards:      shardCount,
 			}
 		}
 		stepsim.StreamSweep(cfgs, *replicas, *workers, func(i int, r stepsim.ReplicaSet, err error) {
@@ -182,12 +226,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				failed++
 				return
 			}
+			clock(c.rho)
 			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,,%.4f,%.4f,%s\n",
 				*topo, c.rho, c.cfg.NodeRate,
 				r.MeanDelay, r.DelayCI, r.MeanN,
 				c.lower, c.estimate, upperStr(c.upper))
 		})
 	}
+	fmt.Fprintf(stdout, "# wall: %s | total %.3fs\n", strings.Join(wall, " "), time.Since(start).Seconds())
 	if failed > 0 {
 		return 1
 	}

@@ -12,6 +12,18 @@ func runCapture(args ...string) (int, string, string) {
 	return code, stdout.String(), stderr.String()
 }
 
+// splitCSV separates data lines from the self-describing `#` comments.
+func splitCSV(out string) (rows, comments []string) {
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			comments = append(comments, line)
+		} else if line != "" {
+			rows = append(rows, line)
+		}
+	}
+	return rows, comments
+}
+
 func TestFlagParsing(t *testing.T) {
 	if code, _, _ := runCapture("-rhos", "1.5"); code != 2 {
 		t.Error("load outside (0,1) accepted")
@@ -38,7 +50,7 @@ func TestTinySweepCSV(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("sweep exit %d: %s", code, errOut)
 	}
-	lines := strings.Split(strings.TrimSpace(out), "\n")
+	lines, comments := splitCSV(out)
 	if len(lines) != 3 {
 		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
 	}
@@ -49,6 +61,19 @@ func TestTinySweepCSV(t *testing.T) {
 		if fields := strings.Split(row, ","); len(fields) != 10 || fields[0] != "array" {
 			t.Errorf("bad CSV row %q", row)
 		}
+	}
+	// Self-describing comments: provenance up front, wall-clock at the end.
+	if len(comments) != 2 {
+		t.Fatalf("want sweep + wall comments, got %v", comments)
+	}
+	for _, want := range []string{"engine=des", "topology=array", "gomaxprocs=", "replicas=1", "shards=auto"} {
+		if !strings.Contains(comments[0], want) {
+			t.Errorf("header comment %q missing %q", comments[0], want)
+		}
+	}
+	if !strings.Contains(comments[1], "# wall:") || !strings.Contains(comments[1], "rho=0.6000 t+") ||
+		!strings.Contains(comments[1], "total") {
+		t.Errorf("wall comment %q missing per-point timings", comments[1])
 	}
 }
 
@@ -67,6 +92,54 @@ func TestTorusSweepHasNoUpper(t *testing.T) {
 	}
 }
 
+func TestShardsFlag(t *testing.T) {
+	if code, _, errOut := runCapture("-shards", "zebra", "-rhos", "0.5"); code != 2 ||
+		!strings.Contains(errOut, "bad -shards") {
+		t.Error("non-numeric -shards accepted")
+	}
+	if code, _, errOut := runCapture("-shards", "-2", "-rhos", "0.5"); code != 2 ||
+		!strings.Contains(errOut, "bad -shards") {
+		t.Error("negative -shards accepted")
+	}
+	if code, _, errOut := runCapture("-engine", "des", "-shards", "2", "-rhos", "0.5"); code != 2 ||
+		!strings.Contains(errOut, "slotted only") {
+		t.Error("-shards with the event engine accepted")
+	}
+}
+
+func TestSlottedShardedSweepCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	// The same sweep serial and pinned to 2 shards must emit identical
+	// data rows (bit-identical engine results formatted identically).
+	code, serialOut, errOut := runCapture(
+		"-topology", "array", "-n", "6", "-rhos", "0.4,0.7",
+		"-engine", "slotted", "-horizon", "400", "-replicas", "1", "-shards", "1")
+	if code != 0 {
+		t.Fatalf("serial slotted sweep exit %d: %s", code, errOut)
+	}
+	code, shardedOut, errOut := runCapture(
+		"-topology", "array", "-n", "6", "-rhos", "0.4,0.7",
+		"-engine", "slotted", "-horizon", "400", "-replicas", "1", "-shards", "2")
+	if code != 0 {
+		t.Fatalf("sharded slotted sweep exit %d: %s", code, errOut)
+	}
+	serialRows, _ := splitCSV(serialOut)
+	shardedRows, comments := splitCSV(shardedOut)
+	if len(serialRows) != len(shardedRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serialRows), len(shardedRows))
+	}
+	for i := range serialRows {
+		if serialRows[i] != shardedRows[i] {
+			t.Errorf("row %d differs across shard counts:\n%s\n%s", i, serialRows[i], shardedRows[i])
+		}
+	}
+	if !strings.Contains(comments[0], "shards=2") {
+		t.Errorf("header comment %q does not record the shard count", comments[0])
+	}
+}
+
 func TestSlottedSweepCSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulates; skipped with -short")
@@ -77,7 +150,7 @@ func TestSlottedSweepCSV(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("slotted sweep exit %d: %s", code, errOut)
 	}
-	lines := strings.Split(strings.TrimSpace(out), "\n")
+	lines, _ := splitCSV(out)
 	if len(lines) != 2 {
 		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), out)
 	}

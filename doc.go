@@ -106,6 +106,37 @@
 // the workload layer (`cmd/scenario run -engine=slotted`,
 // `cmd/sweep -engine=slotted`, workload.Bound.SlottedConfigs).
 //
+// # Sharded execution
+//
+// A single slotted run can additionally be sharded across cores
+// (stepsim.ShardedEngine; Config.Shards; -shards on cmd/sweep and
+// cmd/scenario): topology.Partition splits the node-id space into
+// contiguous tiles — row bands on 2-D arrays and tori, index ranges on
+// k-d arrays, cubes and butterflies — and each tile's goroutine owns the
+// ring queues of the edges leaving its nodes, the RNG streams of its
+// sources, and its measurement accumulators. Each slot runs the same
+// three phases as the serial loop with exactly one synchronization: after
+// tile-local arrivals and service, a sense-reversing spin barrier, then
+// placement, in which each tile merges its own survivors with the
+// boundary-crossing packets other tiles handed it through per-(tile,tile)
+// lists (double-buffered by slot parity, so one barrier per slot is
+// enough; no locks anywhere on the hot path).
+//
+// The load-bearing property is that the shard count cannot change
+// results, which is what makes it a safe runtime knob (the sweep pools
+// auto-shard when points×replicas < GOMAXPROCS — sim.SpareFactor — so
+// cores never idle at the tail of a sweep). Three invariants deliver
+// bit-identical Results at every shard count, each pinned by tests:
+// per-node keyed RNG streams (xrand.ReseedSplit(Seed, nodeID), so a
+// node's variates are independent of which tile simulates it), canonical
+// placement order (per slot, each queue receives arrivals from its own
+// source followed by moved packets in ascending served-edge order — the
+// handoff merge reconstructs exactly what a serial edge scan produces),
+// and exact integer accumulation (delays are whole slots, so per-tile
+// (count, Σd, Σd², min, max) merge associatively; stats.WelfordFromInts
+// converts once, exactly, at collect time). Config.PerEngineStream keeps
+// the pre-sharding single-stream regime for the oracle cross-checks.
+//
 // # Workload architecture
 //
 // Traffic is a first-class object (internal/workload). A Pattern binds to

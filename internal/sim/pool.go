@@ -108,6 +108,34 @@ func StreamCells[R any](cells, replicas, workers int, newRun func() func(cell, r
 	}
 }
 
+// SpareFactor returns how many intra-run worker goroutines each task of a
+// cells×replicas sweep can use without oversubscribing `workers` (0 means
+// GOMAXPROCS): the pool parallelizes across tasks first, and only when
+// there are fewer tasks than cores is there spare capacity to spend inside
+// a run. The slotted sweep pool (internal/stepsim) uses this to trade
+// replica-parallelism for intra-run shards at the tail of a sweep — a
+// 2-point × 1-replica sweep on an 8-core box gets 4-way sharded runs
+// instead of 6 idle cores. The event-driven engine has no intra-run
+// parallelism, so its sweeps ignore the factor.
+//
+// Shard counts chosen this way are machine-dependent, which is safe only
+// because the sharded slotted engine's results are bit-identical for
+// every shard count; determinism across machines and worker counts is
+// preserved.
+func SpareFactor(cells, replicas, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	total := cells * replicas
+	if total <= 0 || workers <= total {
+		return 1
+	}
+	return workers / total
+}
+
 // StreamSweep runs every configuration in cfgs with `replicas` independent
 // replicas (minimum 1) on a pool of up to `workers` goroutines (0 means
 // GOMAXPROCS). emit is called exactly once per configuration, in input

@@ -107,3 +107,23 @@ func TestStreamSweepEmpty(t *testing.T) {
 		t.Fatal("emit called for empty sweep")
 	})
 }
+
+func TestSpareFactor(t *testing.T) {
+	cases := []struct {
+		cells, replicas, workers, want int
+	}{
+		{4, 4, 8, 1}, // more tasks than workers: nothing spare
+		{4, 2, 8, 1}, // exactly saturated
+		{2, 1, 8, 4}, // 2 tasks on 8 workers: 4-way intra-run
+		{1, 1, 6, 6}, // single run gets the whole machine
+		{3, 1, 8, 2}, // rounds down: 8/3 = 2, never oversubscribes
+		{1, 0, 5, 5}, // replicas clamp to 1
+		{0, 1, 4, 1}, // empty sweep: factor is inert
+		{1, 1, 1, 1}, // single worker: serial
+	}
+	for _, tc := range cases {
+		if got := SpareFactor(tc.cells, tc.replicas, tc.workers); got != tc.want {
+			t.Errorf("SpareFactor(%d,%d,%d) = %d, want %d", tc.cells, tc.replicas, tc.workers, got, tc.want)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -86,6 +87,45 @@ func (w *Welford) Merge(other Welford) {
 	}
 	if other.max > w.max {
 		w.max = other.max
+	}
+}
+
+// WelfordFromInts reconstructs a Welford accumulator from exact integer
+// moments: n observations with sum Σx and sum of squares Σx², all
+// non-negative integers, plus the observed min and max. It exists for
+// engines whose per-observation quantities are integers (the slotted
+// simulator's delays are whole slots): integer sums are associative, so
+// per-worker partial sums merged by addition yield bit-identical statistics
+// regardless of how observations were grouped — the property the sharded
+// engine's shard-count-independent determinism rests on, and one a stream
+// of floating-point Add calls cannot offer.
+//
+// The second moment is computed exactly: m2 = (n·Σx² − (Σx)²)/n evaluated
+// in 128-bit integer arithmetic before the single rounding to float64, so
+// the result does not suffer the catastrophic cancellation a naive
+// Σx² − (Σx)²/n float evaluation has when the variance is small relative
+// to the mean. Mean and variance differ from a sequential Add loop only by
+// that loop's accumulated rounding.
+//
+// Sums must be exact: callers are responsible for Σx² not wrapping uint64
+// (delays below 2²⁴ allow ~2¹⁶ max-delay observations per run at worst,
+// and realistic stable-load runs are orders of magnitude below the edge).
+func WelfordFromInts(n int64, sum, sumSq uint64, min, max float64) Welford {
+	if n <= 0 {
+		return Welford{}
+	}
+	// num = n·Σx² − (Σx)² ≥ 0 by Cauchy–Schwarz, in 128 bits.
+	hi1, lo1 := bits.Mul64(uint64(n), sumSq)
+	hi2, lo2 := bits.Mul64(sum, sum)
+	lo, borrow := bits.Sub64(lo1, lo2, 0)
+	hi, _ := bits.Sub64(hi1, hi2, borrow)
+	num := float64(hi)*0x1p64 + float64(lo)
+	return Welford{
+		n:    n,
+		mean: float64(sum) / float64(n),
+		m2:   num / float64(n),
+		min:  min,
+		max:  max,
 	}
 }
 

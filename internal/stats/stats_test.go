@@ -61,6 +61,62 @@ func TestWelfordMergeMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestWelfordFromIntsMatchesSequential(t *testing.T) {
+	samples := []uint64{0, 3, 7, 7, 1, 12, 0, 5, 9, 2, 2, 31}
+	var seq Welford
+	var sum, sumSq uint64
+	minV, maxV := samples[0], samples[0]
+	for _, x := range samples {
+		seq.Add(float64(x))
+		sum += x
+		sumSq += x * x
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	got := WelfordFromInts(int64(len(samples)), sum, sumSq, float64(minV), float64(maxV))
+	if got.Count() != seq.Count() || got.Min() != seq.Min() || got.Max() != seq.Max() {
+		t.Fatalf("count/min/max diverge: %+v vs %+v", got, seq)
+	}
+	if math.Abs(got.Mean()-seq.Mean()) > 1e-12*seq.Mean() {
+		t.Errorf("mean %v vs sequential %v", got.Mean(), seq.Mean())
+	}
+	if math.Abs(got.Variance()-seq.Variance()) > 1e-9*seq.Variance() {
+		t.Errorf("variance %v vs sequential %v", got.Variance(), seq.Variance())
+	}
+}
+
+// TestWelfordFromIntsExactCancellation is the case the 128-bit path exists
+// for: large sums whose squares exceed 2^53, where a float evaluation of
+// Σx² − (Σx)²/n loses every significant digit of a small variance.
+func TestWelfordFromIntsExactCancellation(t *testing.T) {
+	// n observations of v and n of v+1: variance is exactly
+	// n/(2n-1) ≈ 1/2·(2n/(2n-1)), mean v + 1/2.
+	const n, v = 1_000_000, 100_000
+	var sum, sumSq uint64
+	sum = n*v + n*(v+1)
+	sumSq = n*v*v + n*(v+1)*(v+1)
+	w := WelfordFromInts(2*n, sum, sumSq, v, v+1)
+	wantMean := float64(v) + 0.5
+	if w.Mean() != wantMean {
+		t.Errorf("mean %v, want %v", w.Mean(), wantMean)
+	}
+	wantVar := float64(2*n) * 0.25 / float64(2*n-1)
+	if math.Abs(w.Variance()-wantVar) > 1e-9 {
+		t.Errorf("variance %v, want %v (exact 128-bit path should not cancel)", w.Variance(), wantVar)
+	}
+}
+
+func TestWelfordFromIntsEmpty(t *testing.T) {
+	w := WelfordFromInts(0, 0, 0, 0, 0)
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Errorf("empty reconstruction not zero: %+v", w)
+	}
+}
+
 func TestTimeWeightedMean(t *testing.T) {
 	var tw TimeWeighted
 	tw.StartAt(0, 1) // value 1 on [0,2)

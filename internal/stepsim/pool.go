@@ -15,8 +15,16 @@ import (
 // runs the stream Split(cfgs[c].Seed, r) — so a slotted sweep is
 // bit-identical from 1 worker to GOMAXPROCS and its replica streams line
 // up with the event engine's for matched comparisons. Each worker owns one
-// Engine and resets it per task, so the per-run setup (arena, ring slab,
-// tables, scratch) amortizes to ~0 allocations across a sweep.
+// Engine and resets it per task, so the per-run setup (ring slab, tables,
+// scratch) amortizes to ~0 allocations across a sweep.
+//
+// Sweeps with fewer tasks than cores trade the missing task-parallelism
+// for intra-run sharding: configurations that leave Shards at 0 inherit
+// sim.SpareFactor(points, replicas, workers) tiles per run, so a short
+// sweep (or the tail of a long one) no longer leaves cores idle. The
+// sharded engine's results are bit-identical at every shard count, so this
+// machine-dependent choice never changes what a sweep computes — only how
+// fast. Configurations that set Shards explicitly are left alone.
 
 // ReplicaSet aggregates independent replications of one slotted
 // configuration, mirroring sim.ReplicaSet for the fields the slotted model
@@ -43,12 +51,21 @@ type ReplicaSet struct {
 // the first per-replica error of that cell (rs is zero-valued when err is
 // non-nil). emit runs on the calling goroutine.
 func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs ReplicaSet, err error)) {
+	// Clamp to the engine's tile limit: auto-sharding is a perf knob and
+	// must never make a configuration unrunnable, whatever the worker
+	// count requested.
+	spare := min(sim.SpareFactor(len(cfgs), replicas, workers), maxShards)
 	sim.StreamCells(len(cfgs), replicas, workers,
 		func() func(cell, rep int) (Result, error) {
 			var eng Engine // reused across this worker's tasks
 			return func(cell, rep int) (Result, error) {
 				rcfg := cfgs[cell]
 				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(rep)).Uint64()
+				if rcfg.Shards == 0 && !rcfg.PerEngineStream {
+					// Spend otherwise-idle cores inside the run; results
+					// are shard-count independent, so this is perf-only.
+					rcfg.Shards = spare
+				}
 				return eng.Run(rcfg)
 			}
 		},

@@ -1,0 +1,605 @@
+package stepsim
+
+// Tile-sharded execution of a single slotted run.
+//
+// The node set is partitioned into contiguous tiles (topology.Partition:
+// row bands on 2-D arrays and tori, index ranges elsewhere) and each tile
+// runs on its own goroutine, owning everything its nodes touch: the ring
+// queues of the edges leaving its nodes, the keyed RNG streams of its
+// source nodes, and its measurement accumulators. A slot is the same three
+// phases as the serial loop — arrivals, service, placement — with exactly
+// one synchronization point:
+//
+//	arrivals(slot)   tile-local: sources push onto their own out-edges
+//	service(slot)    tile-local pops; boundary-crossing packets go to a
+//	                 per-(tile,tile) handoff list instead of a queue
+//	BARRIER          all handoff lists for this slot are now complete
+//	placement(slot)  each tile merges its own moved packets with the
+//	                 handoffs addressed to it and pushes, in ascending
+//	                 served-edge order
+//
+// Handoff lists are double-buffered by slot parity: a tile writing slot
+// s+1's handoffs can therefore overlap a neighbor still placing slot s,
+// and the single barrier per slot is enough — a tile reuses a buffer only
+// two barriers after its reader consumed it.
+//
+// # Why results cannot depend on the shard count
+//
+// Three invariants make shards ∈ {1, 2, …} produce math.Float64bits-equal
+// Results, pinned by TestShardInvariance and golden tests:
+//
+//  1. Randomness is per node, not per engine: source v draws from the
+//     keyed stream xrand.ReseedSplit(Seed, v) in a canonical order, so the
+//     variates a node consumes are independent of which tile simulates it.
+//  2. Queue contents are order-canonical: within a slot, a queue receives
+//     its arrivals (only its own source generates them, in that source's
+//     draw order) followed by moved packets in ascending served-edge
+//     order. Each edge serves at most one packet per slot, so served-edge
+//     ids are unique keys and the k-way merge of sorted handoff lists
+//     reconstructs exactly the order a serial scan over all edges yields.
+//  3. Accumulation is exact-integer: delays are whole slots, so each tile
+//     keeps (count, Σd, Σd², min, max) in integers and the cross-tile
+//     merge is associative addition; MeanN sums per-tile live counters the
+//     same way. The only floating-point operations happen once, at
+//     collect time (stats.WelfordFromInts).
+//
+// The barrier is a sense-reversing barrier whose fast path is a bounded
+// atomic spin (no locks or syscalls when every tile has its own core),
+// parking in the scheduler when the window expires; handoff lists are
+// plain slices because the barrier already provides the happens-before
+// edge between writer and reader.
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// maxShards bounds the tile count: handoff buffers are O(shards²) slice
+// headers, and no machine this engine targets has more cores.
+const maxShards = 1024
+
+// edgeRun is a contiguous block [lo, hi) of owned edge ids.
+type edgeRun struct {
+	lo, hi int32
+}
+
+// tile is one worker's share of a sharded run: a contiguous node range,
+// the sources and out-edges inside it, their RNG streams, and the tile's
+// private accumulators and scratch. Only its own goroutine writes any of
+// it during a run.
+type tile struct {
+	id    int32
+	sense int32 // barrier sense, flipped every wait
+
+	// sources are the generating nodes in the tile's range, ascending;
+	// rngs[i] is sources[i]'s keyed stream.
+	sources []int32
+	rngs    []xrand.RNG
+
+	// edgeRuns are the owned edge ids (EdgeFrom inside the range) as
+	// ascending coalesced [lo, hi) runs: contiguous node ranges own large
+	// contiguous edge-id blocks (a row band owns whole slices of the
+	// Right/Left direction blocks and per-column runs of Down/Up), so the
+	// service scan iterates a few thousand runs instead of indexing
+	// through millions of edge ids. A single-tile plan leaves it empty
+	// and scans all edges directly.
+	edgeRuns []edgeRun
+
+	// moved parks own-tile placements, bnd merges incoming handoffs.
+	moved []movedRec
+	bnd   []movedRec
+
+	// Measurement accumulators; exact integers so cross-tile merging is
+	// associative (see the package comment on determinism).
+	live     int64
+	liveSum  int64
+	count    int64
+	sumDelay uint64
+	sumSq    uint64
+	minD     int32
+	maxD     int32
+
+	_ [64]byte // keep neighboring tiles' hot counters off this cache line
+}
+
+// addDelay records one delivered packet's delay.
+func (t *tile) addDelay(d int32) {
+	if t.count == 0 {
+		t.minD, t.maxD = d, d
+	} else {
+		if d < t.minD {
+			t.minD = d
+		}
+		if d > t.maxD {
+			t.maxD = d
+		}
+	}
+	t.count++
+	t.sumDelay += uint64(d)
+	t.sumSq += uint64(d) * uint64(d)
+}
+
+// barrier is a reusable sense-reversing barrier with a two-stage wait:
+// waiters first spin on an atomic sense word — on a machine with a core
+// per tile the release lands within the spin window and a slot's
+// synchronization costs no lock, no syscall and no allocation — and only
+// if the window expires do they park on a condition variable. Parking is
+// what keeps oversubscribed configurations (more tiles than cores, or a
+// loaded machine) graceful: an unbounded spinner would burn its whole OS
+// quantum while the tile it waits for cannot run.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Int32
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	parked int32 // under mu
+}
+
+// barrierSpin bounds the fast-path spin; a release that takes longer than
+// this is waited out in the scheduler instead.
+const barrierSpin = 4096
+
+// init prepares the barrier for n participants.
+func (b *barrier) init(n int) {
+	b.n = int32(n)
+	b.count.Store(0)
+	b.sense.Store(0)
+	b.cond.L = &b.mu
+}
+
+// wait blocks until all n participants have called it. local is the
+// caller's sense word (one per participant, flipped on every wait).
+func (b *barrier) wait(local *int32) {
+	s := *local ^ 1
+	*local = s
+	if b.count.Add(1) == b.n {
+		// Last arriver: reset the count BEFORE releasing the sense, so a
+		// released waiter re-entering the next barrier cannot race the
+		// reset. The sense flip is published under the lock so a waiter
+		// cannot park after missing it.
+		b.count.Store(0)
+		b.mu.Lock()
+		b.sense.Store(s)
+		parked := b.parked
+		b.mu.Unlock()
+		if parked > 0 {
+			b.cond.Broadcast()
+		}
+		return
+	}
+	for spins := 0; spins < barrierSpin; spins++ {
+		if b.sense.Load() == s {
+			return
+		}
+	}
+	b.mu.Lock()
+	b.parked++
+	for b.sense.Load() != s {
+		b.cond.Wait()
+	}
+	b.parked--
+	b.mu.Unlock()
+}
+
+// ShardedEngine is a reusable tile-parallel slotted simulator. The zero
+// value is ready; Run honors cfg.Shards (0 and 1 mean a single tile run
+// inline on the calling goroutine) and keeps tables, rings, tile scratch
+// and handoff buffers across runs, so sweeps that reuse one ShardedEngine
+// stay allocation-free in steady state. A ShardedEngine is not safe for
+// concurrent use: its worker goroutines exist only inside Run.
+//
+// Results are bit-identical for every shard count, and to Engine's
+// default serial path — see the determinism notes at the top of this
+// file. PerEngineStream configs are rejected; that regime lives on
+// Engine only.
+type ShardedEngine struct {
+	cfg      Config
+	shards   int
+	tab      routeTables
+	rings    ringSet
+	poissonL float64
+
+	// Ownership tables (shards > 1 only). A served packet's next edge
+	// always leaves the node it stands at — pos, already decoded from the
+	// popped edge — so ownership is looked up by position key, not by edge
+	// id: rowOwner (n entries, L1-resident) on the packed-coordinate fast
+	// path, nodeOwner (node-id indexed) on the generic path. nodeOwner
+	// doubles as the plan-time edge-owner lookup via EdgeFrom.
+	nodeOwner []int32
+	rowOwner  []int32
+
+	tiles []tile
+
+	// handoff[src*shards+dst][parity] carries the packets tile src served
+	// this slot whose next edge belongs to tile dst, in ascending
+	// served-edge order; parity double-buffers across slots.
+	handoff [][2][]movedRec
+
+	bar barrier
+}
+
+// Run executes one synchronous simulation, reusing the engine's storage.
+func (s *ShardedEngine) Run(cfg Config) (Result, error) {
+	if err := s.reset(cfg); err != nil {
+		return Result{}, err
+	}
+	if s.shards == 1 {
+		s.worker(&s.tiles[0])
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(s.shards)
+		for i := range s.tiles {
+			t := &s.tiles[i]
+			go func() {
+				defer wg.Done()
+				s.worker(t)
+			}()
+		}
+		wg.Wait()
+	}
+	return s.collect(), nil
+}
+
+// reset validates cfg and builds the tile plan, reusing prior storage when
+// capacities allow.
+func (s *ShardedEngine) reset(cfg Config) error {
+	steppers, choose, err := resolveConfig(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.PerEngineStream {
+		return fmt.Errorf("stepsim: PerEngineStream is not available on ShardedEngine; use Engine")
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > maxShards {
+		return fmt.Errorf("stepsim: Shards = %d exceeds the %d-tile limit", shards, maxShards)
+	}
+	s.cfg = cfg
+	s.shards = shards
+	s.poissonL = poissonExpOf(cfg.NodeRate)
+	s.tab.init(cfg, steppers, choose)
+	s.rings.reset(cfg.Net.NumEdges())
+
+	ranges := topology.Partition(cfg.Net, shards)
+	if cap(s.tiles) >= shards {
+		s.tiles = s.tiles[:shards]
+	} else {
+		s.tiles = make([]tile, shards)
+	}
+	for i := range s.tiles {
+		t := &s.tiles[i]
+		t.id = int32(i)
+		t.sense = 0
+		t.sources = t.sources[:0]
+		t.edgeRuns = t.edgeRuns[:0]
+		t.moved = t.moved[:0]
+		t.bnd = t.bnd[:0]
+		t.live, t.liveSum = 0, 0
+		t.count, t.sumDelay, t.sumSq = 0, 0, 0
+		t.minD, t.maxD = 0, 0
+	}
+
+	// Source sets are COPIED into tile-owned buffers (as the serial reset
+	// does) and split by node range; within a tile they stay ascending,
+	// though per-node streams make the order immaterial.
+	if ss, isRestricted := cfg.Net.(topology.SourceSet); isRestricted {
+		for _, v := range ss.SourceNodes() {
+			t := &s.tiles[topology.RangeOf(ranges, v)]
+			t.sources = append(t.sources, int32(v))
+		}
+	} else {
+		for i, r := range ranges {
+			t := &s.tiles[i]
+			for v := r.Lo; v < r.Hi; v++ {
+				t.sources = append(t.sources, int32(v))
+			}
+		}
+	}
+	for i := range s.tiles {
+		t := &s.tiles[i]
+		if cap(t.rngs) >= len(t.sources) {
+			t.rngs = t.rngs[:len(t.sources)]
+		} else {
+			t.rngs = make([]xrand.RNG, len(t.sources))
+		}
+	}
+
+	if shards > 1 {
+		numNodes, numEdges := cfg.Net.NumNodes(), cfg.Net.NumEdges()
+		s.nodeOwner = growI32(s.nodeOwner, numNodes)
+		for i, r := range ranges {
+			for v := r.Lo; v < r.Hi; v++ {
+				s.nodeOwner[v] = int32(i)
+			}
+		}
+		if s.tab.fast {
+			// Row-band plans on the array fast path: position keys are
+			// packed (row, col), so ownership reduces to a row lookup.
+			s.rowOwner = growI32(s.rowOwner, s.tab.n)
+			for r := 0; r < s.tab.n; r++ {
+				s.rowOwner[r] = s.nodeOwner[r*s.tab.n]
+			}
+		}
+		for e := 0; e < numEdges; e++ {
+			t := &s.tiles[s.nodeOwner[cfg.Net.EdgeFrom(e)]]
+			if n := len(t.edgeRuns); n > 0 && t.edgeRuns[n-1].hi == int32(e) {
+				t.edgeRuns[n-1].hi = int32(e) + 1
+			} else {
+				t.edgeRuns = append(t.edgeRuns, edgeRun{lo: int32(e), hi: int32(e) + 1})
+			}
+		}
+		if cap(s.handoff) >= shards*shards {
+			s.handoff = s.handoff[:shards*shards]
+			for i := range s.handoff {
+				s.handoff[i][0] = s.handoff[i][0][:0]
+				s.handoff[i][1] = s.handoff[i][1][:0]
+			}
+		} else {
+			s.handoff = make([][2][]movedRec, shards*shards)
+		}
+		s.bar.init(shards)
+	}
+	return nil
+}
+
+// worker runs one tile through every slot. It is the per-slot body of the
+// serial engine, restated per tile; a single-tile plan runs it inline
+// with no barrier, which IS the serial reference path.
+func (s *ShardedEngine) worker(t *tile) {
+	// Seed this tile's per-node streams in parallel with the other tiles
+	// (each touches only its own).
+	for i, src := range t.sources {
+		t.rngs[i].ReseedSplit(s.cfg.Seed, uint64(src))
+	}
+	total := s.cfg.WarmupSlots + s.cfg.Slots
+	multi := s.shards > 1
+	parity := 0
+	for slot := 0; slot < total; slot++ {
+		measuring := slot >= s.cfg.WarmupSlots
+		s.arrivals(t, slot, measuring)
+		s.service(t, slot, measuring, parity)
+		if multi {
+			s.bar.wait(&t.sense)
+		}
+		s.place(t, parity)
+		parity ^= 1
+	}
+}
+
+// arrivals is phase 1 for one tile: every source draws its Poisson batch
+// and per-packet destination and coin from its own keyed stream, and
+// pushes onto its own out-edges (a first hop always leaves the source, so
+// arrivals never cross tiles). It ends with the slot's N sample: summed
+// over tiles, generated-minus-delivered counters reproduce the global
+// in-system count at the canonical sample point.
+func (s *ShardedEngine) arrivals(t *tile, slot int, measuring bool) {
+	mean := s.cfg.NodeRate
+	poissonL := s.poissonL
+	dest := s.cfg.Dest
+	choose := s.tab.choose
+	nodeKey := s.tab.nodeKey
+	for i := range t.sources {
+		src := int(t.sources[i])
+		rng := &t.rngs[i]
+		var k int
+		switch {
+		case poissonL > 0:
+			// First Knuth iteration inlined (most sources draw a zero
+			// batch): identical variate stream to xrand.PoissonExp.
+			if p := rng.Float64Open(); p > poissonL {
+				k = 1
+				for {
+					p *= rng.Float64Open()
+					if p <= poissonL {
+						break
+					}
+					k++
+				}
+			}
+		case mean > 0:
+			k = rng.Poisson(mean)
+		}
+		for ; k > 0; k-- {
+			dst := dest.Sample(src, rng)
+			var choice uint32
+			if choose != nil {
+				choice = uint32(choose(rng))
+			}
+			if dst == src {
+				// Zero-hop packet: delivered instantly with delay 0,
+				// never entering any queue (the paper allows these).
+				if measuring {
+					t.addDelay(0)
+				}
+				continue
+			}
+			ent := uint64(nodeKey[dst])<<entKeyShift | uint64(choice)<<entSlotBits | uint64(slot&entSlotMask)
+			if measuring {
+				ent |= entMeasured
+			}
+			s.rings.push(s.tab.nextEdge(nodeKey[src], nodeKey[dst], choice), ent)
+			t.live++
+		}
+	}
+	if measuring {
+		t.liveSum += t.live
+	}
+}
+
+// service is phase 2 for one tile: every owned nonempty edge serves its
+// head packet. Deliveries accumulate locally; survivors go to the local
+// moved list or, when the next edge belongs to another tile, to that
+// pair's handoff list — both in ascending served-edge order, because the
+// owned-edge scan is ascending.
+func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
+	moved := t.moved[:0]
+	multi := s.shards > 1
+	if multi {
+		base := int(t.id) * s.shards
+		for u := 0; u < s.shards; u++ {
+			if u != int(t.id) {
+				s.handoff[base+u][parity] = s.handoff[base+u][parity][:0]
+			}
+		}
+	}
+	qbuf, qhead, qsize := s.rings.qbuf, s.rings.qhead, s.rings.qsize
+	edgeKey := s.tab.edgeKey
+	// The two scans below share their pop/route/deliver body; it is spelled
+	// out twice (rather than through a per-edge function) because a call
+	// per busy edge is measurable on large arrays, and the single-tile scan
+	// is the engine's serial reference path.
+	if !multi {
+		// Single tile owns everything: scan the dense size array directly,
+		// exactly like the serial loop.
+		for e, size := range qsize {
+			if size == 0 {
+				continue
+			}
+			edge := int32(e)
+			buf := qbuf[edge]
+			head := qhead[edge]
+			ent := buf[head]
+			qhead[edge] = (head + 1) & int32(len(buf)-1)
+			qsize[edge] = size - 1
+			pos := edgeKey[edge]
+			key := int32(ent >> entKeyShift)
+			if pos == key {
+				if ent&entMeasured != 0 && measuring {
+					t.addDelay(int32((uint32(slot+1) - uint32(ent)) & entSlotMask))
+				}
+				t.live--
+				continue
+			}
+			choice := uint32(ent>>entSlotBits) & entChoiceMask
+			moved = append(moved, movedRec{ent: ent, edge: s.tab.nextEdge(pos, key, choice), src: edge})
+		}
+	} else {
+		myBase := int(t.id) * s.shards
+		// The next edge always leaves pos, so its owner is pos's tile:
+		// a tiny row table on the fast path, the node table otherwise.
+		fast := s.tab.fast
+		rowOwner, nodeOwner := s.rowOwner, s.nodeOwner
+		for _, run := range t.edgeRuns {
+			for edge := run.lo; edge < run.hi; edge++ {
+				size := qsize[edge]
+				if size == 0 {
+					continue
+				}
+				buf := qbuf[edge]
+				head := qhead[edge]
+				ent := buf[head]
+				qhead[edge] = (head + 1) & int32(len(buf)-1)
+				qsize[edge] = size - 1
+				pos := edgeKey[edge]
+				key := int32(ent >> entKeyShift)
+				if pos == key {
+					if ent&entMeasured != 0 && measuring {
+						t.addDelay(int32((uint32(slot+1) - uint32(ent)) & entSlotMask))
+					}
+					t.live--
+					continue
+				}
+				choice := uint32(ent>>entSlotBits) & entChoiceMask
+				next := s.tab.nextEdge(pos, key, choice)
+				rec := movedRec{ent: ent, edge: next, src: edge}
+				var owner int32
+				if fast {
+					owner = rowOwner[pos>>coordBits]
+				} else {
+					owner = nodeOwner[pos]
+				}
+				if owner != t.id {
+					h := &s.handoff[myBase+int(owner)][parity]
+					*h = append(*h, rec)
+				} else {
+					moved = append(moved, rec)
+				}
+			}
+		}
+	}
+	t.moved = moved
+}
+
+// place is phase 3 for one tile: push this slot's survivors onto their
+// next edges in ascending served-edge order. Own-tile packets are already
+// sorted (ascending edge scan); incoming handoffs are each sorted for the
+// same reason, so a sort of the (typically tiny) boundary set plus one
+// two-way merge reconstructs the canonical serial order. Served-edge ids
+// are unique within a slot, so the order is total.
+func (s *ShardedEngine) place(t *tile, parity int) {
+	bnd := t.bnd[:0]
+	if s.shards > 1 {
+		for u := 0; u < s.shards; u++ {
+			if u == int(t.id) {
+				continue
+			}
+			bnd = append(bnd, s.handoff[u*s.shards+int(t.id)][parity]...)
+		}
+		if len(bnd) > 1 {
+			slices.SortFunc(bnd, func(a, b movedRec) int { return int(a.src) - int(b.src) })
+		}
+	}
+	moved := t.moved
+	i, j := 0, 0
+	for i < len(moved) && j < len(bnd) {
+		if moved[i].src < bnd[j].src {
+			s.rings.push(moved[i].edge, moved[i].ent)
+			i++
+		} else {
+			s.rings.push(bnd[j].edge, bnd[j].ent)
+			j++
+		}
+	}
+	for ; i < len(moved); i++ {
+		s.rings.push(moved[i].edge, moved[i].ent)
+	}
+	for ; j < len(bnd); j++ {
+		s.rings.push(bnd[j].edge, bnd[j].ent)
+	}
+	t.moved = moved[:0]
+	t.bnd = bnd[:0]
+}
+
+// collect merges the tiles' integer accumulators into a Result. Addition
+// and min/max are associative, so the outcome is independent of tiling.
+func (s *ShardedEngine) collect() Result {
+	var count, liveSum int64
+	var sum, sumSq uint64
+	var minD, maxD int32
+	for i := range s.tiles {
+		t := &s.tiles[i]
+		if t.count > 0 {
+			if count == 0 {
+				minD, maxD = t.minD, t.maxD
+			} else {
+				if t.minD < minD {
+					minD = t.minD
+				}
+				if t.maxD > maxD {
+					maxD = t.maxD
+				}
+			}
+			count += t.count
+			sum += t.sumDelay
+			sumSq += t.sumSq
+		}
+		liveSum += t.liveSum
+	}
+	var res Result
+	res.Delay = stats.WelfordFromInts(count, sum, sumSq, float64(minD), float64(maxD))
+	res.MeanDelay = res.Delay.Mean()
+	res.MeanN = float64(liveSum) / float64(s.cfg.Slots)
+	res.Delivered = count
+	return res
+}

@@ -13,8 +13,8 @@
 // that neither misimplements the model (asserted in tests and reported by
 // the `xval` experiment). Second, scale: the slotted model is the paper's
 // own, and the asymptotic bounds bite only on large arrays, so this engine
-// is built to push 256×256 and 512×512 arrays (≈10⁶ node-slots per run)
-// through in seconds.
+// is built to push 256×256 and beyond — with Config.Shards, a single
+// 1024×1024 run spreads across cores — through in seconds to minutes.
 //
 // # Engine architecture
 //
@@ -22,9 +22,9 @@
 // steady state. Its central trick is that a queued packet's position is
 // implicit: a packet waiting at edge e stands at EdgeTo(e), so packets
 // carry no current-node field at all. Each in-flight packet is one 64-bit
-// ring entry — the destination key in the high word, and a 24-bit arena
-// index (for its generation slot), the stepper choice and the measured bit
-// in the low word:
+// ring entry — the destination key in the high word, and the generation
+// slot (24 bits, modular), the stepper choice and the measured bit in the
+// low word:
 //
 //   - routing is implicit via routing.Stepper: the destination key plus the
 //     popped edge's endpoint determine the next edge, so routes are never
@@ -43,10 +43,26 @@
 //   - per-slot Poisson batches hoist exp(−λ) out of the per-source loop
 //     (xrand.PoissonExp), with Hörmann's PTRS taking over at large means.
 //
+// # Random-number regime
+//
+// Randomness is consumed only at generation time (Poisson batch size, then
+// per packet destination and routing coin); service is deterministic FIFO.
+// The default regime gives every source node its own keyed stream,
+// xrand.ReseedSplit(Seed, nodeID), and draws each node's variates from its
+// own stream in a canonical order. Because a node's draws then depend on
+// nothing but (Seed, nodeID, its own draw history), the run's results are
+// a pure function of the configuration — independent of source iteration
+// order and, crucially, of how nodes are grouped into worker tiles, which
+// is what makes sharded runs bit-identical to serial ones (see
+// ShardedEngine in shard.go). Config.PerEngineStream selects the
+// pre-sharding regime instead — one engine-wide stream consumed in node
+// order — kept so the bit-for-bit oracle cross-checks against the
+// seed-era pointer engine remain exact.
+//
 // An Engine's state survives across runs: Run resets bookkeeping but keeps
-// the packet arena, ring slab, tables and scratch, so a sweep that reuses
-// one Engine per worker (see StreamSweep) amortizes setup to ~0 allocations
-// per point. The zero Engine value is ready to use.
+// the ring slab, tables and scratch, so a sweep that reuses one Engine per
+// worker (see StreamSweep) amortizes setup to ~0 allocations per point.
+// The zero Engine value is ready to use.
 package stepsim
 
 import (
@@ -69,7 +85,9 @@ type Config struct {
 	// internal/routing do); materialized AppendRoute-only routers are
 	// rejected.
 	Router routing.Router
-	// Dest samples packet destinations.
+	// Dest samples packet destinations. Samplers must be pure given (src,
+	// rng) — every sampler in internal/routing and internal/workload is —
+	// because sharded runs call Sample concurrently with per-node streams.
 	Dest routing.DestSampler
 	// NodeRate is λ: each source receives a Poisson(NodeRate) batch per slot.
 	NodeRate float64
@@ -79,6 +97,22 @@ type Config struct {
 	Slots int
 	// Seed drives all randomness.
 	Seed uint64
+	// Shards is the intra-run tile parallelism: the node set is split into
+	// this many contiguous tiles (row bands on 2-D arrays and tori, index
+	// ranges elsewhere), each simulated by its own goroutine with one
+	// synchronization barrier per slot. 0 and 1 both mean serial. Results
+	// are bit-identical for every value — per-node keyed RNG streams plus
+	// a canonical per-slot placement order make the shard count a pure
+	// performance knob — so sweeps may pick it freely per run.
+	// Incompatible with PerEngineStream.
+	Shards int
+	// PerEngineStream selects the pre-sharding random-number regime: one
+	// engine-wide stream consumed in source-node order, as the seed-era
+	// pointer engine did. It exists for the bit-for-bit oracle
+	// cross-checks in oracle_test.go; results are NOT comparable between
+	// the two regimes (the variate streams differ), and sharding is
+	// unavailable because the single stream serializes generation.
+	PerEngineStream bool
 }
 
 // Result holds the measurements of one slotted run.
@@ -98,14 +132,15 @@ type Result struct {
 	Delivered int64
 }
 
-// Ring-entry layout. The low word is the packet: arena index (24 bits,
-// capping simultaneously-live packets at 16.7M), stepper choice (7 bits)
-// and the measured flag. The high word is the destination key: the node id
-// on the generic path, or 13-bit packed (row, col) coordinates on the
-// array fast path.
+// Ring-entry layout. The low word is the packet: generation slot modulo
+// 2²⁴ (delays are computed with modular subtraction, so per-packet sojourn
+// times up to 2²⁴−1 slots are exact at any run length — far beyond any
+// stable configuration), stepper choice (7 bits) and the measured flag.
+// The high word is the destination key: the node id on the generic path,
+// or 13-bit packed (row, col) coordinates on the array fast path.
 const (
-	entIdxBits    = 24
-	entIdxMask    = 1<<entIdxBits - 1
+	entSlotBits   = 24
+	entSlotMask   = 1<<entSlotBits - 1
 	entChoiceMask = 0x7f
 	entMeasured   = 1 << 31
 	entKeyShift   = 32
@@ -120,26 +155,52 @@ const (
 const ringCap = 4
 
 // movedRec parks one packet between the service and placement phases.
+// src is the edge the packet was served at this slot; the sharded engine
+// merges boundary-crossing packets back into ascending src order, which is
+// exactly the order a serial service scan would have placed them in.
 type movedRec struct {
 	ent  uint64
 	edge int32
+	src  int32
 }
 
-// Engine is a reusable slotted simulator. The zero value is ready; Run
-// resets all bookkeeping while keeping the packet arena, ring slab, lookup
-// tables and scratch, so reusing one Engine across the points of a sweep
-// makes the steady state allocation-free after the first run. An Engine is
-// not safe for concurrent use; the sweep pool gives each worker its own.
-type Engine struct {
-	cfg      Config
-	rng      *xrand.RNG
+// resolveConfig validates cfg and resolves the router's incremental form.
+func resolveConfig(cfg Config) (steppers []routing.Stepper, choose func(*xrand.RNG) int, err error) {
+	if cfg.Net == nil || cfg.Router == nil || cfg.Dest == nil {
+		return nil, nil, fmt.Errorf("stepsim: Net, Router and Dest are required")
+	}
+	if cfg.Slots <= 0 || cfg.WarmupSlots < 0 || cfg.NodeRate < 0 {
+		return nil, nil, fmt.Errorf("stepsim: invalid slot counts or rate")
+	}
+	steppers, choose, ok := routing.Steppers(cfg.Router)
+	if !ok {
+		return nil, nil, fmt.Errorf("stepsim: router %T does not implement routing.Stepper; the slotted engine routes implicitly (the materialized-route implementation survives only as the test oracle)", cfg.Router)
+	}
+	if len(steppers) > entChoiceMask+1 {
+		return nil, nil, fmt.Errorf("stepsim: router %T exposes %d steppers, more than the %d a ring entry can index", cfg.Router, len(steppers), entChoiceMask+1)
+	}
+	if cfg.Net.NumNodes() > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("stepsim: %s exceeds the int32 node-id limit", cfg.Net.Name())
+	}
+	return steppers, choose, nil
+}
+
+// poissonExpOf returns exp(−mean) when the mean sits in the hoisted-Knuth
+// regime, else 0 (meaning: draw through xrand.Poisson / PTRS).
+func poissonExpOf(mean float64) float64 {
+	if mean > 0 && mean < 10 {
+		return math.Exp(-mean)
+	}
+	return 0
+}
+
+// routeTables is the per-run routing state shared by the serial and
+// sharded engine bodies: the resolved steppers, the key tables, and the
+// closed-form 2-D-array fast path. All methods are read-only after init,
+// so one routeTables value serves every tile of a sharded run.
+type routeTables struct {
 	steppers []routing.Stepper
 	choose   func(*xrand.RNG) int
-	sources  []int
-
-	// poissonL is exp(−NodeRate), hoisted for the per-source Knuth draws;
-	// zero means the mean is large enough that PTRS is used instead.
-	poissonL float64
 
 	// fast selects the 2-D-array closed-form path; n/n1/h are its edge-id
 	// arithmetic constants and colFirstTab maps a stepper choice to
@@ -152,156 +213,137 @@ type Engine struct {
 	// node id (generic). nodeKey[v] is the per-node key in the same format.
 	edgeKey []int32
 	nodeKey []int32
-
-	// Packet arena: genSlot[i] is packet i's generation slot; everything
-	// else about a packet lives in its 64-bit ring entry. Indices are
-	// recycled through free.
-	genSlot []int32
-	free    []int32
-
-	// Per-edge FIFO rings: qbuf[e] is a power-of-two slice (initially
-	// carved from one slab), qhead[e]/qsize[e] its head index and length.
-	qbuf  [][]uint64
-	qhead []int32
-	qsize []int32
-
-	// moved parks packets that completed a hop this slot until every edge
-	// has served (phase 3 placement).
-	moved []movedRec
 }
 
-// Run executes one synchronous simulation, reusing the engine's storage.
-func (e *Engine) Run(cfg Config) (Result, error) {
-	if err := e.reset(cfg); err != nil {
-		return Result{}, err
-	}
-	return e.run(), nil
-}
-
-// Run executes one synchronous simulation on a throwaway engine. Sweeps
-// should reuse an Engine (or go through RunReplicas/StreamSweep, which do).
-func Run(cfg Config) (Result, error) {
-	var e Engine
-	return e.Run(cfg)
-}
-
-// reset validates cfg and prepares the engine, reusing prior storage when
-// capacities allow.
-func (e *Engine) reset(cfg Config) error {
-	if cfg.Net == nil || cfg.Router == nil || cfg.Dest == nil {
-		return fmt.Errorf("stepsim: Net, Router and Dest are required")
-	}
-	if cfg.Slots <= 0 || cfg.WarmupSlots < 0 || cfg.NodeRate < 0 {
-		return fmt.Errorf("stepsim: invalid slot counts or rate")
-	}
-	steppers, choose, ok := routing.Steppers(cfg.Router)
-	if !ok {
-		return fmt.Errorf("stepsim: router %T does not implement routing.Stepper; the slotted engine routes implicitly (the materialized-route implementation survives only as the test oracle)", cfg.Router)
-	}
-	if len(steppers) > entChoiceMask+1 {
-		return fmt.Errorf("stepsim: router %T exposes %d steppers, more than the %d a ring entry can index", cfg.Router, len(steppers), entChoiceMask+1)
-	}
+// init refills the tables for cfg, reusing prior capacity.
+func (t *routeTables) init(cfg Config, steppers []routing.Stepper, choose func(*xrand.RNG) int) {
+	t.steppers, t.choose = steppers, choose
+	t.setupFastPath(cfg.Net)
 	numNodes, numEdges := cfg.Net.NumNodes(), cfg.Net.NumEdges()
-	if numNodes > math.MaxInt32 {
-		return fmt.Errorf("stepsim: %s exceeds the int32 node-id limit", cfg.Net.Name())
-	}
-	e.cfg = cfg
-	e.steppers, e.choose = steppers, choose
-	if e.rng == nil {
-		e.rng = xrand.New(cfg.Seed)
-	} else {
-		e.rng.Reseed(cfg.Seed)
-	}
-	e.poissonL = 0
-	if cfg.NodeRate > 0 && cfg.NodeRate < 10 {
-		e.poissonL = math.Exp(-cfg.NodeRate)
-	}
-
-	// Source set, rebuilt into the engine-owned buffer. SourceSet
-	// topologies' slices are COPIED, never aliased: a reused engine
-	// truncates and refills e.sources on every reset, which would
-	// otherwise scribble over the topology's own node list.
-	e.sources = e.sources[:0]
-	if ss, isRestricted := cfg.Net.(topology.SourceSet); isRestricted {
-		e.sources = append(e.sources, ss.SourceNodes()...)
-	} else {
-		for i := 0; i < numNodes; i++ {
-			e.sources = append(e.sources, i)
-		}
-	}
-
-	e.setupFastPath()
-
-	// Lookup tables, refilled every reset (contents depend on the net).
-	e.edgeKey = growI32(e.edgeKey, numEdges)
-	e.nodeKey = growI32(e.nodeKey, numNodes)
-	if e.fast {
+	t.edgeKey = growI32(t.edgeKey, numEdges)
+	t.nodeKey = growI32(t.nodeKey, numNodes)
+	if t.fast {
 		a := cfg.Net.(*topology.Array2D)
 		for v := 0; v < numNodes; v++ {
 			r, c := a.Coords(v)
-			e.nodeKey[v] = int32(r<<coordBits | c)
+			t.nodeKey[v] = int32(r<<coordBits | c)
 		}
 	} else {
 		for v := 0; v < numNodes; v++ {
-			e.nodeKey[v] = int32(v)
+			t.nodeKey[v] = int32(v)
 		}
 	}
 	for ed := 0; ed < numEdges; ed++ {
-		e.edgeKey[ed] = e.nodeKey[cfg.Net.EdgeTo(ed)]
+		t.edgeKey[ed] = t.nodeKey[cfg.Net.EdgeTo(ed)]
 	}
-
-	// Rings: reuse grown buffers when the edge count matches, else carve a
-	// fresh power-of-two ring per edge from one slab.
-	if len(e.qbuf) == numEdges {
-		for i := range e.qhead {
-			e.qhead[i], e.qsize[i] = 0, 0
-		}
-	} else {
-		e.qbuf = make([][]uint64, numEdges)
-		e.qhead = make([]int32, numEdges)
-		e.qsize = make([]int32, numEdges)
-		slab := make([]uint64, numEdges*ringCap)
-		for i := range e.qbuf {
-			e.qbuf[i] = slab[i*ringCap : (i+1)*ringCap : (i+1)*ringCap]
-		}
-	}
-
-	// Packet arena and scratch: keep capacity, drop contents.
-	e.genSlot = e.genSlot[:0]
-	e.free = e.free[:0]
-	e.moved = e.moved[:0]
-	return nil
 }
 
 // setupFastPath enables the closed-form array path when the topology is a
 // 2-D array small enough for packed coordinates and every stepper is a
 // greedy row/column router on that same array.
-func (e *Engine) setupFastPath() {
-	e.fast = false
-	a, isArray := e.cfg.Net.(*topology.Array2D)
-	if !isArray || a.N() > coordMask || len(e.steppers) > 2 {
+func (t *routeTables) setupFastPath(net topology.Network) {
+	t.fast = false
+	a, isArray := net.(*topology.Array2D)
+	if !isArray || a.N() > coordMask || len(t.steppers) > 2 {
 		return
 	}
-	for i, st := range e.steppers {
+	for i, st := range t.steppers {
 		switch g := st.(type) {
 		case routing.GreedyXY:
 			if g.A != a {
 				return
 			}
-			e.colFirstTab[i] = 0
+			t.colFirstTab[i] = 0
 		case routing.GreedyYX:
 			if g.A != a {
 				return
 			}
-			e.colFirstTab[i] = 1
+			t.colFirstTab[i] = 1
 		default:
 			return
 		}
 	}
-	e.fast = true
-	e.n = a.N()
-	e.n1 = e.n - 1
-	e.h = e.n * e.n1
+	t.fast = true
+	t.n = a.N()
+	t.n1 = t.n - 1
+	t.h = t.n * t.n1
+}
+
+// nextArrayEdge is the closed-form greedy step on the n×n array: from
+// packed position pos toward packed destination key, taking row edges
+// before column edges unless colFirst. The caller guarantees pos != key.
+func (t *routeTables) nextArrayEdge(pos, key int32, colFirst uint32) int32 {
+	r, c := int(pos>>coordBits), int(pos&coordMask)
+	dr, dc := int(key>>coordBits), int(key&coordMask)
+	if c != dc && (colFirst == 0 || r == dr) {
+		if c < dc {
+			return int32(r*t.n1 + c) // Right
+		}
+		return int32(t.h + r*t.n1 + c - 1) // Left
+	}
+	if r < dr {
+		return int32(2*t.h + c*t.n1 + r) // Down
+	}
+	return int32(3*t.h + c*t.n1 + r - 1) // Up
+}
+
+// nextEdge returns the next edge for a packet at position pos (in key
+// format) heading for key, on either path.
+func (t *routeTables) nextEdge(pos, key int32, choice uint32) int32 {
+	if t.fast {
+		return t.nextArrayEdge(pos, key, t.colFirstTab[choice])
+	}
+	edge, _ := t.steppers[choice].NextEdge(int(pos), int(key))
+	return int32(edge)
+}
+
+// ringSet is the per-edge FIFO queue state: qbuf[e] is a power-of-two
+// ring slice (initially carved from one slab), qhead[e]/qsize[e] its head
+// index and length. In a sharded run each tile touches only the entries of
+// the edges it owns, so the arrays are shared without locks.
+type ringSet struct {
+	qbuf  [][]uint64
+	qhead []int32
+	qsize []int32
+}
+
+// reset prepares rings for numEdges edges, reusing grown buffers when the
+// edge count matches, else carving a fresh power-of-two ring per edge from
+// one slab.
+func (r *ringSet) reset(numEdges int) {
+	if len(r.qbuf) == numEdges {
+		for i := range r.qhead {
+			r.qhead[i], r.qsize[i] = 0, 0
+		}
+		return
+	}
+	r.qbuf = make([][]uint64, numEdges)
+	r.qhead = make([]int32, numEdges)
+	r.qsize = make([]int32, numEdges)
+	slab := make([]uint64, numEdges*ringCap)
+	for i := range r.qbuf {
+		r.qbuf[i] = slab[i*ringCap : (i+1)*ringCap : (i+1)*ringCap]
+	}
+}
+
+// push appends entry ent to edge's ring, doubling the ring (privately,
+// detached from the slab) when full.
+func (r *ringSet) push(edge int32, ent uint64) {
+	buf := r.qbuf[edge]
+	size := r.qsize[edge]
+	if int(size) == len(buf) {
+		grown := make([]uint64, 2*len(buf))
+		head := r.qhead[edge]
+		mask := int32(len(buf) - 1)
+		for i := int32(0); i < size; i++ {
+			grown[i] = buf[(head+i)&mask]
+		}
+		buf = grown
+		r.qbuf[edge] = buf
+		r.qhead[edge] = 0
+	}
+	buf[(r.qhead[edge]+size)&int32(len(buf)-1)] = ent
+	r.qsize[edge] = size + 1
 }
 
 // growI32 returns buf resized to n, reusing its capacity.
@@ -312,70 +354,96 @@ func growI32(buf []int32, n int) []int32 {
 	return buf[:n]
 }
 
-// alloc returns a free arena index.
-func (e *Engine) alloc() int32 {
-	if n := len(e.free); n > 0 {
-		idx := e.free[n-1]
-		e.free = e.free[:n-1]
-		return idx
-	}
-	if len(e.genSlot) > entIdxMask {
-		panic(fmt.Sprintf("stepsim: more than %d simultaneously live packets", entIdxMask+1))
-	}
-	e.genSlot = append(e.genSlot, 0)
-	return int32(len(e.genSlot) - 1)
+// Engine is a reusable slotted simulator. The zero value is ready; Run
+// resets all bookkeeping while keeping the ring slab, lookup tables and
+// scratch, so reusing one Engine across the points of a sweep makes the
+// steady state allocation-free after the first run. An Engine is not safe
+// for concurrent use; the sweep pool gives each worker its own. Runs with
+// Shards > 1 execute on the engine's embedded ShardedEngine, whose worker
+// goroutines live only for the duration of the call.
+type Engine struct {
+	sh     ShardedEngine
+	legacy legacyEngine
 }
 
-// push appends entry ent to edge's ring, doubling the ring (privately,
-// detached from the slab) when full.
-func (e *Engine) push(edge int32, ent uint64) {
-	buf := e.qbuf[edge]
-	size := e.qsize[edge]
-	if int(size) == len(buf) {
-		grown := make([]uint64, 2*len(buf))
-		head := e.qhead[edge]
-		mask := int32(len(buf) - 1)
-		for i := int32(0); i < size; i++ {
-			grown[i] = buf[(head+i)&mask]
+// Run executes one synchronous simulation, reusing the engine's storage.
+func (e *Engine) Run(cfg Config) (Result, error) {
+	if cfg.PerEngineStream {
+		if cfg.Shards > 1 {
+			return Result{}, fmt.Errorf("stepsim: PerEngineStream is serial by construction (one stream consumed in node order); it cannot run with Shards = %d", cfg.Shards)
 		}
-		buf = grown
-		e.qbuf[edge] = buf
-		e.qhead[edge] = 0
-	}
-	buf[(e.qhead[edge]+size)&int32(len(buf)-1)] = ent
-	e.qsize[edge] = size + 1
-}
-
-// nextArrayEdge is the closed-form greedy step on the n×n array: from
-// packed position pos toward packed destination key, taking row edges
-// before column edges unless colFirst. The caller guarantees pos != key.
-func (e *Engine) nextArrayEdge(pos, key int32, colFirst uint32) int32 {
-	r, c := int(pos>>coordBits), int(pos&coordMask)
-	dr, dc := int(key>>coordBits), int(key&coordMask)
-	if c != dc && (colFirst == 0 || r == dr) {
-		if c < dc {
-			return int32(r*e.n1 + c) // Right
+		if err := e.legacy.reset(cfg); err != nil {
+			return Result{}, err
 		}
-		return int32(e.h + r*e.n1 + c - 1) // Left
+		return e.legacy.run(), nil
 	}
-	if r < dr {
-		return int32(2*e.h + c*e.n1 + r) // Down
-	}
-	return int32(3*e.h + c*e.n1 + r - 1) // Up
+	return e.sh.Run(cfg)
 }
 
-// nextEdge returns the next edge for a packet at position pos (in key
-// format) heading for key, on either path.
-func (e *Engine) nextEdge(pos, key int32, choice uint32) int32 {
-	if e.fast {
-		return e.nextArrayEdge(pos, key, e.colFirstTab[choice])
+// Run executes one synchronous simulation on a throwaway engine. Sweeps
+// should reuse an Engine (or go through RunReplicas/StreamSweep, which do).
+func Run(cfg Config) (Result, error) {
+	var e Engine
+	return e.Run(cfg)
+}
+
+// legacyEngine is the pre-sharding engine body: one engine-wide RNG stream
+// consumed in source-node order, sequential Welford accumulation. It is
+// reachable only through Config.PerEngineStream and exists so the
+// bit-for-bit oracle cross-checks against the seed-era pointer engine
+// (oracle_test.go) keep their exact variate stream.
+type legacyEngine struct {
+	cfg     Config
+	rng     *xrand.RNG
+	tab     routeTables
+	rings   ringSet
+	sources []int
+
+	// poissonL is exp(−NodeRate), hoisted for the per-source Knuth draws;
+	// zero means the mean is large enough that PTRS is used instead.
+	poissonL float64
+
+	// moved parks packets that completed a hop this slot until every edge
+	// has served (phase 3 placement).
+	moved []movedRec
+}
+
+// reset validates cfg and prepares the engine, reusing prior storage when
+// capacities allow.
+func (e *legacyEngine) reset(cfg Config) error {
+	steppers, choose, err := resolveConfig(cfg)
+	if err != nil {
+		return err
 	}
-	edge, _ := e.steppers[choice].NextEdge(int(pos), int(key))
-	return int32(edge)
+	e.cfg = cfg
+	if e.rng == nil {
+		e.rng = xrand.New(cfg.Seed)
+	} else {
+		e.rng.Reseed(cfg.Seed)
+	}
+	e.poissonL = poissonExpOf(cfg.NodeRate)
+
+	// Source set, rebuilt into the engine-owned buffer. SourceSet
+	// topologies' slices are COPIED, never aliased: a reused engine
+	// truncates and refills e.sources on every reset, which would
+	// otherwise scribble over the topology's own node list.
+	e.sources = e.sources[:0]
+	if ss, isRestricted := cfg.Net.(topology.SourceSet); isRestricted {
+		e.sources = append(e.sources, ss.SourceNodes()...)
+	} else {
+		for i := 0; i < cfg.Net.NumNodes(); i++ {
+			e.sources = append(e.sources, i)
+		}
+	}
+
+	e.tab.init(cfg, steppers, choose)
+	e.rings.reset(cfg.Net.NumEdges())
+	e.moved = e.moved[:0]
+	return nil
 }
 
 // run is the three-phase cycle loop.
-func (e *Engine) run() Result {
+func (e *legacyEngine) run() Result {
 	var res Result
 	var nSum float64
 	live := 0
@@ -385,8 +453,8 @@ func (e *Engine) run() Result {
 	dest := e.cfg.Dest
 	// Hoist the hot slices out of the receiver so the loop body keeps them
 	// in registers instead of reloading headers through e.
-	qbuf, qhead, qsize := e.qbuf, e.qhead, e.qsize
-	edgeKey, nodeKey, genSlot := e.edgeKey, e.nodeKey, e.genSlot
+	qbuf, qhead, qsize := e.rings.qbuf, e.rings.qhead, e.rings.qsize
+	edgeKey, nodeKey := e.tab.edgeKey, e.tab.nodeKey
 	total := e.cfg.WarmupSlots + e.cfg.Slots
 	for slot := 0; slot < total; slot++ {
 		measuring := slot >= e.cfg.WarmupSlots
@@ -416,8 +484,8 @@ func (e *Engine) run() Result {
 			for ; k > 0; k-- {
 				dst := dest.Sample(src, rng)
 				var choice uint32
-				if e.choose != nil {
-					choice = uint32(e.choose(rng))
+				if e.tab.choose != nil {
+					choice = uint32(e.tab.choose(rng))
 				}
 				if dst == src {
 					// Zero-hop packet: delivered instantly with delay 0,
@@ -428,14 +496,11 @@ func (e *Engine) run() Result {
 					}
 					continue
 				}
-				idx := e.alloc()
-				genSlot = e.genSlot // alloc may have grown the arena
-				genSlot[idx] = int32(slot)
-				ent := uint64(nodeKey[dst])<<entKeyShift | uint64(choice)<<entIdxBits | uint64(idx)
+				ent := uint64(nodeKey[dst])<<entKeyShift | uint64(choice)<<entSlotBits | uint64(slot&entSlotMask)
 				if measuring {
 					ent |= entMeasured
 				}
-				e.push(e.nextEdge(nodeKey[src], nodeKey[dst], choice), ent)
+				e.rings.push(e.tab.nextEdge(nodeKey[src], nodeKey[dst], choice), ent)
 				live++
 			}
 		}
@@ -448,7 +513,7 @@ func (e *Engine) run() Result {
 		// slot; completions land at the next edge for service next slot. A
 		// served packet's new position is implicit — the popped edge's
 		// endpoint — so the only per-packet state consulted here is its
-		// ring entry (and the arena's generation slot on delivery).
+		// ring entry.
 		moved := e.moved[:0]
 		for edge, size := range qsize {
 			if size == 0 {
@@ -463,21 +528,20 @@ func (e *Engine) run() Result {
 			key := int32(ent >> entKeyShift)
 			if pos == key {
 				if ent&entMeasured != 0 && measuring {
-					idx := ent & entIdxMask
-					res.Delay.Add(float64(int32(slot+1) - genSlot[idx]))
+					d := (uint32(slot+1) - uint32(ent)) & entSlotMask
+					res.Delay.Add(float64(d))
 					res.Delivered++
 				}
 				live--
-				e.free = append(e.free, int32(ent&entIdxMask))
 				continue
 			}
-			choice := uint32(ent>>entIdxBits) & entChoiceMask
-			moved = append(moved, movedRec{ent: ent, edge: e.nextEdge(pos, key, choice)})
+			choice := uint32(ent>>entSlotBits) & entChoiceMask
+			moved = append(moved, movedRec{ent: ent, edge: e.tab.nextEdge(pos, key, choice)})
 		}
 		// Phase 3: place moved packets after all services, so none is
 		// served twice in one slot.
 		for _, m := range moved {
-			e.push(m.edge, m.ent)
+			e.rings.push(m.edge, m.ent)
 		}
 		e.moved = moved[:0]
 	}

@@ -1,0 +1,100 @@
+package topology
+
+// This file is the tile-planning layer behind the sharded slotted engine
+// (internal/stepsim.ShardedEngine): it splits a network's dense node-id
+// space into contiguous ranges, one per worker tile, and enumerates the
+// directed edges that cross between ranges — the only traffic the tiles
+// ever have to hand off to one another.
+//
+// The plan is *spatial*, not load-balanced: contiguous node-id ranges are
+// row bands on the 2-D array and torus (node id = row·n + col, so a block
+// of rows IS a block of ids), and index-range slabs on k-d arrays, cubes
+// and butterflies. Row bands minimize the boundary on the paper's core
+// topology — a band boundary cuts only the 2n vertical edges between two
+// adjacent rows — while index ranges keep every other topology correct
+// with whatever boundary its edge structure implies.
+
+// NodeRange is a contiguous block of node ids [Lo, Hi). Ranges may be
+// empty (Lo == Hi): a plan with more shards than rows keeps its trailing
+// tiles idle rather than failing, so shard counts are a pure performance
+// knob that can never change which configurations are runnable.
+type NodeRange struct {
+	Lo, Hi int
+}
+
+// Len returns the number of nodes in the range.
+func (r NodeRange) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether node v lies in the range.
+func (r NodeRange) Contains(v int) bool { return v >= r.Lo && v < r.Hi }
+
+// rowsOf returns the row count and width when net's node ids are row-major
+// rows of equal width that tiles should not split (the 2-D array and
+// torus), or ok = false when plain index ranges are the right plan.
+func rowsOf(net Network) (rows, width int, ok bool) {
+	switch a := net.(type) {
+	case *Array2D:
+		return a.N(), a.N(), true
+	case *Torus2D:
+		return a.N(), a.N(), true
+	}
+	return 0, 0, false
+}
+
+// Partition splits net's nodes into `shards` contiguous NodeRanges that
+// cover [0, NumNodes) in order. On the 2-D array and torus the cut points
+// are aligned to row boundaries (row-band tiles); every other topology is
+// split into plain index ranges. Earlier ranges are never smaller than
+// later ones by more than one unit (row or node), and shards beyond the
+// unit count yield empty trailing ranges. It panics if shards < 1.
+func Partition(net Network, shards int) []NodeRange {
+	if shards < 1 {
+		panic("topology: Partition requires shards >= 1")
+	}
+	units, width := net.NumNodes(), 1
+	if r, w, ok := rowsOf(net); ok {
+		units, width = r, w
+	}
+	ranges := make([]NodeRange, shards)
+	for i := 0; i < shards; i++ {
+		ranges[i] = NodeRange{
+			Lo: width * (i * units / shards),
+			Hi: width * ((i + 1) * units / shards),
+		}
+	}
+	return ranges
+}
+
+// RangeOf returns the index of the range containing node v, by binary
+// search over the (ordered, covering) ranges Partition returns. Empty
+// ranges are skipped. It panics if v lies in no range.
+func RangeOf(ranges []NodeRange, v int) int {
+	lo, hi := 0, len(ranges)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch r := ranges[mid]; {
+		case v < r.Lo:
+			hi = mid - 1
+		case v >= r.Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	panic("topology: node outside every partition range")
+}
+
+// CrossEdges returns the ids of the directed edges whose endpoints lie in
+// different ranges — the boundary traffic a tiled execution must hand off.
+// The result is ascending. For a row-band plan on an n×n array this is the
+// 2n Down/Up edges per interior band boundary; everything else (all Right/
+// Left edges, and Down/Up edges interior to a band) stays tile-local.
+func CrossEdges(net Network, ranges []NodeRange) []int {
+	var cross []int
+	for e := 0; e < net.NumEdges(); e++ {
+		if RangeOf(ranges, net.EdgeFrom(e)) != RangeOf(ranges, net.EdgeTo(e)) {
+			cross = append(cross, e)
+		}
+	}
+	return cross
+}

@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"testing"
+)
+
+func checkCovering(t *testing.T, net Network, ranges []NodeRange) {
+	t.Helper()
+	next := 0
+	for i, r := range ranges {
+		if r.Lo != next || r.Hi < r.Lo {
+			t.Fatalf("range %d = %+v does not continue cover at %d", i, r, next)
+		}
+		next = r.Hi
+	}
+	if next != net.NumNodes() {
+		t.Fatalf("ranges cover [0,%d), want [0,%d)", next, net.NumNodes())
+	}
+}
+
+func TestPartitionRowAligned(t *testing.T) {
+	for _, net := range []Network{NewArray2D(8), NewTorus2D(7)} {
+		n := 0
+		switch a := net.(type) {
+		case *Array2D:
+			n = a.N()
+		case *Torus2D:
+			n = a.N()
+		}
+		for shards := 1; shards <= 2*n; shards++ {
+			ranges := Partition(net, shards)
+			if len(ranges) != shards {
+				t.Fatalf("%s shards=%d: got %d ranges", net.Name(), shards, len(ranges))
+			}
+			checkCovering(t, net, ranges)
+			for i, r := range ranges {
+				if r.Lo%n != 0 || r.Hi%n != 0 {
+					t.Errorf("%s shards=%d range %d = %+v not row-aligned", net.Name(), shards, i, r)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionMoreShardsThanRows(t *testing.T) {
+	// 8 shards over a 5-row array: every row lands somewhere, the surplus
+	// tiles are empty, and nothing panics.
+	a := NewArray2D(5)
+	ranges := Partition(a, 8)
+	checkCovering(t, a, ranges)
+	empty := 0
+	for _, r := range ranges {
+		if r.Len() == 0 {
+			empty++
+		}
+	}
+	if empty != 3 {
+		t.Errorf("want 3 empty tiles for 8 shards over 5 rows, got %d", empty)
+	}
+}
+
+func TestPartitionGenericIndexRanges(t *testing.T) {
+	for _, net := range []Network{NewArrayKD(7, 13), NewHypercube(5), NewButterfly(3)} {
+		for _, shards := range []int{1, 2, 3, 8} {
+			ranges := Partition(net, shards)
+			checkCovering(t, net, ranges)
+			// Balanced to within one node.
+			min, max := net.NumNodes(), 0
+			for _, r := range ranges {
+				if r.Len() < min {
+					min = r.Len()
+				}
+				if r.Len() > max {
+					max = r.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Errorf("%s shards=%d: range sizes spread %d..%d", net.Name(), shards, min, max)
+			}
+		}
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	a := NewArray2D(6)
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		ranges := Partition(a, shards)
+		for v := 0; v < a.NumNodes(); v++ {
+			i := RangeOf(ranges, v)
+			if !ranges[i].Contains(v) {
+				t.Fatalf("shards=%d: RangeOf(%d) = %d, range %+v", shards, v, i, ranges[i])
+			}
+		}
+	}
+}
+
+func TestCrossEdgesArrayBands(t *testing.T) {
+	// A band boundary on an n×n array cuts exactly 2n vertical edges
+	// (n Down crossing forward, n Up crossing back); rows never cross.
+	a := NewArray2D(6)
+	ranges := Partition(a, 3)
+	cross := CrossEdges(a, ranges)
+	if want := 2 * 6 * 2; len(cross) != want { // 2 interior boundaries
+		t.Fatalf("6x6 in 3 bands: %d cross edges, want %d", len(cross), want)
+	}
+	for _, e := range cross {
+		_, _, d := a.EdgeInfo(e)
+		if d == Right || d == Left {
+			t.Errorf("horizontal edge %d reported as crossing a row band", e)
+		}
+		if RangeOf(ranges, a.EdgeFrom(e)) == RangeOf(ranges, a.EdgeTo(e)) {
+			t.Errorf("edge %d does not actually cross", e)
+		}
+	}
+}
+
+func TestCrossEdgesBruteForceAgreement(t *testing.T) {
+	for _, net := range []Network{NewTorus2D(5), NewArrayKD(3, 4), NewHypercube(4)} {
+		ranges := Partition(net, 3)
+		got := CrossEdges(net, ranges)
+		idx := 0
+		for e := 0; e < net.NumEdges(); e++ {
+			crosses := RangeOf(ranges, net.EdgeFrom(e)) != RangeOf(ranges, net.EdgeTo(e))
+			inList := idx < len(got) && got[idx] == e
+			if inList {
+				idx++
+			}
+			if crosses != inList {
+				t.Fatalf("%s edge %d: crosses=%v inList=%v", net.Name(), e, crosses, inList)
+			}
+		}
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Partition(0) did not panic")
+		}
+	}()
+	Partition(NewArray2D(4), 0)
+}

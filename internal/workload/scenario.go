@@ -260,6 +260,13 @@ type Scenario struct {
 	// Replicas per load point (default 4) and the base Seed (default 1).
 	Replicas int    `json:"replicas,omitempty"`
 	Seed     uint64 `json:"seed,omitempty"`
+	// Shards is the intra-run tile parallelism of the slotted engine
+	// (stepsim.Config.Shards): 0 lets the sweep pool spend spare cores
+	// inside runs automatically, 1 forces serial runs, N > 1 forces N
+	// tiles. The slotted engine's results are bit-identical at every
+	// value, so the knob only changes wall-clock. The event-driven engine
+	// has no intra-run parallelism and ignores it.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ParseScenario decodes and validates a JSON scenario.
@@ -324,6 +331,9 @@ func (s Scenario) checkFields() error {
 	}
 	if s.Replicas < 0 {
 		return fmt.Errorf("workload: scenario %q has negative replicas", s.Name)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("workload: scenario %q has negative shards", s.Name)
 	}
 	return nil
 }
@@ -450,6 +460,9 @@ func (b *Bound) SlottedConfigs() ([]stepsim.Config, error) {
 			WarmupSlots: warmup,
 			Slots:       slots,
 			Seed:        s.Seed,
+			// Shards = 0 stays 0 here: the sweep pool resolves it to the
+			// spare-core factor at run time (stepsim.StreamSweep).
+			Shards: s.Shards,
 		})
 	}
 	return cfgs, nil

@@ -272,6 +272,31 @@ func TestSlottedConfigs(t *testing.T) {
 	}
 }
 
+func TestSlottedConfigsPlumbShards(t *testing.T) {
+	s, err := ByName("uniform-8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Shards = 3
+	b, err := s.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := b.SlottedConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		if cfg.Shards != 3 {
+			t.Errorf("point %d: Shards %d, want 3", i, cfg.Shards)
+		}
+	}
+	s.Shards = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative shards validated")
+	}
+}
+
 func TestSlottedConfigsRejectsNonPoisson(t *testing.T) {
 	s, err := ByName("bursty-8x8")
 	if err != nil {

@@ -58,10 +58,23 @@ func (r *RNG) Reseed(seed uint64) {
 // Children with distinct indices have unrelated state, which is what the
 // parallel replica runner relies on.
 func Split(seed, index uint64) *RNG {
+	var r RNG
+	r.ReseedSplit(seed, index)
+	return &r
+}
+
+// ReseedSplit resets r to the exact state Split(seed, index) would produce,
+// without allocating. It is the keyed-stream primitive behind the sharded
+// slotted engine's per-node generators: stream index v of a run seed is a
+// pure function of (seed, v), so an engine that owns one generator per
+// source node can reseed millions of them in place at the start of a run —
+// and, because every node's draws then depend only on its own stream, the
+// run's results cannot depend on how nodes are grouped into worker tiles.
+func (r *RNG) ReseedSplit(seed, index uint64) {
 	sm := seed
 	base := splitmix64(&sm)
 	mix := index*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-	return New(base ^ splitmix64(&mix))
+	r.Reseed(base ^ splitmix64(&mix))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -52,6 +52,48 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestReseedSplitMatchesSplit(t *testing.T) {
+	var r RNG
+	for _, tc := range []struct{ seed, index uint64 }{
+		{0, 0}, {1, 0}, {7, 3}, {^uint64(0), 12345}, {42, ^uint64(0)},
+	} {
+		r.ReseedSplit(tc.seed, tc.index)
+		want := Split(tc.seed, tc.index)
+		for i := 0; i < 50; i++ {
+			if got, w := r.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("ReseedSplit(%d,%d) draw %d: %#x != Split %#x", tc.seed, tc.index, i, got, w)
+			}
+		}
+	}
+}
+
+// TestReseedSplitKeyedStreams exercises the per-node keyed-stream pattern
+// the sharded slotted engine relies on: adjacent indices (node ids) must
+// yield decorrelated streams, and in-place reseeding must not allocate.
+func TestReseedSplitKeyedStreams(t *testing.T) {
+	var a, b RNG
+	a.ReseedSplit(9, 1000)
+	b.ReseedSplit(9, 1001)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("adjacent keyed streams correlated: %d identical draws", same)
+	}
+	rngs := make([]RNG, 64)
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := range rngs {
+			rngs[i].ReseedSplit(5, uint64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReseedSplit allocates %.0f times per sweep, want 0", allocs)
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	f := func(skip uint8) bool {
