@@ -3,7 +3,7 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test race examples scenario-smoke bench bench-slotted bench-sharded bench-compare profile vet
+.PHONY: test race examples scenario-smoke sparse-smoke bench bench-slotted bench-sparse bench-sharded bench-json bench-compare profile vet
 
 test:
 	go vet ./...
@@ -28,11 +28,44 @@ scenario-smoke:
 	go run ./cmd/scenario run hotspot-8x8 -quick -replicas 2
 	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted
 	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted -shards 2
+	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted -dense
 	go run ./cmd/scenario run bursty-8x8 -quick -replicas 2 -json >/dev/null
+
+# sparse-smoke is the low-load large-array regression tripwire CI runs:
+# a 256×256 rho=0.1 run on the sparse slotted engine must finish inside a
+# generous wall-clock budget (an O(N·T) cost regression blows the
+# timeout loudly) and match its pinned golden bits.
+sparse-smoke:
+	go test -count=1 -timeout 180s -run 'TestSparseLowLoadGolden' ./internal/stepsim/
 
 # bench runs the hot-path benchmarks with allocation reporting.
 bench:
 	go test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=2s -count=$(COUNT) .
+
+# bench-sparse is the sparse-vs-dense A/B across the load ladder (the
+# BENCH.md "Sparse engine" tables; sparse is the default path, dense the
+# Config.Dense baseline).
+bench-sparse:
+	go test -run='^$$' -bench='BenchmarkStepSlotsLoad' -benchmem -benchtime=2s -count=$(COUNT) .
+
+# bench-json records the benchmark trajectory machine-readably: the full
+# suite at BENCHTIME, parsed by cmd/benchjson into BENCH_<UTC-date>.json
+# (benchmark name -> ns/op, B/op, allocs/op, custom metrics, plus
+# goos/goarch/cpu/GOMAXPROCS metadata). CI runs this on every push and
+# uploads the file as an artifact, turning BENCH.md's prose history into
+# a diffable series. Raise BENCHTIME (e.g. BENCHTIME=2s) for numbers
+# worth comparing across machines.
+BENCHTIME ?= 1x
+bench-json:
+	# Capture to a file, no pipe: a benchmark that panics or fails to
+	# compile must fail this target (and CI), not vanish behind
+	# benchjson's exit status (POSIX sh has no pipefail).
+	go test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... > bench-json.tmp || \
+		{ cat bench-json.tmp; rm -f bench-json.tmp; exit 1; }
+	@cat bench-json.tmp
+	go run ./cmd/benchjson -out BENCH_$$(date -u +%Y-%m-%d).json < bench-json.tmp
+	@rm -f bench-json.tmp
+	@echo "wrote BENCH_$$(date -u +%Y-%m-%d).json"
 
 # bench-slotted measures the synchronous slotted engine and the Poisson
 # sampler, plus the pre-rewrite pointer engine (the test oracle) for a

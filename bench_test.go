@@ -166,6 +166,63 @@ func BenchmarkStepSlots(b *testing.B) {
 	}
 }
 
+// BenchmarkStepSlotsLoad is the sparse-vs-dense A/B across the load
+// ladder (the acceptance surface of the sparse rework): the same
+// configuration on the default sparse path (skip-ahead arrivals +
+// active-edge worklists) and on the dense per-slot body
+// (stepsim.Config.Dense). The two consume different variate sequences by
+// design, so only wall-clock is comparable — the semantic agreement is
+// pinned by TestSparseDenseStatisticalEquivalence. The expected shape
+// (measured tables in BENCH.md): sparse cost is proportional to live
+// traffic, so the ratio is largest where traffic is genuinely sparse
+// (ρ ≤ ~0.03: ≥ 5×) and converges toward ~1× near saturation, where
+// per-hop service work — identical on both paths — dominates; by
+// Little's law the busy-edge density is ≈ (2/3)ρ independent of array
+// size, which is what bounds the mid-ρ ratio.
+func BenchmarkStepSlotsLoad(b *testing.B) {
+	cases := []struct {
+		name  string
+		n     int
+		slots int
+	}{
+		{"64x64", 64, 200},
+		{"256x256", 256, 250},
+	}
+	for _, c := range cases {
+		for _, rho := range []float64{0.02, 0.1, 0.3, 0.6, 0.9} {
+			for _, mode := range []struct {
+				name  string
+				dense bool
+			}{{"sparse", false}, {"dense", true}} {
+				b.Run(fmt.Sprintf("%s/rho=%g/%s", c.name, rho, mode.name), func(b *testing.B) {
+					a := topology.NewArray2D(c.n)
+					cfg := stepsim.Config{
+						Net:         a,
+						Router:      routing.GreedyXY{A: a},
+						Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+						NodeRate:    bounds.LambdaTable(c.n, rho),
+						WarmupSlots: c.slots / 4,
+						Slots:       c.slots,
+						Dense:       mode.dense,
+					}
+					var eng stepsim.Engine
+					var delivered int64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						cfg.Seed = uint64(i + 1)
+						res, err := eng.Run(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						delivered += res.Delivered
+					}
+					b.ReportMetric(float64(delivered)/float64(b.N), "packets/op")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkStepSlotsSharded measures the tile-sharded slotted engine
 // (stepsim.ShardedEngine) at 1, 2 and 4 tiles on the large-array
 // configurations where intra-run parallelism matters. Results are

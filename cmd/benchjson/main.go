@@ -1,0 +1,194 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON trajectory record, so the repository's perf
+// history can be diffed and plotted instead of living only in BENCH.md
+// prose. It reads benchmark output on stdin and writes one JSON document
+// on stdout (or -out):
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -out BENCH_2026-07-28.json
+//
+// The document carries the environment the numbers were taken in (goos,
+// goarch, cpu string, GOMAXPROCS of each benchmark's -N suffix, the Go
+// version that produced them) and, per benchmark, every metric Go's
+// testing package printed: ns/op, B/op, allocs/op, and any custom
+// b.ReportMetric units (packets/op and friends). `make bench-json` wires
+// it to the full suite and a UTC-dated filename; CI uploads the file as
+// an artifact on every push, which is what turns the benchmarks into a
+// trajectory rather than a point.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with sub-benchmark path, without the
+	// trailing -N GOMAXPROCS suffix (which lands in Procs).
+	Name string `json:"name"`
+	// Pkg is the import path of the package the benchmark ran in.
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -N suffix).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard metrics;
+	// BytesPerOp/AllocsPerOp are -1 when -benchmem was off.
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	// Metrics holds every other reported unit (custom b.ReportMetric
+	// units such as packets/op, plus MB/s when present).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Schema       string      `json:"schema"`
+	GeneratedUTC string      `json:"generatedUTC"`
+	GoVersion    string      `json:"goVersion"`
+	Goos         string      `json:"goos,omitempty"`
+	Goarch       string      `json:"goarch,omitempty"`
+	CPU          string      `json:"cpu,omitempty"`
+	Gomaxprocs   int         `json:"gomaxprocs"`
+	Benchmarks   []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "write the JSON document here instead of stdout")
+	tee := fs.Bool("tee", false, "echo the raw benchmark output to stderr while parsing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var in io.Reader = stdin
+	if *tee {
+		in = io.TeeReader(stdin, stderr)
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark result lines on stdin")
+		return 1
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if _, err := stdout.Write(data); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// Parse reads `go test -bench` output and collects every benchmark result
+// line plus the goos/goarch/cpu/pkg context lines the testing package
+// prints before them.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{
+		Schema:       "bench-trajectory/v1",
+		GeneratedUTC: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseResultLine(line)
+		if !ok {
+			continue
+		}
+		b.Pkg = pkg
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return doc, sc.Err()
+}
+
+// parseResultLine parses one benchmark result line:
+//
+//	BenchmarkName/sub-4   100   123456 ns/op   64 B/op   2 allocs/op   9.5 packets/op
+func parseResultLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	b.Name = fields[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, sawNs
+}

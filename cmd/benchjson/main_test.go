@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkStepSlots/8x8-4         	     100	  11700000 ns/op	     396 B/op	       3 allocs/op	     12566 packets/op
+BenchmarkStepSlotsLoad/256x256/rho=0.1/sparse-4  	      10	 197000000 ns/op	    1024 B/op	      12 allocs/op
+BenchmarkPoissonDraw/mean=0.4   	100000000	        26.8 ns/op
+PASS
+ok  	repro	12.3s
+pkg: repro/internal/stepsim
+BenchmarkStepSlotsOracle-2      	       5	  21100000 ns/op	  127674 B/op	    2679 allocs/op	      6283 packets/op
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("environment header not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkStepSlots/8x8" || b.Procs != 4 || b.Iterations != 100 {
+		t.Errorf("first benchmark mis-parsed: %+v", b)
+	}
+	if b.NsPerOp != 11700000 || b.BytesPerOp != 396 || b.AllocsPerOp != 3 {
+		t.Errorf("standard metrics mis-parsed: %+v", b)
+	}
+	if b.Metrics["packets/op"] != 12566 {
+		t.Errorf("custom metric lost: %+v", b.Metrics)
+	}
+	if b.Pkg != "repro" {
+		t.Errorf("pkg context lost: %q", b.Pkg)
+	}
+	// A line without -benchmem columns keeps the -1 sentinels.
+	if p := doc.Benchmarks[2]; p.Name != "BenchmarkPoissonDraw/mean=0.4" || p.BytesPerOp != -1 || p.AllocsPerOp != -1 || p.NsPerOp != 26.8 {
+		t.Errorf("bare ns/op line mis-parsed: %+v", p)
+	}
+	// The pkg context must follow package boundaries.
+	if o := doc.Benchmarks[3]; o.Pkg != "repro/internal/stepsim" || o.Procs != 2 {
+		t.Errorf("second package context lost: %+v", o)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", out}, strings.NewReader(sample), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc.Schema != "bench-trajectory/v1" || doc.GeneratedUTC == "" || doc.GoVersion == "" || doc.Gomaxprocs < 1 {
+		t.Errorf("metadata incomplete: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Errorf("round-tripped %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader("no benchmarks here\n"), &stdout, &stderr); code != 1 {
+		t.Errorf("empty input accepted with exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "no benchmark result lines") {
+		t.Errorf("missing diagnostic: %q", stderr.String())
+	}
+}

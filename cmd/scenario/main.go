@@ -51,7 +51,10 @@ commands:
       -seed      override the base seed
       -horizon   override the measured horizon (slots when -engine=slotted)
       -shards    slotted intra-run tiles per run: N, or auto (spend spare
-                 cores; results are bit-identical at every value)`)
+                 cores; results are bit-identical at every value)
+      -dense     slotted engine: dense per-slot execution instead of the
+                 default sparse path (A/B wall-clock knob; statistically
+                 identical results from a different variate sequence)`)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -146,7 +149,11 @@ type pointResult struct {
 	DelayCI   float64 `json:"delayCI"`
 	MeanN     float64 `json:"meanN"`
 	MD1Delay  float64 `json:"md1Delay"`
-	Error     string  `json:"error,omitempty"`
+	// MeanActiveEdges and ArrivalSlotFraction carry the slotted engine's
+	// occupancy instrumentation (stepsim.Result); zero on des runs.
+	MeanActiveEdges     float64 `json:"meanActiveEdges,omitempty"`
+	ArrivalSlotFraction float64 `json:"arrivalSlotFraction,omitempty"`
+	Error               string  `json:"error,omitempty"`
 }
 
 // runResult is the -json document.
@@ -171,6 +178,7 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 0, "override the base seed")
 		horizon  = fs.Float64("horizon", 0, "override the measured horizon")
 		shards   = fs.String("shards", "", "slotted intra-run tiles per run: N, or auto (default: the scenario's shards field)")
+		dense    = fs.Bool("dense", false, "slotted engine: dense per-slot execution instead of the default sparse path")
 	)
 	// Accept both "run -quick name" and "run name -quick".
 	var name string
@@ -217,6 +225,9 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	if *dense {
+		s.Dense = true
+	}
 	b, err := s.Bind()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -233,6 +244,10 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "scenario: -shards applies to -engine=slotted only (the event engine has no intra-run parallelism)\n")
 		return 2
 	}
+	if *dense && *engine != "slotted" {
+		fmt.Fprintf(stderr, "scenario: -dense applies to -engine=slotted only (it selects between that engine's execution paths)\n")
+		return 2
+	}
 	an := b.Analysis
 	out := runResult{
 		Scenario:   b.Scenario,
@@ -241,14 +256,22 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		Bottleneck: an.Bottleneck,
 		MeanHops:   an.MeanHops,
 	}
+	slotted := *engine == "slotted"
 	if !*jsonOut {
 		fmt.Fprintf(stdout, "%s: %s [engine: %s]\n", b.Scenario.Name, b.Scenario.Description, *engine)
 		printHeader(stdout, b)
-		fmt.Fprintf(stdout, "\n%-6s %-10s %-8s %-9s %-8s %-9s %s\n",
-			"load", "lambda", "rho_max", "T(sim)", "±95%", "N(sim)", "T(md1)")
+		if slotted {
+			// The slotted table carries the occupancy instrumentation that
+			// explains sparse-vs-dense wall-clock per point.
+			fmt.Fprintf(stdout, "\n%-6s %-10s %-8s %-9s %-8s %-9s %-8s %-10s %-9s %s\n",
+				"load", "lambda", "rho_max", "T(sim)", "±95%", "N(sim)", "T(md1)", "act_edges", "arr_frac", "")
+		} else {
+			fmt.Fprintf(stdout, "\n%-6s %-10s %-8s %-9s %-8s %-9s %s\n",
+				"load", "lambda", "rho_max", "T(sim)", "±95%", "N(sim)", "T(md1)")
+		}
 	}
 	failed := 0
-	record := func(i int, meanDelay, delayCI, meanN float64, err error) {
+	record := func(i int, meanDelay, delayCI, meanN, activeEdges, arrivalFrac float64, err error) {
 		pt := b.Points[i]
 		pr := pointResult{
 			Load:     pt.Load,
@@ -264,26 +287,34 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 			}
 		} else {
 			pr.MeanDelay, pr.DelayCI, pr.MeanN = meanDelay, delayCI, meanN
+			pr.MeanActiveEdges, pr.ArrivalSlotFraction = activeEdges, arrivalFrac
 			if !*jsonOut {
-				fmt.Fprintf(stdout, "%-6.2f %-10.6f %-8.2f %-9.3f %-8.3f %-9.3f %s\n",
-					pt.Load, pt.NodeRate, pr.RhoMax,
-					meanDelay, delayCI, meanN, fmtMD1(pr.MD1Delay))
+				if slotted {
+					fmt.Fprintf(stdout, "%-6.2f %-10.6f %-8.2f %-9.3f %-8.3f %-9.3f %-8s %-10.1f %-9.5f\n",
+						pt.Load, pt.NodeRate, pr.RhoMax,
+						meanDelay, delayCI, meanN, fmtMD1(pr.MD1Delay),
+						activeEdges, arrivalFrac)
+				} else {
+					fmt.Fprintf(stdout, "%-6.2f %-10.6f %-8.2f %-9.3f %-8.3f %-9.3f %s\n",
+						pt.Load, pt.NodeRate, pr.RhoMax,
+						meanDelay, delayCI, meanN, fmtMD1(pr.MD1Delay))
+				}
 			}
 		}
 		out.Points = append(out.Points, pr)
 	}
-	if *engine == "slotted" {
+	if slotted {
 		cfgs, err := b.SlottedConfigs()
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		stepsim.StreamSweep(cfgs, b.Scenario.Replicas, *workers, func(i int, rs stepsim.ReplicaSet, err error) {
-			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, err)
+			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, rs.MeanActiveEdges, rs.ArrivalSlotFraction, err)
 		})
 	} else {
 		sim.StreamSweep(b.Configs, b.Scenario.Replicas, *workers, func(i int, rs sim.ReplicaSet, err error) {
-			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, err)
+			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, 0, 0, err)
 		})
 	}
 	if *jsonOut {

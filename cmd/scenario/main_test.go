@@ -166,6 +166,31 @@ func TestRunSlottedEngine(t *testing.T) {
 		if pt.Load <= 0.6 && math.Abs(pt.MeanDelay-pt.MD1Delay) > 2 {
 			t.Errorf("load %.2f: slotted delay %v far from estimate %v", pt.Load, pt.MeanDelay, pt.MD1Delay)
 		}
+		// The occupancy instrumentation rides along on slotted points.
+		if pt.MeanActiveEdges <= 0 || pt.ArrivalSlotFraction <= 0 {
+			t.Errorf("load %.2f: occupancy columns missing: act=%v frac=%v",
+				pt.Load, pt.MeanActiveEdges, pt.ArrivalSlotFraction)
+		}
+	}
+}
+
+// TestRunDenseFlag pins the -dense A/B knob: rejected on the event
+// engine, accepted on the slotted one, and the slotted table grows the
+// occupancy columns.
+func TestRunDenseFlag(t *testing.T) {
+	if code, _, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-dense"); code != 2 ||
+		!strings.Contains(errOut, "slotted only") {
+		t.Errorf("-dense with the event engine accepted: %d %q", code, errOut)
+	}
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-engine", "slotted", "-replicas", "1", "-dense")
+	if code != 0 {
+		t.Fatalf("dense slotted run exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "act_edges") || !strings.Contains(out, "arr_frac") {
+		t.Errorf("slotted table is missing the occupancy columns:\n%s", out)
 	}
 }
 

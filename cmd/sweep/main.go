@@ -23,9 +23,19 @@
 // pool spend spare cores inside runs when there are fewer points×replicas
 // than workers. Results are bit-identical at every shard count.
 //
+// -dense selects the slotted engine's dense per-slot execution (every
+// source drawn, every edge scanned each slot) instead of the default
+// sparse path (skip-ahead arrivals, active-edge worklists); the two
+// agree statistically but not bit-wise, and the knob exists for A/B
+// wall-clock comparisons like the BENCH.md tables.
+//
 // CSV output is self-describing: a leading `#` comment records the
-// engine, sharding, pool shape and GOMAXPROCS, and a trailing one the
-// wall-clock at which each point's row streamed out.
+// engine, sharding, execution path, pool shape and GOMAXPROCS, and a
+// trailing one the wall-clock at which each point's row streamed out.
+// Slotted rows also carry the occupancy instrumentation that explains
+// sparse-vs-dense wins per point: active_edges (mean nonempty queues per
+// slot) and arrival_frac (fraction of source-slots with a nonzero
+// batch); both are empty on des rows.
 package main
 
 import (
@@ -74,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 1, "base seed")
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		shards   = fs.String("shards", "auto", "slotted intra-run tiles per run: N, or auto (spend spare cores; results are identical either way)")
+		dense    = fs.Bool("dense", false, "slotted engine: dense per-slot execution (every source drawn, every edge scanned) instead of the default sparse path; an A/B knob for the BENCH.md tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,6 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if shardCount > 1 && *engine != "slotted" {
 		fmt.Fprintf(stderr, "sweep: -shards applies to -engine=slotted only (the event engine has no intra-run parallelism)\n")
+		return 2
+	}
+	if *dense && *engine != "slotted" {
+		fmt.Fprintf(stderr, "sweep: -dense applies to -engine=slotted only (it selects between that engine's execution paths)\n")
 		return 2
 	}
 
@@ -177,9 +192,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// trailing one records wall-clock per point (cumulative elapsed when
 	// that row streamed out, i.e. when the point and all earlier ones had
 	// finished) so perf regressions are visible in the CSV itself.
-	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d\n",
-		*engine, *topo, *shards, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed)
-	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper")
+	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s dense=%v workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d\n",
+		*engine, *topo, *shards, *dense, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed)
+	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper,active_edges,arrival_frac")
 	failed := 0
 	start := time.Now()
 	var wall []string
@@ -200,7 +215,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return
 			}
 			clock(c.rho)
-			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s\n",
+			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s,,\n",
 				*topo, c.rho, c.cfg.NodeRate,
 				r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
 				c.lower, c.estimate, upperStr(c.upper))
@@ -217,6 +232,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Slots:       int(c.cfg.Horizon),
 				Seed:        c.cfg.Seed,
 				Shards:      shardCount,
+				Dense:       *dense,
 			}
 		}
 		stepsim.StreamSweep(cfgs, *replicas, *workers, func(i int, r stepsim.ReplicaSet, err error) {
@@ -227,10 +243,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return
 			}
 			clock(c.rho)
-			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,,%.4f,%.4f,%s\n",
+			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,,%.4f,%.4f,%s,%.2f,%.6f\n",
 				*topo, c.rho, c.cfg.NodeRate,
 				r.MeanDelay, r.DelayCI, r.MeanN,
-				c.lower, c.estimate, upperStr(c.upper))
+				c.lower, c.estimate, upperStr(c.upper),
+				r.MeanActiveEdges, r.ArrivalSlotFraction)
 		})
 	}
 	fmt.Fprintf(stdout, "# wall: %s | total %.3fs\n", strings.Join(wall, " "), time.Since(start).Seconds())

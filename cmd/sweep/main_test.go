@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -58,15 +59,19 @@ func TestTinySweepCSV(t *testing.T) {
 		t.Errorf("bad CSV header %q", lines[0])
 	}
 	for _, row := range lines[1:] {
-		if fields := strings.Split(row, ","); len(fields) != 10 || fields[0] != "array" {
+		fields := strings.Split(row, ",")
+		if len(fields) != 12 || fields[0] != "array" {
 			t.Errorf("bad CSV row %q", row)
+		}
+		if fields[10] != "" || fields[11] != "" {
+			t.Errorf("des row should leave the slotted occupancy columns empty: %q", row)
 		}
 	}
 	// Self-describing comments: provenance up front, wall-clock at the end.
 	if len(comments) != 2 {
 		t.Fatalf("want sweep + wall comments, got %v", comments)
 	}
-	for _, want := range []string{"engine=des", "topology=array", "gomaxprocs=", "replicas=1", "shards=auto"} {
+	for _, want := range []string{"engine=des", "topology=array", "gomaxprocs=", "replicas=1", "shards=auto", "dense=false"} {
 		if !strings.Contains(comments[0], want) {
 			t.Errorf("header comment %q missing %q", comments[0], want)
 		}
@@ -104,6 +109,10 @@ func TestShardsFlag(t *testing.T) {
 	if code, _, errOut := runCapture("-engine", "des", "-shards", "2", "-rhos", "0.5"); code != 2 ||
 		!strings.Contains(errOut, "slotted only") {
 		t.Error("-shards with the event engine accepted")
+	}
+	if code, _, errOut := runCapture("-engine", "des", "-dense", "-rhos", "0.5"); code != 2 ||
+		!strings.Contains(errOut, "slotted only") {
+		t.Error("-dense with the event engine accepted")
 	}
 }
 
@@ -155,11 +164,45 @@ func TestSlottedSweepCSV(t *testing.T) {
 		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), out)
 	}
 	fields := strings.Split(lines[1], ",")
-	if len(fields) != 10 || fields[0] != "array" {
+	if len(fields) != 12 || fields[0] != "array" {
 		t.Fatalf("bad CSV row %q", lines[1])
 	}
 	if fields[6] != "" {
 		t.Errorf("slotted r_per_n column should be empty, got %q", fields[6])
+	}
+	// Occupancy instrumentation: both columns must carry positive values
+	// on a simulated slotted point.
+	for _, i := range []int{10, 11} {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil || v <= 0 {
+			t.Errorf("slotted occupancy column %d = %q, want a positive number", i, fields[i])
+		}
+	}
+}
+
+// TestSlottedDenseSweepCSV pins the -dense A/B knob: the dense path runs,
+// records dense=true in the provenance comment, and reports the same
+// occupancy columns (statistically close to, but bit-different from, the
+// sparse default — so only shape is asserted here).
+func TestSlottedDenseSweepCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(
+		"-topology", "array", "-n", "4", "-rhos", "0.5",
+		"-engine", "slotted", "-horizon", "400", "-replicas", "1", "-dense")
+	if code != 0 {
+		t.Fatalf("dense slotted sweep exit %d: %s", code, errOut)
+	}
+	lines, comments := splitCSV(out)
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(comments[0], "dense=true") {
+		t.Errorf("header comment %q does not record the dense knob", comments[0])
+	}
+	if fields := strings.Split(lines[1], ","); len(fields) != 12 {
+		t.Errorf("bad dense CSV row %q", lines[1])
 	}
 }
 

@@ -88,14 +88,35 @@
 //     (unit slots, per-slot Poisson batches, one service per edge per
 //     slot). Packets are single 64-bit ring entries whose position is
 //     implicit in the queue they occupy; greedy array routing reduces to
-//     closed-form edge-id arithmetic; and per-slot batch draws hoist
-//     exp(−λ) (xrand.PoissonExp) with Hörmann's PTRS above mean 10. It
-//     measures delay and E[N] only, but reaches 256×256 and 512×512
-//     arrays (≈10⁶ node-slots per run) in seconds — the regime where the
+//     closed-form edge-id arithmetic. It measures delay, E[N] and queue
+//     occupancy (Result.MeanActiveEdges, ArrivalSlotFraction), and
+//     reaches 256×256 and beyond in seconds — the regime where the
 //     paper's asymptotic bounds actually bite. stepsim.Engine is reusable
 //     across runs (the slotted mirror of sim.Runner), and
 //     stepsim.StreamSweep mirrors the deterministic sweep pool with one
 //     engine per worker.
+//
+// # Sparse slotted execution
+//
+// Below saturation most sources generate nothing in a given slot and most
+// edge queues are empty, so the slotted engine's default execution is
+// sparse: per-slot cost proportional to traffic, not to topology size.
+// Skip-ahead arrivals replace the per-source-per-slot Poisson draw with
+// one geometric gap draw per nonzero batch (xrand.PoissonSkip +
+// PoissonPositive on a per-tile timing wheel), and active-edge worklists
+// (a two-level bitmap per tile) let the service phase visit only nonempty
+// queues, in the ascending-edge order the determinism contract requires.
+// Both run on the same per-node keyed RNG streams as the dense body, so
+// sparse runs are bit-identical at every shard count; sparse and dense
+// agree statistically but not bit-wise (different variate sequences from
+// the same streams). Config.Dense selects the dense per-slot body — still
+// the better choice on small near-saturation arrays, where nearly every
+// source and edge is active each slot and the worklist bookkeeping is
+// pure overhead, and the path the PerEngineStream oracle regime always
+// uses. Measured effect and the load-dependence of the win (by Little's
+// law, busy-edge density ≈ (2/3)·ρ independent of array size, so the
+// speedup is largest at genuinely sparse loads): BENCH.md's "Sparse
+// engine" section.
 //
 // The two engines share no simulation code, which is the point: their
 // statistical agreement (the `xval` experiment, now up to 128×128) is

@@ -231,16 +231,20 @@ func TestEngineOracleStatisticalEquivalence(t *testing.T) {
 }
 
 // TestSlottedGoldenDeterminism pins the SoA engine to math.Float64bits
-// golden values, locking the RNG call order and phase semantics of both
-// regimes: the per-engine compatibility stream (values recorded from the
-// pre-rewrite pointer engine, which the oracle above reproduces) and the
-// default per-node keyed streams (values recorded when that regime was
-// introduced along with sharding; the shard-invariance tests additionally
-// pin every shard count to these same bits).
+// golden values, locking the RNG call order and phase semantics of all
+// three regimes: the per-engine compatibility stream (values recorded
+// from the pre-rewrite pointer engine, which the oracle above
+// reproduces), the dense per-node keyed streams (values recorded when
+// that regime was introduced along with sharding — unchanged by the
+// sparse rework, which left the dense body's variate order intact behind
+// Config.Dense), and the sparse default (skip-ahead arrivals; values
+// recorded when the sparse path became the default; the shard-invariance
+// tests additionally pin every shard count to these same bits).
 // Regenerate with SIM_GOLDEN_PRINT=1 go test ./internal/stepsim -run Golden -v.
 func TestSlottedGoldenDeterminism(t *testing.T) {
 	print := os.Getenv("SIM_GOLDEN_PRINT") != ""
 	legacy := func(cfg Config) Config { cfg.PerEngineStream = true; return cfg }
+	dense := func(cfg Config) Config { cfg.Dense = true; return cfg }
 	cases := []struct {
 		name             string
 		cfg              Config
@@ -256,12 +260,20 @@ func TestSlottedGoldenDeterminism(t *testing.T) {
 			meanDelay: 0x40100098000d1a0a, meanN: 0x4044036fd21ff2e5, delivered: 200057,
 		},
 		{
-			name: "array-6-rho08-pernode", cfg: arrayCfg(6, 0.8, 42),
+			name: "array-6-rho08-pernode-dense", cfg: dense(arrayCfg(6, 0.8, 42)),
 			meanDelay: 0x401c129bf247c8af, meanN: 0x4060db5e353f7cee, delivered: 384086,
 		},
 		{
-			name: "array-5-rho05-pernode", cfg: arrayCfg(5, 0.5, 7),
+			name: "array-5-rho05-pernode-dense", cfg: dense(arrayCfg(5, 0.5, 7)),
 			meanDelay: 0x40100175700466dd, meanN: 0x40440468db8bac71, delivered: 200063,
+		},
+		{
+			name: "array-6-rho08-sparse", cfg: arrayCfg(6, 0.8, 42),
+			meanDelay: 0x401bff3f7d0e6c5d, meanN: 0x4060ce5aee631f8a, delivered: 384001,
+		},
+		{
+			name: "array-5-rho05-sparse", cfg: arrayCfg(5, 0.5, 7),
+			meanDelay: 0x40100624f75bb043, meanN: 0x404408816f0068dc, delivered: 199987,
 		},
 	}
 	for _, tc := range cases {

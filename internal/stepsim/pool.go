@@ -42,6 +42,13 @@ type ReplicaSet struct {
 	Delivered int64
 	// Delay merges all per-packet statistics across replicas.
 	Delay stats.Welford
+	// MeanActiveEdges and ArrivalSlotFraction average the per-replica
+	// occupancy instrumentation (Result.MeanActiveEdges /
+	// ArrivalSlotFraction), which is what explains sparse-vs-dense
+	// wall-clock per sweep point: the sparse engine's phase costs scale
+	// with these, not with the topology.
+	MeanActiveEdges     float64
+	ArrivalSlotFraction float64
 }
 
 // StreamSweep runs every configuration in cfgs with `replicas` independent
@@ -111,9 +118,13 @@ func aggregate(results []Result) ReplicaSet {
 		rs.MeanN += r.MeanN
 		rs.Delivered += r.Delivered
 		rs.Delay.Merge(r.Delay)
+		rs.MeanActiveEdges += r.MeanActiveEdges
+		rs.ArrivalSlotFraction += r.ArrivalSlotFraction
 	}
 	rs.MeanDelay = perReplica.Mean()
 	rs.MeanN /= float64(len(results))
+	rs.MeanActiveEdges /= float64(len(results))
+	rs.ArrivalSlotFraction /= float64(len(results))
 	if perReplica.Count() >= 2 {
 		rs.DelayCI = 1.96 * perReplica.StdDev() / math.Sqrt(float64(perReplica.Count()))
 	}

@@ -95,15 +95,28 @@ type tile struct {
 	moved []movedRec
 	bnd   []movedRec
 
+	// Sparse-path state (sparse.go): the busy-edge bitmap over the tile's
+	// owned edges, the arrival timing wheel (intrusive chains: bucket
+	// heads plus one link per source, so filing never allocates), and
+	// each source's next arrival slot (aligned with sources). Unused on
+	// the dense path.
+	act       activeSet
+	wheelHead []int32
+	wheelLink []int32
+	next      []int64
+
 	// Measurement accumulators; exact integers so cross-tile merging is
-	// associative (see the package comment on determinism).
-	live     int64
-	liveSum  int64
-	count    int64
-	sumDelay uint64
-	sumSq    uint64
-	minD     int32
-	maxD     int32
+	// associative (see the package comment on determinism). busySum and
+	// arrivalHits feed Result.MeanActiveEdges / ArrivalSlotFraction.
+	live        int64
+	liveSum     int64
+	count       int64
+	sumDelay    uint64
+	sumSq       uint64
+	busySum     int64
+	arrivalHits int64
+	minD        int32
+	maxD        int32
 
 	_ [64]byte // keep neighboring tiles' hot counters off this cache line
 }
@@ -203,6 +216,7 @@ func (b *barrier) wait(local *int32) {
 type ShardedEngine struct {
 	cfg      Config
 	shards   int
+	sparse   bool // !cfg.Dense: skip-ahead arrivals + active-edge worklists
 	tab      routeTables
 	rings    ringSet
 	poissonL float64
@@ -267,6 +281,7 @@ func (s *ShardedEngine) reset(cfg Config) error {
 	}
 	s.cfg = cfg
 	s.shards = shards
+	s.sparse = !cfg.Dense
 	s.poissonL = poissonExpOf(cfg.NodeRate)
 	s.tab.init(cfg, steppers, choose)
 	s.rings.reset(cfg.Net.NumEdges())
@@ -283,10 +298,20 @@ func (s *ShardedEngine) reset(cfg Config) error {
 		t.sense = 0
 		t.sources = t.sources[:0]
 		t.edgeRuns = t.edgeRuns[:0]
+		// Scratch capacity is bounded by one record per CURRENT edge (each
+		// edge serves at most one packet per slot); release what a bigger
+		// previous topology grew, as the legacy engine's reset does.
+		if cap(t.moved) > 2*cfg.Net.NumEdges() {
+			t.moved = nil
+		}
+		if cap(t.bnd) > 2*cfg.Net.NumEdges() {
+			t.bnd = nil
+		}
 		t.moved = t.moved[:0]
 		t.bnd = t.bnd[:0]
 		t.live, t.liveSum = 0, 0
 		t.count, t.sumDelay, t.sumSq = 0, 0, 0
+		t.busySum, t.arrivalHits = 0, 0
 		t.minD, t.maxD = 0, 0
 	}
 
@@ -313,11 +338,14 @@ func (s *ShardedEngine) reset(cfg Config) error {
 		} else {
 			t.rngs = make([]xrand.RNG, len(t.sources))
 		}
+		if s.sparse {
+			t.resetSparse(cfg.Net.NumEdges())
+		}
 	}
 
 	if shards > 1 {
 		numNodes, numEdges := cfg.Net.NumNodes(), cfg.Net.NumEdges()
-		s.nodeOwner = growI32(s.nodeOwner, numNodes)
+		s.nodeOwner = grow(s.nodeOwner, numNodes)
 		for i, r := range ranges {
 			for v := r.Lo; v < r.Hi; v++ {
 				s.nodeOwner[v] = int32(i)
@@ -326,7 +354,7 @@ func (s *ShardedEngine) reset(cfg Config) error {
 		if s.tab.fast {
 			// Row-band plans on the array fast path: position keys are
 			// packed (row, col), so ownership reduces to a row lookup.
-			s.rowOwner = growI32(s.rowOwner, s.tab.n)
+			s.rowOwner = grow(s.rowOwner, s.tab.n)
 			for r := 0; r < s.tab.n; r++ {
 				s.rowOwner[r] = s.nodeOwner[r*s.tab.n]
 			}
@@ -355,20 +383,32 @@ func (s *ShardedEngine) reset(cfg Config) error {
 
 // worker runs one tile through every slot. It is the per-slot body of the
 // serial engine, restated per tile; a single-tile plan runs it inline
-// with no barrier, which IS the serial reference path.
+// with no barrier, which IS the serial reference path. The sparse and
+// dense bodies share phase 3 (and the barrier); phases 1 and 2 dispatch
+// once per slot on the engine-wide mode.
 func (s *ShardedEngine) worker(t *tile) {
-	// Seed this tile's per-node streams in parallel with the other tiles
-	// (each touches only its own).
-	for i, src := range t.sources {
-		t.rngs[i].ReseedSplit(s.cfg.Seed, uint64(src))
-	}
 	total := s.cfg.WarmupSlots + s.cfg.Slots
+	// Seed this tile's per-node streams in parallel with the other tiles
+	// (each touches only its own). The sparse path also draws each
+	// source's first arrival slot here.
+	if s.sparse {
+		s.seedSparse(t, total)
+	} else {
+		for i, src := range t.sources {
+			t.rngs[i].ReseedSplit(s.cfg.Seed, uint64(src))
+		}
+	}
 	multi := s.shards > 1
 	parity := 0
 	for slot := 0; slot < total; slot++ {
 		measuring := slot >= s.cfg.WarmupSlots
-		s.arrivals(t, slot, measuring)
-		s.service(t, slot, measuring, parity)
+		if s.sparse {
+			s.arrivalsSparse(t, slot, measuring, total)
+			s.serviceSparse(t, slot, measuring, parity)
+		} else {
+			s.arrivals(t, slot, measuring)
+			s.service(t, slot, measuring, parity)
+		}
 		if multi {
 			s.bar.wait(&t.sense)
 		}
@@ -409,6 +449,9 @@ func (s *ShardedEngine) arrivals(t *tile, slot int, measuring bool) {
 			}
 		case mean > 0:
 			k = rng.Poisson(mean)
+		}
+		if k > 0 && measuring {
+			t.arrivalHits++
 		}
 		for ; k > 0; k-- {
 			dst := dest.Sample(src, rng)
@@ -455,6 +498,7 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 	}
 	qbuf, qhead, qsize := s.rings.qbuf, s.rings.qhead, s.rings.qsize
 	edgeKey := s.tab.edgeKey
+	var busy int64
 	// The two scans below share their pop/route/deliver body; it is spelled
 	// out twice (rather than through a per-edge function) because a call
 	// per busy edge is measurable on large arrays, and the single-tile scan
@@ -466,6 +510,7 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 			if size == 0 {
 				continue
 			}
+			busy++
 			edge := int32(e)
 			buf := qbuf[edge]
 			head := qhead[edge]
@@ -496,6 +541,7 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 				if size == 0 {
 					continue
 				}
+				busy++
 				buf := qbuf[edge]
 				head := qhead[edge]
 				ent := buf[head]
@@ -528,7 +574,30 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 			}
 		}
 	}
+	if measuring {
+		t.busySum += busy
+	}
 	t.moved = moved
+}
+
+// pushPlaced pushes one placed packet, maintaining the tile's busy-edge
+// worklist on the sparse path (the next edge always belongs to this tile,
+// so the bit flip is tile-local). The non-growing push is spelled out
+// here rather than through ringSet.push: placement is one of the two
+// per-hop hot paths, and the method call plus re-derived slice loads are
+// measurable at 10⁹ hop-services per large run.
+func (s *ShardedEngine) pushPlaced(t *tile, edge int32, ent uint64) {
+	size := s.rings.qsize[edge]
+	if s.sparse && size == 0 {
+		t.act.add(edge)
+	}
+	buf := s.rings.qbuf[edge]
+	if int(size) == len(buf) {
+		s.rings.push(edge, ent)
+		return
+	}
+	buf[(s.rings.qhead[edge]+size)&int32(len(buf)-1)] = ent
+	s.rings.qsize[edge] = size + 1
 }
 
 // place is phase 3 for one tile: push this slot's survivors onto their
@@ -554,18 +623,18 @@ func (s *ShardedEngine) place(t *tile, parity int) {
 	i, j := 0, 0
 	for i < len(moved) && j < len(bnd) {
 		if moved[i].src < bnd[j].src {
-			s.rings.push(moved[i].edge, moved[i].ent)
+			s.pushPlaced(t, moved[i].edge, moved[i].ent)
 			i++
 		} else {
-			s.rings.push(bnd[j].edge, bnd[j].ent)
+			s.pushPlaced(t, bnd[j].edge, bnd[j].ent)
 			j++
 		}
 	}
 	for ; i < len(moved); i++ {
-		s.rings.push(moved[i].edge, moved[i].ent)
+		s.pushPlaced(t, moved[i].edge, moved[i].ent)
 	}
 	for ; j < len(bnd); j++ {
-		s.rings.push(bnd[j].edge, bnd[j].ent)
+		s.pushPlaced(t, bnd[j].edge, bnd[j].ent)
 	}
 	t.moved = moved[:0]
 	t.bnd = bnd[:0]
@@ -574,7 +643,7 @@ func (s *ShardedEngine) place(t *tile, parity int) {
 // collect merges the tiles' integer accumulators into a Result. Addition
 // and min/max are associative, so the outcome is independent of tiling.
 func (s *ShardedEngine) collect() Result {
-	var count, liveSum int64
+	var count, liveSum, busySum, arrivalHits, sources int64
 	var sum, sumSq uint64
 	var minD, maxD int32
 	for i := range s.tiles {
@@ -595,11 +664,18 @@ func (s *ShardedEngine) collect() Result {
 			sumSq += t.sumSq
 		}
 		liveSum += t.liveSum
+		busySum += t.busySum
+		arrivalHits += t.arrivalHits
+		sources += int64(len(t.sources))
 	}
 	var res Result
 	res.Delay = stats.WelfordFromInts(count, sum, sumSq, float64(minD), float64(maxD))
 	res.MeanDelay = res.Delay.Mean()
 	res.MeanN = float64(liveSum) / float64(s.cfg.Slots)
 	res.Delivered = count
+	res.MeanActiveEdges = float64(busySum) / float64(s.cfg.Slots)
+	if denom := float64(sources) * float64(s.cfg.Slots); denom > 0 {
+		res.ArrivalSlotFraction = float64(arrivalHits) / denom
+	}
 	return res
 }

@@ -24,6 +24,12 @@ func requireSameBits(t *testing.T, label string, got, want Result) {
 	if got.Delivered != want.Delivered {
 		t.Errorf("%s: Delivered %d != %d", label, got.Delivered, want.Delivered)
 	}
+	if math.Float64bits(got.MeanActiveEdges) != math.Float64bits(want.MeanActiveEdges) {
+		t.Errorf("%s: MeanActiveEdges %v != %v", label, got.MeanActiveEdges, want.MeanActiveEdges)
+	}
+	if math.Float64bits(got.ArrivalSlotFraction) != math.Float64bits(want.ArrivalSlotFraction) {
+		t.Errorf("%s: ArrivalSlotFraction %v != %v", label, got.ArrivalSlotFraction, want.ArrivalSlotFraction)
+	}
 	if got.Delay.Count() != want.Delay.Count() ||
 		math.Float64bits(got.Delay.Mean()) != math.Float64bits(want.Delay.Mean()) ||
 		math.Float64bits(got.Delay.Variance()) != math.Float64bits(want.Delay.Variance()) ||
@@ -98,30 +104,42 @@ func TestShardInvariance(t *testing.T) {
 			WarmupSlots: 300, Slots: 2500, Seed: 109,
 		}})
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			if testing.Short() {
-				// Keep the invariance coverage under -race -short; the
-				// full-length versions run in the GOMAXPROCS=4 CI job.
-				tc.cfg.WarmupSlots /= 10
-				tc.cfg.Slots /= 10
-			}
-			var eng Engine
-			ref, err := eng.Run(tc.cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var sh ShardedEngine // shared across shard counts: reuse must not leak
-			for _, shards := range []int{1, 2, 3, 8} {
+	// Both execution paths must honor the contract independently: the
+	// sparse default (skip-ahead arrivals + active-edge worklists) and the
+	// dense per-slot body behind Config.Dense. Their results differ from
+	// each other (different variate sequences by design), so each mode is
+	// compared against its own serial reference.
+	for _, mode := range []struct {
+		name  string
+		dense bool
+	}{{"sparse", false}, {"dense", true}} {
+		for _, tc := range cases {
+			t.Run(tc.name+"/"+mode.name, func(t *testing.T) {
 				cfg := tc.cfg
-				cfg.Shards = shards
-				got, err := sh.Run(cfg)
+				cfg.Dense = mode.dense
+				if testing.Short() {
+					// Keep the invariance coverage under -race -short; the
+					// full-length versions run in the GOMAXPROCS=4 CI job.
+					cfg.WarmupSlots /= 10
+					cfg.Slots /= 10
+				}
+				var eng Engine
+				ref, err := eng.Run(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
-				requireSameBits(t, tc.name, got, ref)
-			}
-		})
+				var sh ShardedEngine // shared across shard counts: reuse must not leak
+				for _, shards := range []int{1, 2, 3, 8} {
+					scfg := cfg
+					scfg.Shards = shards
+					got, err := sh.Run(scfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireSameBits(t, tc.name, got, ref)
+				}
+			})
+		}
 	}
 }
 

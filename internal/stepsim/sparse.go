@@ -1,0 +1,301 @@
+package stepsim
+
+// Sparse slotted execution: per-slot cost proportional to traffic, not
+// topology size.
+//
+// The dense engine body pays full price for an idle array: phase 1 draws
+// one Poisson batch per source per slot (O(N) RNG calls, almost all
+// returning zero below saturation) and phase 2 ranges over every edge's
+// queue length (O(E) loads, almost all zero at low load — ~4.2 M per slot
+// on a 1024×1024 array). The sparse path, the engine default since this
+// rework, removes both topology-sized terms:
+//
+//   - Skip-ahead arrivals. A source's per-slot batch sequence is i.i.d.
+//     Poisson(λ), so the gap to its next NONZERO batch is geometric with
+//     success probability 1−e^(−λ), sampled in one uniform
+//     (xrand.PoissonSkip), and the batch on that slot is zero-truncated
+//     Poisson (xrand.PoissonPositive). Each source therefore draws only
+//     on its arrival slots: [initial skip], then per arrival slot
+//     [batch, per-packet (dst, coin), next skip] — a canonical per-node
+//     order on the same keyed stream xrand.ReseedSplit(Seed, nodeID) the
+//     dense default uses, so a node's variates still depend only on
+//     (Seed, nodeID, its own history) and shard-count invariance holds by
+//     construction. Due sources are found without scanning the node set
+//     via a per-tile timing wheel: each source sits in the bucket chain
+//     for (nextSlot & wheelMask) — an intrusive linked list (one bucket
+//     head per wheel slot, one link word per source), so filing and
+//     refiling never allocate. A slot detaches one chain, processes the
+//     entries whose nextSlot matches, and refiles the rest into the same
+//     bucket (entries a full wheel revolution away are touched once per
+//     revolution — N/wheelSlots spurious touches per slot, vanishing
+//     against the dense path's N draws). Processing order within a slot
+//     is immaterial: a first hop always leaves its own source, so no two
+//     sources push onto the same queue in phase 1, and all accumulators
+//     are associative integers.
+//
+//   - Active-edge worklists. Each tile tracks its nonempty owned edges in
+//     a two-level bitmap (activeSet): bit e of l1 set iff queue e is
+//     nonempty, bit w of l2 set iff l1 word w is nonzero. Phase 2
+//     iterates set bits in ascending order — exactly the busy edges, in
+//     exactly the ascending-edge order the determinism contract's
+//     canonical placement merge requires — at O(E/4096 + busy) word
+//     reads per slot, so an idle megabyte of queue lengths costs a few
+//     hundred summary words instead of a million loads. Membership is
+//     maintained at the only transitions that change it: a push onto an
+//     empty queue sets the bit, a pop that empties one clears it. Every
+//     push and pop of an edge happens on its owning tile (arrivals leave
+//     the tile's own sources; placement records are routed to the next
+//     edge's owner), so the per-tile bitmaps need no synchronization
+//     beyond the existing slot barrier.
+//
+// The worklists change no variate stream — given identical arrivals, the
+// sparse and dense service phases visit the same queues in the same
+// order. Skip-ahead does change the variate stream (that is its point),
+// so sparse and dense results differ bit-wise while simulating the
+// identical stochastic law; Config.Dense keeps the dense body selectable
+// for A/B measurement and for the goldens that pin it, and
+// Config.PerEngineStream remains the oracle's dense single-stream regime.
+
+import "math/bits"
+
+const (
+	// wheelSlots is the arrival timing wheel size (a power of two).
+	// Sources whose next arrival lies a revolution or more ahead are
+	// touched once per revolution, so the spurious-touch rate is
+	// N/wheelSlots per slot — 0.1% of the dense path's per-slot draws.
+	wheelSlots = 1024
+	wheelMask  = wheelSlots - 1
+
+	// neverSlot parks a zero-rate source: past any horizon, and far
+	// enough from int64 overflow that slot arithmetic stays safe.
+	neverSlot = int64(1) << 62
+)
+
+// activeSet tracks the nonempty edges a tile owns as a two-level bitmap.
+// Iterating set bits ascending visits exactly the busy edges in ascending
+// edge order — the canonical service order — and the l2 summary makes an
+// idle region cost one word test per 4096 edges. A tile's set holds only
+// the edges it owns, so tiles iterate their full [0, numEdges) range
+// without masking and never observe each other's bits.
+type activeSet struct {
+	l1 []uint64 // bit e&63 of word e>>6: queue e nonempty
+	l2 []uint64 // bit w&63 of word w>>6: l1[w] nonzero
+}
+
+// reset sizes and clears the bitmap for numEdges edges, reusing capacity.
+func (a *activeSet) reset(numEdges int) {
+	w1 := (numEdges + 63) >> 6
+	a.l1 = grow(a.l1, w1)
+	a.l2 = grow(a.l2, (w1+63)>>6)
+	clear(a.l1)
+	clear(a.l2)
+}
+
+// add marks edge e busy. Callers invoke it only on the empty→nonempty
+// transition, but it is idempotent regardless.
+func (a *activeSet) add(e int32) {
+	w := e >> 6
+	a.l1[w] |= 1 << (uint32(e) & 63)
+	a.l2[w>>6] |= 1 << (uint32(w) & 63)
+}
+
+// remove marks edge e idle (on the nonempty→empty transition).
+func (a *activeSet) remove(e int32) {
+	w := e >> 6
+	if a.l1[w] &^= 1 << (uint32(e) & 63); a.l1[w] == 0 {
+		a.l2[w>>6] &^= 1 << (uint32(w) & 63)
+	}
+}
+
+// resetSparse prepares one tile's sparse-path state: the active-edge
+// bitmap and the arrival wheel, both reused across runs.
+func (t *tile) resetSparse(numEdges int) {
+	t.act.reset(numEdges)
+	t.wheelHead = grow(t.wheelHead, wheelSlots)
+	for i := range t.wheelHead {
+		t.wheelHead[i] = -1
+	}
+	t.wheelLink = grow(t.wheelLink, len(t.sources))
+	t.next = grow(t.next, len(t.sources))
+}
+
+// file inserts source index i into the wheel chain for slot nxt.
+func (t *tile) file(i int32, nxt int64) {
+	b := nxt & wheelMask
+	t.wheelLink[i] = t.wheelHead[b]
+	t.wheelHead[b] = i
+}
+
+// seedSparse seeds the tile's per-node streams and draws each source's
+// first arrival slot, filing it into the wheel. Sources whose first
+// arrival falls past the horizon (and zero-rate sources) are parked
+// outside the wheel entirely.
+func (s *ShardedEngine) seedSparse(t *tile, total int) {
+	mean := s.cfg.NodeRate
+	for i := range t.sources {
+		rng := &t.rngs[i]
+		rng.ReseedSplit(s.cfg.Seed, uint64(t.sources[i]))
+		if mean <= 0 {
+			t.next[i] = neverSlot
+			continue
+		}
+		nxt := int64(rng.PoissonSkip(mean))
+		t.next[i] = nxt
+		if nxt < int64(total) {
+			t.file(int32(i), nxt)
+		}
+	}
+}
+
+// arrivalsSparse is phase 1 on the sparse path: detach this slot's wheel
+// chain, generate for the sources whose arrival slot is now, and refile
+// each by its freshly drawn skip (early entries — a wheel revolution or
+// more ahead — go straight back into the same bucket). The batch is
+// PoissonPositive (the slot was selected BECAUSE it is nonzero);
+// everything after the batch draw — destination, coin, zero-hop
+// delivery, ring push — matches the dense body, except that a push onto
+// an empty queue also flips the edge's worklist bit.
+func (s *ShardedEngine) arrivalsSparse(t *tile, slot int, measuring bool, total int) {
+	mean := s.cfg.NodeRate
+	poissonL := s.poissonL
+	dest := s.cfg.Dest
+	choose := s.tab.choose
+	nodeKey := s.tab.nodeKey
+	qsize := s.rings.qsize
+	idx := slot & wheelMask
+	i := t.wheelHead[idx]
+	t.wheelHead[idx] = -1
+	for i >= 0 {
+		chain := t.wheelLink[i]
+		if t.next[i] != int64(slot) {
+			t.file(i, int64(idx))
+			i = chain
+			continue
+		}
+		src := int(t.sources[i])
+		rng := &t.rngs[i]
+		var k int
+		if poissonL > 0 {
+			k = rng.PoissonPositiveExp(mean, poissonL)
+		} else {
+			k = rng.PoissonPositive(mean)
+		}
+		if measuring {
+			t.arrivalHits++
+		}
+		for ; k > 0; k-- {
+			dst := dest.Sample(src, rng)
+			var choice uint32
+			if choose != nil {
+				choice = uint32(choose(rng))
+			}
+			if dst == src {
+				// Zero-hop packet: delivered instantly with delay 0,
+				// never entering any queue (the paper allows these).
+				if measuring {
+					t.addDelay(0)
+				}
+				continue
+			}
+			ent := uint64(nodeKey[dst])<<entKeyShift | uint64(choice)<<entSlotBits | uint64(slot&entSlotMask)
+			if measuring {
+				ent |= entMeasured
+			}
+			edge := s.tab.nextEdge(nodeKey[src], nodeKey[dst], choice)
+			if qsize[edge] == 0 {
+				t.act.add(edge)
+			}
+			s.rings.push(edge, ent)
+			t.live++
+		}
+		nxt := int64(slot) + 1 + int64(rng.PoissonSkip(mean))
+		t.next[i] = nxt
+		if nxt < int64(total) {
+			t.file(i, nxt)
+		}
+		i = chain
+	}
+	if measuring {
+		t.liveSum += t.live
+	}
+}
+
+// serviceSparse is phase 2 on the sparse path: serve the head packet of
+// every busy owned edge, found by walking the two-level bitmap in
+// ascending edge order. The pop/route/deliver body is the dense scan's;
+// the worklist supplies the edges (clearing a bit when a queue drains)
+// instead of a full qsize sweep. Iteration reads snapshots of each word,
+// so the in-loop remove of the edge being served never disturbs it; adds
+// happen only in phases 1 and 3.
+func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity int) {
+	moved := t.moved[:0]
+	multi := s.shards > 1
+	myBase := int(t.id) * s.shards
+	if multi {
+		for u := 0; u < s.shards; u++ {
+			if u != int(t.id) {
+				s.handoff[myBase+u][parity] = s.handoff[myBase+u][parity][:0]
+			}
+		}
+	}
+	qbuf, qhead, qsize := s.rings.qbuf, s.rings.qhead, s.rings.qsize
+	edgeKey := s.tab.edgeKey
+	fast := s.tab.fast
+	rowOwner, nodeOwner := s.rowOwner, s.nodeOwner
+	l1 := t.act.l1
+	var busy int64
+	for w2i, w2 := range t.act.l2 {
+		for w2 != 0 {
+			w1i := w2i<<6 + bits.TrailingZeros64(w2)
+			w2 &= w2 - 1
+			for word := l1[w1i]; word != 0; word &= word - 1 {
+				low := bits.TrailingZeros64(word)
+				edge := int32(w1i<<6 + low)
+				busy++
+				buf := qbuf[edge]
+				head := qhead[edge]
+				ent := buf[head]
+				qhead[edge] = (head + 1) & int32(len(buf)-1)
+				size := qsize[edge] - 1
+				qsize[edge] = size
+				if size == 0 {
+					// Inline activeSet.remove with the word coordinates
+					// already in registers.
+					if l1[w1i] &^= 1 << uint(low); l1[w1i] == 0 {
+						t.act.l2[w2i] &^= 1 << (uint32(w1i) & 63)
+					}
+				}
+				pos := edgeKey[edge]
+				key := int32(ent >> entKeyShift)
+				if pos == key {
+					if ent&entMeasured != 0 && measuring {
+						t.addDelay(int32((uint32(slot+1) - uint32(ent)) & entSlotMask))
+					}
+					t.live--
+					continue
+				}
+				choice := uint32(ent>>entSlotBits) & entChoiceMask
+				next := s.tab.nextEdge(pos, key, choice)
+				rec := movedRec{ent: ent, edge: next, src: edge}
+				if multi {
+					var owner int32
+					if fast {
+						owner = rowOwner[pos>>coordBits]
+					} else {
+						owner = nodeOwner[pos]
+					}
+					if owner != t.id {
+						h := &s.handoff[myBase+int(owner)][parity]
+						*h = append(*h, rec)
+						continue
+					}
+				}
+				moved = append(moved, rec)
+			}
+		}
+	}
+	if measuring {
+		t.busySum += busy
+	}
+	t.moved = moved
+}

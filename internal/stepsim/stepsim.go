@@ -40,7 +40,12 @@
 //   - the three phases (arrivals, service, placement) are tight flat
 //     loops; packets that completed a hop park in a reusable `moved`
 //     scratch array so no packet is served twice in one slot;
-//   - per-slot Poisson batches hoist exp(−λ) out of the per-source loop
+//   - execution is SPARSE by default (sparse.go): sources skip ahead to
+//     their next nonzero arrival slot (xrand.PoissonSkip + PoissonPositive
+//     on a timing wheel) and the service phase walks a two-level bitmap of
+//     nonempty queues, so a slot costs O(traffic), not O(nodes + edges).
+//     Config.Dense selects the dense per-slot body instead, whose Poisson
+//     batch draws hoist exp(−λ) out of the per-source loop
 //     (xrand.PoissonExp), with Hörmann's PTRS taking over at large means.
 //
 // # Random-number regime
@@ -112,7 +117,23 @@ type Config struct {
 	// cross-checks in oracle_test.go; results are NOT comparable between
 	// the two regimes (the variate streams differ), and sharding is
 	// unavailable because the single stream serializes generation.
+	// PerEngineStream runs are always dense (see Dense).
 	PerEngineStream bool
+	// Dense selects the dense per-slot execution the engine used before
+	// the sparse rework: every source draws a Poisson batch every slot
+	// and phase 2 scans every edge's queue length. The default (false) is
+	// the sparse path — skip-ahead arrival sampling (xrand.PoissonSkip /
+	// PoissonPositive on a per-tile timing wheel) and active-edge
+	// worklists (sparse.go) — whose per-slot cost is proportional to
+	// traffic instead of topology size. The two paths simulate the
+	// identical stochastic model but consume different variate sequences
+	// from the same per-node streams, so their seeded results differ
+	// bit-wise while agreeing statistically (pinned by
+	// TestSparseDenseStatisticalEquivalence); each path is individually
+	// deterministic and shard-count invariant. Dense still wins on small
+	// near-saturation arrays, where almost every source and edge is
+	// active every slot and the worklist bookkeeping is pure overhead.
+	Dense bool
 }
 
 // Result holds the measurements of one slotted run.
@@ -130,6 +151,18 @@ type Result struct {
 	MeanN float64
 	// Delivered counts measured packets.
 	Delivered int64
+	// MeanActiveEdges is the per-slot average number of nonempty edge
+	// queues at the service phase — the unit of phase-2 work, and what
+	// the sparse engine's cost is proportional to. Accumulated as an
+	// exact integer count per measured slot (merged across tiles like
+	// the delay moments) and divided once at collect time.
+	MeanActiveEdges float64
+	// ArrivalSlotFraction is the fraction of (source, measured-slot)
+	// pairs that received a nonzero arrival batch — the unit of phase-1
+	// work on the sparse path, whose skip-ahead sampler touches a source
+	// only on those slots. Exact-integer accumulation, like
+	// MeanActiveEdges.
+	ArrivalSlotFraction float64
 }
 
 // Ring-entry layout. The low word is the packet: generation slot modulo
@@ -220,8 +253,8 @@ func (t *routeTables) init(cfg Config, steppers []routing.Stepper, choose func(*
 	t.steppers, t.choose = steppers, choose
 	t.setupFastPath(cfg.Net)
 	numNodes, numEdges := cfg.Net.NumNodes(), cfg.Net.NumEdges()
-	t.edgeKey = growI32(t.edgeKey, numEdges)
-	t.nodeKey = growI32(t.nodeKey, numNodes)
+	t.edgeKey = grow(t.edgeKey, numEdges)
+	t.nodeKey = grow(t.nodeKey, numNodes)
 	if t.fast {
 		a := cfg.Net.(*topology.Array2D)
 		for v := 0; v < numNodes; v++ {
@@ -346,10 +379,12 @@ func (r *ringSet) push(edge int32, ent uint64) {
 	r.qsize[edge] = size + 1
 }
 
-// growI32 returns buf resized to n, reusing its capacity.
-func growI32(buf []int32, n int) []int32 {
+// grow returns buf resized to n elements, reusing its capacity. Contents
+// are unspecified: callers either overwrite every element or explicitly
+// clear.
+func grow[T any](buf []T, n int) []T {
 	if cap(buf) < n {
-		return make([]int32, n)
+		return make([]T, n)
 	}
 	return buf[:n]
 }
@@ -438,6 +473,15 @@ func (e *legacyEngine) reset(cfg Config) error {
 
 	e.tab.init(cfg, steppers, choose)
 	e.rings.reset(cfg.Net.NumEdges())
+	// Cap retained scratch on reuse: each edge serves at most one packet
+	// per slot, so `moved` never needs more than one record per edge of
+	// the CURRENT topology — but a near-saturation burst on a big array
+	// would otherwise pin that worst case across every later point of a
+	// sweep. Mirror the ring-slab policy: keep grown capacity while the
+	// shape still justifies it, release it when it no longer can.
+	if cap(e.moved) > 2*cfg.Net.NumEdges() {
+		e.moved = nil
+	}
 	e.moved = e.moved[:0]
 	return nil
 }
@@ -446,6 +490,7 @@ func (e *legacyEngine) reset(cfg Config) error {
 func (e *legacyEngine) run() Result {
 	var res Result
 	var nSum float64
+	var busySum, arrivalHits int64
 	live := 0
 	rng := e.rng
 	mean := e.cfg.NodeRate
@@ -481,6 +526,9 @@ func (e *legacyEngine) run() Result {
 			case mean > 0:
 				k = rng.Poisson(mean)
 			}
+			if k > 0 && measuring {
+				arrivalHits++
+			}
 			for ; k > 0; k-- {
 				dst := dest.Sample(src, rng)
 				var choice uint32
@@ -515,10 +563,12 @@ func (e *legacyEngine) run() Result {
 		// endpoint — so the only per-packet state consulted here is its
 		// ring entry.
 		moved := e.moved[:0]
+		var busy int64
 		for edge, size := range qsize {
 			if size == 0 {
 				continue
 			}
+			busy++
 			buf := qbuf[edge]
 			head := qhead[edge]
 			ent := buf[head]
@@ -540,6 +590,9 @@ func (e *legacyEngine) run() Result {
 		}
 		// Phase 3: place moved packets after all services, so none is
 		// served twice in one slot.
+		if measuring {
+			busySum += busy
+		}
 		for _, m := range moved {
 			e.rings.push(m.edge, m.ent)
 		}
@@ -547,5 +600,9 @@ func (e *legacyEngine) run() Result {
 	}
 	res.MeanDelay = res.Delay.Mean()
 	res.MeanN = nSum / float64(e.cfg.Slots)
+	res.MeanActiveEdges = float64(busySum) / float64(e.cfg.Slots)
+	if denom := float64(len(e.sources)) * float64(e.cfg.Slots); denom > 0 {
+		res.ArrivalSlotFraction = float64(arrivalHits) / denom
+	}
 	return res
 }

@@ -267,6 +267,12 @@ type Scenario struct {
 	// value, so the knob only changes wall-clock. The event-driven engine
 	// has no intra-run parallelism and ignores it.
 	Shards int `json:"shards,omitempty"`
+	// Dense selects the slotted engine's dense per-slot execution
+	// (stepsim.Config.Dense) instead of its default sparse path. The two
+	// paths simulate the identical model with different variate
+	// sequences, so this is an A/B wall-clock knob, not a semantic one;
+	// the event-driven engine ignores it.
+	Dense bool `json:"dense,omitempty"`
 }
 
 // ParseScenario decodes and validates a JSON scenario.
@@ -463,6 +469,7 @@ func (b *Bound) SlottedConfigs() ([]stepsim.Config, error) {
 			// Shards = 0 stays 0 here: the sweep pool resolves it to the
 			// spare-core factor at run time (stepsim.StreamSweep).
 			Shards: s.Shards,
+			Dense:  s.Dense,
 		})
 	}
 	return cfgs, nil

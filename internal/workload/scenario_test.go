@@ -310,3 +310,34 @@ func TestSlottedConfigsRejectsNonPoisson(t *testing.T) {
 		t.Error("bursty scenario lowered onto the slotted engine without error")
 	}
 }
+
+// TestSlottedConfigsCarryDense pins the Scenario.Dense passthrough: the
+// knob must reach every lowered stepsim.Config.
+func TestSlottedConfigsCarryDense(t *testing.T) {
+	s, err := ByName("uniform-8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Dense = true
+	b, err := s.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := b.SlottedConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		if !cfg.Dense {
+			t.Errorf("config %d lost the Dense knob", i)
+		}
+	}
+	// And a JSON round trip preserves it.
+	s2, err := ParseScenario([]byte(`{"name":"d","topology":{"kind":"array","n":4},"pattern":{"kind":"uniform"},"loads":[0.5],"dense":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Dense {
+		t.Error("JSON dense field not decoded")
+	}
+}

@@ -187,6 +187,84 @@ func (r *RNG) PoissonExp(l float64) int {
 	}
 }
 
+// maxPoissonSkip caps PoissonSkip's return value. A skip this large only
+// arises for means so small that the next arrival lies astronomically far
+// in the future; callers add the skip to a slot counter, and the cap keeps
+// that addition far from overflow while still meaning "past any horizon a
+// simulation can run". Defined relative to the platform int so the clamp
+// is portable (2⁶² on 64-bit, 2³⁰ on 32-bit).
+const maxPoissonSkip = math.MaxInt >> 1
+
+// PoissonSkip returns the number of consecutive zero values preceding the
+// next nonzero value in an i.i.d. Poisson(mean) sequence: a geometric
+// variate on {0, 1, 2, ...} with success probability q = 1 − exp(−mean),
+// P[S = s] = (1−q)^s · q. It is the skip-ahead primitive of the sparse
+// slotted engine: instead of drawing one Poisson batch per source per slot
+// (almost all zero at low load), a source draws where its next nonzero
+// batch lands and sleeps until then.
+//
+// One uniform per call via inversion of the exponential: S = ⌊E⌋ for
+// E ~ Exp(mean), which is exact because ln(1−q) = −mean identically —
+// P[⌊E⌋ = s] = e^(−mean·s)(1 − e^(−mean)). Pairing PoissonSkip with
+// PoissonPositive on the arrival slots reproduces the i.i.d. per-slot
+// Poisson process in distribution while consuming RNG only on (and ahead
+// of) nonzero slots. It panics if mean <= 0.
+func (r *RNG) PoissonSkip(mean float64) int {
+	f := r.Exp(mean)
+	if f >= maxPoissonSkip {
+		return maxPoissonSkip
+	}
+	return int(f)
+}
+
+// PoissonPositive returns a zero-truncated Poisson variate: K ~
+// Poisson(mean) conditioned on K >= 1. It is the batch-size draw on the
+// arrival slots that PoissonSkip selects. Below mean 10 it inverts the
+// truncated pmf directly (O(1 + mean) expected work, and exactly one
+// uniform in the overwhelmingly common K = 1 regime); from mean 10 up it
+// rejects zero draws from the PTRS sampler (a zero has probability
+// e^(−10) ≈ 5·10⁻⁵ there, so the loop is one iteration in practice). It
+// panics if mean <= 0.
+func (r *RNG) PoissonPositive(mean float64) int {
+	switch {
+	case mean <= 0:
+		panic("xrand: PoissonPositive with non-positive mean")
+	case mean < 10:
+		return r.poissonPositiveInv(mean, math.Exp(-mean))
+	default:
+		for {
+			if k := r.poissonPTRS(mean); k > 0 {
+				return k
+			}
+		}
+	}
+}
+
+// PoissonPositiveExp returns a zero-truncated Poisson variate given
+// l = math.Exp(-mean) precomputed, consuming the identical variate stream
+// PoissonPositive(mean) would for mean in (0, 10). Batch engines drawing
+// at one fixed small mean hoist the exponential exactly as they do for
+// PoissonExp.
+func (r *RNG) PoissonPositiveExp(mean, l float64) int {
+	return r.poissonPositiveInv(mean, l)
+}
+
+// poissonPositiveInv inverts the zero-truncated Poisson cdf: u uniform on
+// (0, 1−l) walks the pmf terms t_k = l·mean^k/k! from k = 1. The walk is
+// capped well past any float64-representable tail mass so accumulated
+// rounding in the subtraction can never loop forever.
+func (r *RNG) poissonPositiveInv(mean, l float64) int {
+	u := r.Float64Open() * (1 - l)
+	k := 1
+	t := l * mean
+	for u > t && k < 200 {
+		u -= t
+		k++
+		t *= mean / float64(k)
+	}
+	return k
+}
+
 // poissonPTRS samples Poisson(mean) by transformed rejection with squeeze
 // (Hörmann 1993, "The transformed rejection method for generating Poisson
 // random variables", algorithm PTRS). Valid for mean >= 10; exact, and uses

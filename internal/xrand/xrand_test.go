@@ -398,3 +398,228 @@ func TestPoissonChiSquared(t *testing.T) {
 		}
 	}
 }
+
+// TestPoissonSkipChiSquared checks the skip-ahead sampler against the
+// exact geometric pmf P[S = s] = e^(−mean·s)·(1 − e^(−mean)) with a
+// chi-squared test over the leading bins plus a pooled tail, at means
+// spanning the slotted engine's regime (deep sub-saturation to
+// near-unit batches). Fixed seed, deterministic; the threshold mirrors
+// TestPoissonChiSquared's generous-but-damning bound.
+func TestPoissonSkipChiSquared(t *testing.T) {
+	r := New(41)
+	for _, mean := range []float64{0.02, 0.3, 1.5} {
+		const draws = 200000
+		q := -math.Expm1(-mean)
+		// Cover ~99.99% of the mass with explicit bins.
+		hi := int(math.Ceil(-math.Log(1e-4) / mean))
+		counts := make([]int, hi+1)
+		var above int
+		for i := 0; i < draws; i++ {
+			s := r.PoissonSkip(mean)
+			if s > hi {
+				above++
+			} else {
+				counts[s]++
+			}
+		}
+		chi2 := 0.0
+		df := 0
+		pAbove := 1.0
+		for s := 0; s <= hi; s++ {
+			p := math.Exp(-mean*float64(s)) * q
+			pAbove -= p
+			exp := p * draws
+			if exp < 5 {
+				continue
+			}
+			d := float64(counts[s]) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		if exp := pAbove * draws; exp >= 5 {
+			d := float64(above) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		if limit := 1.5*float64(df) + 30; chi2 > limit {
+			t.Errorf("PoissonSkip(%v): chi-squared %0.1f over %d bins exceeds %0.1f", mean, chi2, df, limit)
+		}
+	}
+}
+
+// TestPoissonPositiveChiSquared checks the zero-truncated sampler against
+// the exact pmf P[K = k] = e^(−mean)·mean^k / (k!·(1 − e^(−mean))) for
+// k >= 1, across both regimes (inverse-cdf walk below mean 10, PTRS
+// rejection above).
+func TestPoissonPositiveChiSquared(t *testing.T) {
+	r := New(43)
+	for _, mean := range []float64{0.1, 2, 9.5, 25} {
+		const draws = 200000
+		trunc := -math.Expm1(-mean)
+		hi := int(mean + 6*math.Sqrt(mean) + 10)
+		counts := make([]int, hi+1)
+		var above int
+		for i := 0; i < draws; i++ {
+			k := r.PoissonPositive(mean)
+			if k < 1 {
+				t.Fatalf("PoissonPositive(%v) returned %d < 1", mean, k)
+			}
+			if k > hi {
+				above++
+			} else {
+				counts[k]++
+			}
+		}
+		chi2 := 0.0
+		df := 0
+		pAbove := 1.0
+		for k := 1; k <= hi; k++ {
+			p := poissonPMF(mean, k) / trunc
+			pAbove -= p
+			exp := p * draws
+			if exp < 5 {
+				continue
+			}
+			d := float64(counts[k]) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		if exp := pAbove * draws; exp >= 5 {
+			d := float64(above) - exp
+			chi2 += d * d / exp
+			df++
+		}
+		if limit := 1.5*float64(df) + 30; chi2 > limit {
+			t.Errorf("PoissonPositive(%v): chi-squared %0.1f over %d bins exceeds %0.1f", mean, chi2, df, limit)
+		}
+	}
+}
+
+// TestPoissonPositiveExpMatchesPoissonPositive pins the hoisted-exp form
+// to the identical variate stream, mirroring PoissonExp vs Poisson.
+func TestPoissonPositiveExpMatchesPoissonPositive(t *testing.T) {
+	for _, mean := range []float64{0.05, 0.4, 3, 9.9} {
+		a, b := New(5), New(5)
+		l := math.Exp(-mean)
+		for i := 0; i < 10000; i++ {
+			if got, want := a.PoissonPositiveExp(mean, l), b.PoissonPositive(mean); got != want {
+				t.Fatalf("PoissonPositiveExp(%v) draw %d = %d, PoissonPositive = %d", mean, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSkipBatchPairReconstructsPoissonProcess is the end-to-end law the
+// sparse engine rests on: alternating PoissonSkip gaps with
+// PoissonPositive batches must reproduce the i.i.d. per-slot Poisson
+// process — checked here by reconstructing per-slot batch sums over a
+// long horizon and comparing mean and variance (both equal mean for a
+// Poisson process) and the zero-slot frequency against e^(−mean).
+func TestSkipBatchPairReconstructsPoissonProcess(t *testing.T) {
+	r := New(47)
+	const (
+		mean  = 0.35
+		slots = 400000
+	)
+	var sum, sumSq float64
+	zeros := 0
+	slot := r.PoissonSkip(mean)
+	for s := 0; s < slots; s++ {
+		k := 0
+		if s == slot {
+			k = r.PoissonPositive(mean)
+			slot = s + 1 + r.PoissonSkip(mean)
+		}
+		if k == 0 {
+			zeros++
+		}
+		sum += float64(k)
+		sumSq += float64(k) * float64(k)
+	}
+	m := sum / slots
+	v := sumSq/slots - m*m
+	if math.Abs(m-mean) > 0.01 {
+		t.Errorf("reconstructed mean %v, want %v", m, mean)
+	}
+	if math.Abs(v-mean) > 0.02 {
+		t.Errorf("reconstructed variance %v, want %v", v, mean)
+	}
+	if p0 := float64(zeros) / slots; math.Abs(p0-math.Exp(-mean)) > 0.01 {
+		t.Errorf("zero-slot frequency %v, want %v", p0, math.Exp(-mean))
+	}
+}
+
+// TestSparseSamplerGoldenSequences pins the exact draw sequences of the
+// skip-ahead samplers: any change to their variate consumption breaks
+// seeded reproducibility of every sparse slotted run.
+func TestSparseSamplerGoldenSequences(t *testing.T) {
+	r := New(123)
+	var got []int
+	for i := 0; i < 8; i++ {
+		got = append(got, r.PoissonSkip(0.1))
+	}
+	for i := 0; i < 8; i++ {
+		got = append(got, r.PoissonPositive(0.1))
+	}
+	for i := 0; i < 4; i++ {
+		got = append(got, r.PoissonPositive(40))
+	}
+	want := []int{16, 0, 7, 20, 10, 0, 9, 4, 1, 1, 1, 1, 1, 1, 1, 1, 37, 40, 38, 32}
+	if len(got) != len(want) {
+		t.Fatalf("sequence length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d = %d, want %d (full sequence %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPoissonSkipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PoissonSkip(0) did not panic")
+		}
+	}()
+	New(1).PoissonSkip(0)
+}
+
+func TestPoissonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PoissonPositive(0) did not panic")
+		}
+	}()
+	New(1).PoissonPositive(0)
+}
+
+// TestPoissonSkipTinyMeanClamped guards the overflow clamp: a mean small
+// enough to push the skip past any runnable horizon must return the cap,
+// not a garbage int conversion.
+func TestPoissonSkipTinyMeanClamped(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		s := r.PoissonSkip(1e-300)
+		if s < 0 || s > maxPoissonSkip {
+			t.Fatalf("PoissonSkip(1e-300) = %d out of [0, maxPoissonSkip]", s)
+		}
+	}
+}
+
+func BenchmarkPoissonSkip(b *testing.B) {
+	r := New(1)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += r.PoissonSkip(0.01)
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonPositive(b *testing.B) {
+	r := New(1)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += r.PoissonPositive(0.01)
+	}
+	_ = sink
+}
