@@ -3,7 +3,7 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test race examples scenario-smoke sparse-smoke bench bench-slotted bench-sparse bench-sharded bench-json bench-compare profile vet
+.PHONY: test race examples scenario-smoke sparse-smoke warmstart-smoke bench bench-slotted bench-sparse bench-sharded bench-json bench-compare profile vet
 
 test:
 	go vet ./...
@@ -37,6 +37,15 @@ scenario-smoke:
 # timeout loudly) and match its pinned golden bits.
 sparse-smoke:
 	go test -count=1 -timeout 180s -run 'TestSparseLowLoadGolden' ./internal/stepsim/
+
+# warmstart-smoke is the snapshot/warm-start tripwire CI runs under the
+# race detector, full-length: both engines' snapshot batteries (bit-exact
+# continuation goldens, wire round-trips, reject paths), the adaptive
+# sequential-stopping pool (a concurrency surface: workers inject batch
+# tasks mid-flight), warm-start ladder chains, control variates, and the
+# CRN paired-difference design.
+warmstart-smoke:
+	go test -race -count=1 -timeout 300s -run 'Snapshot|WarmStart|Adaptive|ControlVariate|CRN' ./internal/sim/ ./internal/stepsim/
 
 # bench runs the hot-path benchmarks with allocation reporting.
 bench:

@@ -271,6 +271,85 @@ func BenchmarkStepSlotsSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepAdaptive is the variance-reduction A/B at equal precision:
+// the same slotted hotspot ρ-ladder swept three ways, where "equal" means
+// the adaptive modes target exactly the CI half-width the fixed sweep
+// achieves at its loosest point (measured once, untimed, in setup):
+//
+//   - fixed: the default path — every point runs the full replica budget;
+//   - adaptive: sequential stopping alone — points stop as soon as their
+//     95% half-width is under the target, so easy (low-ρ) points stop at
+//     MinReps and only the hard ones spend the budget;
+//   - adaptive-cv-warm: stopping plus both variance reducers — the
+//     control-variate estimator of record (fewer replicas buy the same
+//     half-width) and snapshot warm-starts along the ladder (each replica
+//     resumes the previous point's steady state, replacing the full
+//     warmup with Slots/8 of re-warm).
+//
+// replicas/op is the total replica count across the ladder per sweep; the
+// wall-clock ratio fixed/adaptive-cv-warm at this size is the small-scale
+// proxy for the 64×64 measurement in BENCH.md ("Variance reduction"),
+// reproducible at full scale with examples/adaptivesweep.
+func BenchmarkSweepAdaptive(b *testing.B) {
+	s, err := workload.ByName("hotspot-8x8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Topology.N = 16
+	s.Loads = []float64{0.4, 0.6, 0.8}
+	s.Horizon, s.Warmup = 1500, 375
+	bound, err := s.Bind()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs, err := bound.SlottedConfigs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 16
+	base, err := stepsim.RunSweepAdaptive(cfgs, stepsim.SweepOpts{Replicas: budget, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var target float64
+	for _, rs := range base {
+		if rs.DelayCI > target {
+			target = rs.DelayCI
+		}
+	}
+	modes := []struct {
+		name string
+		opts stepsim.SweepOpts
+	}{
+		{"fixed", stepsim.SweepOpts{Replicas: budget, Workers: 4}},
+		{"adaptive", stepsim.SweepOpts{TargetCI: target, MinReps: 4, MaxReps: budget, Workers: 4}},
+		{"adaptive-cv-warm", stepsim.SweepOpts{
+			TargetCI: target, MinReps: 4, MaxReps: budget, Workers: 4,
+			ControlVariates: true, WarmStart: true, RewarmSlots: cfgs[0].Slots / 8,
+		}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var replicas int64
+			run := make([]stepsim.Config, len(cfgs))
+			for i := 0; i < b.N; i++ {
+				copy(run, cfgs)
+				for j := range run {
+					run[j].Seed += uint64(i) << 32
+				}
+				sets, err := stepsim.RunSweepAdaptive(run, m.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rs := range sets {
+					replicas += int64(rs.ReplicasUsed)
+				}
+			}
+			b.ReportMetric(float64(replicas)/float64(b.N), "replicas/op")
+		})
+	}
+}
+
 // BenchmarkPoissonDraw measures xrand.Poisson across the regimes of its
 // piecewise sampler: Knuth product-of-uniforms below mean 10 (O(mean)
 // uniforms — the per-source slotted draw lives at the far left) and PTRS

@@ -54,7 +54,18 @@ commands:
                  cores; results are bit-identical at every value)
       -dense     slotted engine: dense per-slot execution instead of the
                  default sparse path (A/B wall-clock knob; statistically
-                 identical results from a different variate sequence)`)
+                 identical results from a different variate sequence)
+      -target-ci adaptive replica stopping: stop each point once its 95%
+                 delay half-width is <= this (overrides the scenario's
+                 targetCI; 0 keeps fixed replicas)
+      -min-reps  adaptive mode: minimum replicas per point
+      -max-reps  adaptive mode: replica cap per point
+      -cv        control variates: regress the known arrival count out of
+                 the delay estimate (Poisson scenarios only)
+      -warm-start chain engine snapshots up the load ladder instead of
+                 cold-starting every point (Poisson scenarios only)
+      -rewarm    warm-started points' warmup in slots (-1: keep the
+                 scenario's rewarmSlots)`)
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -153,7 +164,10 @@ type pointResult struct {
 	// occupancy instrumentation (stepsim.Result); zero on des runs.
 	MeanActiveEdges     float64 `json:"meanActiveEdges,omitempty"`
 	ArrivalSlotFraction float64 `json:"arrivalSlotFraction,omitempty"`
-	Error               string  `json:"error,omitempty"`
+	// ReplicasUsed records the replication: the fixed count normally, the
+	// adaptive stopping point under a targetCI.
+	ReplicasUsed int    `json:"replicasUsed,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 // runResult is the -json document.
@@ -179,6 +193,12 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		horizon  = fs.Float64("horizon", 0, "override the measured horizon")
 		shards   = fs.String("shards", "", "slotted intra-run tiles per run: N, or auto (default: the scenario's shards field)")
 		dense    = fs.Bool("dense", false, "slotted engine: dense per-slot execution instead of the default sparse path")
+		targetCI = fs.Float64("target-ci", 0, "adaptive replica stopping target half-width (overrides the scenario's targetCI)")
+		minReps  = fs.Int("min-reps", 0, "adaptive minimum replicas per point (overrides the scenario's minReplicas)")
+		maxReps  = fs.Int("max-reps", 0, "adaptive replica cap per point (overrides the scenario's maxReplicas)")
+		cv       = fs.Bool("cv", false, "control variates: regress the known arrival count out of the delay estimate")
+		warm     = fs.Bool("warm-start", false, "chain engine snapshots up the load ladder")
+		rewarm   = fs.Int("rewarm", -1, "warm-started points' warmup in slots (-1: keep the scenario's rewarmSlots)")
 	)
 	// Accept both "run -quick name" and "run name -quick".
 	var name string
@@ -228,6 +248,27 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 	if *dense {
 		s.Dense = true
 	}
+	// Variance-reduction overrides ride on the scenario before Bind so the
+	// spec-level validation (Poisson-only control variates / warm starts,
+	// min <= max) applies to the effective combination.
+	if *targetCI > 0 {
+		s.TargetCI = *targetCI
+	}
+	if *minReps > 0 {
+		s.MinReplicas = *minReps
+	}
+	if *maxReps > 0 {
+		s.MaxReplicas = *maxReps
+	}
+	if *cv {
+		s.ControlVariates = true
+	}
+	if *warm {
+		s.WarmStart = true
+	}
+	if *rewarm >= 0 {
+		s.RewarmSlots = *rewarm
+	}
 	b, err := s.Bind()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -263,15 +304,15 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		if slotted {
 			// The slotted table carries the occupancy instrumentation that
 			// explains sparse-vs-dense wall-clock per point.
-			fmt.Fprintf(stdout, "\n%-6s %-10s %-8s %-9s %-8s %-9s %-8s %-10s %-9s %s\n",
-				"load", "lambda", "rho_max", "T(sim)", "±95%", "N(sim)", "T(md1)", "act_edges", "arr_frac", "")
+			fmt.Fprintf(stdout, "\n%-6s %-10s %-8s %-9s %-8s %-9s %-8s %-10s %-9s %-5s\n",
+				"load", "lambda", "rho_max", "T(sim)", "±95%", "N(sim)", "T(md1)", "act_edges", "arr_frac", "reps")
 		} else {
-			fmt.Fprintf(stdout, "\n%-6s %-10s %-8s %-9s %-8s %-9s %s\n",
-				"load", "lambda", "rho_max", "T(sim)", "±95%", "N(sim)", "T(md1)")
+			fmt.Fprintf(stdout, "\n%-6s %-10s %-8s %-9s %-8s %-9s %-8s %-5s\n",
+				"load", "lambda", "rho_max", "T(sim)", "±95%", "N(sim)", "T(md1)", "reps")
 		}
 	}
 	failed := 0
-	record := func(i int, meanDelay, delayCI, meanN, activeEdges, arrivalFrac float64, err error) {
+	record := func(i int, meanDelay, delayCI, meanN, activeEdges, arrivalFrac float64, replicasUsed int, err error) {
 		pt := b.Points[i]
 		pr := pointResult{
 			Load:     pt.Load,
@@ -288,34 +329,48 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		} else {
 			pr.MeanDelay, pr.DelayCI, pr.MeanN = meanDelay, delayCI, meanN
 			pr.MeanActiveEdges, pr.ArrivalSlotFraction = activeEdges, arrivalFrac
+			pr.ReplicasUsed = replicasUsed
 			if !*jsonOut {
 				if slotted {
-					fmt.Fprintf(stdout, "%-6.2f %-10.6f %-8.2f %-9.3f %-8.3f %-9.3f %-8s %-10.1f %-9.5f\n",
+					fmt.Fprintf(stdout, "%-6.2f %-10.6f %-8.2f %-9.3f %-8.3f %-9.3f %-8s %-10.1f %-9.5f %-5d\n",
 						pt.Load, pt.NodeRate, pr.RhoMax,
 						meanDelay, delayCI, meanN, fmtMD1(pr.MD1Delay),
-						activeEdges, arrivalFrac)
+						activeEdges, arrivalFrac, replicasUsed)
 				} else {
-					fmt.Fprintf(stdout, "%-6.2f %-10.6f %-8.2f %-9.3f %-8.3f %-9.3f %s\n",
+					fmt.Fprintf(stdout, "%-6.2f %-10.6f %-8.2f %-9.3f %-8.3f %-9.3f %-8s %-5d\n",
 						pt.Load, pt.NodeRate, pr.RhoMax,
-						meanDelay, delayCI, meanN, fmtMD1(pr.MD1Delay))
+						meanDelay, delayCI, meanN, fmtMD1(pr.MD1Delay), replicasUsed)
 				}
 			}
 		}
 		out.Points = append(out.Points, pr)
 	}
+	// Any variance-reduction knob (spec field or flag) routes through the
+	// adaptive pool; otherwise the original fixed-replica path runs.
+	adaptive := s.TargetCI > 0 || s.ControlVariates || s.WarmStart
 	if slotted {
 		cfgs, err := b.SlottedConfigs()
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		stepsim.StreamSweep(cfgs, b.Scenario.Replicas, *workers, func(i int, rs stepsim.ReplicaSet, err error) {
-			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, rs.MeanActiveEdges, rs.ArrivalSlotFraction, err)
-		})
+		emitFn := func(i int, rs stepsim.ReplicaSet, err error) {
+			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, rs.MeanActiveEdges, rs.ArrivalSlotFraction, rs.ReplicasUsed, err)
+		}
+		if adaptive {
+			stepsim.StreamSweepAdaptive(cfgs, b.Scenario.SlottedSweepOpts(*workers), emitFn)
+		} else {
+			stepsim.StreamSweep(cfgs, b.Scenario.Replicas, *workers, emitFn)
+		}
 	} else {
-		sim.StreamSweep(b.Configs, b.Scenario.Replicas, *workers, func(i int, rs sim.ReplicaSet, err error) {
-			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, 0, 0, err)
-		})
+		emitFn := func(i int, rs sim.ReplicaSet, err error) {
+			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, 0, 0, rs.ReplicasUsed, err)
+		}
+		if adaptive {
+			sim.StreamSweepAdaptive(b.Configs, b.Scenario.SweepOpts(*workers), emitFn)
+		} else {
+			sim.StreamSweep(b.Configs, b.Scenario.Replicas, *workers, emitFn)
+		}
 	}
 	if *jsonOut {
 		data, err := json.MarshalIndent(out, "", "  ")

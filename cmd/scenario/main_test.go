@@ -261,3 +261,58 @@ func TestRunUnknownEngine(t *testing.T) {
 		t.Errorf("unknown engine should exit 2, got %d: %s", code, errOut)
 	}
 }
+
+// TestRunAdaptiveKnobs drives the variance-reduction flags end to end on
+// both engines: replicas_used appears in the JSON, the adaptive bounds are
+// respected, and incompatible combinations are rejected at validation.
+func TestRunAdaptiveKnobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	for _, engine := range []string{"des", "slotted"} {
+		code, out, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-engine", engine,
+			"-json", "-target-ci", "0.5", "-min-reps", "3", "-max-reps", "8", "-cv")
+		if code != 0 {
+			t.Fatalf("%s adaptive run exit %d: %s", engine, code, errOut)
+		}
+		var res struct {
+			Points []struct {
+				ReplicasUsed int     `json:"replicasUsed"`
+				DelayCI      float64 `json:"delayCI"`
+				Error        string  `json:"error"`
+			} `json:"points"`
+		}
+		if err := json.Unmarshal([]byte(out), &res); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", engine, err, out)
+		}
+		for i, pt := range res.Points {
+			if pt.Error != "" {
+				t.Fatalf("%s point %d: %s", engine, i, pt.Error)
+			}
+			if pt.ReplicasUsed < 3 || pt.ReplicasUsed > 8 {
+				t.Errorf("%s point %d: replicasUsed %d outside [3, 8]", engine, i, pt.ReplicasUsed)
+			}
+		}
+	}
+	// Control variates on a non-Poisson scenario must fail loudly.
+	if code, _, errOut := runCapture(t, "run", "bursty-8x8", "-quick", "-cv"); code != 1 ||
+		!strings.Contains(errOut, "Poisson") {
+		t.Errorf("bursty + -cv accepted: %s", errOut)
+	}
+}
+
+// TestRunWarmStartTable smoke-tests the warm-start chain through the CLI
+// table path (slotted engine) and checks the reps column renders.
+func TestRunWarmStartTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(t, "run", "uniform-8x8", "-quick", "-engine", "slotted",
+		"-warm-start", "-rewarm", "20", "-replicas", "2")
+	if code != 0 {
+		t.Fatalf("warm-start run exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "reps") {
+		t.Errorf("table header missing the reps column:\n%s", out)
+	}
+}

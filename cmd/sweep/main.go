@@ -29,13 +29,30 @@
 // agree statistically but not bit-wise, and the knob exists for A/B
 // wall-clock comparisons like the BENCH.md tables.
 //
+// -target-ci switches the sweep to adaptive replica stopping: each load
+// point runs between -min-reps and -max-reps replicas and stops as soon
+// as its 95% delay half-width is at or below the target, so easy
+// (low-load) points stop early and the replica budget concentrates where
+// the variance is. -cv regresses the exactly known arrival count out of
+// the delay estimate (a control variate: tighter half-widths from the
+// same replicas), and -warm-start chains engine snapshots up the load
+// ladder — each point's replicas resume the previous point's steady
+// state with only -rewarm of re-warm instead of the full horizon/4.
+// All three are opt-in; without them the fixed-replica path is
+// bit-identical to previous releases.
+//
 // CSV output is self-describing: a leading `#` comment records the
-// engine, sharding, execution path, pool shape and GOMAXPROCS, and a
-// trailing one the wall-clock at which each point's row streamed out.
-// Slotted rows also carry the occupancy instrumentation that explains
-// sparse-vs-dense wins per point: active_edges (mean nonempty queues per
-// slot) and arrival_frac (fraction of source-slots with a nonzero
-// batch); both are empty on des rows.
+// engine, sharding, execution path, pool shape, GOMAXPROCS and the
+// variance-reduction knobs, and a trailing one the wall-clock at which
+// each point's row streamed out. Slotted rows also carry the occupancy
+// instrumentation that explains sparse-vs-dense wins per point:
+// active_edges (mean nonempty queues per slot) and arrival_frac
+// (fraction of source-slots with a nonzero batch); both are empty on des
+// rows. The last two columns are the replication record: replicas_used
+// (how many replicas the point consumed — constant on fixed sweeps,
+// variable under -target-ci) and ci_halfwidth (the half-width of the
+// estimator of record, duplicating T_ci explicitly for downstream
+// tooling).
 package main
 
 import (
@@ -85,10 +102,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		shards   = fs.String("shards", "auto", "slotted intra-run tiles per run: N, or auto (spend spare cores; results are identical either way)")
 		dense    = fs.Bool("dense", false, "slotted engine: dense per-slot execution (every source drawn, every edge scanned) instead of the default sparse path; an A/B knob for the BENCH.md tables")
+		targetCI = fs.Float64("target-ci", 0, "adaptive replica stopping: stop each point once its 95% delay half-width is <= this (0 = fixed -replicas)")
+		minReps  = fs.Int("min-reps", 4, "adaptive mode: minimum replicas per point")
+		maxReps  = fs.Int("max-reps", 64, "adaptive mode: replica cap per point (points that hit it report their achieved half-width)")
+		cv       = fs.Bool("cv", false, "control variates: regress the exactly known arrival count out of the delay estimate (tighter CI at the same replicas)")
+		warm     = fs.Bool("warm-start", false, "chain engine snapshots up the load ladder: each point resumes the previous point's steady state with -rewarm of warmup instead of the full horizon/4")
+		rewarm   = fs.Float64("rewarm", -1, "warm-started points' warmup (slots for -engine=slotted); -1 = horizon/16")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *minReps < 1 || *maxReps < *minReps {
+		fmt.Fprintf(stderr, "sweep: need 1 <= -min-reps <= -max-reps, got %d and %d\n", *minReps, *maxReps)
+		return 2
+	}
+	if *rewarm < 0 {
+		*rewarm = *horizon / 16
+	}
+	// Any variance-reduction knob routes the sweep through the adaptive
+	// pool; with none set the original fixed-replica path runs untouched.
+	adaptive := *targetCI > 0 || *cv || *warm
 	// Resolve -shards: auto (0) lets the sweep pool spend spare cores
 	// inside runs; an explicit N pins every run to N tiles. Bit-identical
 	// results at every value make this a pure wall-clock knob.
@@ -192,9 +225,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// trailing one records wall-clock per point (cumulative elapsed when
 	// that row streamed out, i.e. when the point and all earlier ones had
 	// finished) so perf regressions are visible in the CSV itself.
-	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s dense=%v workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d\n",
-		*engine, *topo, *shards, *dense, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed)
-	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper,active_edges,arrival_frac")
+	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s dense=%v workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d target_ci=%g min_reps=%d max_reps=%d cv=%v warm_start=%v rewarm=%g\n",
+		*engine, *topo, *shards, *dense, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed,
+		*targetCI, *minReps, *maxReps, *cv, *warm, *rewarm)
+	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper,active_edges,arrival_frac,replicas_used,ci_halfwidth")
 	failed := 0
 	start := time.Now()
 	var wall []string
@@ -207,7 +241,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for i, c := range cells {
 			cfgs[i] = c.cfg
 		}
-		sim.StreamSweep(cfgs, *replicas, *workers, func(i int, r sim.ReplicaSet, err error) {
+		emit := func(i int, r sim.ReplicaSet, err error) {
 			c := cells[i]
 			if err != nil {
 				fmt.Fprintf(stderr, "sweep: rho=%v: %v\n", c.rho, err)
@@ -215,11 +249,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return
 			}
 			clock(c.rho)
-			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s,,\n",
+			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s,,,%d,%.4f\n",
 				*topo, c.rho, c.cfg.NodeRate,
 				r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
-				c.lower, c.estimate, upperStr(c.upper))
-		})
+				c.lower, c.estimate, upperStr(c.upper),
+				r.ReplicasUsed, r.DelayCI)
+		}
+		if adaptive {
+			sim.StreamSweepAdaptive(cfgs, sim.SweepOpts{
+				Replicas: *replicas, Workers: *workers,
+				TargetCI: *targetCI, MinReps: *minReps, MaxReps: *maxReps,
+				ControlVariates: *cv, WarmStart: *warm, Rewarm: *rewarm,
+			}, emit)
+		} else {
+			sim.StreamSweep(cfgs, *replicas, *workers, emit)
+		}
 	case "slotted":
 		cfgs := make([]stepsim.Config, len(cells))
 		for i, c := range cells {
@@ -235,7 +279,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Dense:       *dense,
 			}
 		}
-		stepsim.StreamSweep(cfgs, *replicas, *workers, func(i int, r stepsim.ReplicaSet, err error) {
+		emit := func(i int, r stepsim.ReplicaSet, err error) {
 			c := cells[i]
 			if err != nil {
 				fmt.Fprintf(stderr, "sweep: rho=%v: %v\n", c.rho, err)
@@ -243,12 +287,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return
 			}
 			clock(c.rho)
-			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,,%.4f,%.4f,%s,%.2f,%.6f\n",
+			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,,%.4f,%.4f,%s,%.2f,%.6f,%d,%.4f\n",
 				*topo, c.rho, c.cfg.NodeRate,
 				r.MeanDelay, r.DelayCI, r.MeanN,
 				c.lower, c.estimate, upperStr(c.upper),
-				r.MeanActiveEdges, r.ArrivalSlotFraction)
-		})
+				r.MeanActiveEdges, r.ArrivalSlotFraction,
+				r.ReplicasUsed, r.DelayCI)
+		}
+		if adaptive {
+			stepsim.StreamSweepAdaptive(cfgs, stepsim.SweepOpts{
+				Replicas: *replicas, Workers: *workers,
+				TargetCI: *targetCI, MinReps: *minReps, MaxReps: *maxReps,
+				ControlVariates: *cv, WarmStart: *warm, RewarmSlots: int(*rewarm),
+			}, emit)
+		} else {
+			stepsim.StreamSweep(cfgs, *replicas, *workers, emit)
+		}
 	}
 	fmt.Fprintf(stdout, "# wall: %s | total %.3fs\n", strings.Join(wall, " "), time.Since(start).Seconds())
 	if failed > 0 {

@@ -60,11 +60,17 @@ func TestTinySweepCSV(t *testing.T) {
 	}
 	for _, row := range lines[1:] {
 		fields := strings.Split(row, ",")
-		if len(fields) != 12 || fields[0] != "array" {
+		if len(fields) != 14 || fields[0] != "array" {
 			t.Errorf("bad CSV row %q", row)
 		}
 		if fields[10] != "" || fields[11] != "" {
 			t.Errorf("des row should leave the slotted occupancy columns empty: %q", row)
+		}
+		if fields[12] != "1" {
+			t.Errorf("fixed 1-replica sweep should report replicas_used=1: %q", row)
+		}
+		if _, err := strconv.ParseFloat(fields[13], 64); err != nil {
+			t.Errorf("ci_halfwidth column %q is not numeric", fields[13])
 		}
 	}
 	// Self-describing comments: provenance up front, wall-clock at the end.
@@ -164,7 +170,7 @@ func TestSlottedSweepCSV(t *testing.T) {
 		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), out)
 	}
 	fields := strings.Split(lines[1], ",")
-	if len(fields) != 12 || fields[0] != "array" {
+	if len(fields) != 14 || fields[0] != "array" {
 		t.Fatalf("bad CSV row %q", lines[1])
 	}
 	if fields[6] != "" {
@@ -201,7 +207,7 @@ func TestSlottedDenseSweepCSV(t *testing.T) {
 	if !strings.Contains(comments[0], "dense=true") {
 		t.Errorf("header comment %q does not record the dense knob", comments[0])
 	}
-	if fields := strings.Split(lines[1], ","); len(fields) != 12 {
+	if fields := strings.Split(lines[1], ","); len(fields) != 14 {
 		t.Errorf("bad dense CSV row %q", lines[1])
 	}
 }
@@ -210,5 +216,86 @@ func TestUnknownEngine(t *testing.T) {
 	if code, _, errOut := runCapture("-engine", "quantum", "-rhos", "0.5"); code != 2 ||
 		!strings.Contains(errOut, "unknown engine") {
 		t.Error("unknown engine accepted")
+	}
+}
+
+// TestAdaptiveSweepFlags covers the variance-reduction flag validation and
+// header comment.
+func TestAdaptiveSweepFlags(t *testing.T) {
+	if code, _, errOut := runCapture("-min-reps", "10", "-max-reps", "4", "-rhos", "0.5"); code != 2 ||
+		!strings.Contains(errOut, "min-reps") {
+		t.Error("max-reps < min-reps accepted")
+	}
+	if code, _, errOut := runCapture("-min-reps", "0", "-rhos", "0.5"); code != 2 ||
+		!strings.Contains(errOut, "min-reps") {
+		t.Error("zero min-reps accepted")
+	}
+}
+
+// TestAdaptiveSlottedSweepCSV drives -target-ci end to end on the slotted
+// engine: replicas_used must respect the [min, max] bounds and the row's
+// ci_halfwidth must match the T_ci column (the estimator of record).
+func TestAdaptiveSlottedSweepCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	code, out, errOut := runCapture(
+		"-topology", "array", "-n", "5", "-rhos", "0.3,0.6",
+		"-engine", "slotted", "-horizon", "800",
+		"-target-ci", "0.5", "-min-reps", "3", "-max-reps", "12")
+	if code != 0 {
+		t.Fatalf("adaptive sweep exit %d: %s", code, errOut)
+	}
+	lines, comments := splitCSV(out)
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[0], "replicas_used,ci_halfwidth") {
+		t.Errorf("header %q missing the replication columns", lines[0])
+	}
+	for _, row := range lines[1:] {
+		fields := strings.Split(row, ",")
+		if len(fields) != 14 {
+			t.Fatalf("bad adaptive row %q", row)
+		}
+		used, err := strconv.Atoi(fields[12])
+		if err != nil || used < 3 || used > 12 {
+			t.Errorf("replicas_used %q outside [3, 12]", fields[12])
+		}
+		if fields[13] != fields[4] {
+			t.Errorf("ci_halfwidth %q != T_ci %q", fields[13], fields[4])
+		}
+	}
+	for _, want := range []string{"target_ci=0.5", "min_reps=3", "max_reps=12", "cv=false", "warm_start=false"} {
+		if !strings.Contains(comments[0], want) {
+			t.Errorf("header comment %q missing %q", comments[0], want)
+		}
+	}
+}
+
+// TestWarmStartCVSweepCSV smoke-tests the combined -warm-start -cv path on
+// both engines over a short two-point ladder.
+func TestWarmStartCVSweepCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	for _, engine := range []string{"des", "slotted"} {
+		code, out, errOut := runCapture(
+			"-topology", "array", "-n", "5", "-rhos", "0.4,0.6",
+			"-engine", engine, "-horizon", "800", "-replicas", "4",
+			"-cv", "-warm-start", "-rewarm", "100")
+		if code != 0 {
+			t.Fatalf("%s warm+cv sweep exit %d: %s", engine, code, errOut)
+		}
+		lines, _ := splitCSV(out)
+		if len(lines) != 3 {
+			t.Fatalf("%s: want header + 2 rows, got %d lines:\n%s", engine, len(lines), out)
+		}
+		for _, row := range lines[1:] {
+			fields := strings.Split(row, ",")
+			if len(fields) != 14 || fields[12] != "4" {
+				t.Errorf("%s: bad warm+cv row %q", engine, row)
+			}
+		}
 	}
 }

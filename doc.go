@@ -178,6 +178,31 @@
 // edge utilization at or above 1 is rejected with the saturating edge
 // named, instead of silently producing horizon-dependent garbage.
 //
+// # Variance reduction and adaptive precision
+//
+// The sweep layer treats replica count as a spend (sim.SweepOpts,
+// stepsim.SweepOpts; all opt-in, the fixed-replica path is bit-identical
+// to before). Replica r of every sweep point runs the stream
+// Split(seed, r) — common random numbers — so ladder contrasts can be
+// estimated as paired differences (stats.PairedDiff, measured ~1.6×
+// tighter). SweepOpts.TargetCI switches a sweep to sequential stopping:
+// each point runs a deterministic batch ladder (MinReps, ×1.5 growth,
+// capped at MaxReps) and stops at the first batch boundary where the 95%
+// half-width of its estimator of record meets the target; stopping is
+// evaluated only on complete replica prefixes, so replicas used is a
+// pure function of the results, independent of worker scheduling
+// (sim.StreamCellsAdaptive). ControlVariates regresses the per-replica
+// arrival count — whose expectation is closed-form under Poisson
+// arrivals — out of the delay estimate with a jackknifed coefficient
+// (stats.ControlVariate). WarmStart chains engine snapshots along the
+// load ladder: both engines capture their complete state into versioned,
+// CRC-checked byte strings (EVTSNAP1 / SLOTSNP1) whose resumption is
+// bit-exact, and each replica resumes the previous point's steady state
+// with a short re-warm instead of the full warmup. Measured on the
+// full-length 64×64 hotspot ladder at equal precision: 3.4× end-to-end
+// vs the uniform-budget baseline from stopping alone (BENCH.md,
+// "Variance reduction"; examples/adaptivesweep reproduces it).
+//
 // See the examples directory for runnable programs and DESIGN.md for the
 // full system inventory.
 package greedyroute

@@ -78,6 +78,16 @@ func (s *FIFOStation[J]) Head() (j J, ok bool) {
 // service.
 func (s *FIFOStation[J]) Len() int { return s.size }
 
+// At returns the i-th queued job in FIFO order (0 is the in-service job).
+// It exists for engine checkpoints, which must serialize queue contents in
+// service order; i must be in [0, Len()).
+func (s *FIFOStation[J]) At(i int) J {
+	if i < 0 || i >= s.size {
+		panic("des: FIFOStation.At out of range")
+	}
+	return s.buf[(s.head+i)&(len(s.buf)-1)]
+}
+
 // Busy reports whether a job is in service.
 func (s *FIFOStation[J]) Busy() bool { return s.busy }
 

@@ -201,3 +201,37 @@ func (t *EventTree) Head() (at float64, payload uint32, ok bool) {
 func (t *EventTree) HeadAfter(at float64, meta uint64) bool {
 	return event16{tbits: math.Float64bits(at + 0), meta: meta}.before(t.keys[1])
 }
+
+// The four accessors below exist for engine checkpoints (sim.Snapshot):
+// a restored tree must reproduce the captured one's (time, seq) total
+// order EXACTLY, so slots round-trip as raw key words — re-scheduling
+// through Schedule would assign fresh sequence numbers and could reorder
+// same-time events across the checkpoint boundary.
+
+// SeqCounter returns the tie-break sequence counter's current value.
+func (t *EventTree) SeqCounter() uint64 { return t.seq }
+
+// RestoreSeqCounter sets the sequence counter, so sequence words drawn
+// after a restore continue exactly where the captured tree stopped.
+func (t *EventTree) RestoreSeqCounter(seq uint64) {
+	if seq >= 1<<(64-heap4SeqShift) {
+		panic("des: RestoreSeqCounter past the sequence limit")
+	}
+	t.seq = seq
+}
+
+// SlotKey exports slot's pending event as its raw key words; ok is false
+// for an empty slot.
+func (t *EventTree) SlotKey(slot int) (tbits, meta uint64, ok bool) {
+	k := t.keys[t.leaves+slot]
+	if k == infKey {
+		return 0, 0, false
+	}
+	return k.tbits, k.meta, true
+}
+
+// RestoreSlot re-installs a key exported by SlotKey, preserving its
+// captured sequence word. It does not advance the sequence counter.
+func (t *EventTree) RestoreSlot(slot int, tbits, meta uint64) {
+	t.replay(slot, event16{tbits: tbits, meta: meta})
+}

@@ -26,6 +26,11 @@ type ReplicaSet struct {
 	RPerN, RsPerN float64
 	// Delay merges all per-packet statistics across replicas.
 	Delay stats.Welford
+	// ReplicasUsed is how many replicas produced this cell. Fixed sweeps
+	// always use the requested count; adaptive sweeps (RunSweepAdaptive)
+	// stop early once the target half-width is met, so the CSV layer
+	// reports this alongside the half-width of record.
+	ReplicasUsed int
 }
 
 // RunReplicas executes `replicas` independent runs of cfg on up to
@@ -42,7 +47,7 @@ func RunReplicas(cfg Config, replicas, workers int) (ReplicaSet, error) {
 }
 
 func aggregate(results []Result) ReplicaSet {
-	rs := ReplicaSet{Replicas: results}
+	rs := ReplicaSet{Replicas: results, ReplicasUsed: len(results)}
 	var perReplica stats.Welford
 	for _, r := range results {
 		perReplica.Add(r.MeanDelay)

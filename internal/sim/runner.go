@@ -60,11 +60,29 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 			return Result{}, err
 		}
 	}
+	if cfg.Capture || cfg.Resume != nil {
+		if err := snapshotGate(cfg); err != nil {
+			return Result{}, err
+		}
+	}
 	e := r.prepare(cfg, arrivals)
-	e.scheduleSources()
+	if cfg.Resume != nil {
+		// A restore replaces source scheduling entirely: the captured
+		// clock scalars, tree events and packets carry the whole pending
+		// future.
+		if err := e.restoreSnapshot(cfg.Resume); err != nil {
+			return Result{}, err
+		}
+	} else {
+		e.scheduleSources()
+	}
 	e.loop()
 	r.capture(e)
-	return e.result(), nil
+	res := e.result()
+	if cfg.Capture {
+		res.Snapshot = e.snapshot()
+	}
+	return res, nil
 }
 
 // appendSources appends net's source nodes to buf (reusing its capacity),

@@ -150,6 +150,22 @@ type Config struct {
 	// sequences and produce bit-identical results; this switch exists so
 	// tests can cross-check them.
 	MaterializeRoutes bool
+	// Resume, if non-nil, starts the run from a captured steady-state
+	// checkpoint instead of an empty network, continuing the captured
+	// run's absolute clock: measurement covers [Snapshot.Time+Warmup,
+	// Snapshot.Time+Warmup+Horizon], so Warmup becomes the RE-warm budget
+	// on top of the inherited state. Seed is ignored — the restored
+	// stream continues where it left off. Same-rate resume is bit-exact
+	// (restore-and-continue equals an uninterrupted longer run); a
+	// NodeRate change warm-starts the next point of a ρ-ladder and is
+	// statistically exact on the merged and slotted arrival models (see
+	// snapshot.go). Only the FIFO + stepper-routing path supports
+	// checkpoints.
+	Resume *Snapshot
+	// Capture asks the run to export its end-of-run state as
+	// Result.Snapshot, for a later Resume. Same path restrictions as
+	// Resume.
+	Capture bool
 }
 
 // maxEventID is the largest edge or source index the packed 24-bit event
@@ -224,6 +240,9 @@ type Result struct {
 	// DelayHist is the per-packet delay histogram; nil unless
 	// Config.DelayHistWidth > 0.
 	DelayHist *stats.Histogram
+	// Snapshot is the end-of-run engine checkpoint, present only when the
+	// run was configured with Capture. It feeds Config.Resume.
+	Snapshot *Snapshot
 }
 
 // TailProb returns Pr[N > k] under the measured NDist (0 when untracked).

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// This file is the variance-reduction sweep surface of the event-driven
+// engine: adaptive replica stopping at a target confidence half-width,
+// control-variate delay estimation against the analytically known arrival
+// count, and snapshot warm-starts that carry steady state from one sweep
+// point to the next. The slotted engine's mirror lives in
+// internal/stepsim/adaptive.go; both are thin layers over
+// StreamCellsAdaptive, so the stopping ladder and determinism guarantees
+// cannot drift between engines.
+
+// SweepOpts configures an adaptive sweep. The zero value reproduces a
+// plain 1-replica fixed sweep; each knob is independent of the others.
+type SweepOpts struct {
+	// Replicas is the fixed replica count used when TargetCI is zero
+	// (minimum 1). Ignored when TargetCI is set.
+	Replicas int
+	// Workers bounds the pool's goroutines (0 means GOMAXPROCS).
+	Workers int
+	// TargetCI, when positive, switches the sweep to sequential stopping:
+	// each point runs at least MinReps replicas and stops as soon as the
+	// 95% half-width of its delay estimator of record is ≤ TargetCI, up
+	// to MaxReps. Points that hit MaxReps are reported with whatever
+	// half-width they reached — inspect ReplicaSet.DelayCI.
+	TargetCI float64
+	// MinReps and MaxReps bound the adaptive replica count. Defaults: 4
+	// and 64. MinReps below 3 is raised to 3 when ControlVariates is on
+	// (the jackknife needs leave-one-out covariances).
+	MinReps, MaxReps int
+	// ControlVariates regresses the exactly known arrival count out of
+	// the delay estimate: replica r's pair (MeanDelay, Generated) feeds
+	// stats.ControlVariate with E[Generated] = NodeRate·sources·Horizon.
+	// The reported MeanDelay/DelayCI become the jackknifed estimate and
+	// its t-based half-width. Requires Poisson arrivals (Arrivals == nil
+	// and SlotTau == 0); other models have no closed-form count.
+	ControlVariates bool
+	// WarmStart chains engine snapshots across sweep points: replica r of
+	// point i resumes from replica r's end-of-run state at point i−1 with
+	// Rewarm as its warmup, instead of refilling an empty network from
+	// scratch. Points run in input order (the chain is sequential);
+	// replicas within a point still run in parallel. Subject to the
+	// snapshot gate (FIFO, stepper routing, no custom arrivals); a
+	// rate-changing ladder is statistically exact per the Resume
+	// contract. Replicas beyond the previous point's count start cold
+	// with the full Warmup.
+	WarmStart bool
+	// Rewarm is the warmup (in time units) for warm-started replicas.
+	// Zero is valid for same-rate continuation; rate-changing ladders
+	// should re-warm long enough to forget the old operating point.
+	Rewarm float64
+}
+
+func (o SweepOpts) normalized() SweepOpts {
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	if o.MinReps <= 0 {
+		o.MinReps = 4
+	}
+	if o.ControlVariates && o.MinReps < 3 {
+		o.MinReps = 3
+	}
+	if o.MaxReps <= 0 {
+		o.MaxReps = 64
+	}
+	if o.MaxReps < o.MinReps {
+		o.MaxReps = o.MinReps
+	}
+	if o.TargetCI <= 0 {
+		// Fixed-count mode: the "ladder" is a single rung.
+		o.MinReps, o.MaxReps = o.Replicas, o.Replicas
+	}
+	return o
+}
+
+// cvMean returns the exact expectation of Result.Generated for cfg, and
+// whether the arrival model admits one.
+func cvMean(cfg Config) (float64, bool) {
+	if cfg.Arrivals != nil || cfg.SlotTau != 0 {
+		return 0, false
+	}
+	return cfg.NodeRate * float64(len(topology.Sources(cfg.Net))) * cfg.Horizon, true
+}
+
+// cellEstimate computes the delay estimator of record for a complete
+// replica prefix: the control-variate jackknife when enabled, else the
+// plain across-replica mean with its 95% half-width (matching aggregate).
+func cellEstimate(prefix []Result, useCV bool, cMean float64) (est, hw float64) {
+	if useCV {
+		y := make([]float64, len(prefix))
+		c := make([]float64, len(prefix))
+		for i, r := range prefix {
+			y[i] = r.MeanDelay
+			c[i] = float64(r.Generated)
+		}
+		e := stats.ControlVariate(y, c, cMean)
+		return e.Est, e.HalfWidth
+	}
+	var w stats.Welford
+	for _, r := range prefix {
+		w.Add(r.MeanDelay)
+	}
+	if w.Count() < 2 {
+		return w.Mean(), math.Inf(1)
+	}
+	return w.Mean(), ci95(w)
+}
+
+// finishCell aggregates a completed cell and installs the estimator of
+// record. The fixed-path aggregate() is reused verbatim so every other
+// field (MeanN, ratios, merged Delay) is identical to a fixed sweep's.
+func finishCell(cfg Config, results []Result, opts SweepOpts) (ReplicaSet, error) {
+	rs := aggregate(results)
+	if opts.ControlVariates {
+		cMean, ok := cvMean(cfg)
+		if !ok {
+			return ReplicaSet{}, fmt.Errorf("sim: control variates need Poisson arrivals with a closed-form count (Arrivals == nil, SlotTau == 0)")
+		}
+		rs.MeanDelay, rs.DelayCI = cellEstimate(results, true, cMean)
+	}
+	return rs, nil
+}
+
+// stopFor builds the sequential-stopping predicate for one configuration.
+func stopFor(cfg Config, opts SweepOpts) func(prefix []Result) bool {
+	cMean, cvOK := cvMean(cfg)
+	useCV := opts.ControlVariates && cvOK
+	if opts.ControlVariates && !cvOK {
+		// The cell will error at finishCell; stop immediately so the
+		// misconfiguration does not burn replicas first.
+		return func([]Result) bool { return true }
+	}
+	return func(prefix []Result) bool {
+		_, hw := cellEstimate(prefix, useCV, cMean)
+		return hw <= opts.TargetCI
+	}
+}
+
+// StreamSweepAdaptive runs every configuration with the adaptive replica
+// policy in opts, emitting cells in input order as they converge (emit on
+// the calling goroutine, like StreamSweep). Replica r of any point always
+// runs the stream Split(point seed, r), so with a shared base seed across
+// points the sweep uses common random numbers: per-replica delays at
+// adjacent points are positively correlated and stats.PairedDiff gives
+// much tighter point-to-point contrasts than the marginal intervals.
+func StreamSweepAdaptive(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
+	opts = opts.normalized()
+	if opts.WarmStart {
+		warmStartSweep(cfgs, opts, emit)
+		return
+	}
+	StreamCellsAdaptive(len(cfgs), opts.MinReps, opts.MaxReps, opts.Workers,
+		func() func(cell, rep int) (Result, error) {
+			var runner Runner
+			return func(cell, rep int) (Result, error) {
+				rcfg := cfgs[cell]
+				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(rep)).Uint64()
+				return runner.Run(rcfg)
+			}
+		},
+		func(cell int, prefix []Result) bool {
+			return stopFor(cfgs[cell], opts)(prefix)
+		},
+		func(i int, rs []Result, err error) {
+			if err != nil {
+				emit(i, ReplicaSet{}, err)
+				return
+			}
+			set, ferr := finishCell(cfgs[i], rs, opts)
+			emit(i, set, ferr)
+		})
+}
+
+// warmStartSweep is the sequential-chain form of the adaptive sweep:
+// point i's replicas resume from point i−1's captured snapshots. A point
+// that errors breaks the chain — later points run cold — but still emits
+// its error and lets the sweep continue.
+func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
+	// Runners are shared across points through a pool (workers are
+	// re-created per point by StreamCellsAdaptive).
+	runners := sync.Pool{New: func() any { return new(Runner) }}
+	var prevSnaps []*Snapshot
+	for i := range cfgs {
+		cfg := cfgs[i]
+		var (
+			cellRS  ReplicaSet
+			cellErr error
+			snaps   []*Snapshot
+		)
+		StreamCellsAdaptive(1, opts.MinReps, opts.MaxReps, opts.Workers,
+			func() func(cell, rep int) (Result, error) {
+				return func(_, rep int) (Result, error) {
+					rcfg := cfg
+					rcfg.Seed = xrand.Split(cfg.Seed, uint64(rep)).Uint64()
+					rcfg.Capture = true
+					if rep < len(prevSnaps) && prevSnaps[rep] != nil {
+						rcfg.Resume = prevSnaps[rep]
+						rcfg.Warmup = opts.Rewarm
+					}
+					r := runners.Get().(*Runner)
+					res, err := r.Run(rcfg)
+					runners.Put(r)
+					return res, err
+				}
+			},
+			func(_ int, prefix []Result) bool {
+				return stopFor(cfg, opts)(prefix)
+			},
+			func(_ int, rs []Result, err error) {
+				if err != nil {
+					cellErr = err
+					return
+				}
+				// Strip the snapshots before aggregation: they are chain
+				// state, not part of the reported cell.
+				snaps = make([]*Snapshot, len(rs))
+				for j := range rs {
+					snaps[j] = rs[j].Snapshot
+					rs[j].Snapshot = nil
+				}
+				cellRS, cellErr = finishCell(cfg, rs, opts)
+			})
+		emit(i, cellRS, cellErr)
+		if cellErr != nil {
+			prevSnaps = nil
+			continue
+		}
+		prevSnaps = snaps
+	}
+}
+
+// RunSweepAdaptive executes every configuration under opts and returns the
+// aggregated cells in input order; the error is the first cell error (its
+// cell is zero-valued; later cells still run).
+func RunSweepAdaptive(cfgs []Config, opts SweepOpts) ([]ReplicaSet, error) {
+	sets := make([]ReplicaSet, len(cfgs))
+	var first error
+	StreamSweepAdaptive(cfgs, opts, func(i int, rs ReplicaSet, err error) {
+		sets[i] = rs
+		if err != nil && first == nil {
+			first = err
+		}
+	})
+	return sets, first
+}

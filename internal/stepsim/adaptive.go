@@ -1,0 +1,224 @@
+package stepsim
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Adaptive-precision sweeps for the slotted engine, mirroring
+// internal/sim/sweep_adaptive.go: sequential replica stopping at a target
+// half-width, control variates against the exactly known arrival count,
+// and snapshot warm-starts along a ρ-ladder. The pool core
+// (sim.StreamCellsAdaptive) and the stopping ladder are shared with the
+// event engine, so the two surfaces cannot drift.
+
+// SweepOpts configures an adaptive slotted sweep; see sim.SweepOpts for
+// the shared semantics. The zero value reproduces a plain 1-replica fixed
+// sweep.
+type SweepOpts struct {
+	// Replicas is the fixed replica count used when TargetCI is zero.
+	Replicas int
+	// Workers bounds the pool's goroutines (0 means GOMAXPROCS).
+	Workers int
+	// TargetCI, when positive, stops each point as soon as the 95%
+	// half-width of its delay estimator of record is ≤ TargetCI, between
+	// MinReps and MaxReps replicas.
+	TargetCI float64
+	// MinReps and MaxReps bound the adaptive replica count (defaults 4
+	// and 64; MinReps is raised to 3 under ControlVariates).
+	MinReps, MaxReps int
+	// ControlVariates regresses Result.Generated — whose expectation is
+	// exactly NodeRate·sources·Slots — out of the delay estimate via
+	// stats.ControlVariate. Valid for every slotted configuration: the
+	// arrival model is always per-source per-slot Poisson.
+	ControlVariates bool
+	// WarmStart chains engine snapshots across sweep points (replica r of
+	// point i resumes replica r's state from point i−1, with RewarmSlots
+	// of re-warm); points run sequentially, replicas in parallel. Cold
+	// replicas (beyond the previous point's count, or after a broken
+	// chain) use the full WarmupSlots. Incompatible with PerEngineStream
+	// configurations, which cannot snapshot.
+	WarmStart bool
+	// RewarmSlots is the warm-started replicas' warmup budget. Zero is
+	// exact for same-rate continuation; rate-changing ladders should
+	// re-warm long enough to reach the new operating point.
+	RewarmSlots int
+}
+
+func (o SweepOpts) normalized() SweepOpts {
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	if o.MinReps <= 0 {
+		o.MinReps = 4
+	}
+	if o.ControlVariates && o.MinReps < 3 {
+		o.MinReps = 3
+	}
+	if o.MaxReps <= 0 {
+		o.MaxReps = 64
+	}
+	if o.MaxReps < o.MinReps {
+		o.MaxReps = o.MinReps
+	}
+	if o.TargetCI <= 0 {
+		o.MinReps, o.MaxReps = o.Replicas, o.Replicas
+	}
+	return o
+}
+
+// cvMean is the exact expectation of Result.Generated for cfg.
+func cvMean(cfg Config) float64 {
+	return cfg.NodeRate * float64(len(topology.Sources(cfg.Net))) * float64(cfg.Slots)
+}
+
+// cellEstimate computes the delay estimator of record for a complete
+// replica prefix (control-variate jackknife when enabled, else the plain
+// across-replica mean with its 95% half-width, matching aggregate).
+func cellEstimate(prefix []Result, useCV bool, cMean float64) (est, hw float64) {
+	if useCV {
+		y := make([]float64, len(prefix))
+		c := make([]float64, len(prefix))
+		for i, r := range prefix {
+			y[i] = r.MeanDelay
+			c[i] = float64(r.Generated)
+		}
+		e := stats.ControlVariate(y, c, cMean)
+		return e.Est, e.HalfWidth
+	}
+	var w stats.Welford
+	for _, r := range prefix {
+		w.Add(r.MeanDelay)
+	}
+	if w.Count() < 2 {
+		return w.Mean(), math.Inf(1)
+	}
+	return w.Mean(), 1.96 * w.StdDev() / math.Sqrt(float64(w.Count()))
+}
+
+// finishCell aggregates a completed cell and installs the estimator of
+// record; aggregate() is reused verbatim so every other field matches a
+// fixed sweep's.
+func finishCell(cfg Config, results []Result, opts SweepOpts) ReplicaSet {
+	rs := aggregate(results)
+	if opts.ControlVariates {
+		rs.MeanDelay, rs.DelayCI = cellEstimate(results, true, cvMean(cfg))
+	}
+	return rs
+}
+
+// StreamSweepAdaptive runs every configuration with the adaptive replica
+// policy in opts, emitting cells in input order as they converge. Replica
+// r of any point runs the stream Split(point seed, r), so a shared base
+// seed across points gives common random numbers — per-replica delays at
+// adjacent ρ points are positively correlated and stats.PairedDiff yields
+// tight point-to-point contrasts (pinned by TestCRNPairedDifference).
+func StreamSweepAdaptive(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
+	opts = opts.normalized()
+	if opts.WarmStart {
+		warmStartSweep(cfgs, opts, emit)
+		return
+	}
+	spare := min(sim.SpareFactor(len(cfgs), opts.MinReps, opts.Workers), maxShards)
+	sim.StreamCellsAdaptive(len(cfgs), opts.MinReps, opts.MaxReps, opts.Workers,
+		func() func(cell, rep int) (Result, error) {
+			var eng Engine
+			return func(cell, rep int) (Result, error) {
+				rcfg := cfgs[cell]
+				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(rep)).Uint64()
+				if rcfg.Shards == 0 && !rcfg.PerEngineStream {
+					rcfg.Shards = spare
+				}
+				return eng.Run(rcfg)
+			}
+		},
+		func(cell int, prefix []Result) bool {
+			cMean := cvMean(cfgs[cell])
+			_, hw := cellEstimate(prefix, opts.ControlVariates, cMean)
+			return hw <= opts.TargetCI
+		},
+		func(i int, rs []Result, err error) {
+			if err != nil {
+				emit(i, ReplicaSet{}, err)
+				return
+			}
+			emit(i, finishCell(cfgs[i], rs, opts), nil)
+		})
+}
+
+// warmStartSweep is the sequential-chain form: point i's replicas resume
+// from point i−1's captured snapshots. An errored point breaks the chain
+// (later points run cold) but the sweep continues.
+func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
+	engines := sync.Pool{New: func() any { return new(Engine) }}
+	spare := min(sim.SpareFactor(1, opts.MinReps, opts.Workers), maxShards)
+	var prevSnaps []*Snapshot
+	for i := range cfgs {
+		cfg := cfgs[i]
+		var (
+			cellRS  ReplicaSet
+			cellErr error
+			snaps   []*Snapshot
+		)
+		sim.StreamCellsAdaptive(1, opts.MinReps, opts.MaxReps, opts.Workers,
+			func() func(cell, rep int) (Result, error) {
+				return func(_, rep int) (Result, error) {
+					rcfg := cfg
+					rcfg.Seed = xrand.Split(cfg.Seed, uint64(rep)).Uint64()
+					rcfg.Capture = true
+					if rcfg.Shards == 0 && !rcfg.PerEngineStream {
+						rcfg.Shards = spare
+					}
+					if rep < len(prevSnaps) && prevSnaps[rep] != nil {
+						rcfg.Resume = prevSnaps[rep]
+						rcfg.WarmupSlots = opts.RewarmSlots
+					}
+					eng := engines.Get().(*Engine)
+					res, err := eng.Run(rcfg)
+					engines.Put(eng)
+					return res, err
+				}
+			},
+			func(_ int, prefix []Result) bool {
+				_, hw := cellEstimate(prefix, opts.ControlVariates, cvMean(cfg))
+				return hw <= opts.TargetCI
+			},
+			func(_ int, rs []Result, err error) {
+				if err != nil {
+					cellErr = err
+					return
+				}
+				snaps = make([]*Snapshot, len(rs))
+				for j := range rs {
+					snaps[j] = rs[j].Snapshot
+					rs[j].Snapshot = nil
+				}
+				cellRS = finishCell(cfg, rs, opts)
+			})
+		emit(i, cellRS, cellErr)
+		if cellErr != nil {
+			prevSnaps = nil
+			continue
+		}
+		prevSnaps = snaps
+	}
+}
+
+// RunSweepAdaptive executes every configuration under opts and returns the
+// aggregated cells in input order; the error is the first cell error.
+func RunSweepAdaptive(cfgs []Config, opts SweepOpts) ([]ReplicaSet, error) {
+	sets := make([]ReplicaSet, len(cfgs))
+	var first error
+	StreamSweepAdaptive(cfgs, opts, func(i int, rs ReplicaSet, err error) {
+		sets[i] = rs
+		if err != nil && first == nil {
+			first = err
+		}
+	})
+	return sets, first
+}

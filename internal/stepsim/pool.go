@@ -49,6 +49,10 @@ type ReplicaSet struct {
 	// with these, not with the topology.
 	MeanActiveEdges     float64
 	ArrivalSlotFraction float64
+	// ReplicasUsed is how many replicas produced this cell; adaptive
+	// sweeps (RunSweepAdaptive) stop early once the target half-width is
+	// met, so this varies per point there.
+	ReplicasUsed int
 }
 
 // StreamSweep runs every configuration in cfgs with `replicas` independent
@@ -111,7 +115,7 @@ func RunReplicas(cfg Config, replicas, workers int) (ReplicaSet, error) {
 }
 
 func aggregate(results []Result) ReplicaSet {
-	rs := ReplicaSet{Replicas: results}
+	rs := ReplicaSet{Replicas: results, ReplicasUsed: len(results)}
 	var perReplica stats.Welford
 	for _, r := range results {
 		perReplica.Add(r.MeanDelay)

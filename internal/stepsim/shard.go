@@ -115,6 +115,7 @@ type tile struct {
 	sumSq       uint64
 	busySum     int64
 	arrivalHits int64
+	genCount    int64
 	minD        int32
 	maxD        int32
 
@@ -217,6 +218,7 @@ type ShardedEngine struct {
 	cfg      Config
 	shards   int
 	sparse   bool // !cfg.Dense: skip-ahead arrivals + active-edge worklists
+	resumed  bool // cfg.Resume != nil: reset restored state, workers skip seeding
 	tab      routeTables
 	rings    ringSet
 	poissonL float64
@@ -259,7 +261,11 @@ func (s *ShardedEngine) Run(cfg Config) (Result, error) {
 		}
 		wg.Wait()
 	}
-	return s.collect(), nil
+	res := s.collect()
+	if cfg.Capture {
+		res.Snapshot = s.capture()
+	}
+	return res, nil
 }
 
 // reset validates cfg and builds the tile plan, reusing prior storage when
@@ -311,7 +317,7 @@ func (s *ShardedEngine) reset(cfg Config) error {
 		t.bnd = t.bnd[:0]
 		t.live, t.liveSum = 0, 0
 		t.count, t.sumDelay, t.sumSq = 0, 0, 0
-		t.busySum, t.arrivalHits = 0, 0
+		t.busySum, t.arrivalHits, t.genCount = 0, 0, 0
 		t.minD, t.maxD = 0, 0
 	}
 
@@ -378,6 +384,16 @@ func (s *ShardedEngine) reset(cfg Config) error {
 		}
 		s.bar.init(shards)
 	}
+
+	// A resume fills the freshly reset rings, streams and (sparse) wheel
+	// from the checkpoint; it must run last, after the tile plan and
+	// ownership tables exist. workers then skip their own seeding.
+	s.resumed = cfg.Resume != nil
+	if s.resumed {
+		if err := s.restore(cfg.Resume); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -390,8 +406,12 @@ func (s *ShardedEngine) worker(t *tile) {
 	total := s.cfg.WarmupSlots + s.cfg.Slots
 	// Seed this tile's per-node streams in parallel with the other tiles
 	// (each touches only its own). The sparse path also draws each
-	// source's first arrival slot here.
-	if s.sparse {
+	// source's first arrival slot here. A resumed run skips seeding
+	// entirely: reset restored the mid-sequence streams (and refiled the
+	// wheel), and reseeding would discard them.
+	if s.resumed {
+		// streams, wheel and rings restored by reset
+	} else if s.sparse {
 		s.seedSparse(t, total)
 	} else {
 		for i, src := range t.sources {
@@ -452,6 +472,7 @@ func (s *ShardedEngine) arrivals(t *tile, slot int, measuring bool) {
 		}
 		if k > 0 && measuring {
 			t.arrivalHits++
+			t.genCount += int64(k)
 		}
 		for ; k > 0; k-- {
 			dst := dest.Sample(src, rng)
@@ -643,7 +664,7 @@ func (s *ShardedEngine) place(t *tile, parity int) {
 // collect merges the tiles' integer accumulators into a Result. Addition
 // and min/max are associative, so the outcome is independent of tiling.
 func (s *ShardedEngine) collect() Result {
-	var count, liveSum, busySum, arrivalHits, sources int64
+	var count, liveSum, busySum, arrivalHits, generated, sources int64
 	var sum, sumSq uint64
 	var minD, maxD int32
 	for i := range s.tiles {
@@ -666,6 +687,7 @@ func (s *ShardedEngine) collect() Result {
 		liveSum += t.liveSum
 		busySum += t.busySum
 		arrivalHits += t.arrivalHits
+		generated += t.genCount
 		sources += int64(len(t.sources))
 	}
 	var res Result
@@ -673,6 +695,7 @@ func (s *ShardedEngine) collect() Result {
 	res.MeanDelay = res.Delay.Mean()
 	res.MeanN = float64(liveSum) / float64(s.cfg.Slots)
 	res.Delivered = count
+	res.Generated = generated
 	res.MeanActiveEdges = float64(busySum) / float64(s.cfg.Slots)
 	if denom := float64(sources) * float64(s.cfg.Slots); denom > 0 {
 		res.ArrivalSlotFraction = float64(arrivalHits) / denom

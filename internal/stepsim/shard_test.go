@@ -24,6 +24,9 @@ func requireSameBits(t *testing.T, label string, got, want Result) {
 	if got.Delivered != want.Delivered {
 		t.Errorf("%s: Delivered %d != %d", label, got.Delivered, want.Delivered)
 	}
+	if got.Generated != want.Generated {
+		t.Errorf("%s: Generated %d != %d", label, got.Generated, want.Generated)
+	}
 	if math.Float64bits(got.MeanActiveEdges) != math.Float64bits(want.MeanActiveEdges) {
 		t.Errorf("%s: MeanActiveEdges %v != %v", label, got.MeanActiveEdges, want.MeanActiveEdges)
 	}

@@ -1,0 +1,325 @@
+package stepsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// torusCfg is a generic-path (non-fast) configuration: torus keys are node
+// ids and routing goes through the stepper interface, so it exercises the
+// snapshot's generic key format.
+func torusCfg(n int, rate float64, seed uint64) Config {
+	tor := topology.NewTorus2D(n)
+	return Config{
+		Net:         tor,
+		Router:      routing.TorusGreedy{T: tor},
+		Dest:        routing.UniformDest{NumNodes: tor.NumNodes()},
+		NodeRate:    rate,
+		WarmupSlots: 200,
+		Slots:       1200,
+		Seed:        31,
+	}
+}
+
+// TestSnapshotBitExactContinuation is the determinism contract of the
+// checkpoint layer: capture at the end of run X, resume as run Y, and Y's
+// Result must be math.Float64bits-identical to the uninterrupted run U
+// whose warmup covers X entirely — on both execution paths, on fast and
+// generic key formats, and regardless of the shard counts used on either
+// side of the checkpoint.
+func TestSnapshotBitExactContinuation(t *testing.T) {
+	base := []struct {
+		name string
+		cfg  Config
+	}{
+		{"array7-fast", arrayCfg(7, 0.85, 41)},
+		{"torus5-generic", torusCfg(5, 0.15, 43)},
+	}
+	for _, mode := range []struct {
+		name  string
+		dense bool
+	}{{"sparse", false}, {"dense", true}} {
+		for _, tc := range base {
+			t.Run(tc.name+"/"+mode.name, func(t *testing.T) {
+				cfg := tc.cfg
+				cfg.Dense = mode.dense
+				cfg.WarmupSlots, cfg.Slots = 150, 700
+
+				const rewarm, tail = 60, 500
+				uncut := cfg
+				uncut.WarmupSlots = cfg.WarmupSlots + cfg.Slots + rewarm
+				uncut.Slots = tail
+				ref, err := Run(uncut)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for _, capShards := range []int{1, 3} {
+					first := cfg
+					first.Shards = capShards
+					first.Capture = true
+					res, err := Run(first)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Snapshot == nil {
+						t.Fatal("Capture run returned no snapshot")
+					}
+					for _, resShards := range []int{1, 2, 8} {
+						second := cfg
+						second.Shards = resShards
+						second.Resume = res.Snapshot
+						second.WarmupSlots = rewarm
+						second.Slots = tail
+						got, err := Run(second)
+						if err != nil {
+							t.Fatal(err)
+						}
+						requireSameBits(t, tc.name, got, ref)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotChainedResume pins that a resumed run's own Capture is a
+// valid checkpoint: X → Y → Z must equal the uninterrupted run, which is
+// what a warm-started ρ-ladder does point after point.
+func TestSnapshotChainedResume(t *testing.T) {
+	cfg := arrayCfg(6, 0.8, 47)
+	cfg.WarmupSlots, cfg.Slots = 100, 400
+
+	uncut := cfg
+	uncut.WarmupSlots = 100 + 400 + 400
+	uncut.Slots = 300
+	ref, err := Run(uncut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := cfg
+	first.Capture = true
+	r1, err := Run(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := cfg
+	second.Resume = r1.Snapshot
+	second.WarmupSlots, second.Slots = 0, 400
+	second.Capture = true
+	r2, err := Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := cfg
+	third.Resume = r2.Snapshot
+	third.WarmupSlots, third.Slots = 0, 300
+	r3, err := Run(third)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameBits(t, "chained resume", r3, ref)
+}
+
+// TestSnapshotWireRoundTrip pins the persistence format: encode, decode,
+// and the decoded snapshot must be structurally identical to the original
+// AND resume to the same bits.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		cfg := arrayCfg(6, 0.85, 53)
+		cfg.Dense = dense
+		cfg.WarmupSlots, cfg.Slots = 150, 500
+		cfg.Capture = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.Snapshot.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := UnmarshalSnapshot(data)
+		if err != nil {
+			t.Fatalf("dense=%v: decode failed: %v", dense, err)
+		}
+		if !reflect.DeepEqual(decoded, res.Snapshot) {
+			t.Fatalf("dense=%v: decoded snapshot differs from the original", dense)
+		}
+
+		tail := cfg
+		tail.Capture = false
+		tail.WarmupSlots, tail.Slots = 0, 300
+		tail.Resume = res.Snapshot
+		want, err := Run(tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail.Resume = decoded
+		got, err := Run(tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameBits(t, "wire round trip", got, want)
+	}
+}
+
+// TestSnapshotDecodeRejects is the corruption battery: bad magic, a flipped
+// payload byte, every truncation length, and trailing garbage must all
+// return errors — never panic, never a silently wrong snapshot.
+func TestSnapshotDecodeRejects(t *testing.T) {
+	cfg := arrayCfg(5, 0.7, 59)
+	cfg.WarmupSlots, cfg.Slots = 80, 300
+	cfg.Capture = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Snapshot.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSnapshot(data); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+
+	bad := append([]byte("NOTASNAP"), data[8:]...)
+	if _, err := UnmarshalSnapshot(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for _, cut := range []int{0, 1, 7, 8, 9, len(data) / 2, len(data) - 5, len(data) - 1} {
+		if _, err := UnmarshalSnapshot(data[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+	for _, off := range []int{8, 20, len(data) / 3, len(data) - 10} {
+		corrupt := append([]byte(nil), data...)
+		corrupt[off] ^= 0x40
+		if _, err := UnmarshalSnapshot(corrupt); err == nil {
+			t.Errorf("flipped byte at offset %d accepted", off)
+		}
+	}
+	if _, err := UnmarshalSnapshot(append(append([]byte(nil), data...), 0xEE)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+// TestSnapshotResumeRejectsMismatch pins the compatibility checks: a
+// checkpoint must refuse to restore onto a different topology, the other
+// execution path, or the legacy single-stream regime.
+func TestSnapshotResumeRejectsMismatch(t *testing.T) {
+	cfg := arrayCfg(5, 0.7, 61)
+	cfg.WarmupSlots, cfg.Slots = 80, 300
+	cfg.Capture = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Snapshot
+
+	other := arrayCfg(6, 0.7, 61)
+	other.Resume = snap
+	if _, err := Run(other); err == nil {
+		t.Error("snapshot restored onto a different topology")
+	}
+	wrongMode := cfg
+	wrongMode.Capture = false
+	wrongMode.Dense = true
+	wrongMode.Resume = snap
+	if _, err := Run(wrongMode); err == nil {
+		t.Error("sparse snapshot restored onto the dense path")
+	}
+	legacy := cfg
+	legacy.Capture = false
+	legacy.PerEngineStream = true
+	legacy.Dense = true
+	legacy.Resume = snap
+	if _, err := Run(legacy); err == nil {
+		t.Error("PerEngineStream accepted a Resume")
+	}
+	legacy.Resume = nil
+	legacy.Capture = true
+	if _, err := Run(legacy); err == nil {
+		t.Error("PerEngineStream accepted a Capture")
+	}
+}
+
+// TestSnapshotRateChangeWarmStart is the ρ-ladder warm-start path: resume
+// a checkpoint at a DIFFERENT arrival rate. Not bit-exact by design, but
+// the redrawn arrivals must be statistically faithful: a warm-started run
+// with a short re-warm must agree with a cold full-warmup run at the new
+// rate to well within the cold run's own replica scatter.
+func TestSnapshotRateChangeWarmStart(t *testing.T) {
+	n := 8
+	lo, hi := bounds.LambdaTable(n, 0.70), bounds.LambdaTable(n, 0.80)
+	cold := arrayCfg(n, 0.80, 67)
+	cold.WarmupSlots, cold.Slots = 2000, 12000
+
+	first := cold
+	first.NodeRate = lo
+	first.WarmupSlots = 2000
+	first.Slots = 12000
+	first.Capture = true
+	r1, err := Run(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := cold
+	warm.NodeRate = hi
+	warm.Resume = r1.Snapshot
+	warm.WarmupSlots = 300 // short re-warm from the ρ=0.70 steady state
+	got, err := Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference scatter: a few cold replicas at ρ=0.80.
+	var sum, sumSq float64
+	const reps = 4
+	for i := 0; i < reps; i++ {
+		c := cold
+		c.Seed = 100 + uint64(i)
+		r, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += r.MeanDelay
+		sumSq += r.MeanDelay * r.MeanDelay
+	}
+	mean := sum / reps
+	sd := math.Sqrt(sumSq/reps - mean*mean)
+	tol := 6*sd + 0.05*mean
+	if math.Abs(got.MeanDelay-mean) > tol {
+		t.Errorf("warm-started delay %v vs cold mean %v (sd %v): outside tolerance %v", got.MeanDelay, mean, sd, tol)
+	}
+	if got.Generated == 0 || got.Delivered == 0 {
+		t.Error("warm-started run generated no traffic")
+	}
+}
+
+// TestGeneratedMatchesExpectation pins the control variable: Generated
+// counts every measured-slot packet (zero-hop included), its mean is
+// NodeRate·sources·Slots, and both execution paths agree with the analytic
+// expectation to within normal Poisson fluctuation.
+func TestGeneratedMatchesExpectation(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		cfg := arrayCfg(8, 0.6, 71)
+		cfg.Dense = dense
+		cfg.WarmupSlots, cfg.Slots = 200, 5000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cfg.NodeRate * float64(cfg.Net.NumNodes()) * float64(cfg.Slots)
+		// Generated ~ Poisson(want): 5σ band.
+		if diff := math.Abs(float64(res.Generated) - want); diff > 5*math.Sqrt(want) {
+			t.Errorf("dense=%v: Generated %d vs expectation %.0f (diff %.0f)", dense, res.Generated, want, diff)
+		}
+	}
+}

@@ -182,6 +182,7 @@ func (s *ShardedEngine) arrivalsSparse(t *tile, slot int, measuring bool, total 
 		}
 		if measuring {
 			t.arrivalHits++
+			t.genCount += int64(k)
 		}
 		for ; k > 0; k-- {
 			dst := dest.Sample(src, rng)

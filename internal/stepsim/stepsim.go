@@ -134,6 +134,24 @@ type Config struct {
 	// near-saturation arrays, where almost every source and edge is
 	// active every slot and the worklist bookkeeping is pure overhead.
 	Dense bool
+	// Resume, if non-nil, starts the run from a captured steady-state
+	// checkpoint instead of an empty network: ring queues, per-node RNG
+	// streams and (on the sparse path) pending arrival slots are restored,
+	// and WarmupSlots becomes the RE-warm budget on top of the inherited
+	// state. Seed is ignored on resume — the restored streams continue
+	// where they left off. The snapshot's topology, key format and
+	// sparse/dense mode must match the config; a NodeRate differing from
+	// the captured one is allowed (warm-starting the next point of a
+	// ρ-ladder) and redraws each source's next arrival at the new rate,
+	// which the Poisson process's memorylessness makes statistically
+	// exact. Same-rate resume is bit-exact: restore-and-continue equals an
+	// uninterrupted longer run (see snapshot.go). Incompatible with
+	// PerEngineStream.
+	Resume *Snapshot
+	// Capture asks the run to export its end-of-run state as
+	// Result.Snapshot, for a later Resume. Incompatible with
+	// PerEngineStream.
+	Capture bool
 }
 
 // Result holds the measurements of one slotted run.
@@ -163,6 +181,15 @@ type Result struct {
 	// only on those slots. Exact-integer accumulation, like
 	// MeanActiveEdges.
 	ArrivalSlotFraction float64
+	// Generated counts packets generated during measured slots (including
+	// zero-hop ones). Its exact expectation — NodeRate × sources × Slots —
+	// is known analytically, which makes it the control variable the
+	// variance-reduction layer (stats.ControlVariate) regresses out of the
+	// delay estimate.
+	Generated int64
+	// Snapshot is the end-of-run engine checkpoint, present only when the
+	// run was configured with Capture. It feeds Config.Resume.
+	Snapshot *Snapshot
 }
 
 // Ring-entry layout. The low word is the packet: generation slot modulo
@@ -407,6 +434,9 @@ func (e *Engine) Run(cfg Config) (Result, error) {
 		if cfg.Shards > 1 {
 			return Result{}, fmt.Errorf("stepsim: PerEngineStream is serial by construction (one stream consumed in node order); it cannot run with Shards = %d", cfg.Shards)
 		}
+		if cfg.Resume != nil || cfg.Capture {
+			return Result{}, fmt.Errorf("stepsim: snapshots require per-node keyed streams; PerEngineStream cannot Capture or Resume")
+		}
 		if err := e.legacy.reset(cfg); err != nil {
 			return Result{}, err
 		}
@@ -528,6 +558,7 @@ func (e *legacyEngine) run() Result {
 			}
 			if k > 0 && measuring {
 				arrivalHits++
+				res.Generated += int64(k)
 			}
 			for ; k > 0; k-- {
 				dst := dest.Sample(src, rng)

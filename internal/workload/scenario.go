@@ -273,6 +273,25 @@ type Scenario struct {
 	// sequences, so this is an A/B wall-clock knob, not a semantic one;
 	// the event-driven engine ignores it.
 	Dense bool `json:"dense,omitempty"`
+	// TargetCI, when positive, switches the scenario's sweeps to adaptive
+	// replica stopping: each load point runs between MinReplicas and
+	// MaxReplicas replicas (defaults 4 and 64) and stops as soon as the
+	// 95% half-width of its delay estimate is ≤ TargetCI. Replicas is
+	// then ignored. Zero keeps the fixed-replica default path.
+	TargetCI    float64 `json:"targetCI,omitempty"`
+	MinReplicas int     `json:"minReplicas,omitempty"`
+	MaxReplicas int     `json:"maxReplicas,omitempty"`
+	// ControlVariates regresses the exactly known per-replica arrival
+	// count out of the delay estimate (stats.ControlVariate); requires
+	// Poisson arrivals, which are the only kind with a closed-form count.
+	ControlVariates bool `json:"controlVariates,omitempty"`
+	// WarmStart chains engine snapshots along the load ladder: each
+	// point's replicas resume from the previous point's captured steady
+	// state with RewarmSlots of re-warm (slots for the slotted engine,
+	// the same number as time units for the event engine's τ = 1
+	// convention) instead of the full Warmup. Poisson arrivals only.
+	WarmStart   bool `json:"warmStart,omitempty"`
+	RewarmSlots int  `json:"rewarmSlots,omitempty"`
 }
 
 // ParseScenario decodes and validates a JSON scenario.
@@ -340,6 +359,15 @@ func (s Scenario) checkFields() error {
 	}
 	if s.Shards < 0 {
 		return fmt.Errorf("workload: scenario %q has negative shards", s.Name)
+	}
+	if s.TargetCI < 0 || s.MinReplicas < 0 || s.MaxReplicas < 0 || s.RewarmSlots < 0 {
+		return fmt.Errorf("workload: scenario %q has a negative variance-reduction knob", s.Name)
+	}
+	if s.MinReplicas > 0 && s.MaxReplicas > 0 && s.MaxReplicas < s.MinReplicas {
+		return fmt.Errorf("workload: scenario %q has maxReplicas %d < minReplicas %d", s.Name, s.MaxReplicas, s.MinReplicas)
+	}
+	if kind := s.Arrivals.withDefaults().Kind; kind != "poisson" && (s.ControlVariates || s.WarmStart) {
+		return fmt.Errorf("workload: scenario %q uses %s arrivals; control variates and warm starts need Poisson arrivals (closed-form counts and snapshottable engines)", s.Name, kind)
 	}
 	return nil
 }
@@ -473,4 +501,37 @@ func (b *Bound) SlottedConfigs() ([]stepsim.Config, error) {
 		})
 	}
 	return cfgs, nil
+}
+
+// SweepOpts lowers the scenario's replication policy for the event-driven
+// engine's sweep pool (sim.RunSweepAdaptive). workers bounds the pool's
+// goroutines (0 means GOMAXPROCS).
+func (s Scenario) SweepOpts(workers int) sim.SweepOpts {
+	s = s.withDefaults()
+	return sim.SweepOpts{
+		Replicas:        s.Replicas,
+		Workers:         workers,
+		TargetCI:        s.TargetCI,
+		MinReps:         s.MinReplicas,
+		MaxReps:         s.MaxReplicas,
+		ControlVariates: s.ControlVariates,
+		WarmStart:       s.WarmStart,
+		Rewarm:          float64(s.RewarmSlots),
+	}
+}
+
+// SlottedSweepOpts is SweepOpts for the slotted engine
+// (stepsim.RunSweepAdaptive).
+func (s Scenario) SlottedSweepOpts(workers int) stepsim.SweepOpts {
+	s = s.withDefaults()
+	return stepsim.SweepOpts{
+		Replicas:        s.Replicas,
+		Workers:         workers,
+		TargetCI:        s.TargetCI,
+		MinReps:         s.MinReplicas,
+		MaxReps:         s.MaxReplicas,
+		ControlVariates: s.ControlVariates,
+		WarmStart:       s.WarmStart,
+		RewarmSlots:     s.RewarmSlots,
+	}
 }

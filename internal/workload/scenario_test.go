@@ -341,3 +341,101 @@ func TestSlottedConfigsCarryDense(t *testing.T) {
 		t.Error("JSON dense field not decoded")
 	}
 }
+
+// TestScenarioVarianceReductionKnobs covers the opt-in adaptive fields:
+// JSON round-trip, lowering to both engines' SweepOpts, and rejection of
+// inconsistent or model-incompatible combinations.
+func TestScenarioVarianceReductionKnobs(t *testing.T) {
+	src := `{
+		"name": "vr", "topology": {"kind": "array", "n": 6},
+		"pattern": {"kind": "uniform"}, "loads": [0.5, 0.7],
+		"targetCI": 0.05, "minReplicas": 3, "maxReplicas": 20,
+		"controlVariates": true, "warmStart": true, "rewarmSlots": 250
+	}`
+	s, err := ParseScenario([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := s.SweepOpts(4)
+	if so.TargetCI != 0.05 || so.MinReps != 3 || so.MaxReps != 20 ||
+		!so.ControlVariates || !so.WarmStart || so.Rewarm != 250 || so.Workers != 4 {
+		t.Errorf("sim opts lowered wrong: %+v", so)
+	}
+	sso := s.SlottedSweepOpts(2)
+	if sso.TargetCI != 0.05 || sso.MinReps != 3 || sso.MaxReps != 20 ||
+		!sso.ControlVariates || !sso.WarmStart || sso.RewarmSlots != 250 || sso.Workers != 2 {
+		t.Errorf("slotted opts lowered wrong: %+v", sso)
+	}
+	// The knobs are omitempty: a default scenario round-trips without them.
+	plain := s
+	plain.TargetCI, plain.MinReplicas, plain.MaxReplicas = 0, 0, 0
+	plain.ControlVariates, plain.WarmStart, plain.RewarmSlots = false, false, 0
+	data, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"targetCI", "minReplicas", "maxReplicas", "controlVariates", "warmStart", "rewarmSlots"} {
+		if strings.Contains(string(data), field) {
+			t.Errorf("zero-valued %s serialized: %s", field, data)
+		}
+	}
+
+	bad := s
+	bad.TargetCI = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative targetCI accepted")
+	}
+	bad = s
+	bad.MinReplicas, bad.MaxReplicas = 10, 4
+	if err := bad.Validate(); err == nil {
+		t.Error("maxReplicas < minReplicas accepted")
+	}
+	bad = s
+	bad.Arrivals.Kind = "bursty"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "Poisson") {
+		t.Errorf("control variates with bursty arrivals accepted: %v", err)
+	}
+}
+
+// TestScenarioAdaptiveSweepEndToEnd drives a bound scenario through both
+// engines' adaptive pools — the path cmd/scenario uses.
+func TestScenarioAdaptiveSweepEndToEnd(t *testing.T) {
+	s, err := ParseScenario([]byte(`{
+		"name": "vr-e2e", "topology": {"kind": "array", "n": 5},
+		"pattern": {"kind": "uniform"}, "loads": [0.4, 0.6],
+		"horizon": 1200, "warmup": 300, "seed": 9,
+		"targetCI": 0.2, "minReplicas": 3, "maxReplicas": 12,
+		"controlVariates": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := sim.RunSweepAdaptive(b.Configs, s.SweepOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rs := range sets {
+		if rs.ReplicasUsed < 3 || rs.ReplicasUsed > 12 {
+			t.Errorf("event point %d: %d replicas outside [3, 12]", i, rs.ReplicasUsed)
+		}
+		if rs.ReplicasUsed < 12 && rs.DelayCI > 0.2 {
+			t.Errorf("event point %d: stopped early with half-width %v", i, rs.DelayCI)
+		}
+	}
+	scfgs, err := b.SlottedConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssets, err := stepsim.RunSweepAdaptive(scfgs, s.SlottedSweepOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rs := range ssets {
+		if rs.ReplicasUsed < 3 || rs.ReplicasUsed > 12 {
+			t.Errorf("slotted point %d: %d replicas outside [3, 12]", i, rs.ReplicasUsed)
+		}
+	}
+}

@@ -77,6 +77,24 @@ func (r *RNG) ReseedSplit(seed, index uint64) {
 	r.Reseed(base ^ splitmix64(&mix))
 }
 
+// State exports the generator's four state words, in order. Together with
+// Restore it lets engines checkpoint a stream mid-sequence (the snapshot
+// warm-start path): Restore(State()) resumes the exact variate sequence,
+// bit for bit, from wherever the stream was.
+func (r *RNG) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// Restore sets the generator to a state previously exported with State.
+// The all-zero state is not a valid xoshiro state and panics; any state
+// State can return is nonzero.
+func (r *RNG) Restore(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("xrand: Restore with all-zero state")
+	}
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.
