@@ -3,7 +3,7 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test race examples scenario-smoke sparse-smoke warmstart-smoke bench bench-slotted bench-sparse bench-sharded bench-json bench-compare profile vet
+.PHONY: test race examples scenario-smoke sparse-smoke warmstart-smoke sweepd-smoke bench bench-slotted bench-sparse bench-sharded bench-json bench-compare profile vet
 
 test:
 	go vet ./...
@@ -30,6 +30,14 @@ scenario-smoke:
 	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted -shards 2
 	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted -dense
 	go run ./cmd/scenario run bursty-8x8 -quick -replicas 2 -json >/dev/null
+
+# sweepd-smoke boots the sweep service (cmd/sweepd) on an ephemeral port
+# and drives the whole contract from outside the process: submit a
+# scenario, stream every ladder point over SSE, resubmit the identical
+# spec and require the byte-identical cached result with "cached": true,
+# and scrape the hit counter off /metrics.
+sweepd-smoke:
+	./scripts/sweepd_smoke.sh
 
 # sparse-smoke is the low-load large-array regression tripwire CI runs:
 # a 256×256 rho=0.1 run on the sparse slotted engine must finish inside a

@@ -7,6 +7,7 @@ package greedyroute
 // numbers for EXPERIMENTS.md come from `cmd/tables` without -quick.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -307,7 +308,7 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 		b.Fatal(err)
 	}
 	const budget = 16
-	base, err := stepsim.RunSweepAdaptive(cfgs, stepsim.SweepOpts{Replicas: budget, Workers: 4})
+	base, err := stepsim.RunSweepAdaptive(context.Background(), cfgs, stepsim.SweepOpts{Replicas: budget, Workers: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 				for j := range run {
 					run[j].Seed += uint64(i) << 32
 				}
-				sets, err := stepsim.RunSweepAdaptive(run, m.opts)
+				sets, err := stepsim.RunSweepAdaptive(context.Background(), run, m.opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -416,7 +417,7 @@ func BenchmarkReplicaScaling(b *testing.B) {
 			cfg := m.Config(SimParams{Horizon: 400, Warmup: 50})
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = uint64(i + 1)
-				if _, err := sim.RunReplicas(cfg, 16, workers); err != nil {
+				if _, err := sim.RunReplicas(context.Background(), cfg, 16, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

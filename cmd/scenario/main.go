@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/sim"
 	"repro/internal/stepsim"
 	"repro/internal/workload"
@@ -172,12 +174,17 @@ type pointResult struct {
 
 // runResult is the -json document.
 type runResult struct {
-	Scenario   workload.Scenario `json:"scenario"`
-	Engine     string            `json:"engine"`
-	LambdaStar float64           `json:"lambdaStar"`
-	Bottleneck int               `json:"bottleneckEdge"`
-	MeanHops   float64           `json:"meanHops"`
-	Points     []pointResult     `json:"points"`
+	Scenario workload.Scenario `json:"scenario"`
+	Engine   string            `json:"engine"`
+	// Version is the build's code identity (buildinfo.Version): with the
+	// engines bit-deterministic per build, scenario + engine + version
+	// fully determine every float below, so a recorded document carries
+	// its own reproducibility contract.
+	Version    string        `json:"version"`
+	LambdaStar float64       `json:"lambdaStar"`
+	Bottleneck int           `json:"bottleneckEdge"`
+	MeanHops   float64       `json:"meanHops"`
+	Points     []pointResult `json:"points"`
 }
 
 func runScenario(args []string, stdout, stderr io.Writer) int {
@@ -197,6 +204,7 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		minReps  = fs.Int("min-reps", 0, "adaptive minimum replicas per point (overrides the scenario's minReplicas)")
 		maxReps  = fs.Int("max-reps", 0, "adaptive replica cap per point (overrides the scenario's maxReplicas)")
 		cv       = fs.Bool("cv", false, "control variates: regress the known arrival count out of the delay estimate")
+		md1      = fs.Bool("md1", false, "second control variate: the analytic M/D/1 delay at each replica's realized arrival rate (implies -cv)")
 		warm     = fs.Bool("warm-start", false, "chain engine snapshots up the load ladder")
 		rewarm   = fs.Int("rewarm", -1, "warm-started points' warmup in slots (-1: keep the scenario's rewarmSlots)")
 	)
@@ -263,6 +271,9 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 	if *cv {
 		s.ControlVariates = true
 	}
+	if *md1 {
+		s.ControlVariates, s.MD1Control = true, true
+	}
 	if *warm {
 		s.WarmStart = true
 	}
@@ -293,6 +304,7 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 	out := runResult{
 		Scenario:   b.Scenario,
 		Engine:     *engine,
+		Version:    buildinfo.Version(),
 		LambdaStar: an.LambdaStar,
 		Bottleneck: an.Bottleneck,
 		MeanHops:   an.MeanHops,
@@ -358,18 +370,18 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, rs.MeanActiveEdges, rs.ArrivalSlotFraction, rs.ReplicasUsed, err)
 		}
 		if adaptive {
-			stepsim.StreamSweepAdaptive(cfgs, b.Scenario.SlottedSweepOpts(*workers), emitFn)
+			stepsim.StreamSweepAdaptive(context.Background(), cfgs, b.SlottedSweepOpts(*workers), emitFn)
 		} else {
-			stepsim.StreamSweep(cfgs, b.Scenario.Replicas, *workers, emitFn)
+			stepsim.StreamSweep(context.Background(), cfgs, b.Scenario.Replicas, *workers, emitFn)
 		}
 	} else {
 		emitFn := func(i int, rs sim.ReplicaSet, err error) {
 			record(i, rs.MeanDelay, rs.DelayCI, rs.MeanN, 0, 0, rs.ReplicasUsed, err)
 		}
 		if adaptive {
-			sim.StreamSweepAdaptive(b.Configs, b.Scenario.SweepOpts(*workers), emitFn)
+			sim.StreamSweepAdaptive(context.Background(), b.Configs, b.SweepOpts(*workers), emitFn)
 		} else {
-			sim.StreamSweep(b.Configs, b.Scenario.Replicas, *workers, emitFn)
+			sim.StreamSweep(context.Background(), b.Configs, b.Scenario.Replicas, *workers, emitFn)
 		}
 	}
 	if *jsonOut {

@@ -56,6 +56,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/buildinfo"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/stepsim"
@@ -225,9 +227,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// trailing one records wall-clock per point (cumulative elapsed when
 	// that row streamed out, i.e. when the point and all earlier ones had
 	// finished) so perf regressions are visible in the CSV itself.
-	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s dense=%v workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d target_ci=%g min_reps=%d max_reps=%d cv=%v warm_start=%v rewarm=%g\n",
+	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s dense=%v workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d target_ci=%g min_reps=%d max_reps=%d cv=%v warm_start=%v rewarm=%g version=%s\n",
 		*engine, *topo, *shards, *dense, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed,
-		*targetCI, *minReps, *maxReps, *cv, *warm, *rewarm)
+		*targetCI, *minReps, *maxReps, *cv, *warm, *rewarm, buildinfo.Version())
 	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper,active_edges,arrival_frac,replicas_used,ci_halfwidth")
 	failed := 0
 	start := time.Now()
@@ -256,13 +258,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				r.ReplicasUsed, r.DelayCI)
 		}
 		if adaptive {
-			sim.StreamSweepAdaptive(cfgs, sim.SweepOpts{
+			sim.StreamSweepAdaptive(context.Background(), cfgs, sim.SweepOpts{
 				Replicas: *replicas, Workers: *workers,
 				TargetCI: *targetCI, MinReps: *minReps, MaxReps: *maxReps,
 				ControlVariates: *cv, WarmStart: *warm, Rewarm: *rewarm,
 			}, emit)
 		} else {
-			sim.StreamSweep(cfgs, *replicas, *workers, emit)
+			sim.StreamSweep(context.Background(), cfgs, *replicas, *workers, emit)
 		}
 	case "slotted":
 		cfgs := make([]stepsim.Config, len(cells))
@@ -295,13 +297,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				r.ReplicasUsed, r.DelayCI)
 		}
 		if adaptive {
-			stepsim.StreamSweepAdaptive(cfgs, stepsim.SweepOpts{
+			stepsim.StreamSweepAdaptive(context.Background(), cfgs, stepsim.SweepOpts{
 				Replicas: *replicas, Workers: *workers,
 				TargetCI: *targetCI, MinReps: *minReps, MaxReps: *maxReps,
 				ControlVariates: *cv, WarmStart: *warm, RewarmSlots: int(*rewarm),
 			}, emit)
 		} else {
-			stepsim.StreamSweep(cfgs, *replicas, *workers, emit)
+			stepsim.StreamSweep(context.Background(), cfgs, *replicas, *workers, emit)
 		}
 	}
 	fmt.Fprintf(stdout, "# wall: %s | total %.3fs\n", strings.Join(wall, " "), time.Since(start).Seconds())

@@ -1,0 +1,175 @@
+// Command sweepctl is the sweepd client. It demonstrates the service's
+// whole contract from a shell: submit a scenario, stream its points as
+// they converge, and resubmit to watch the content-addressed cache answer
+// instantly with the byte-identical document.
+//
+// Usage:
+//
+//	sweepctl submit -addr http://127.0.0.1:8080 -engine slotted -stream spec.json
+//	sweepctl submit -engine slotted spec.json        # fire and forget: prints the job id
+//	sweepctl status -addr ... job-1
+//	sweepctl cancel -addr ... job-1
+//
+// submit reads the scenario spec from the named file ("-" for stdin) and
+// prints the submit response; with -stream it then follows the SSE feed,
+// printing one line per point until the job finishes. A cache hit prints
+// "cached: true" and the result document immediately — no job, no stream.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: sweepctl <submit|status|cancel> [flags] <spec.json|job-id>")
+		return 2
+	}
+	switch args[0] {
+	case "submit":
+		return submit(args[1:], stdout, stderr)
+	case "status":
+		return jobOp(args[1:], stdout, stderr, http.MethodGet)
+	case "cancel":
+		return jobOp(args[1:], stdout, stderr, http.MethodDelete)
+	default:
+		fmt.Fprintf(stderr, "sweepctl: unknown command %q\n", args[0])
+		return 2
+	}
+}
+
+func submit(args []string, stdout, stderr io.Writer) int {
+	fs := newFlags("submit", stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "sweepd base URL")
+	engine := fs.String("engine", "event", "event | slotted")
+	priority := fs.Int("priority", 0, "queue priority (higher runs sooner)")
+	stream := fs.Bool("stream", false, "follow the SSE feed until the job finishes")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "sweepctl: submit needs exactly one spec file (- for stdin)")
+		return 2
+	}
+	spec, err := readSpec(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepctl:", err)
+		return 1
+	}
+	body, _ := json.Marshal(serve.SubmitRequest{
+		Scenario: spec,
+		Engine:   *engine,
+		Priority: *priority,
+	})
+	resp, err := http.Post(*addr+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		fmt.Fprintf(stderr, "sweepctl: submit failed (%s): %s\n", resp.Status, strings.TrimSpace(string(raw)))
+		return 1
+	}
+	var sr serve.SubmitResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		fmt.Fprintln(stderr, "sweepctl:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "key: %s\ncached: %v\n", sr.Key, sr.Cached)
+	if sr.Cached {
+		// The document is the byte-identical cached result; print it
+		// verbatim so diffing two submissions proves the cache contract.
+		fmt.Fprintln(stdout, string(sr.Result))
+		return 0
+	}
+	fmt.Fprintf(stdout, "id: %s\n", sr.ID)
+	if !*stream {
+		return 0
+	}
+	return follow(*addr, sr.ID, stdout, stderr)
+}
+
+// follow prints the job's SSE feed — replayed history first, then live —
+// one line per event, until the terminal frame.
+func follow(addr, id string, stdout, stderr io.Writer) int {
+	resp, err := http.Get(addr + "/v1/sweeps/" + id + "/events")
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	var typ string
+	failed := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			fmt.Fprintf(stdout, "%s: %s\n", typ, strings.TrimPrefix(line, "data: "))
+			failed = typ == "error"
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func jobOp(args []string, stdout, stderr io.Writer, method string) int {
+	fs := newFlags(strings.ToLower(method), stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "sweepd base URL")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "sweepctl: need exactly one job id")
+		return 2
+	}
+	req, err := http.NewRequest(method, *addr+"/v1/sweeps/"+fs.Arg(0), nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepctl:", err)
+		return 1
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweepctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	fmt.Fprintln(stdout, strings.TrimSpace(string(raw)))
+	if resp.StatusCode != http.StatusOK {
+		return 1
+	}
+	return 0
+}
+
+func newFlags(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+func readSpec(name string) (json.RawMessage, error) {
+	if name == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(name)
+}

@@ -1,0 +1,94 @@
+// Command sweepd is the long-running sweep service: an HTTP front end
+// over the deterministic simulation engines with a bounded priority job
+// queue, live per-point result streaming, and a content-addressed result
+// cache (see internal/serve).
+//
+// Usage:
+//
+//	sweepd -addr :8080 -cache-dir /var/cache/sweepd
+//	sweepd -addr 127.0.0.1:0          # ephemeral port, printed on stdout
+//
+// Endpoints:
+//
+//	POST   /v1/sweeps             submit {"scenario": {...}, "engine": "event"|"slotted", "priority": N}
+//	GET    /v1/sweeps/{id}        job status + final result document
+//	GET    /v1/sweeps/{id}/events SSE stream: every point exactly once, then done/error
+//	DELETE /v1/sweeps/{id}        cancel (stops the engine pools mid-run)
+//	GET    /metrics               queue depth, running jobs, cache hits/misses, wall time
+//	GET    /healthz               liveness + version
+//
+// A submission whose canonical scenario, engine and code version match a
+// completed sweep is answered instantly from the cache with the
+// byte-identical result document and "cached": true; the queue sheds
+// load explicitly with 429 + Retry-After once -queue-depth submissions
+// are waiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
+		cacheDir   = flag.String("cache-dir", "sweepd-cache", "on-disk result store; empty keeps the cache memory-only")
+		cacheMem   = flag.Int("cache-entries", 128, "in-memory cache entries in front of the disk store")
+		queueDepth = flag.Int("queue-depth", 16, "max queued sweeps before submissions get 429")
+		workers    = flag.Int("workers", 1, "sweeps run concurrently")
+		simWorkers = flag.Int("sim-workers", 0, "engine pool goroutines per sweep (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		QueueDepth:   *queueDepth,
+		Workers:      *workers,
+		SimWorkers:   *simWorkers,
+		CacheDir:     *cacheDir,
+		CacheEntries: *cacheMem,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	// The resolved address line is machine-readable on purpose: smoke
+	// scripts listen on port 0 and scrape the port from here.
+	fmt.Printf("sweepd: listening on %s (version %s)\n", ln.Addr(), srv.Version())
+
+	hs := &http.Server{Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "sweepd: shutting down")
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			srv.Close()
+			os.Exit(1)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	srv.Close()
+}

@@ -202,6 +202,33 @@
 // full-length 64×64 hotspot ladder at equal precision: 3.4× end-to-end
 // vs the uniform-budget baseline from stopping alone (BENCH.md,
 // "Variance reduction"; examples/adaptivesweep reproduces it).
+// The control-variate regression also accepts a second control
+// (SweepOpts.DelayControl / DelayControlMean): internal/workload can wire
+// the analytic M/D/1 delay evaluated at each replica's realized arrival
+// rate (Scenario.MD1Control), with its exact expectation computed by
+// summing the clamped curve against the arrival count's Poisson pmf so
+// the regression stays honest — plugging the mean count into the convex
+// curve would bias it by exactly Jensen's gap.
+//
+// # Serving sweeps
+//
+// cmd/sweepd wraps the whole stack in a long-running HTTP service
+// (internal/serve): POST a declarative scenario spec to /v1/sweeps and
+// it is validated (the same analytic stability checks as Bind), queued
+// on a bounded priority queue with explicit backpressure (429 +
+// Retry-After when full), and executed on the engines' deterministic
+// worker pools; GET /v1/sweeps/{id}/events streams every ladder point
+// exactly once over SSE (replay-then-live, so late subscribers see the
+// full history); DELETE stops the engine pools mid-run through the
+// context plumbing both engines thread (Config.Ctx) — a canceled run
+// returns no partial measurements and leaks no goroutines. Completed
+// result documents land in a content-addressed cache keyed by the
+// SHA-256 of (canonical scenario JSON, engine, code version) — the
+// engines are bit-deterministic per build, so a resubmitted spec is
+// answered instantly with the byte-identical document and "cached": true
+// provenance (workload.Scenario.Canonical defines the semantic normal
+// form; internal/buildinfo the code identity). cmd/sweepctl is the
+// matching client; make sweepd-smoke drives the contract end to end.
 //
 // See the examples directory for runnable programs and DESIGN.md for the
 // full system inventory.

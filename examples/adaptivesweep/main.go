@@ -20,10 +20,12 @@
 // point (unless capped at the budget, which the table marks).
 //
 // Run with: go run ./examples/adaptivesweep            # full 64×64 ladder
-//           go run ./examples/adaptivesweep -quick     # small sanity run
+//
+//	go run ./examples/adaptivesweep -quick     # small sanity run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -72,7 +74,7 @@ func main() {
 	// The fixed baseline doubles as the calibration run: its loosest
 	// point defines the precision target every mode must meet.
 	start := time.Now()
-	base, err := stepsim.RunSweepAdaptive(cfgs, fixed.opts)
+	base, err := stepsim.RunSweepAdaptive(context.Background(), cfgs, fixed.opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func main() {
 	results[0], times[0] = base, fixedTime
 	for i := 1; i < len(modes); i++ {
 		start = time.Now()
-		results[i], err = stepsim.RunSweepAdaptive(cfgs, modes[i].opts)
+		results[i], err = stepsim.RunSweepAdaptive(context.Background(), cfgs, modes[i].opts)
 		if err != nil {
 			log.Fatal(err)
 		}

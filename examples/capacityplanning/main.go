@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,7 +71,7 @@ func simulateOptimal(a *topology.Array2D, lambda, budget float64) string {
 		Service:     sim.Exponential,
 		ServiceTime: st,
 	}
-	rs, err := sim.RunReplicas(cfg, 4, 0)
+	rs, err := sim.RunReplicas(context.Background(), cfg, 4, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

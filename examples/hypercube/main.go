@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 				Horizon:  8000,
 				Seed:     11,
 			}
-			rs, err := sim.RunReplicas(cfg, 4, 0)
+			rs, err := sim.RunReplicas(context.Background(), cfg, 4, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func main() {
 			Horizon:  8000,
 			Seed:     13,
 		}
-		rs, err := sim.RunReplicas(cfg, 4, 0)
+		rs, err := sim.RunReplicas(context.Background(), cfg, 4, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

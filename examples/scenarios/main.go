@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	fmt.Printf("  mean route length = %.3f hops\n\n", an.MeanHops)
 
 	fmt.Println("load  lambda   T(sim)   T(md1)")
-	sim.StreamSweep(b.Configs, s.Replicas, 0, func(i int, rs sim.ReplicaSet, err error) {
+	sim.StreamSweep(context.Background(), b.Configs, s.Replicas, 0, func(i int, rs sim.ReplicaSet, err error) {
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func main() {
 	}
 	fmt.Printf("\n%s: lambda* = %.4f per node (every packet rides its row ring %d hops)\n",
 		custom.Name, cb.Analysis.LambdaStar, int(cb.Analysis.MeanHops))
-	sets, err := sim.RunSweep(cb.Configs, custom.Replicas, 0)
+	sets, err := sim.RunSweep(context.Background(), cb.Configs, custom.Replicas, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

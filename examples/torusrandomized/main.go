@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 			Horizon:  8000,
 			Seed:     17,
 		}
-		rs, err := sim.RunReplicas(cfg, 4, 0)
+		rs, err := sim.RunReplicas(context.Background(), cfg, 4, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,13 +62,13 @@ func main() {
 			Horizon:  10000,
 			Seed:     19,
 		}
-		std, err := sim.RunReplicas(base, 6, 0)
+		std, err := sim.RunReplicas(context.Background(), base, 6, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rnd := base
 		rnd.Router = routing.RandGreedy{A: a}
-		random, err := sim.RunReplicas(rnd, 6, 0)
+		random, err := sim.RunReplicas(context.Background(), rnd, 6, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

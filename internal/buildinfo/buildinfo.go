@@ -1,0 +1,54 @@
+// Package buildinfo surfaces the running binary's code identity: the
+// module version when built from a tagged module, the VCS revision when
+// built from a checkout, "devel" when neither is stamped (go test, go run
+// from an uncommitted tree).
+//
+// The identifier exists for provenance: every place a result leaves the
+// process — cmd/sweep's CSV comment, cmd/scenario's JSON document, and
+// above all the sweep service's content-addressed cache keys
+// (internal/serve) — records it, so a cached result can never be mistaken
+// for the output of a different build. Both engines are bit-deterministic
+// for a fixed code version, which is exactly why the version must be part
+// of any key that treats results as exact: two builds may legitimately
+// differ in variate sequences (an engine change) while both being correct.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var once = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	// A tagged module build carries the version directly ("(devel)" when
+	// untagged); otherwise fall back to the VCS revision stamped by the go
+	// tool, marking dirty checkouts, since their behavior is unreproducible.
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
+})
+
+// Version returns the build's code identifier. The value is computed once
+// and is safe for concurrent use.
+func Version() string { return once() }

@@ -1,0 +1,13 @@
+package buildinfo
+
+import "testing"
+
+func TestVersionNonEmptyAndStable(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() returned empty string")
+	}
+	if v2 := Version(); v2 != v {
+		t.Fatalf("Version() not stable: %q then %q", v, v2)
+	}
+}

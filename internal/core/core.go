@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -161,7 +162,7 @@ func (m ArrayModel) Config(p SimParams) sim.Config {
 // Simulate runs replicated simulations of the model.
 func (m ArrayModel) Simulate(p SimParams) (sim.ReplicaSet, error) {
 	p = p.withDefaults()
-	return sim.RunReplicas(m.Config(p), p.Replicas, p.Workers)
+	return sim.RunReplicas(context.Background(), m.Config(p), p.Replicas, p.Workers)
 }
 
 // Report simulates the model and renders a comparison of the measured delay

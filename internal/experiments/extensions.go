@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,7 +35,7 @@ func BoundLadder(o Options) ([]Table, error) {
 		}
 		for _, rho := range rhos {
 			cfg := arrayCfg(n, rho, o)
-			rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+			rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -107,15 +108,15 @@ func PSDomination(o Options) ([]Table, error) {
 		psCfg.Discipline = sim.PS
 		expCfg := cfg
 		expCfg.Service = sim.Exponential
-		rsF, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rsF, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
-		rsP, err := sim.RunReplicas(psCfg, o.replicas(4), o.Workers)
+		rsP, err := sim.RunReplicas(context.Background(), psCfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
-		rsE, err := sim.RunReplicas(expCfg, o.replicas(4), o.Workers)
+		rsE, err := sim.RunReplicas(context.Background(), expCfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -228,13 +229,13 @@ func OptimalAllocation(o Options) ([]Table, error) {
 				Service:     sim.Exponential,
 				ServiceTime: st,
 			}
-			rsExp, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+			rsExp, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 			if err != nil {
 				return nil, err
 			}
 			detCfg := cfg
 			detCfg.Service = sim.Deterministic
-			rsDet, err := sim.RunReplicas(detCfg, o.replicas(4), o.Workers)
+			rsDet, err := sim.RunReplicas(context.Background(), detCfg, o.replicas(4), o.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +287,7 @@ func Hypercube(o Options) ([]Table, error) {
 				Warmup:   horizon / 4, Horizon: horizon,
 				Seed: o.seed(),
 			}
-			rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+			rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -328,7 +329,7 @@ func Butterfly(o Options) ([]Table, error) {
 			Warmup:   horizon / 4, Horizon: horizon,
 			Seed: o.seed(),
 		}
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -359,13 +360,13 @@ func RandomizedGreedy(o Options) ([]Table, error) {
 	for _, rho := range rhos {
 		cfg := arrayCfg(n, rho, o)
 		cfg.Horizon *= 2
-		rsStd, err := sim.RunReplicas(cfg, o.replicas(6), o.Workers)
+		rsStd, err := sim.RunReplicas(context.Background(), cfg, o.replicas(6), o.Workers)
 		if err != nil {
 			return nil, err
 		}
 		randCfg := cfg
 		randCfg.Router = routing.RandGreedy{A: a}
-		rsRand, err := sim.RunReplicas(randCfg, o.replicas(6), o.Workers)
+		rsRand, err := sim.RunReplicas(context.Background(), randCfg, o.replicas(6), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -403,7 +404,7 @@ func Torus(o Options) ([]Table, error) {
 			Warmup:   horizon / 4, Horizon: horizon,
 			Seed: o.seed(),
 		}
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -413,7 +414,7 @@ func Torus(o Options) ([]Table, error) {
 			aa := topology.NewArray2D(n)
 			acfg.Net = aa
 			acfg.Router = routing.GreedyXY{A: aa}
-			ars, err := sim.RunReplicas(acfg, o.replicas(4), o.Workers)
+			ars, err := sim.RunReplicas(context.Background(), acfg, o.replicas(4), o.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -472,7 +473,7 @@ func NonUniform(o Options) ([]Table, error) {
 			Warmup:   horizon / 4, Horizon: horizon,
 			Seed: o.seed(),
 		}
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -514,13 +515,13 @@ func Slotted(o Options) ([]Table, error) {
 		rho := 0.7
 		cfg := arrayCfg(n, rho, o)
 		cfg.Horizon *= 2
-		cont, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		cont, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
 		scfg := cfg
 		scfg.SlotTau = tau
-		slot, err := sim.RunReplicas(scfg, o.replicas(4), o.Workers)
+		slot, err := sim.RunReplicas(context.Background(), scfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -557,7 +558,7 @@ func KDArray(o Options) ([]Table, error) {
 			Warmup:   horizon / 4, Horizon: horizon,
 			Seed: o.seed(),
 		}
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bounds"
@@ -124,7 +125,7 @@ func KLGrowth(o Options) ([]Table, error) {
 	}
 	for _, n := range sizes {
 		cfg := arrayCfg(n, rho, o)
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -178,13 +179,13 @@ func HotSpot(o Options) ([]Table, error) {
 			Seed:        o.seed(),
 			ServiceTime: st,
 		}
-		det, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		det, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
 		expCfg := cfg
 		expCfg.Service = sim.Exponential
-		exp, err := sim.RunReplicas(expCfg, o.replicas(4), o.Workers)
+		exp, err := sim.RunReplicas(context.Background(), expCfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +232,7 @@ func Tandem(o Options) ([]Table, error) {
 			Warmup:   horizon / 4, Horizon: horizon,
 			Seed: o.seed(),
 		}
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -276,13 +277,13 @@ func TorusPS(o Options) ([]Table, error) {
 			Warmup:   horizon / 4, Horizon: horizon,
 			Seed: o.seed(),
 		}
-		fifo, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		fifo, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
 		psCfg := cfg
 		psCfg.Discipline = sim.PS
-		ps, err := sim.RunReplicas(psCfg, o.replicas(4), o.Workers)
+		ps, err := sim.RunReplicas(context.Background(), psCfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -336,7 +337,7 @@ func Rectangular(o Options) ([]Table, error) {
 			Warmup:   horizon / 4, Horizon: horizon,
 			Seed: o.seed(),
 		}
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}

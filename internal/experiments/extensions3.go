@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bounds"
@@ -28,13 +29,13 @@ func Priority(o Options) ([]Table, error) {
 	}
 	for _, rho := range rhos {
 		cfg := arrayCfg(n, rho, o)
-		fifo, err := sim.RunReplicas(cfg, o.replicas(6), o.Workers)
+		fifo, err := sim.RunReplicas(context.Background(), cfg, o.replicas(6), o.Workers)
 		if err != nil {
 			return nil, err
 		}
 		ffCfg := cfg
 		ffCfg.Discipline = sim.FurthestFirst
-		ff, err := sim.RunReplicas(ffCfg, o.replicas(6), o.Workers)
+		ff, err := sim.RunReplicas(context.Background(), ffCfg, o.replicas(6), o.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bounds"
@@ -56,7 +57,7 @@ func TableI(o Options) ([]Table, error) {
 	}
 	for _, c := range cells {
 		cfg := arrayCfg(c.N, c.Rho, o)
-		rs, err := sim.RunReplicas(cfg, o.replicas(6), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(6), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +94,7 @@ func TableII(o Options) ([]Table, error) {
 	}
 	for _, c := range cells {
 		cfg := arrayCfg(c.N, c.Rho, o)
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +124,7 @@ func TableIII(o Options) ([]Table, error) {
 		cfg := arrayCfg(c.N, 0.99, o)
 		a := cfg.Net.(*topology.Array2D)
 		cfg.Saturated = bounds.SaturatedEdges(a)
-		rs, err := sim.RunReplicas(cfg, o.replicas(4), o.Workers)
+		rs, err := sim.RunReplicas(context.Background(), cfg, o.replicas(4), o.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the content-addressed result store: an in-memory LRU of result
+// documents in front of an on-disk directory keyed by the sweep's content
+// address. Results are immutable once written (the key fixes scenario,
+// engine and code version, and the engines are bit-deterministic), so
+// there is no invalidation — only eviction from the memory tier, behind
+// which the disk copy still answers.
+type Cache struct {
+	dir        string
+	maxEntries int
+
+	mu    sync.Mutex
+	byKey map[string]*list.Element // of cacheEntry
+	order *list.List               // front = most recent
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	doc []byte
+}
+
+// NewCache opens (creating if needed) an on-disk store rooted at dir with
+// an in-memory LRU of maxEntries documents (minimum 1). An empty dir
+// disables the disk tier — the cache is then memory-only, which is what
+// tests and throwaway servers want.
+func NewCache(dir string, maxEntries int) (*Cache, error) {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		dir:        dir,
+		maxEntries: maxEntries,
+		byKey:      make(map[string]*list.Element),
+		order:      list.New(),
+	}, nil
+}
+
+// path shards keys into 256 subdirectories so no single directory grows
+// unboundedly.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the cached result document, consulting memory then disk (a
+// disk hit is promoted into the LRU). The hit/miss counters feed /metrics.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		doc := el.Value.(cacheEntry).doc
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return doc, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if doc, err := os.ReadFile(c.path(key)); err == nil {
+			c.insert(key, doc)
+			c.hits.Add(1)
+			return doc, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores a result document under its key: written to disk via a
+// temp-file rename (concurrent writers of the same key are harmless —
+// both write identical bytes) and inserted into the memory tier.
+func (c *Cache) Put(key string, doc []byte) error {
+	if c.dir != "" {
+		dir := filepath.Dir(c.path(key))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("serve: cache put: %w", err)
+		}
+		tmp, err := os.CreateTemp(dir, "put-*")
+		if err != nil {
+			return fmt.Errorf("serve: cache put: %w", err)
+		}
+		if _, err := tmp.Write(doc); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("serve: cache put: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("serve: cache put: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("serve: cache put: %w", err)
+		}
+	}
+	c.insert(key, doc)
+	return nil
+}
+
+func (c *Cache) insert(key string, doc []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(cacheEntry{key: key, doc: doc})
+	for c.order.Len() > c.maxEntries {
+		el := c.order.Back()
+		delete(c.byKey, el.Value.(cacheEntry).key)
+		c.order.Remove(el)
+	}
+}
+
+// Hits and Misses report the lookup counters.
+func (c *Cache) Hits() int64   { return c.hits.Load() }
+func (c *Cache) Misses() int64 { return c.misses.Load() }

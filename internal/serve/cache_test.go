@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheMemoryAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mustKey(t, baseScenario(), EngineEvent)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	doc := []byte(`{"points":[1,2,3]}`)
+	if err := c.Put(key, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, doc) {
+		t.Fatalf("memory get: ok=%v doc=%s", ok, got)
+	}
+	// A fresh cache over the same directory must hit from disk.
+	c2, err := NewCache(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = c2.Get(key)
+	if !ok || !bytes.Equal(got, doc) {
+		t.Fatalf("disk get: ok=%v doc=%s", ok, got)
+	}
+	if h, m := c2.Hits(), c2.Misses(); h != 1 || m != 0 {
+		t.Fatalf("counters after disk hit: hits=%d misses=%d", h, m)
+	}
+	if h, m := c.Hits(), c.Misses(); h != 1 || m != 1 {
+		t.Fatalf("counters on first cache: hits=%d misses=%d", h, m)
+	}
+}
+
+func TestCacheLRUEvictionKeepsDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 3)
+	for i := range keys {
+		sc := baseScenario()
+		sc.Seed = uint64(100 + i)
+		keys[i] = mustKey(t, sc, EngineEvent)
+		if err := c.Put(keys[i], []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// keys[0] was evicted from memory but survives on disk.
+	got, ok := c.Get(keys[0])
+	if !ok || !bytes.Equal(got, []byte(`{"i":0}`)) {
+		t.Fatalf("evicted key not served from disk: ok=%v doc=%s", ok, got)
+	}
+}
+
+func TestCacheMemoryOnly(t *testing.T) {
+	c, err := NewCache("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mustKey(t, baseScenario(), EngineEvent)
+	if err := c.Put(key, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("memory-only cache missed its own put")
+	}
+}

@@ -1,0 +1,53 @@
+// Package serve is the sweep service: an HTTP/JSON front end that accepts
+// declarative workload.Scenario specs, queues them with explicit
+// backpressure, executes them on the deterministic simulation engines,
+// streams per-point results live, and memoizes completed result documents
+// in a content-addressed cache.
+//
+// The cache is sound because of a property most simulation services lack:
+// both engines are bit-deterministic. A scenario, a seed, an engine and a
+// code version fully determine every float in the result document, so the
+// SHA-256 of those four inputs is a true content address — a hit can be
+// served byte-for-byte without rerunning anything, and provenance is just
+// the flag saying which path produced the bytes.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Engine names accepted by the service. The engine is part of the cache
+// key: the two engines simulate the same model with different variate
+// streams, so their result documents differ.
+const (
+	EngineEvent   = "event"   // event-driven engine (internal/sim)
+	EngineSlotted = "slotted" // synchronous slotted engine (internal/stepsim)
+)
+
+// Key computes the content address of a sweep: SHA-256 over the
+// scenario's canonical JSON (workload.Scenario.CanonicalJSON — invariant
+// to field order, whitespace and spelled-out defaults; the seed rides
+// inside it), the engine name, and the code version string. Fields are
+// length-prefixed so no concatenation of distinct inputs can collide.
+func Key(sc workload.Scenario, engine, version string) (string, error) {
+	cj, err := sc.CanonicalJSON()
+	if err != nil {
+		return "", fmt.Errorf("serve: canonicalizing scenario: %w", err)
+	}
+	if engine != EngineEvent && engine != EngineSlotted {
+		return "", fmt.Errorf("serve: unknown engine %q (want %q or %q)", engine, EngineEvent, EngineSlotted)
+	}
+	h := sha256.New()
+	for _, field := range [][]byte{cj, []byte(engine), []byte(version)} {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(field)))
+		h.Write(n[:])
+		h.Write(field)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

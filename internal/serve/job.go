@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Job statuses. A job moves queued → running → one of the terminal
+// states; canceled can also be entered directly from queued (the worker
+// that later pops it just discards it).
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// ErrCanceled is the cancellation cause installed by DELETE /v1/sweeps/{id}
+// and by server shutdown; it propagates through the engines' context
+// plumbing and back out of the worker pools.
+var ErrCanceled = errors.New("sweep canceled")
+
+// Event is one SSE frame of a job's stream: a "point" per converged sweep
+// cell (in input order, exactly once each), then a single terminal "done"
+// or "error" frame.
+type Event struct {
+	Type string
+	Data []byte
+}
+
+// Job is one submitted sweep. The event log is append-only and every
+// subscriber replays it from the start before going live, so a client
+// that connects after completion still sees every point exactly once.
+type Job struct {
+	ID       string
+	Key      string
+	Engine   string
+	Priority int
+	// Scenario is the canonical form (workload.Scenario.Canonical); the
+	// worker binds and runs exactly what the cache key hashes.
+	Scenario workload.Scenario
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	status    string
+	events    []Event
+	closed    bool
+	result    []byte // final result document, verbatim cache bytes
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id, key, engine string, prio int, sc workload.Scenario, parent context.Context) *Job {
+	ctx, cancel := context.WithCancelCause(parent)
+	j := &Job{
+		ID:        id,
+		Key:       key,
+		Engine:    engine,
+		Priority:  prio,
+		Scenario:  sc,
+		ctx:       ctx,
+		cancel:    cancel,
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// append publishes one event and wakes every subscriber.
+func (j *Job) append(typ string, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.events = append(j.events, Event{Type: typ, Data: data})
+	j.cond.Broadcast()
+}
+
+// next blocks until event i exists, the stream is closed, or ctx is done.
+// The second return is false once no event i will ever exist. Callers must
+// arrange for wake() on ctx cancellation (context.AfterFunc) — the wait
+// itself only watches the condition variable.
+func (j *Job) next(ctx context.Context, i int) (Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i >= len(j.events) && !j.closed {
+		if ctx.Err() != nil {
+			return Event{}, false
+		}
+		j.cond.Wait()
+	}
+	if i < len(j.events) {
+		return j.events[i], true
+	}
+	return Event{}, false
+}
+
+// wake broadcasts so subscribers re-check their contexts.
+func (j *Job) wake() {
+	j.mu.Lock()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// start transitions queued → running; false if the job was canceled while
+// queued (the caller discards it).
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish installs a terminal status, appends the terminal event, and
+// closes the stream. result is the final document for StatusDone.
+func (j *Job) finish(status string, result []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled {
+		return
+	}
+	j.status = status
+	j.finished = time.Now()
+	j.result = result
+	j.errMsg = errMsg
+	switch status {
+	case StatusDone:
+		data, _ := json.Marshal(struct {
+			Status string `json:"status"`
+			Key    string `json:"key"`
+			Points int    `json:"points"`
+		}{StatusDone, j.Key, len(j.events)})
+		j.events = append(j.events, Event{Type: "done", Data: data})
+	default:
+		data, _ := json.Marshal(struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}{status, errMsg})
+		j.events = append(j.events, Event{Type: "error", Data: data})
+	}
+	j.closed = true
+	j.cond.Broadcast()
+}
+
+// Cancel requests cancellation with the given cause. Queued jobs become
+// canceled immediately; running jobs get their context canceled and the
+// worker finishes the transition when the pools drain.
+func (j *Job) Cancel(cause error) {
+	j.cancel(cause)
+	j.mu.Lock()
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(StatusCanceled, nil, cause.Error())
+	} else {
+		j.wake()
+	}
+}
+
+// wallTime returns the running duration of a finished job (zero if it
+// never started).
+func (j *Job) wallTime() time.Duration {
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+// jobDoc is the JSON shape of GET /v1/sweeps/{id}.
+type jobDoc struct {
+	ID        string          `json:"id"`
+	Status    string          `json:"status"`
+	Engine    string          `json:"engine"`
+	Key       string          `json:"key"`
+	Name      string          `json:"name"`
+	Priority  int             `json:"priority,omitempty"`
+	Submitted string          `json:"submitted"`
+	Started   string          `json:"started,omitempty"`
+	Finished  string          `json:"finished,omitempty"`
+	Points    int             `json:"points"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+func (j *Job) doc() jobDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	d := jobDoc{
+		ID:        j.ID,
+		Status:    j.status,
+		Engine:    j.Engine,
+		Key:       j.Key,
+		Name:      j.Scenario.Name,
+		Priority:  j.Priority,
+		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+		Error:     j.errMsg,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		d.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		d.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	for _, ev := range j.events {
+		if ev.Type == "point" {
+			d.Points++
+		}
+	}
+	return d
+}

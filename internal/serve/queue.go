@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is Push's backpressure signal: the queue is at its depth
+// bound and the submitter must retry later. The HTTP layer translates it
+// to 429 with a Retry-After header — the service sheds load explicitly
+// rather than buffering without bound.
+var ErrQueueFull = errors.New("sweep queue full")
+
+// Queue is a bounded priority queue of jobs. Higher Priority pops first;
+// ties pop in submission order, so equal-priority traffic is FIFO and no
+// job starves behind later submissions of its own class.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  qheap
+	depth  int
+	seq    uint64
+	closed bool
+}
+
+// NewQueue returns a queue holding at most depth jobs (minimum 1).
+func NewQueue(depth int) *Queue {
+	if depth < 1 {
+		depth = 1
+	}
+	q := &Queue{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job, or returns ErrQueueFull at the depth bound.
+func (q *Queue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("sweep queue closed")
+	}
+	if q.items.Len() >= q.depth {
+		return ErrQueueFull
+	}
+	q.seq++
+	heap.Push(&q.items, qitem{job: j, seq: q.seq})
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until a job is available and returns it; ok is false once
+// the queue is closed and drained.
+func (q *Queue) Pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.items.Len() == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.items).(qitem)
+	return it.job, true
+}
+
+// Len reports the current depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// Close stops accepting jobs and unblocks poppers once drained.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+type qitem struct {
+	job *Job
+	seq uint64
+}
+
+type qheap []qitem
+
+func (h qheap) Len() int { return len(h) }
+func (h qheap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h qheap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *qheap) Push(x any)   { *h = append(*h, x.(qitem)) }
+func (h *qheap) Pop() (x any) { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }

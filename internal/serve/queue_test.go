@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testJob(prio int) *Job {
+	return newJob(fmt.Sprintf("t-%d", prio), "key", EngineEvent, prio, baseScenario(), context.Background())
+}
+
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := NewQueue(8)
+	a := testJob(0)
+	b := testJob(5)
+	c := testJob(0)
+	d := testJob(5)
+	for _, j := range []*Job{a, b, c, d} {
+		if err := q.Push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []*Job{b, d, a, c} // priority desc, then submission order
+	for i, wj := range want {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d: queue closed early", i)
+		}
+		if j != wj {
+			t.Fatalf("pop %d: got %s (prio %d), want %s", i, j.ID, j.Priority, wj.ID)
+		}
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue(2)
+	if err := q.Push(testJob(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(testJob(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(testJob(0)); err != ErrQueueFull {
+		t.Fatalf("push beyond depth: got %v, want ErrQueueFull", err)
+	}
+	// Draining one slot readmits.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.Push(testJob(0)); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := NewQueue(2)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Pop returned a job from an empty closed queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not unblock on Close")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -19,7 +20,7 @@ func TestStreamCellsAdaptiveLadder(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
 		used := make([]int, len(targets))
 		order := make([]int, 0, len(targets))
-		StreamCellsAdaptive(len(targets), 2, 64, workers,
+		StreamCellsAdaptive(context.Background(), len(targets), 2, 64, workers,
 			func() func(cell, rep int) (int, error) {
 				return func(cell, rep int) (int, error) { return cell*1000 + rep, nil }
 			},
@@ -52,7 +53,7 @@ func TestStreamCellsAdaptiveLadder(t *testing.T) {
 func TestStreamCellsAdaptiveError(t *testing.T) {
 	errs := make([]error, 3)
 	used := make([]int, 3)
-	StreamCellsAdaptive(3, 2, 16, 4,
+	StreamCellsAdaptive(context.Background(), 3, 2, 16, 4,
 		func() func(cell, rep int) (int, error) {
 			return func(cell, rep int) (int, error) {
 				if cell == 1 && rep == 1 {
@@ -82,11 +83,11 @@ func TestStreamCellsAdaptiveError(t *testing.T) {
 // untouched by the variance-reduction layer.
 func TestRunSweepAdaptiveMatchesFixed(t *testing.T) {
 	cfgs := []Config{arrayConfig(5, 0.5, 101), arrayConfig(5, 0.7, 101)}
-	want, err := RunSweep(cfgs, 3, 4)
+	want, err := RunSweep(context.Background(), cfgs, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunSweepAdaptive(cfgs, SweepOpts{Replicas: 3, Workers: 4})
+	got, err := RunSweepAdaptive(context.Background(), cfgs, SweepOpts{Replicas: 3, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +108,14 @@ func TestRunSweepAdaptiveMatchesFixed(t *testing.T) {
 // meets the target or reports the capped shortfall honestly.
 func TestRunSweepAdaptiveStopsAtTarget(t *testing.T) {
 	cfg := arrayConfig(5, 0.6, 7)
-	loose, err := RunSweepAdaptive([]Config{cfg}, SweepOpts{TargetCI: 100, MinReps: 3, MaxReps: 24, Workers: 4})
+	loose, err := RunSweepAdaptive(context.Background(), []Config{cfg}, SweepOpts{TargetCI: 100, MinReps: 3, MaxReps: 24, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if loose[0].ReplicasUsed != 3 {
 		t.Errorf("loose target used %d replicas, want MinReps=3", loose[0].ReplicasUsed)
 	}
-	tight, err := RunSweepAdaptive([]Config{cfg}, SweepOpts{TargetCI: 0.02, MinReps: 3, MaxReps: 24, Workers: 4})
+	tight, err := RunSweepAdaptive(context.Background(), []Config{cfg}, SweepOpts{TargetCI: 0.02, MinReps: 3, MaxReps: 24, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestRunSweepAdaptiveStopsAtTarget(t *testing.T) {
 // arrival models without a closed-form count.
 func TestControlVariateSweep(t *testing.T) {
 	cfg := arrayConfig(6, 0.8, 13)
-	plain, err := RunSweepAdaptive([]Config{cfg}, SweepOpts{Replicas: 8, Workers: 4})
+	plain, err := RunSweepAdaptive(context.Background(), []Config{cfg}, SweepOpts{Replicas: 8, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cv, err := RunSweepAdaptive([]Config{cfg}, SweepOpts{Replicas: 8, Workers: 4, ControlVariates: true})
+	cv, err := RunSweepAdaptive(context.Background(), []Config{cfg}, SweepOpts{Replicas: 8, Workers: 4, ControlVariates: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestControlVariateSweep(t *testing.T) {
 
 	slotted := cfg
 	slotted.SlotTau = 1
-	if _, err := RunSweepAdaptive([]Config{slotted}, SweepOpts{Replicas: 4, ControlVariates: true}); err == nil {
+	if _, err := RunSweepAdaptive(context.Background(), []Config{slotted}, SweepOpts{Replicas: 4, ControlVariates: true}); err == nil {
 		t.Error("control variates accepted a slotted arrival model")
 	}
 }
@@ -167,11 +168,11 @@ func TestWarmStartSweepAgreement(t *testing.T) {
 		return c
 	}
 	cfgs := []Config{mk(0.5), mk(0.6), mk(0.7)}
-	cold, err := RunSweepAdaptive(cfgs, SweepOpts{Replicas: 6, Workers: 4})
+	cold, err := RunSweepAdaptive(context.Background(), cfgs, SweepOpts{Replicas: 6, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := RunSweepAdaptive(cfgs, SweepOpts{Replicas: 6, Workers: 4, WarmStart: true, Rewarm: 200})
+	warm, err := RunSweepAdaptive(context.Background(), cfgs, SweepOpts{Replicas: 6, Workers: 4, WarmStart: true, Rewarm: 200})
 	if err != nil {
 		t.Fatal(err)
 	}

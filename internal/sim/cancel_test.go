@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var errTestCancel = errors.New("test cancel cause")
+
+// TestRunCanceledEngine pins engine-level cancellation: a run whose context
+// is already canceled aborts mid-flight and surfaces the cancellation
+// cause, not a partial Result.
+func TestRunCanceledEngine(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errTestCancel)
+	cfg := arrayConfig(8, 0.7, 11)
+	cfg.Horizon = 50000 // plenty of events, so the poll must fire
+	cfg.Ctx = ctx
+	_, err := Run(cfg)
+	if !errors.Is(err, errTestCancel) {
+		t.Fatalf("canceled run returned %v, want the cancellation cause", err)
+	}
+}
+
+// TestStreamSweepAdaptiveCanceledBeforeStart pins pool-level fast-fail: a
+// sweep launched on an already-canceled context still emits every cell
+// exactly once, in input order, each carrying the cancellation cause, and
+// leaks no worker goroutines.
+func TestStreamSweepAdaptiveCanceledBeforeStart(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errTestCancel)
+	cfgs := make([]Config, 6)
+	for i := range cfgs {
+		cfgs[i] = arrayConfig(5, 0.6, uint64(100+i))
+		cfgs[i].Warmup, cfgs[i].Horizon = 100, 1000
+	}
+	var order []int
+	StreamSweepAdaptive(ctx, cfgs, SweepOpts{TargetCI: 1e-9, MinReps: 3, MaxReps: 9, Workers: 4},
+		func(i int, rs ReplicaSet, err error) {
+			order = append(order, i)
+			if !errors.Is(err, errTestCancel) {
+				t.Errorf("cell %d: got err %v, want the cancellation cause", i, err)
+			}
+		})
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("emission order %v is not input order", order)
+		}
+	}
+	if len(order) != len(cfgs) {
+		t.Fatalf("emitted %d cells, want %d", len(order), len(cfgs))
+	}
+	waitGoroutines(t, before)
+}
+
+// TestStreamSweepAdaptiveCanceledMidLadder cancels while the ladder is in
+// flight (from inside the first cell's emit, which runs on the calling
+// goroutine while workers continue): every cell must still emit exactly
+// once in order — converged cells normally, interrupted cells with the
+// cause — and the pool must drain without leaking goroutines. Run under
+// -race this also exercises the engine-level abort path concurrently with
+// worker scheduling.
+func TestStreamSweepAdaptiveCanceledMidLadder(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	cfgs := make([]Config, 8)
+	for i := range cfgs {
+		cfgs[i] = arrayConfig(5, 0.6, uint64(200+i))
+		cfgs[i].Warmup, cfgs[i].Horizon = 100, 1000
+	}
+	var order []int
+	StreamSweepAdaptive(ctx, cfgs, SweepOpts{TargetCI: 1e-9, MinReps: 3, MaxReps: 9, Workers: 4},
+		func(i int, rs ReplicaSet, err error) {
+			order = append(order, i)
+			if i == 0 {
+				cancel(errTestCancel)
+			}
+			if err != nil && !errors.Is(err, errTestCancel) {
+				t.Errorf("cell %d: unexpected error %v", i, err)
+			}
+		})
+	if len(order) != len(cfgs) {
+		t.Fatalf("emitted %d cells, want %d", len(order), len(cfgs))
+	}
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("emission order %v is not input order", order)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines fails the test if the goroutine count stays above the
+// pre-sweep baseline (with slack for runtime helpers) after a grace period.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not drain: %d, baseline %d", runtime.NumGoroutine(), baseline)
+}

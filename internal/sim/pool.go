@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -19,6 +20,24 @@ import (
 // Split(cfgs[c].Seed, r), regardless of worker count or scheduling, so
 // sweep results are bit-identical from 1 worker to GOMAXPROCS. Results are
 // delivered in input order.
+//
+// Cancellation: every pool entry point takes a context. Once it is
+// canceled, workers stop starting tasks and fast-fail the remainder with
+// the context's cause; cells whose tasks were skipped finalize with that
+// error, so emit still fires exactly once per cell, the reorder buffer
+// drains in order, and every goroutine exits before the entry point
+// returns — cancellation can never leak a worker. Uncanceled runs are
+// unaffected: the poll is pure control flow and never touches a variate
+// stream, so results stay bit-identical.
+
+// poolErr reports the cancellation error tasks should fast-fail with, or
+// nil while ctx (which may be nil, meaning "never canceled") is live.
+func poolErr(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
 
 // StreamCells is the engine-agnostic core of the sweep pool: it runs
 // `replicas` tasks for each of `cells` cells on up to `workers` goroutines
@@ -32,7 +51,7 @@ import (
 // Both simulation engines' sweeps (StreamSweep here, stepsim.StreamSweep)
 // are thin wrappers over this one implementation, so the reorder-buffer
 // and error-selection semantics cannot drift between them.
-func StreamCells[R any](cells, replicas, workers int, newRun func() func(cell, rep int) (R, error), emit func(cell int, rs []R, err error)) {
+func StreamCells[R any](ctx context.Context, cells, replicas, workers int, newRun func() func(cell, rep int) (R, error), emit func(cell int, rs []R, err error)) {
 	if cells <= 0 {
 		return
 	}
@@ -64,7 +83,11 @@ func StreamCells[R any](cells, replicas, workers int, newRun func() func(cell, r
 			defer wg.Done()
 			run := newRun()
 			for tk := range tasks {
-				res, err := run(tk.cell, tk.rep)
+				var res R
+				err := poolErr(ctx)
+				if err == nil {
+					res, err = run(tk.cell, tk.rep)
+				}
 				done <- taskDone{task: tk, res: res, err: err}
 			}
 		}()
@@ -125,7 +148,7 @@ func StreamCells[R any](cells, replicas, workers int, newRun func() func(cell, r
 // count and scheduling. stop must be a pure function of its arguments; it
 // may be invoked on any worker goroutine. emit runs on the calling
 // goroutine, in input order.
-func StreamCellsAdaptive[R any](cells, minReps, maxReps, workers int,
+func StreamCellsAdaptive[R any](ctx context.Context, cells, minReps, maxReps, workers int,
 	newRun func() func(cell, rep int) (R, error),
 	stop func(cell int, prefix []R) bool,
 	emit func(cell int, rs []R, err error)) {
@@ -199,7 +222,11 @@ func StreamCellsAdaptive[R any](cells, minReps, maxReps, workers int,
 				tk := pending[0]
 				pending = pending[1:]
 				mu.Unlock()
-				res, err := run(tk.cell, tk.rep)
+				var res R
+				err := poolErr(ctx)
+				if err == nil {
+					res, err = run(tk.cell, tk.rep)
+				}
 				mu.Lock()
 				st := &states[tk.cell]
 				st.results[tk.rep] = res
@@ -293,8 +320,8 @@ func SpareFactor(cells, replicas, workers int) int {
 // sweep prints its first rows while later cells are still running. err is
 // the first per-replica error of that cell (rs is zero-valued when err is
 // non-nil). emit runs on the calling goroutine.
-func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs ReplicaSet, err error)) {
-	StreamCells(len(cfgs), replicas, workers,
+func StreamSweep(ctx context.Context, cfgs []Config, replicas, workers int, emit func(i int, rs ReplicaSet, err error)) {
+	StreamCells(ctx, len(cfgs), replicas, workers,
 		func() func(cell, rep int) (Result, error) {
 			// One Runner per worker: engine state (tree, stations, arena,
 			// tables) is reused across this worker's tasks, amortizing the
@@ -307,6 +334,11 @@ func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs Repli
 				// (cell, replica). xrand.Split mixes the index, so
 				// sequential seeds do not overlap.
 				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(rep)).Uint64()
+				if rcfg.Ctx == nil {
+					// Thread the pool's context into the engine so an
+					// in-flight run aborts promptly, not just queued ones.
+					rcfg.Ctx = ctx
+				}
 				return runner.Run(rcfg)
 			}
 		},
@@ -323,10 +355,10 @@ func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs Repli
 // shared worker pool and returns the aggregated cells in input order. The
 // returned error is the first cell error encountered (its cell's ReplicaSet
 // is zero-valued; later cells still run).
-func RunSweep(cfgs []Config, replicas, workers int) ([]ReplicaSet, error) {
+func RunSweep(ctx context.Context, cfgs []Config, replicas, workers int) ([]ReplicaSet, error) {
 	sets := make([]ReplicaSet, len(cfgs))
 	var first error
-	StreamSweep(cfgs, replicas, workers, func(i int, rs ReplicaSet, err error) {
+	StreamSweep(ctx, cfgs, replicas, workers, func(i int, rs ReplicaSet, err error) {
 		sets[i] = rs
 		if err != nil && first == nil {
 			first = err

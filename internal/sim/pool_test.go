@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -20,12 +21,12 @@ func sweepConfigs() []Config {
 // per-task seeds depend only on (cell seed, replica index).
 func TestRunSweepMatchesRunReplicas(t *testing.T) {
 	cfgs := sweepConfigs()
-	sets, err := RunSweep(cfgs, 3, 4)
+	sets, err := RunSweep(context.Background(), cfgs, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, cfg := range cfgs {
-		want, err := RunReplicas(cfg, 3, 1)
+		want, err := RunReplicas(context.Background(), cfg, 3, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,11 +43,11 @@ func TestRunSweepMatchesRunReplicas(t *testing.T) {
 // results.
 func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
 	cfgs := sweepConfigs()
-	one, err := RunSweep(cfgs, 2, 1)
+	one, err := RunSweep(context.Background(), cfgs, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := RunSweep(cfgs, 2, 8)
+	many, err := RunSweep(context.Background(), cfgs, 2, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
 func TestStreamSweepEmitsInInputOrder(t *testing.T) {
 	cfgs := sweepConfigs()
 	var order []int
-	StreamSweep(cfgs, 2, 6, func(i int, rs ReplicaSet, err error) {
+	StreamSweep(context.Background(), cfgs, 2, 6, func(i int, rs ReplicaSet, err error) {
 		if err != nil {
 			t.Errorf("cell %d: %v", i, err)
 		}
@@ -89,7 +90,7 @@ func TestStreamSweepEmitsInInputOrder(t *testing.T) {
 func TestRunSweepReportsPerCellErrors(t *testing.T) {
 	cfgs := sweepConfigs()
 	cfgs[1].Horizon = 0 // invalid
-	sets, err := RunSweep(cfgs, 2, 4)
+	sets, err := RunSweep(context.Background(), cfgs, 2, 4)
 	if err == nil {
 		t.Fatal("expected an error from the invalid cell")
 	}
@@ -103,7 +104,7 @@ func TestRunSweepReportsPerCellErrors(t *testing.T) {
 
 // TestStreamSweepEmpty: no configs, no emissions, no hang.
 func TestStreamSweepEmpty(t *testing.T) {
-	StreamSweep(nil, 3, 2, func(int, ReplicaSet, error) {
+	StreamSweep(context.Background(), nil, 3, 2, func(int, ReplicaSet, error) {
 		t.Fatal("emit called for empty sweep")
 	})
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -38,8 +39,8 @@ type ReplicaSet struct {
 // single-cell form of RunSweep: replica i uses the random stream
 // Split(cfg.Seed, i), so results are independent of scheduling and of the
 // worker count.
-func RunReplicas(cfg Config, replicas, workers int) (ReplicaSet, error) {
-	sets, err := RunSweep([]Config{cfg}, replicas, workers)
+func RunReplicas(ctx context.Context, cfg Config, replicas, workers int) (ReplicaSet, error) {
+	sets, err := RunSweep(ctx, []Config{cfg}, replicas, workers)
 	if err != nil {
 		return ReplicaSet{}, err
 	}

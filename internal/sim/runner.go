@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/des"
@@ -76,8 +77,13 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 	} else {
 		e.scheduleSources()
 	}
-	e.loop()
+	finished := e.loop()
 	r.capture(e)
+	if !finished {
+		// Canceled mid-run: the partial measurements are not a valid
+		// Result (the horizon was not reached), so only the error escapes.
+		return Result{}, context.Cause(cfg.Ctx)
+	}
 	res := e.result()
 	if cfg.Capture {
 		res.Snapshot = e.snapshot()

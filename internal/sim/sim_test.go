@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -365,11 +366,11 @@ func TestZeroHopPacketsCounted(t *testing.T) {
 func TestRunReplicasDeterministicAcrossWorkers(t *testing.T) {
 	cfg := arrayConfig(4, 0.5, 47)
 	cfg.Warmup, cfg.Horizon = 200, 1500
-	one, err := RunReplicas(cfg, 6, 1)
+	one, err := RunReplicas(context.Background(), cfg, 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := RunReplicas(cfg, 6, 6)
+	many, err := RunReplicas(context.Background(), cfg, 6, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

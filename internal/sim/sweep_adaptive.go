@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -44,6 +45,20 @@ type SweepOpts struct {
 	// its t-based half-width. Requires Poisson arrivals (Arrivals == nil
 	// and SlotTau == 0); other models have no closed-form count.
 	ControlVariates bool
+	// DelayControl, when non-nil and ControlVariates is on, contributes a
+	// second control observation per replica — DelayControl(cfg, result) —
+	// with exactly known expectation DelayControlMean(cfg), and the
+	// estimator of record becomes the two-control
+	// stats.ControlVariateMulti regression. Both hooks receive the point's
+	// configuration because a sweep's cells run at different rates, so the
+	// control's exact mean is per-cell. The honesty requirement is on the
+	// caller: DelayControlMean must be the exact E[DelayControl(cfg, R)]
+	// under cfg, not a plug-in approximation (internal/workload derives
+	// one by summing the analytic M/D/1 curve against the arrival count's
+	// Poisson pmf). Both hooks must be pure: they are called from worker
+	// goroutines at stopping decisions.
+	DelayControl     func(Config, Result) float64
+	DelayControlMean func(Config) float64
 	// WarmStart chains engine snapshots across sweep points: replica r of
 	// point i resumes from replica r's end-of-run state at point i−1 with
 	// Rewarm as its warmup, instead of refilling an empty network from
@@ -93,9 +108,10 @@ func cvMean(cfg Config) (float64, bool) {
 }
 
 // cellEstimate computes the delay estimator of record for a complete
-// replica prefix: the control-variate jackknife when enabled, else the
-// plain across-replica mean with its 95% half-width (matching aggregate).
-func cellEstimate(prefix []Result, useCV bool, cMean float64) (est, hw float64) {
+// replica prefix: the control-variate jackknife when enabled (two-control
+// regression when extra is non-nil), else the plain across-replica mean
+// with its 95% half-width (matching aggregate).
+func cellEstimate(prefix []Result, useCV bool, cMean float64, extra func(Result) float64, extraMean float64) (est, hw float64) {
 	if useCV {
 		y := make([]float64, len(prefix))
 		c := make([]float64, len(prefix))
@@ -103,7 +119,15 @@ func cellEstimate(prefix []Result, useCV bool, cMean float64) (est, hw float64) 
 			y[i] = r.MeanDelay
 			c[i] = float64(r.Generated)
 		}
-		e := stats.ControlVariate(y, c, cMean)
+		if extra == nil {
+			e := stats.ControlVariate(y, c, cMean)
+			return e.Est, e.HalfWidth
+		}
+		c2 := make([]float64, len(prefix))
+		for i, r := range prefix {
+			c2[i] = extra(r)
+		}
+		e := stats.ControlVariateMulti(y, [][]float64{c, c2}, []float64{cMean, extraMean})
 		return e.Est, e.HalfWidth
 	}
 	var w stats.Welford
@@ -126,7 +150,8 @@ func finishCell(cfg Config, results []Result, opts SweepOpts) (ReplicaSet, error
 		if !ok {
 			return ReplicaSet{}, fmt.Errorf("sim: control variates need Poisson arrivals with a closed-form count (Arrivals == nil, SlotTau == 0)")
 		}
-		rs.MeanDelay, rs.DelayCI = cellEstimate(results, true, cMean)
+		extra, extraMean := bindControl(cfg, opts)
+		rs.MeanDelay, rs.DelayCI = cellEstimate(results, true, cMean, extra, extraMean)
 	}
 	return rs, nil
 }
@@ -140,10 +165,25 @@ func stopFor(cfg Config, opts SweepOpts) func(prefix []Result) bool {
 		// misconfiguration does not burn replicas first.
 		return func([]Result) bool { return true }
 	}
+	extra, extraMean := bindControl(cfg, opts)
 	return func(prefix []Result) bool {
-		_, hw := cellEstimate(prefix, useCV, cMean)
+		_, hw := cellEstimate(prefix, useCV, cMean, extra, extraMean)
 		return hw <= opts.TargetCI
 	}
+}
+
+// bindControl closes the per-cell DelayControl hooks over one
+// configuration, yielding the plain observable and scalar mean
+// cellEstimate consumes (nil when no second control is configured).
+func bindControl(cfg Config, opts SweepOpts) (func(Result) float64, float64) {
+	if opts.DelayControl == nil {
+		return nil, 0
+	}
+	mean := 0.0
+	if opts.DelayControlMean != nil {
+		mean = opts.DelayControlMean(cfg)
+	}
+	return func(r Result) float64 { return opts.DelayControl(cfg, r) }, mean
 }
 
 // StreamSweepAdaptive runs every configuration with the adaptive replica
@@ -153,18 +193,21 @@ func stopFor(cfg Config, opts SweepOpts) func(prefix []Result) bool {
 // points the sweep uses common random numbers: per-replica delays at
 // adjacent points are positively correlated and stats.PairedDiff gives
 // much tighter point-to-point contrasts than the marginal intervals.
-func StreamSweepAdaptive(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
+func StreamSweepAdaptive(ctx context.Context, cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
 	opts = opts.normalized()
 	if opts.WarmStart {
-		warmStartSweep(cfgs, opts, emit)
+		warmStartSweep(ctx, cfgs, opts, emit)
 		return
 	}
-	StreamCellsAdaptive(len(cfgs), opts.MinReps, opts.MaxReps, opts.Workers,
+	StreamCellsAdaptive(ctx, len(cfgs), opts.MinReps, opts.MaxReps, opts.Workers,
 		func() func(cell, rep int) (Result, error) {
 			var runner Runner
 			return func(cell, rep int) (Result, error) {
 				rcfg := cfgs[cell]
 				rcfg.Seed = xrand.Split(rcfg.Seed, uint64(rep)).Uint64()
+				if rcfg.Ctx == nil {
+					rcfg.Ctx = ctx
+				}
 				return runner.Run(rcfg)
 			}
 		},
@@ -185,7 +228,7 @@ func StreamSweepAdaptive(cfgs []Config, opts SweepOpts, emit func(i int, rs Repl
 // point i's replicas resume from point i−1's captured snapshots. A point
 // that errors breaks the chain — later points run cold — but still emits
 // its error and lets the sweep continue.
-func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
+func warmStartSweep(ctx context.Context, cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
 	// Runners are shared across points through a pool (workers are
 	// re-created per point by StreamCellsAdaptive).
 	runners := sync.Pool{New: func() any { return new(Runner) }}
@@ -197,12 +240,15 @@ func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSe
 			cellErr error
 			snaps   []*Snapshot
 		)
-		StreamCellsAdaptive(1, opts.MinReps, opts.MaxReps, opts.Workers,
+		StreamCellsAdaptive(ctx, 1, opts.MinReps, opts.MaxReps, opts.Workers,
 			func() func(cell, rep int) (Result, error) {
 				return func(_, rep int) (Result, error) {
 					rcfg := cfg
 					rcfg.Seed = xrand.Split(cfg.Seed, uint64(rep)).Uint64()
 					rcfg.Capture = true
+					if rcfg.Ctx == nil {
+						rcfg.Ctx = ctx
+					}
 					if rep < len(prevSnaps) && prevSnaps[rep] != nil {
 						rcfg.Resume = prevSnaps[rep]
 						rcfg.Warmup = opts.Rewarm
@@ -242,10 +288,10 @@ func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSe
 // RunSweepAdaptive executes every configuration under opts and returns the
 // aggregated cells in input order; the error is the first cell error (its
 // cell is zero-valued; later cells still run).
-func RunSweepAdaptive(cfgs []Config, opts SweepOpts) ([]ReplicaSet, error) {
+func RunSweepAdaptive(ctx context.Context, cfgs []Config, opts SweepOpts) ([]ReplicaSet, error) {
 	sets := make([]ReplicaSet, len(cfgs))
 	var first error
-	StreamSweepAdaptive(cfgs, opts, func(i int, rs ReplicaSet, err error) {
+	StreamSweepAdaptive(ctx, cfgs, opts, func(i int, rs ReplicaSet, err error) {
 		sets[i] = rs
 		if err != nil && first == nil {
 			first = err

@@ -32,14 +32,19 @@ func PairedDiff(x, y []float64) (mean, halfWidth float64) {
 	return w.Mean(), tCrit95(n-1) * w.StdDev() / math.Sqrt(float64(n))
 }
 
-// CVEstimate is the output of ControlVariate: the bias-corrected point
-// estimate of E[y], its 95% confidence half-width, the full-sample control
-// coefficient β̂ = Ĉov(y,c)/V̂ar(c), and the sample size.
+// CVEstimate is the output of ControlVariate and ControlVariateMulti: the
+// bias-corrected point estimate of E[y], its 95% confidence half-width, the
+// full-sample control coefficient β̂ = Ĉov(y,c)/V̂ar(c) (the first control's
+// coefficient in the multi-control case, with the full vector in Betas),
+// and the sample size.
 type CVEstimate struct {
 	Est       float64
 	HalfWidth float64
 	Beta      float64
-	N         int
+	// Betas holds the full coefficient vector when the estimate came from
+	// ControlVariateMulti; nil from the single-control path.
+	Betas []float64
+	N     int
 }
 
 // ControlVariate estimates E[y] from paired observations (y[i], c[i]) where
@@ -117,4 +122,186 @@ func ControlVariate(y, c []float64, cMean float64) CVEstimate {
 		Beta:      beta,
 		N:         n,
 	}
+}
+
+// ControlVariateMulti is the multi-control generalization of ControlVariate:
+// it estimates E[y] from observations y[i] paired with k controls c[j][i]
+// whose expectations cMeans[j] are exactly known, using the regression-
+// adjusted estimator ȳ − β̂ᵀ(c̄ − cMeans) with β̂ solving the normal
+// equations S_cc β = S_cy on centered data. As in the single-control case
+// the plug-in estimator is biased at small n because β̂ is fit on the sample
+// being adjusted, so the leave-one-out jackknife supplies both the bias
+// correction and the t-based half-width; each leave-one-out system is
+// refit from rank-one downdates of the centered moments, so the whole
+// jackknife costs O(n·k³) with k the (small) control count.
+//
+// Degenerate inputs fall back gracefully, mirroring ControlVariate: with
+// fewer than k+2 observations (or fewer than 3), or when the control moment
+// matrix is singular — collinear or constant controls — the plain sample
+// mean and its t-interval are returned with zero coefficients. A single
+// control reproduces ControlVariate exactly.
+func ControlVariateMulti(y []float64, c [][]float64, cMeans []float64) CVEstimate {
+	k := len(c)
+	if len(cMeans) != k {
+		panic("stats: ControlVariateMulti controls and means have different counts")
+	}
+	for j := range c {
+		if len(c[j]) != len(y) {
+			panic("stats: ControlVariateMulti slices have different lengths")
+		}
+	}
+	n := len(y)
+	if k == 0 {
+		return ControlVariate(y, make([]float64, n), 0) // plain-mean path
+	}
+	if n < 3 || n < k+2 {
+		var w Welford
+		for _, v := range y {
+			w.Add(v)
+		}
+		hw := math.Inf(1)
+		if n >= 2 {
+			hw = tCrit95(n-1) * w.StdDev() / math.Sqrt(float64(n))
+		}
+		return CVEstimate{Est: w.Mean(), HalfWidth: hw, Betas: make([]float64, k), N: n}
+	}
+
+	fn := float64(n)
+	var ySum float64
+	cSum := make([]float64, k)
+	for i := range y {
+		ySum += y[i]
+		for j := range c {
+			cSum[j] += c[j][i]
+		}
+	}
+	yBar := ySum / fn
+	cBar := make([]float64, k)
+	for j := range cBar {
+		cBar[j] = cSum[j] / fn
+	}
+	// Centered cross moments: scy[j] = Σ dc_j·dy, scc[j][l] = Σ dc_j·dc_l.
+	scy := make([]float64, k)
+	scc := make([]float64, k*k)
+	for i := range y {
+		dy := y[i] - yBar
+		for j := 0; j < k; j++ {
+			dcj := c[j][i] - cBar[j]
+			scy[j] += dcj * dy
+			for l := j; l < k; l++ {
+				scc[j*k+l] += dcj * (c[l][i] - cBar[l])
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		for l := 0; l < j; l++ {
+			scc[j*k+l] = scc[l*k+j]
+		}
+	}
+
+	theta := func(yb float64, cb, sy, sm []float64) (float64, []float64) {
+		beta, ok := solveSym(sm, sy, k)
+		if !ok {
+			return yb, make([]float64, k)
+		}
+		t := yb
+		for j := 0; j < k; j++ {
+			t -= beta[j] * (cb[j] - cMeans[j])
+		}
+		return t, beta
+	}
+	full, betas := theta(yBar, cBar, scy, scc)
+
+	n1 := fn - 1
+	dn := fn / n1
+	var pseudo Welford
+	// Scratch reused across leave-one-out refits.
+	syI := make([]float64, k)
+	smI := make([]float64, k*k)
+	cBarI := make([]float64, k)
+	dc := make([]float64, k)
+	for i := range y {
+		dy := y[i] - yBar
+		for j := 0; j < k; j++ {
+			dc[j] = c[j][i] - cBar[j]
+			syI[j] = scy[j] - dn*dc[j]*dy
+			cBarI[j] = cBar[j] - dc[j]/n1
+		}
+		for j := 0; j < k; j++ {
+			for l := 0; l < k; l++ {
+				smI[j*k+l] = scc[j*k+l] - dn*dc[j]*dc[l]
+			}
+		}
+		thetaI, _ := theta(yBar-dy/n1, cBarI, syI, smI)
+		pseudo.Add(fn*full - n1*thetaI)
+	}
+	beta0 := 0.0
+	if k > 0 {
+		beta0 = betas[0]
+	}
+	return CVEstimate{
+		Est:       pseudo.Mean(),
+		HalfWidth: tCrit95(n-1) * pseudo.StdDev() / math.Sqrt(fn),
+		Beta:      beta0,
+		Betas:     betas,
+		N:         n,
+	}
+}
+
+// solveSym solves the k×k symmetric system m·x = b by Gaussian elimination
+// with partial pivoting, returning ok = false for (near-)singular systems —
+// collinear or constant controls — so callers can fall back to the plain
+// mean. m and b are left unmodified.
+func solveSym(m, b []float64, k int) ([]float64, bool) {
+	a := make([]float64, k*k)
+	copy(a, m)
+	x := make([]float64, k)
+	copy(x, b)
+	// Scale-aware singularity cutoff: relative to the largest diagonal.
+	var maxDiag float64
+	for j := 0; j < k; j++ {
+		if d := math.Abs(a[j*k+j]); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	eps := maxDiag * 1e-12
+	if eps == 0 {
+		return nil, false
+	}
+	for col := 0; col < k; col++ {
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r*k+col]) > math.Abs(a[piv*k+col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv*k+col]) <= eps {
+			return nil, false
+		}
+		if piv != col {
+			for j := 0; j < k; j++ {
+				a[piv*k+j], a[col*k+j] = a[col*k+j], a[piv*k+j]
+			}
+			x[piv], x[col] = x[col], x[piv]
+		}
+		inv := 1 / a[col*k+col]
+		for r := col + 1; r < k; r++ {
+			f := a[r*k+col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < k; j++ {
+				a[r*k+j] -= f * a[col*k+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := k - 1; col >= 0; col-- {
+		s := x[col]
+		for j := col + 1; j < k; j++ {
+			s -= a[col*k+j] * x[j]
+		}
+		x[col] = s / a[col*k+col]
+	}
+	return x, true
 }

@@ -195,6 +195,96 @@ func TestControlVariateJackknifeBias(t *testing.T) {
 	}
 }
 
+func TestControlVariateMultiMatchesSingle(t *testing.T) {
+	// One control through the multi-control path must reproduce
+	// ControlVariate exactly: same downdate algebra, same jackknife.
+	rng := xrand.New(17)
+	n := 16
+	y := make([]float64, n)
+	c := make([]float64, n)
+	for i := range y {
+		c[i] = 4 + rng.Norm()
+		y[i] = 1 + 0.7*c[i] + 0.3*rng.Norm()
+	}
+	single := ControlVariate(y, c, 4)
+	multi := ControlVariateMulti(y, [][]float64{c}, []float64{4})
+	if math.Abs(single.Est-multi.Est) > 1e-12 || math.Abs(single.HalfWidth-multi.HalfWidth) > 1e-12 {
+		t.Fatalf("multi(k=1) diverged from single: est %v vs %v, hw %v vs %v",
+			multi.Est, single.Est, multi.HalfWidth, single.HalfWidth)
+	}
+	if math.Abs(single.Beta-multi.Beta) > 1e-9 || len(multi.Betas) != 1 {
+		t.Fatalf("multi(k=1) beta %v (betas %v), want %v", multi.Beta, multi.Betas, single.Beta)
+	}
+}
+
+func TestControlVariateMultiExactPlane(t *testing.T) {
+	// y = 2c1 − 3c2 + 5 exactly: the two-control regression removes all
+	// variance, so the estimate is exact with zero half-width.
+	rng := xrand.New(23)
+	n := 12
+	y := make([]float64, n)
+	c1 := make([]float64, n)
+	c2 := make([]float64, n)
+	m1, m2 := 4.0, -1.0
+	for i := range y {
+		c1[i] = m1 + rng.Norm()
+		c2[i] = m2 + 0.5*rng.Norm()
+		y[i] = 2*c1[i] - 3*c2[i] + 5
+	}
+	cv := ControlVariateMulti(y, [][]float64{c1, c2}, []float64{m1, m2})
+	want := 2*m1 - 3*m2 + 5
+	if math.Abs(cv.Est-want) > 1e-8 || cv.HalfWidth > 1e-7 {
+		t.Fatalf("exact plane: est=%v hw=%v, want %v, ~0", cv.Est, cv.HalfWidth, want)
+	}
+	if math.Abs(cv.Betas[0]-2) > 1e-6 || math.Abs(cv.Betas[1]+3) > 1e-6 {
+		t.Fatalf("exact plane: betas=%v, want [2 -3]", cv.Betas)
+	}
+}
+
+func TestControlVariateMultiSecondControlHelps(t *testing.T) {
+	// The second control carries variance the first does not: the
+	// two-control half-width must beat the one-control half-width.
+	rng := xrand.New(31)
+	n := 32
+	y := make([]float64, n)
+	c1 := make([]float64, n)
+	c2 := make([]float64, n)
+	for i := range y {
+		c1[i] = rng.Norm()
+		c2[i] = rng.Norm()
+		y[i] = 10 + c1[i] + 2*c2[i] + 0.2*rng.Norm()
+	}
+	one := ControlVariateMulti(y, [][]float64{c1}, []float64{0})
+	two := ControlVariateMulti(y, [][]float64{c1, c2}, []float64{0, 0})
+	if two.HalfWidth >= one.HalfWidth/2 {
+		t.Fatalf("second informative control did not help: hw %v (k=2) vs %v (k=1)", two.HalfWidth, one.HalfWidth)
+	}
+}
+
+func TestControlVariateMultiDegenerate(t *testing.T) {
+	// Collinear controls (c2 = 2·c1): the moment matrix is singular, so
+	// the estimator must fall back to the plain mean, not blow up.
+	y := []float64{1, 2, 3, 4, 5, 6}
+	c1 := []float64{1, 0, 1, 0, 1, 0}
+	c2 := []float64{2, 0, 2, 0, 2, 0}
+	cv := ControlVariateMulti(y, [][]float64{c1, c2}, []float64{0.5, 1})
+	if cv.Est != 3.5 || cv.Betas[0] != 0 || cv.Betas[1] != 0 {
+		t.Fatalf("collinear controls: est=%v betas=%v, want plain mean 3.5, zero betas", cv.Est, cv.Betas)
+	}
+	// Too few observations for two controls (need k+2 = 4): plain mean.
+	cv = ControlVariateMulti([]float64{2, 4, 6}, [][]float64{{1, 2, 3}, {3, 2, 1}}, []float64{2, 2})
+	if cv.Est != 4 {
+		t.Fatalf("n=3, k=2: est=%v, want plain mean 4", cv.Est)
+	}
+	// Mismatched lengths panic, as in the single-control path.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched control length did not panic")
+		}
+	}()
+	ControlVariateMulti([]float64{1, 2}, [][]float64{{1}}, []float64{0})
+}
+
 func TestRNGStateRoundTrip(t *testing.T) {
 	// Snapshot support: Restore(State()) must continue the exact sequence.
 	rng := xrand.New(99)

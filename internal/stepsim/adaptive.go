@@ -1,6 +1,7 @@
 package stepsim
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -37,6 +38,14 @@ type SweepOpts struct {
 	// stats.ControlVariate. Valid for every slotted configuration: the
 	// arrival model is always per-source per-slot Poisson.
 	ControlVariates bool
+	// DelayControl and DelayControlMean add a second control observation
+	// per replica under ControlVariates, switching the estimator of record
+	// to the two-control stats.ControlVariateMulti regression; both hooks
+	// receive the point's configuration because the control's exact mean
+	// is per-cell. See sim.SweepOpts.DelayControl for the exact-mean
+	// honesty contract.
+	DelayControl     func(Config, Result) float64
+	DelayControlMean func(Config) float64
 	// WarmStart chains engine snapshots across sweep points (replica r of
 	// point i resumes replica r's state from point i−1, with RewarmSlots
 	// of re-warm); points run sequentially, replicas in parallel. Cold
@@ -80,7 +89,7 @@ func cvMean(cfg Config) float64 {
 // cellEstimate computes the delay estimator of record for a complete
 // replica prefix (control-variate jackknife when enabled, else the plain
 // across-replica mean with its 95% half-width, matching aggregate).
-func cellEstimate(prefix []Result, useCV bool, cMean float64) (est, hw float64) {
+func cellEstimate(prefix []Result, useCV bool, cMean float64, extra func(Result) float64, extraMean float64) (est, hw float64) {
 	if useCV {
 		y := make([]float64, len(prefix))
 		c := make([]float64, len(prefix))
@@ -88,7 +97,15 @@ func cellEstimate(prefix []Result, useCV bool, cMean float64) (est, hw float64) 
 			y[i] = r.MeanDelay
 			c[i] = float64(r.Generated)
 		}
-		e := stats.ControlVariate(y, c, cMean)
+		if extra == nil {
+			e := stats.ControlVariate(y, c, cMean)
+			return e.Est, e.HalfWidth
+		}
+		c2 := make([]float64, len(prefix))
+		for i, r := range prefix {
+			c2[i] = extra(r)
+		}
+		e := stats.ControlVariateMulti(y, [][]float64{c, c2}, []float64{cMean, extraMean})
 		return e.Est, e.HalfWidth
 	}
 	var w stats.Welford
@@ -101,13 +118,27 @@ func cellEstimate(prefix []Result, useCV bool, cMean float64) (est, hw float64) 
 	return w.Mean(), 1.96 * w.StdDev() / math.Sqrt(float64(w.Count()))
 }
 
+// bindControl closes the per-cell DelayControl hooks over one
+// configuration (nil observable when no second control is configured).
+func bindControl(cfg Config, opts SweepOpts) (func(Result) float64, float64) {
+	if opts.DelayControl == nil {
+		return nil, 0
+	}
+	mean := 0.0
+	if opts.DelayControlMean != nil {
+		mean = opts.DelayControlMean(cfg)
+	}
+	return func(r Result) float64 { return opts.DelayControl(cfg, r) }, mean
+}
+
 // finishCell aggregates a completed cell and installs the estimator of
 // record; aggregate() is reused verbatim so every other field matches a
 // fixed sweep's.
 func finishCell(cfg Config, results []Result, opts SweepOpts) ReplicaSet {
 	rs := aggregate(results)
 	if opts.ControlVariates {
-		rs.MeanDelay, rs.DelayCI = cellEstimate(results, true, cvMean(cfg))
+		extra, extraMean := bindControl(cfg, opts)
+		rs.MeanDelay, rs.DelayCI = cellEstimate(results, true, cvMean(cfg), extra, extraMean)
 	}
 	return rs
 }
@@ -118,14 +149,14 @@ func finishCell(cfg Config, results []Result, opts SweepOpts) ReplicaSet {
 // seed across points gives common random numbers — per-replica delays at
 // adjacent ρ points are positively correlated and stats.PairedDiff yields
 // tight point-to-point contrasts (pinned by TestCRNPairedDifference).
-func StreamSweepAdaptive(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
+func StreamSweepAdaptive(ctx context.Context, cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
 	opts = opts.normalized()
 	if opts.WarmStart {
-		warmStartSweep(cfgs, opts, emit)
+		warmStartSweep(ctx, cfgs, opts, emit)
 		return
 	}
 	spare := min(sim.SpareFactor(len(cfgs), opts.MinReps, opts.Workers), maxShards)
-	sim.StreamCellsAdaptive(len(cfgs), opts.MinReps, opts.MaxReps, opts.Workers,
+	sim.StreamCellsAdaptive(ctx, len(cfgs), opts.MinReps, opts.MaxReps, opts.Workers,
 		func() func(cell, rep int) (Result, error) {
 			var eng Engine
 			return func(cell, rep int) (Result, error) {
@@ -134,12 +165,16 @@ func StreamSweepAdaptive(cfgs []Config, opts SweepOpts, emit func(i int, rs Repl
 				if rcfg.Shards == 0 && !rcfg.PerEngineStream {
 					rcfg.Shards = spare
 				}
+				if rcfg.Ctx == nil {
+					rcfg.Ctx = ctx
+				}
 				return eng.Run(rcfg)
 			}
 		},
 		func(cell int, prefix []Result) bool {
 			cMean := cvMean(cfgs[cell])
-			_, hw := cellEstimate(prefix, opts.ControlVariates, cMean)
+			extra, extraMean := bindControl(cfgs[cell], opts)
+			_, hw := cellEstimate(prefix, opts.ControlVariates, cMean, extra, extraMean)
 			return hw <= opts.TargetCI
 		},
 		func(i int, rs []Result, err error) {
@@ -154,7 +189,7 @@ func StreamSweepAdaptive(cfgs []Config, opts SweepOpts, emit func(i int, rs Repl
 // warmStartSweep is the sequential-chain form: point i's replicas resume
 // from point i−1's captured snapshots. An errored point breaks the chain
 // (later points run cold) but the sweep continues.
-func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
+func warmStartSweep(ctx context.Context, cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
 	engines := sync.Pool{New: func() any { return new(Engine) }}
 	spare := min(sim.SpareFactor(1, opts.MinReps, opts.Workers), maxShards)
 	var prevSnaps []*Snapshot
@@ -165,7 +200,7 @@ func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSe
 			cellErr error
 			snaps   []*Snapshot
 		)
-		sim.StreamCellsAdaptive(1, opts.MinReps, opts.MaxReps, opts.Workers,
+		sim.StreamCellsAdaptive(ctx, 1, opts.MinReps, opts.MaxReps, opts.Workers,
 			func() func(cell, rep int) (Result, error) {
 				return func(_, rep int) (Result, error) {
 					rcfg := cfg
@@ -173,6 +208,9 @@ func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSe
 					rcfg.Capture = true
 					if rcfg.Shards == 0 && !rcfg.PerEngineStream {
 						rcfg.Shards = spare
+					}
+					if rcfg.Ctx == nil {
+						rcfg.Ctx = ctx
 					}
 					if rep < len(prevSnaps) && prevSnaps[rep] != nil {
 						rcfg.Resume = prevSnaps[rep]
@@ -185,7 +223,8 @@ func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSe
 				}
 			},
 			func(_ int, prefix []Result) bool {
-				_, hw := cellEstimate(prefix, opts.ControlVariates, cvMean(cfg))
+				extra, extraMean := bindControl(cfg, opts)
+				_, hw := cellEstimate(prefix, opts.ControlVariates, cvMean(cfg), extra, extraMean)
 				return hw <= opts.TargetCI
 			},
 			func(_ int, rs []Result, err error) {
@@ -211,10 +250,10 @@ func warmStartSweep(cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSe
 
 // RunSweepAdaptive executes every configuration under opts and returns the
 // aggregated cells in input order; the error is the first cell error.
-func RunSweepAdaptive(cfgs []Config, opts SweepOpts) ([]ReplicaSet, error) {
+func RunSweepAdaptive(ctx context.Context, cfgs []Config, opts SweepOpts) ([]ReplicaSet, error) {
 	sets := make([]ReplicaSet, len(cfgs))
 	var first error
-	StreamSweepAdaptive(cfgs, opts, func(i int, rs ReplicaSet, err error) {
+	StreamSweepAdaptive(ctx, cfgs, opts, func(i int, rs ReplicaSet, err error) {
 		sets[i] = rs
 		if err != nil && first == nil {
 			first = err

@@ -1,6 +1,7 @@
 package stepsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,11 +21,11 @@ func smallCfg(n int, rho float64, seed uint64) Config {
 // reproduce the fixed sweep bit-for-bit — the default path is untouched.
 func TestAdaptiveMatchesFixed(t *testing.T) {
 	cfgs := []Config{smallCfg(6, 0.5, 71), smallCfg(6, 0.7, 71)}
-	want, err := RunSweep(cfgs, 3, 4)
+	want, err := RunSweep(context.Background(), cfgs, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunSweepAdaptive(cfgs, SweepOpts{Replicas: 3, Workers: 4})
+	got, err := RunSweepAdaptive(context.Background(), cfgs, SweepOpts{Replicas: 3, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,14 +46,14 @@ func TestAdaptiveMatchesFixed(t *testing.T) {
 // half-width really is under the target.
 func TestAdaptiveStopsAtTarget(t *testing.T) {
 	cfg := smallCfg(6, 0.6, 17)
-	loose, err := RunSweepAdaptive([]Config{cfg}, SweepOpts{TargetCI: 50, MinReps: 3, MaxReps: 24, Workers: 4})
+	loose, err := RunSweepAdaptive(context.Background(), []Config{cfg}, SweepOpts{TargetCI: 50, MinReps: 3, MaxReps: 24, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if loose[0].ReplicasUsed != 3 {
 		t.Errorf("loose target used %d replicas, want MinReps=3", loose[0].ReplicasUsed)
 	}
-	tight, err := RunSweepAdaptive([]Config{cfg}, SweepOpts{TargetCI: 0.01, MinReps: 3, MaxReps: 24, Workers: 4})
+	tight, err := RunSweepAdaptive(context.Background(), []Config{cfg}, SweepOpts{TargetCI: 0.01, MinReps: 3, MaxReps: 24, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,11 @@ func TestAdaptiveStopsAtTarget(t *testing.T) {
 // must be finite for a positively correlated control.
 func TestControlVariateConsistency(t *testing.T) {
 	cfg := smallCfg(8, 0.8, 29)
-	plain, err := RunSweepAdaptive([]Config{cfg}, SweepOpts{Replicas: 8, Workers: 4})
+	plain, err := RunSweepAdaptive(context.Background(), []Config{cfg}, SweepOpts{Replicas: 8, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cv, err := RunSweepAdaptive([]Config{cfg}, SweepOpts{Replicas: 8, Workers: 4, ControlVariates: true})
+	cv, err := RunSweepAdaptive(context.Background(), []Config{cfg}, SweepOpts{Replicas: 8, Workers: 4, ControlVariates: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +99,11 @@ func TestWarmStartLadderAgreement(t *testing.T) {
 		return c
 	}
 	cfgs := []Config{mk(0.5), mk(0.6), mk(0.7)}
-	cold, err := RunSweepAdaptive(cfgs, SweepOpts{Replicas: 5, Workers: 4})
+	cold, err := RunSweepAdaptive(context.Background(), cfgs, SweepOpts{Replicas: 5, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := RunSweepAdaptive(cfgs, SweepOpts{Replicas: 5, Workers: 4, WarmStart: true, RewarmSlots: 200})
+	warm, err := RunSweepAdaptive(context.Background(), cfgs, SweepOpts{Replicas: 5, Workers: 4, WarmStart: true, RewarmSlots: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestCRNPairedDifference(t *testing.T) {
 	n := 6
 	const reps = 8
 	lo, hi := smallCfg(n, 0.60, 777), smallCfg(n, 0.65, 777) // shared base seed = CRN
-	sets, err := RunSweep([]Config{lo, hi}, reps, 4)
+	sets, err := RunSweep(context.Background(), []Config{lo, hi}, reps, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,113 @@
+package stepsim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var errTestCancel = errors.New("test cancel cause")
+
+// TestRunCanceled pins engine-level cancellation on every execution body:
+// the serial sharded path, the multi-tile barrier path (where tile 0's
+// verdict must reach every tile without deadlocking the per-slot barrier),
+// and the legacy PerEngineStream loop. All must return the cancellation
+// cause, not a partial Result.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errTestCancel)
+	base := smallCfg(8, 0.7, 17)
+	base.Slots = 100000
+	base.Ctx = ctx
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"serial", func(c *Config) {}},
+		{"sharded", func(c *Config) { c.Shards = 4 }},
+		{"legacy", func(c *Config) { c.PerEngineStream = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			var eng Engine
+			_, err := eng.Run(cfg)
+			if !errors.Is(err, errTestCancel) {
+				t.Fatalf("canceled run returned %v, want the cancellation cause", err)
+			}
+		})
+	}
+}
+
+// TestRunCanceledMidFlight cancels a large multi-tile run from another
+// goroutine mid-flight: Run must return promptly with the cause and, under
+// -race, the tile-0 consensus flag must be shown to publish cleanly
+// through the barrier.
+func TestRunCanceledMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cfg := smallCfg(16, 0.9, 23)
+	cfg.Slots = 50_000_000 // far beyond the test budget if not canceled
+	cfg.Shards = 4
+	cfg.Ctx = ctx
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel(errTestCancel)
+	}()
+	done := make(chan error, 1)
+	var eng Engine
+	go func() {
+		_, err := eng.Run(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errTestCancel) {
+			t.Fatalf("canceled run returned %v, want the cancellation cause", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled sharded run did not return")
+	}
+}
+
+// TestStreamSweepAdaptiveCanceledMidLadder mirrors the event engine's
+// pool-cancellation test on the slotted sweep: canceling from the first
+// emit leaves every cell emitting exactly once, in input order, with
+// interrupted cells carrying the cause, and drains all goroutines.
+func TestStreamSweepAdaptiveCanceledMidLadder(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	cfgs := make([]Config, 8)
+	for i := range cfgs {
+		cfgs[i] = smallCfg(6, 0.6, uint64(300+i))
+		cfgs[i].WarmupSlots, cfgs[i].Slots = 100, 1000
+	}
+	var order []int
+	StreamSweepAdaptive(ctx, cfgs, SweepOpts{TargetCI: 1e-9, MinReps: 3, MaxReps: 9, Workers: 4},
+		func(i int, rs ReplicaSet, err error) {
+			order = append(order, i)
+			if i == 0 {
+				cancel(errTestCancel)
+			}
+			if err != nil && !errors.Is(err, errTestCancel) {
+				t.Errorf("cell %d: unexpected error %v", i, err)
+			}
+		})
+	if len(order) != len(cfgs) {
+		t.Fatalf("emitted %d cells, want %d", len(order), len(cfgs))
+	}
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("emission order %v is not input order", order)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+2 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines did not drain: %d, baseline %d", g, before)
+	}
+}

@@ -11,6 +11,7 @@ package stepsim
 // draw order.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -200,7 +201,7 @@ func TestEngineOracleStatisticalEquivalence(t *testing.T) {
 	}
 	cfg := arrayCfg(6, 0.8, 100)
 	const replicas = 8
-	newRS, err := RunReplicas(cfg, replicas, 0)
+	newRS, err := RunReplicas(context.Background(), cfg, replicas, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,11 +331,11 @@ func TestStreamSweepDeterministicAcrossWorkers(t *testing.T) {
 	for i := range cfgs {
 		cfgs[i].WarmupSlots, cfgs[i].Slots = 200, 2000
 	}
-	one, err := RunSweep(cfgs, 3, 1)
+	one, err := RunSweep(context.Background(), cfgs, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := RunSweep(cfgs, 3, 8)
+	many, err := RunSweep(context.Background(), cfgs, 3, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package stepsim
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/sim"
@@ -61,12 +62,12 @@ type ReplicaSet struct {
 // order, as soon as that cell and all earlier cells have finished. err is
 // the first per-replica error of that cell (rs is zero-valued when err is
 // non-nil). emit runs on the calling goroutine.
-func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs ReplicaSet, err error)) {
+func StreamSweep(ctx context.Context, cfgs []Config, replicas, workers int, emit func(i int, rs ReplicaSet, err error)) {
 	// Clamp to the engine's tile limit: auto-sharding is a perf knob and
 	// must never make a configuration unrunnable, whatever the worker
 	// count requested.
 	spare := min(sim.SpareFactor(len(cfgs), replicas, workers), maxShards)
-	sim.StreamCells(len(cfgs), replicas, workers,
+	sim.StreamCells(ctx, len(cfgs), replicas, workers,
 		func() func(cell, rep int) (Result, error) {
 			var eng Engine // reused across this worker's tasks
 			return func(cell, rep int) (Result, error) {
@@ -76,6 +77,11 @@ func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs Repli
 					// Spend otherwise-idle cores inside the run; results
 					// are shard-count independent, so this is perf-only.
 					rcfg.Shards = spare
+				}
+				if rcfg.Ctx == nil {
+					// Thread the pool's context into the engine so an
+					// in-flight run aborts promptly, not just queued ones.
+					rcfg.Ctx = ctx
 				}
 				return eng.Run(rcfg)
 			}
@@ -92,10 +98,10 @@ func StreamSweep(cfgs []Config, replicas, workers int, emit func(i int, rs Repli
 // RunSweep executes every configuration with `replicas` replicas on one
 // shared worker pool and returns the aggregated cells in input order. The
 // returned error is the first cell error encountered.
-func RunSweep(cfgs []Config, replicas, workers int) ([]ReplicaSet, error) {
+func RunSweep(ctx context.Context, cfgs []Config, replicas, workers int) ([]ReplicaSet, error) {
 	sets := make([]ReplicaSet, len(cfgs))
 	var first error
-	StreamSweep(cfgs, replicas, workers, func(i int, rs ReplicaSet, err error) {
+	StreamSweep(ctx, cfgs, replicas, workers, func(i int, rs ReplicaSet, err error) {
 		sets[i] = rs
 		if err != nil && first == nil {
 			first = err
@@ -106,8 +112,8 @@ func RunSweep(cfgs []Config, replicas, workers int) ([]ReplicaSet, error) {
 
 // RunReplicas executes `replicas` independent runs of cfg and aggregates
 // them; replica i uses the stream Split(cfg.Seed, i).
-func RunReplicas(cfg Config, replicas, workers int) (ReplicaSet, error) {
-	sets, err := RunSweep([]Config{cfg}, replicas, workers)
+func RunReplicas(ctx context.Context, cfg Config, replicas, workers int) (ReplicaSet, error) {
+	sets, err := RunSweep(ctx, []Config{cfg}, replicas, workers)
 	if err != nil {
 		return ReplicaSet{}, err
 	}

@@ -50,6 +50,7 @@ package stepsim
 // edge between writer and reader.
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -240,6 +241,19 @@ type ShardedEngine struct {
 	handoff [][2][]movedRec
 
 	bar barrier
+
+	// stopAt is the cancellation consensus: on multi-tile runs only tile 0
+	// polls cfg.Ctx, and on cancellation it stores its current slot + 1
+	// here before its barrier wait. Every tile compares the value against
+	// its own slot AFTER the barrier and leaves only on an exact match —
+	// the slot tag is what makes the protocol safe, because a slow tile's
+	// post-barrier load at round k can observe a store tile 0 makes during
+	// round k+1 (the loads of round k are not ordered before the stores of
+	// round k+1); a boolean would make that tile leave a round early and
+	// deadlock the barrier on a missing participant. With the tag it just
+	// sees a future slot, continues, and exits in lockstep one round later.
+	// Zero means "not canceled"; nonzero also tells Run the result is void.
+	stopAt atomic.Int64
 }
 
 // Run executes one synchronous simulation, reusing the engine's storage.
@@ -260,6 +274,11 @@ func (s *ShardedEngine) Run(cfg Config) (Result, error) {
 			}()
 		}
 		wg.Wait()
+	}
+	if s.stopAt.Load() != 0 {
+		// Canceled mid-run: partial tile accumulators are not a valid
+		// Result (the horizon was not reached), so only the cause escapes.
+		return Result{}, context.Cause(cfg.Ctx)
 	}
 	res := s.collect()
 	if cfg.Capture {
@@ -288,6 +307,7 @@ func (s *ShardedEngine) reset(cfg Config) error {
 	s.cfg = cfg
 	s.shards = shards
 	s.sparse = !cfg.Dense
+	s.stopAt.Store(0)
 	s.poissonL = poissonExpOf(cfg.NodeRate)
 	s.tab.init(cfg, steppers, choose)
 	s.rings.reset(cfg.Net.NumEdges())
@@ -419,6 +439,7 @@ func (s *ShardedEngine) worker(t *tile) {
 		}
 	}
 	multi := s.shards > 1
+	ctx := s.cfg.Ctx
 	parity := 0
 	for slot := 0; slot < total; slot++ {
 		measuring := slot >= s.cfg.WarmupSlots
@@ -430,7 +451,21 @@ func (s *ShardedEngine) worker(t *tile) {
 			s.service(t, slot, measuring, parity)
 		}
 		if multi {
+			// Cancellation consensus: only tile 0 polls the context, and it
+			// publishes the slot it is about to leave at before the barrier
+			// every other tile is about to cross; a tile exits only when the
+			// published slot is its own (see stopAt for why the slot tag,
+			// not a boolean, is what prevents a barrier deadlock).
+			if t.id == 0 && ctx != nil && ctx.Err() != nil && s.stopAt.Load() == 0 {
+				s.stopAt.Store(int64(slot) + 1)
+			}
 			s.bar.wait(&t.sense)
+			if s.stopAt.Load() == int64(slot)+1 {
+				return
+			}
+		} else if ctx != nil && slot&63 == 0 && ctx.Err() != nil {
+			s.stopAt.Store(int64(slot) + 1)
+			return
 		}
 		s.place(t, parity)
 		parity ^= 1

@@ -1,6 +1,7 @@
 package stepsim
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -244,17 +245,17 @@ func TestShardedEngineReuseSteadyStateAllocs(t *testing.T) {
 func TestStreamSweepAutoShardsDeterministic(t *testing.T) {
 	cfg := arrayCfg(6, 0.8, 77)
 	cfg.WarmupSlots, cfg.Slots = 200, 1500
-	serial, err := RunSweep([]Config{cfg}, 1, 1) // 1 task, 1 worker: spare=1
+	serial, err := RunSweep(context.Background(), []Config{cfg}, 1, 1) // 1 task, 1 worker: spare=1
 	if err != nil {
 		t.Fatal(err)
 	}
-	auto, err := RunSweep([]Config{cfg}, 1, 6) // 1 task, 6 workers: spare=6
+	auto, err := RunSweep(context.Background(), []Config{cfg}, 1, 6) // 1 task, 6 workers: spare=6
 	if err != nil {
 		t.Fatal(err)
 	}
 	explicit := cfg
 	explicit.Shards = 3
-	pinned, err := RunSweep([]Config{explicit}, 1, 2)
+	pinned, err := RunSweep(context.Background(), []Config{explicit}, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,11 +273,11 @@ func TestStreamSweepAutoShardsDeterministic(t *testing.T) {
 func TestStreamSweepAutoShardsClamped(t *testing.T) {
 	cfg := arrayCfg(4, 0.5, 9)
 	cfg.WarmupSlots, cfg.Slots = 50, 300
-	ref, err := RunSweep([]Config{cfg}, 1, 1)
+	ref, err := RunSweep(context.Background(), []Config{cfg}, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	huge, err := RunSweep([]Config{cfg}, 1, 5000) // spare factor 5000 > maxShards
+	huge, err := RunSweep(context.Background(), []Config{cfg}, 1, 5000) // spare factor 5000 > maxShards
 	if err != nil {
 		t.Fatalf("auto-sharding made the sweep unrunnable: %v", err)
 	}

@@ -1,6 +1,7 @@
 package stepsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -28,13 +29,13 @@ func TestSparseDenseStatisticalEquivalence(t *testing.T) {
 		t.Run(fmt.Sprintf("rho=%g", rho), func(t *testing.T) {
 			cfg := arrayCfg(64, rho, 4242)
 			cfg.WarmupSlots, cfg.Slots = 300, 1200
-			sparse, err := RunReplicas(cfg, replicas, 0)
+			sparse, err := RunReplicas(context.Background(), cfg, replicas, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
 			dcfg := cfg
 			dcfg.Dense = true
-			dense, err := RunReplicas(dcfg, replicas, 0)
+			dense, err := RunReplicas(context.Background(), dcfg, replicas, 0)
 			if err != nil {
 				t.Fatal(err)
 			}

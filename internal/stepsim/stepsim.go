@@ -71,6 +71,7 @@
 package stepsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -152,6 +153,15 @@ type Config struct {
 	// Result.Snapshot, for a later Resume. Incompatible with
 	// PerEngineStream.
 	Capture bool
+	// Ctx, when non-nil, lets a long run be aborted mid-flight: the slot
+	// loop polls it (every slot serially; via tile 0 on sharded runs, with
+	// the per-slot barrier publishing the stop decision to every tile, so
+	// all tiles leave at the same slot and no goroutine leaks) and Run
+	// returns the context's cause as its error. Cancellation is control
+	// flow only — it never touches the variate streams — so an uncanceled
+	// run with a Ctx is bit-identical to one without. Sweep pools thread
+	// their own context into every config that leaves Ctx nil.
+	Ctx context.Context
 }
 
 // Result holds the measurements of one slotted run.
@@ -440,7 +450,11 @@ func (e *Engine) Run(cfg Config) (Result, error) {
 		if err := e.legacy.reset(cfg); err != nil {
 			return Result{}, err
 		}
-		return e.legacy.run(), nil
+		res, finished := e.legacy.run()
+		if !finished {
+			return Result{}, context.Cause(cfg.Ctx)
+		}
+		return res, nil
 	}
 	return e.sh.Run(cfg)
 }
@@ -516,8 +530,10 @@ func (e *legacyEngine) reset(cfg Config) error {
 	return nil
 }
 
-// run is the three-phase cycle loop.
-func (e *legacyEngine) run() Result {
+// run is the three-phase cycle loop. The second return is false iff the
+// run was aborted by cfg.Ctx before the horizon was reached, in which case
+// the partial Result must be discarded.
+func (e *legacyEngine) run() (Result, bool) {
 	var res Result
 	var nSum float64
 	var busySum, arrivalHits int64
@@ -526,12 +542,16 @@ func (e *legacyEngine) run() Result {
 	mean := e.cfg.NodeRate
 	poissonL := e.poissonL
 	dest := e.cfg.Dest
+	ctx := e.cfg.Ctx
 	// Hoist the hot slices out of the receiver so the loop body keeps them
 	// in registers instead of reloading headers through e.
 	qbuf, qhead, qsize := e.rings.qbuf, e.rings.qhead, e.rings.qsize
 	edgeKey, nodeKey := e.tab.edgeKey, e.tab.nodeKey
 	total := e.cfg.WarmupSlots + e.cfg.Slots
 	for slot := 0; slot < total; slot++ {
+		if ctx != nil && slot&63 == 0 && ctx.Err() != nil {
+			return Result{}, false
+		}
 		measuring := slot >= e.cfg.WarmupSlots
 		// Phase 1: batch arrivals at every source. The RNG call order
 		// (Poisson count, then per packet destination and stepper choice)
@@ -635,5 +655,5 @@ func (e *legacyEngine) run() Result {
 	if denom := float64(len(e.sources)) * float64(e.cfg.Slots); denom > 0 {
 		res.ArrivalSlotFraction = float64(arrivalHits) / denom
 	}
-	return res
+	return res, true
 }

@@ -1,0 +1,107 @@
+package workload
+
+// Canonical scenario form: a semantic normal form under which two scenario
+// documents that describe the same simulation campaign — whatever their
+// field order, whitespace, or reliance on defaults — marshal to the same
+// bytes. The sweep service (internal/serve) hashes this form into its
+// content-addressed cache keys, so the normalization rules here decide
+// when a resubmitted spec may be answered from cache. The rules are
+// conservative in one direction only: two scenarios with the same
+// canonical form MUST be guaranteed to produce bit-identical results on a
+// given engine and code version. Missing a normalization merely costs a
+// cache hit; inventing one that isn't semantics-preserving would serve
+// wrong results.
+
+import "encoding/json"
+
+// Canonical returns the scenario with every semantically inert degree of
+// freedom collapsed:
+//
+//   - defaulted fields are materialized (horizon, warmup, replicas, seed,
+//     and the nested pattern/arrival defaults), so an absent field and an
+//     explicitly spelled default are the same scenario;
+//   - fields other knobs make irrelevant are zeroed: the adaptive bounds
+//     when targetCI is off, the fixed replica count when it is on, the
+//     re-warm budget without warmStart, pattern parameters foreign to the
+//     pattern kind;
+//   - shards is zeroed unconditionally — the sharded slotted engine is
+//     bit-identical at every tile count, so it is a wall-clock knob, never
+//     a semantic one;
+//   - the free-text description is dropped: it documents a scenario but
+//     does not define it.
+//
+// The name is kept: it is part of the result document a caller gets back.
+// Dense, engine choice and seed all stay significant — they change the
+// variate streams or the estimator, hence the results.
+func (s Scenario) Canonical() Scenario {
+	s = s.withDefaults()
+	s.Description = ""
+	s.Shards = 0
+	s.Pattern = s.Pattern.canonical()
+	s.Arrivals = s.Arrivals.canonical()
+	if s.TargetCI > 0 {
+		// Adaptive stopping: the fixed count is ignored; the bounds get
+		// their documented defaults so spelling them out changes nothing.
+		s.Replicas = 0
+		if s.MinReplicas == 0 {
+			s.MinReplicas = 4
+		}
+		if s.MaxReplicas == 0 {
+			s.MaxReplicas = 64
+		}
+	} else {
+		s.MinReplicas, s.MaxReplicas = 0, 0
+	}
+	if !s.WarmStart {
+		s.RewarmSlots = 0
+	}
+	return s
+}
+
+// canonical collapses the pattern spec: the kind is spelled explicitly,
+// parameters of other kinds are zeroed, and defaulted parameters are
+// materialized (mirroring what PatternSpec.Pattern builds).
+func (p PatternSpec) canonical() PatternSpec {
+	out := PatternSpec{Kind: p.Kind}
+	switch p.Kind {
+	case "", "uniform":
+		out.Kind = "uniform"
+	case "hotspot":
+		out.Hot = p.Hot
+		if len(p.Hot) == 0 {
+			out.K = p.K
+			if out.K == 0 {
+				out.K = 1
+			}
+		}
+		out.Weight = p.Weight
+		if out.Weight == 0 {
+			out.Weight = 0.2
+		}
+	case "zipf":
+		out.S = p.S
+		if out.S == 0 {
+			out.S = 2
+		}
+	}
+	return out
+}
+
+// canonical collapses the arrival spec: the kind is spelled explicitly
+// and the burst parameters exist only for bursty arrivals, where their
+// defaults are materialized; for poisson and periodic they are inert and
+// zeroed.
+func (a ArrivalSpec) canonical() ArrivalSpec {
+	a = a.withDefaults()
+	if a.Kind != "bursty" {
+		a.BurstFactor, a.MeanOn, a.MeanOff = 0, 0, 0
+	}
+	return a
+}
+
+// CanonicalJSON marshals the canonical form with encoding/json's
+// deterministic struct-field ordering: equal canonical scenarios yield
+// byte-equal documents, which is what cache keys hash.
+func (s Scenario) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s.Canonical())
+}

@@ -1,0 +1,112 @@
+package workload
+
+// The M/D/1 second control variate. The raw arrival count is a good
+// control for the simulated mean delay because delay rises with realized
+// traffic, but the relationship is convex — steeply so near saturation —
+// and a linear regression on the count leaves that curvature on the
+// table. Mapping the count through the analytic M/D/1 delay curve first
+// (g(K) = MD1DelayAt(K / (sources·horizon))) gives a control that is
+// already shaped like the response, so its correlation with the simulated
+// delay is typically higher than the raw count's and the two-control
+// regression (stats.ControlVariateMulti) can only tighten the interval
+// further.
+//
+// Honesty is the delicate part. The control's known mean must be the
+// exact E[g(K)], and by Jensen's inequality that is NOT g(E[K]): plugging
+// the expected count into the curve would bias the adjusted estimator by
+// exactly the curvature the control exists to exploit. K is Poisson with
+// exactly known mean μ = rate·sources·horizon, so E[g(K)] is computed
+// numerically instead — the pmf is summed against g over a ±10σ window in
+// log-space (the omitted tails carry < 1e-20 of the mass, far below
+// double-precision resolution of the retained terms).
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stepsim"
+	"repro/internal/topology"
+)
+
+// md1ClampLoad caps the realized load the control curve is evaluated at.
+// A replica whose count fluctuates to or past saturation would map to an
+// infinite control value and wreck the regression; clamping the curve
+// makes g bounded while staying the identity everywhere a stable scenario
+// actually operates (loads are validated < 1). The same clamped g is used
+// in the exact-mean sum, so the control stays honest.
+const md1ClampLoad = 0.999
+
+// md1Curve returns the bounded control curve g(count) for a run with the
+// given source count and measured horizon (slots and time units coincide
+// under the τ = 1 convention).
+func (a *Analysis) md1Curve(numSources int, horizon float64) func(float64) float64 {
+	denom := float64(numSources) * horizon
+	capRate := md1ClampLoad * a.LambdaStar
+	return func(count float64) float64 {
+		rate := count / denom
+		if rate > capRate {
+			rate = capRate
+		}
+		return a.MD1DelayAt(rate)
+	}
+}
+
+// poissonMean returns E[g(K)] for K ~ Poisson(mu), summing the pmf
+// against g over mu ± 10σ in log-space. g must be bounded on the window.
+func poissonMean(mu float64, g func(float64) float64) float64 {
+	if mu <= 0 {
+		return g(0)
+	}
+	sigma := math.Sqrt(mu)
+	lo := int(math.Max(0, math.Floor(mu-10*sigma)))
+	// The +25 floor matters only at small μ, where ±10σ is a narrow
+	// absolute window and polynomially-weighted tails (as in the E[K²]
+	// check) still carry mass above double-precision resolution.
+	hi := int(math.Ceil(mu+10*sigma)) + 25
+	logMu := math.Log(mu)
+	sum := 0.0
+	for k := lo; k <= hi; k++ {
+		lg, _ := math.Lgamma(float64(k) + 1)
+		logP := float64(k)*logMu - mu - lg
+		sum += math.Exp(logP) * g(float64(k))
+	}
+	return sum
+}
+
+// SweepOpts lowers the bound scenario's replication policy for the
+// event-driven engine, wiring the M/D/1 second control when the scenario
+// asks for it. It extends Scenario.SweepOpts, which cannot offer the
+// control because the curve needs the bound analysis.
+func (b *Bound) SweepOpts(workers int) sim.SweepOpts {
+	opts := b.Scenario.SweepOpts(workers)
+	if b.Scenario.MD1Control {
+		a := b.Analysis
+		numSources := len(topology.Sources(b.Net))
+		opts.DelayControl = func(cfg sim.Config, r sim.Result) float64 {
+			return a.md1Curve(numSources, cfg.Horizon)(float64(r.Generated))
+		}
+		opts.DelayControlMean = func(cfg sim.Config) float64 {
+			mu := cfg.NodeRate * float64(numSources) * cfg.Horizon
+			return poissonMean(mu, a.md1Curve(numSources, cfg.Horizon))
+		}
+	}
+	return opts
+}
+
+// SlottedSweepOpts is SweepOpts for the slotted engine, with the same
+// M/D/1 control wiring (slots play the role of the horizon under τ = 1).
+func (b *Bound) SlottedSweepOpts(workers int) stepsim.SweepOpts {
+	opts := b.Scenario.SlottedSweepOpts(workers)
+	if b.Scenario.MD1Control {
+		a := b.Analysis
+		numSources := len(topology.Sources(b.Net))
+		opts.DelayControl = func(cfg stepsim.Config, r stepsim.Result) float64 {
+			return a.md1Curve(numSources, float64(cfg.Slots))(float64(r.Generated))
+		}
+		opts.DelayControlMean = func(cfg stepsim.Config) float64 {
+			mu := cfg.NodeRate * float64(numSources) * float64(cfg.Slots)
+			return poissonMean(mu, a.md1Curve(numSources, float64(cfg.Slots)))
+		}
+	}
+	return opts
+}

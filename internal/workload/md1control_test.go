@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stepsim"
+	"repro/internal/topology"
+)
+
+func TestPoissonMeanExact(t *testing.T) {
+	// Identity and square have closed-form Poisson expectations: E[K] = μ
+	// and E[K²] = μ + μ² — the numeric pmf sum must reproduce both.
+	for _, mu := range []float64{0.5, 3, 40, 1e4} {
+		if got := poissonMean(mu, func(x float64) float64 { return x }); math.Abs(got-mu) > 1e-9*mu {
+			t.Errorf("mu=%g: E[K] = %g", mu, got)
+		}
+		want := mu + mu*mu
+		if got := poissonMean(mu, func(x float64) float64 { return x * x }); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("mu=%g: E[K^2] = %g, want %g", mu, got, want)
+		}
+	}
+	if got := poissonMean(0, func(x float64) float64 { return x + 7 }); got != 7 {
+		t.Errorf("mu=0: got %g, want g(0)", got)
+	}
+}
+
+func TestMD1CurveJensenGap(t *testing.T) {
+	// The M/D/1 delay curve is convex in the rate, so the exact mean
+	// E[g(K)] must exceed the plug-in g(E[K]) — the bias the numeric sum
+	// exists to avoid. Evaluated near saturation where curvature is large.
+	sc := Scenario{
+		Name:     "jensen",
+		Topology: TopologySpec{Kind: "array", N: 8},
+		Pattern:  PatternSpec{Kind: "uniform"},
+		Loads:    []float64{0.95},
+	}
+	b, err := sc.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	numSources := len(topology.Sources(b.Net))
+	slots := 2000.0
+	g := b.Analysis.md1Curve(numSources, slots)
+	mu := b.Points[0].NodeRate * float64(numSources) * slots
+	exact := poissonMean(mu, g)
+	plugin := g(mu)
+	if !(exact > plugin) {
+		t.Fatalf("Jensen gap missing: E[g(K)] = %.9f <= g(E[K]) = %.9f", exact, plugin)
+	}
+	if (exact-plugin)/plugin > 0.5 {
+		t.Fatalf("Jensen gap implausibly large: E[g(K)] = %g vs g(E[K]) = %g", exact, plugin)
+	}
+	// The clamp keeps the curve finite even past saturation.
+	if v := g(10 * mu); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("clamped curve not finite at 10x saturation: %g", v)
+	}
+}
+
+// envInt reads an integer knob for the measurement rig below.
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestMD1ControlLadder is both a regression test and the measurement rig
+// behind BENCH.md's M/D/1-control table. At test size (16×16) it checks
+// the two-control machinery end to end: finite intervals, an estimate
+// consistent with the plain mean, and the measured delay↔control
+// correlations logged per point. At full size, run it as
+//
+//	MD1_N=64 MD1_SLOTS=4000 MD1_WARMUP=1000 MD1_REPS=24 \
+//	  go test ./internal/workload/ -run MD1ControlLadder -v
+//
+// to reproduce the 64×64 hotspot ladder measurement.
+func TestMD1ControlLadder(t *testing.T) {
+	n := envInt("MD1_N", 16)
+	slots := envInt("MD1_SLOTS", 1000)
+	warmup := envInt("MD1_WARMUP", 250)
+	reps := envInt("MD1_REPS", 12)
+	loads := []float64{0.5, 0.7, 0.8, 0.9, 0.95}
+	sc := Scenario{
+		Name:     "md1-ladder",
+		Topology: TopologySpec{Kind: "array", N: n},
+		Pattern:  PatternSpec{Kind: "hotspot"},
+		Loads:    loads,
+		Horizon:  float64(slots),
+		Warmup:   float64(warmup),
+		Replicas: reps,
+		Seed:     42,
+	}
+	b, err := sc.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := b.SlottedConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	numSources := len(topology.Sources(b.Net))
+	sets, err := stepsim.RunSweep(context.Background(), cfgs, reps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d×%d hotspot, %d slots (%d warmup), %d replicas/point", n, n, slots, warmup, reps)
+	t.Logf("%-6s %-9s %-9s %-10s %-10s %-10s %-10s", "load", "corr(cnt)", "corr(md1)", "hw_plain", "hw_cv1", "hw_cv2", "est_cv2")
+	for i, rs := range sets {
+		cfg := cfgs[i]
+		y := make([]float64, reps)
+		c1 := make([]float64, reps)
+		c2 := make([]float64, reps)
+		g := b.Analysis.md1Curve(numSources, float64(cfg.Slots))
+		for r, res := range rs.Replicas {
+			y[r] = res.MeanDelay
+			c1[r] = float64(res.Generated)
+			c2[r] = g(c1[r])
+		}
+		mu := cfg.NodeRate * float64(numSources) * float64(cfg.Slots)
+		gMean := poissonMean(mu, g)
+		e1 := stats.ControlVariate(y, c1, mu)
+		e2 := stats.ControlVariateMulti(y, [][]float64{c1, c2}, []float64{mu, gMean})
+		var w stats.Welford
+		for _, v := range y {
+			w.Add(v)
+		}
+		hwPlain := 1.96 * w.StdDev() / math.Sqrt(float64(reps))
+		t.Logf("%-6.2f %-9.3f %-9.3f %-10.5f %-10.5f %-10.5f %-10.4f",
+			loads[i], corr(y, c1), corr(y, c2), hwPlain, e1.HalfWidth, e2.HalfWidth, e2.Est)
+		if math.IsNaN(e2.Est) || math.IsInf(e2.HalfWidth, 0) {
+			t.Errorf("load %.2f: degenerate two-control estimate %g ± %g", loads[i], e2.Est, e2.HalfWidth)
+		}
+		// The control-variate estimator is unbiased; it must sit within a
+		// few plain half-widths of the plain mean.
+		if math.Abs(e2.Est-w.Mean()) > 5*math.Max(hwPlain, 1e-9) {
+			t.Errorf("load %.2f: two-control estimate %.5f far from plain mean %.5f (hw %.5f)",
+				loads[i], e2.Est, w.Mean(), hwPlain)
+		}
+	}
+}
+
+// corr is the sample Pearson correlation.
+func corr(a, b []float64) float64 {
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var sab, saa, sbb float64
+	for i := range a {
+		sab += (a[i] - ma) * (b[i] - mb)
+		saa += (a[i] - ma) * (a[i] - ma)
+		sbb += (b[i] - mb) * (b[i] - mb)
+	}
+	if saa == 0 || sbb == 0 {
+		return math.NaN()
+	}
+	return sab / math.Sqrt(saa*sbb)
+}

@@ -285,6 +285,13 @@ type Scenario struct {
 	// count out of the delay estimate (stats.ControlVariate); requires
 	// Poisson arrivals, which are the only kind with a closed-form count.
 	ControlVariates bool `json:"controlVariates,omitempty"`
+	// MD1Control adds the analytic M/D/1 delay estimate, evaluated at each
+	// replica's realized arrival rate, as a second control variate
+	// alongside the raw count (stats.ControlVariateMulti). Its exact mean
+	// is computed by summing the M/D/1 curve against the arrival count's
+	// Poisson pmf, so the regression stays honest. Requires
+	// ControlVariates.
+	MD1Control bool `json:"md1Control,omitempty"`
 	// WarmStart chains engine snapshots along the load ladder: each
 	// point's replicas resume from the previous point's captured steady
 	// state with RewarmSlots of re-warm (slots for the slotted engine,
@@ -365,6 +372,9 @@ func (s Scenario) checkFields() error {
 	}
 	if s.MinReplicas > 0 && s.MaxReplicas > 0 && s.MaxReplicas < s.MinReplicas {
 		return fmt.Errorf("workload: scenario %q has maxReplicas %d < minReplicas %d", s.Name, s.MaxReplicas, s.MinReplicas)
+	}
+	if s.MD1Control && !s.ControlVariates {
+		return fmt.Errorf("workload: scenario %q sets md1Control without controlVariates; the M/D/1 curve is a second control, not a standalone estimator", s.Name)
 	}
 	if kind := s.Arrivals.withDefaults().Kind; kind != "poisson" && (s.ControlVariates || s.WarmStart) {
 		return fmt.Errorf("workload: scenario %q uses %s arrivals; control variates and warm starts need Poisson arrivals (closed-form counts and snapshottable engines)", s.Name, kind)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -128,7 +129,7 @@ func TestQuickScenarioRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sets, err := sim.RunSweep(b.Configs, b.Scenario.Replicas, 0)
+		sets, err := sim.RunSweep(context.Background(), b.Configs, b.Scenario.Replicas, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -413,7 +414,7 @@ func TestScenarioAdaptiveSweepEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sets, err := sim.RunSweepAdaptive(b.Configs, s.SweepOpts(4))
+	sets, err := sim.RunSweepAdaptive(context.Background(), b.Configs, s.SweepOpts(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +430,7 @@ func TestScenarioAdaptiveSweepEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ssets, err := stepsim.RunSweepAdaptive(scfgs, s.SlottedSweepOpts(4))
+	ssets, err := stepsim.RunSweepAdaptive(context.Background(), scfgs, s.SlottedSweepOpts(4))
 	if err != nil {
 		t.Fatal(err)
 	}
