@@ -3,7 +3,7 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test race examples scenario-smoke sparse-smoke warmstart-smoke sweepd-smoke bench bench-slotted bench-sparse bench-sharded bench-json bench-compare profile vet
+.PHONY: test race examples scenario-smoke sparse-smoke warmstart-smoke sweepd-smoke fault-smoke bench bench-slotted bench-sparse bench-sharded bench-json bench-compare profile vet
 
 test:
 	go vet ./...
@@ -45,6 +45,15 @@ sweepd-smoke:
 # timeout loudly) and match its pinned golden bits.
 sparse-smoke:
 	go test -count=1 -timeout 180s -run 'TestSparseLowLoadGolden' ./internal/stepsim/
+
+# fault-smoke is the degraded-array exercise CI runs under the race
+# detector: a 64×64 hotspot run at rho=0.5 with 1% of links failing
+# (MTBF 2000 / MTTR 40 slots) and three delay-liar routers, asserting
+# recovery detours and sane downtime accounting, then the internal/verify
+# detection experiment, which must flag exactly the three seeded liars
+# with zero false positives.
+fault-smoke:
+	go test -race -count=1 -timeout 300s -run 'TestFaultSmoke' ./internal/verify/
 
 # warmstart-smoke is the snapshot/warm-start tripwire CI runs under the
 # race detector, full-length: both engines' snapshot batteries (bit-exact

@@ -41,6 +41,17 @@
 // All three are opt-in; without them the fixed-replica path is
 // bit-identical to previous releases.
 //
+// The fault flags (-link-mtbf/-link-mttr/-link-frac, the -node-*
+// counterparts, -liars with -liar-mode/-liar-delay/-liar-prob, and
+// -fault-seed) run the whole sweep on a degraded network (internal/fault):
+// the selected links and nodes fail and recover as two-state Markov
+// processes, seeded routers misbehave, and greedy routing recovers by
+// detouring via the alternate dimension. Degraded sweeps append
+// dropped, detour_hops and link_down_frac columns plus a `# faults:`
+// header comment; without the flags the output stays byte-identical to
+// previous releases. -warm-start is refused alongside faults (snapshots
+// do not capture fault state).
+//
 // CSV output is self-describing: a leading `#` comment records the
 // engine, sharding, execution path, pool shape, GOMAXPROCS and the
 // variance-reduction knobs, and a trailing one the wall-clock at which
@@ -69,6 +80,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/buildinfo"
+	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/stepsim"
@@ -110,6 +122,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cv       = fs.Bool("cv", false, "control variates: regress the exactly known arrival count out of the delay estimate (tighter CI at the same replicas)")
 		warm     = fs.Bool("warm-start", false, "chain engine snapshots up the load ladder: each point resumes the previous point's steady state with -rewarm of warmup instead of the full horizon/4")
 		rewarm   = fs.Float64("rewarm", -1, "warm-started points' warmup (slots for -engine=slotted); -1 = horizon/16")
+
+		// Fault layer (internal/fault): any of these switches the sweep to a
+		// degraded network and appends dropped/detour_hops/link_down_frac
+		// columns; all zero leaves the fault-free path bit-identical.
+		linkMTBF  = fs.Float64("link-mtbf", 0, "fault layer: mean up time per failure-prone link (0 = no link failures)")
+		linkMTTR  = fs.Float64("link-mttr", 0, "fault layer: mean link repair time")
+		linkFrac  = fs.Float64("link-frac", 0, "fault layer: fraction of links failure-prone (0 = all when -link-mtbf is set)")
+		nodeMTBF  = fs.Float64("node-mtbf", 0, "fault layer: mean up time per failure-prone node (0 = no node failures)")
+		nodeMTTR  = fs.Float64("node-mttr", 0, "fault layer: mean node repair time")
+		nodeFrac  = fs.Float64("node-frac", 0, "fault layer: fraction of nodes failure-prone (0 = all when -node-mtbf is set)")
+		liars     = fs.Int("liars", 0, "fault layer: misbehaving routers to seed (hash-selected)")
+		liarMode  = fs.String("liar-mode", "delay", "misbehaving routers: delay | misroute | drop")
+		liarDelay = fs.Int("liar-delay", 4, "delay liars: extra slots of service per forwarded packet")
+		liarProb  = fs.Float64("liar-prob", 0.1, "misroute/drop liars: per-packet misbehavior probability")
+		faultSeed = fs.Uint64("fault-seed", 1, "fault layer: seed for entity selection and dwell streams")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -143,6 +170,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *dense && *engine != "slotted" {
 		fmt.Fprintf(stderr, "sweep: -dense applies to -engine=slotted only (it selects between that engine's execution paths)\n")
 		return 2
+	}
+
+	fspec := &fault.Spec{
+		LinkMTBF: *linkMTBF, LinkMTTR: *linkMTTR, LinkFraction: *linkFrac,
+		NodeMTBF: *nodeMTBF, NodeMTTR: *nodeMTTR, NodeFraction: *nodeFrac,
+		Seed: *faultSeed,
+	}
+	if *liars > 0 {
+		m := fault.Misbehave{Mode: *liarMode, Count: *liars}
+		if *liarMode == fault.ModeDelay {
+			m.ExtraDelay = *liarDelay
+		} else {
+			m.Prob = *liarProb
+		}
+		fspec.Misbehave = []fault.Misbehave{m}
+	}
+	faultsOn := fspec.Enabled()
+	if faultsOn {
+		if err := fspec.Validate(); err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 2
+		}
+		if *warm {
+			fmt.Fprintf(stderr, "sweep: -warm-start chains engine snapshots, which the fault layer does not capture; run degraded sweeps without it\n")
+			return 2
+		}
 	}
 
 	var rhos []float64
@@ -218,6 +271,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// One plan for every cell: all cells share the topology, so binding
+	// against the first net fixes the same degraded entities everywhere
+	// (common random numbers across the load ladder).
+	if faultsOn {
+		plan, err := fspec.Bind(cells[0].cfg.Net)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 2
+		}
+		for i := range cells {
+			cells[i].cfg.Faults = plan
+		}
+	}
+
 	// One shared worker pool over every (load, replica) pair: the pool
 	// saturates the machine even for short load lists, and rows stream out
 	// in input order as soon as each cell's replicas finish.
@@ -230,7 +297,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s dense=%v workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d target_ci=%g min_reps=%d max_reps=%d cv=%v warm_start=%v rewarm=%g version=%s\n",
 		*engine, *topo, *shards, *dense, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed,
 		*targetCI, *minReps, *maxReps, *cv, *warm, *rewarm, buildinfo.Version())
-	fmt.Fprintln(stdout, "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper,active_edges,arrival_frac,replicas_used,ci_halfwidth")
+	if faultsOn {
+		fmt.Fprintf(stdout, "# faults: link_mtbf=%g link_mttr=%g link_frac=%g node_mtbf=%g node_mttr=%g node_frac=%g liars=%d liar_mode=%s liar_delay=%d liar_prob=%g fault_seed=%d\n",
+			*linkMTBF, *linkMTTR, *linkFrac, *nodeMTBF, *nodeMTTR, *nodeFrac, *liars, *liarMode, *liarDelay, *liarProb, *faultSeed)
+	}
+	hdr := "topology,rho,lambda,T_sim,T_ci,N_sim,r_per_n,lower,estimate,upper,active_edges,arrival_frac,replicas_used,ci_halfwidth"
+	if faultsOn {
+		// The degraded columns exist only on degraded sweeps, so fault-free
+		// invocations keep the historical 14-column shape byte-for-byte.
+		hdr += ",dropped,detour_hops,link_down_frac"
+	}
+	fmt.Fprintln(stdout, hdr)
 	failed := 0
 	start := time.Now()
 	var wall []string
@@ -251,11 +328,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return
 			}
 			clock(c.rho)
-			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s,,,%d,%.4f\n",
+			faultCols := ""
+			if faultsOn {
+				faultCols = fmt.Sprintf(",%d,%d,%.6f", r.Dropped, r.DetourHops, r.LinkDownFrac)
+			}
+			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%s,,,%d,%.4f%s\n",
 				*topo, c.rho, c.cfg.NodeRate,
 				r.MeanDelay, r.DelayCI, r.MeanN, r.RPerN,
 				c.lower, c.estimate, upperStr(c.upper),
-				r.ReplicasUsed, r.DelayCI)
+				r.ReplicasUsed, r.DelayCI, faultCols)
 		}
 		if adaptive {
 			sim.StreamSweepAdaptive(context.Background(), cfgs, sim.SweepOpts{
@@ -279,6 +360,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Seed:        c.cfg.Seed,
 				Shards:      shardCount,
 				Dense:       *dense,
+				Faults:      c.cfg.Faults,
 			}
 		}
 		emit := func(i int, r stepsim.ReplicaSet, err error) {
@@ -289,12 +371,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return
 			}
 			clock(c.rho)
-			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,,%.4f,%.4f,%s,%.2f,%.6f,%d,%.4f\n",
+			faultCols := ""
+			if faultsOn {
+				faultCols = fmt.Sprintf(",%d,%d,%.6f", r.Dropped, r.DetourHops, r.LinkDownFrac)
+			}
+			fmt.Fprintf(stdout, "%s,%.4f,%.6f,%.4f,%.4f,%.4f,,%.4f,%.4f,%s,%.2f,%.6f,%d,%.4f%s\n",
 				*topo, c.rho, c.cfg.NodeRate,
 				r.MeanDelay, r.DelayCI, r.MeanN,
 				c.lower, c.estimate, upperStr(c.upper),
 				r.MeanActiveEdges, r.ArrivalSlotFraction,
-				r.ReplicasUsed, r.DelayCI)
+				r.ReplicasUsed, r.DelayCI, faultCols)
 		}
 		if adaptive {
 			stepsim.StreamSweepAdaptive(context.Background(), cfgs, stepsim.SweepOpts{

@@ -299,3 +299,66 @@ func TestWarmStartCVSweepCSV(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultSweepCSV: fault flags append the degraded columns on both
+// engines, the fault header comment records the knobs, and the degraded
+// run actually drops and detours.
+func TestFaultSweepCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates; skipped with -short")
+	}
+	for _, eng := range []string{"des", "slotted"} {
+		code, out, errOut := runCapture(
+			"-topology", "array", "-n", "8", "-rhos", "0.4",
+			"-horizon", "2000", "-replicas", "1", "-engine", eng,
+			"-link-mtbf", "200", "-link-mttr", "20", "-link-frac", "0.2",
+			"-liars", "2", "-liar-mode", "drop", "-liar-prob", "0.5",
+			"-fault-seed", "11")
+		if code != 0 {
+			t.Fatalf("%s: sweep exit %d: %s", eng, code, errOut)
+		}
+		lines, comments := splitCSV(out)
+		if len(lines) != 2 {
+			t.Fatalf("%s: want header + 1 row, got %d lines:\n%s", eng, len(lines), out)
+		}
+		if !strings.HasSuffix(lines[0], "dropped,detour_hops,link_down_frac") {
+			t.Errorf("%s: header %q missing fault columns", eng, lines[0])
+		}
+		foundFaultComment := false
+		for _, c := range comments {
+			if strings.Contains(c, "link_mtbf=200") && strings.Contains(c, "liar_mode=drop") {
+				foundFaultComment = true
+			}
+		}
+		if !foundFaultComment {
+			t.Errorf("%s: no fault header comment in %v", eng, comments)
+		}
+		fields := strings.Split(lines[1], ",")
+		if len(fields) != 17 {
+			t.Fatalf("%s: want 17 columns, got %d: %q", eng, len(fields), lines[1])
+		}
+		dropped, err1 := strconv.Atoi(fields[14])
+		detours, err2 := strconv.Atoi(fields[15])
+		downFrac, err3 := strconv.ParseFloat(fields[16], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("%s: non-numeric fault columns: %q", eng, lines[1])
+		}
+		if dropped == 0 || detours == 0 {
+			t.Errorf("%s: degraded run shows no fault outcomes: dropped=%d detours=%d", eng, dropped, detours)
+		}
+		if downFrac <= 0 || downFrac > 0.1 {
+			t.Errorf("%s: link_down_frac %v implausible", eng, downFrac)
+		}
+	}
+}
+
+// TestFaultSweepRejectsWarmStart: snapshots do not capture fault state, so
+// the combination must be refused up front.
+func TestFaultSweepRejectsWarmStart(t *testing.T) {
+	code, _, errOut := runCapture(
+		"-topology", "array", "-n", "4", "-rhos", "0.3",
+		"-link-mtbf", "100", "-link-mttr", "10", "-warm-start")
+	if code != 2 || !strings.Contains(errOut, "warm-start") {
+		t.Errorf("warm-start + faults accepted: code=%d stderr=%q", code, errOut)
+	}
+}

@@ -74,7 +74,13 @@ func submit(args []string, stdout, stderr io.Writer) int {
 		Engine:   *engine,
 		Priority: *priority,
 	})
-	resp, err := http.Post(*addr+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, *addr+"/v1/sweeps", strings.NewReader(string(body)))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, err
+	}, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "sweepctl:", err)
 		return 1
@@ -107,7 +113,11 @@ func submit(args []string, stdout, stderr io.Writer) int {
 // follow prints the job's SSE feed — replayed history first, then live —
 // one line per event, until the terminal frame.
 func follow(addr, id string, stdout, stderr io.Writer) int {
-	resp, err := http.Get(addr + "/v1/sweeps/" + id + "/events")
+	// Retries cover the initial connection only; a stream dropped midway
+	// is not resumed (re-follow by id to replay the history).
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, addr+"/v1/sweeps/"+id+"/events", nil)
+	}, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "sweepctl:", err)
 		return 1
@@ -142,12 +152,9 @@ func jobOp(args []string, stdout, stderr io.Writer, method string) int {
 		fmt.Fprintln(stderr, "sweepctl: need exactly one job id")
 		return 2
 	}
-	req, err := http.NewRequest(method, *addr+"/v1/sweeps/"+fs.Arg(0), nil)
-	if err != nil {
-		fmt.Fprintln(stderr, "sweepctl:", err)
-		return 1
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		return http.NewRequest(method, *addr+"/v1/sweeps/"+fs.Arg(0), nil)
+	}, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "sweepctl:", err)
 		return 1

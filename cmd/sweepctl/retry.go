@@ -1,0 +1,90 @@
+package main
+
+// Transient-failure retry for the sweepd client. A submit racing the
+// daemon's startup, a 429 from the admission limiter, or a 5xx from a
+// restarting service should not fail the command; permanent errors (4xx
+// other than 429, malformed specs) must fail immediately and verbatim.
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+const maxAttempts = 5
+
+// retryBase is the first backoff delay; tests shrink it. Subsequent
+// delays double, with jitter in [d/2, d) so simultaneous clients spread
+// out.
+var retryBase = 250 * time.Millisecond
+
+// sleep is stubbed in tests.
+var sleep = time.Sleep
+
+// doWithRetry issues the request built by build, retrying transient
+// failures: transport errors (connection refused while the daemon comes
+// up, a dropped connection) and 429/5xx responses. build runs once per
+// attempt so request bodies are fresh each time. A Retry-After header
+// (delay-seconds or HTTP-date) overrides the computed backoff. The final
+// attempt's outcome — error or response — is returned verbatim, so the
+// caller's diagnostics read exactly as they would without retries.
+func doWithRetry(build func() (*http.Request, error), stderr io.Writer) (*http.Response, error) {
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		if attempt == maxAttempts {
+			return resp, err
+		}
+		delay := jitteredBackoff(attempt)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweepctl: %v; retrying in %v (attempt %d/%d)\n", err, delay, attempt, maxAttempts)
+		} else {
+			if ra, ok := retryAfter(resp); ok {
+				delay = ra
+			}
+			fmt.Fprintf(stderr, "sweepctl: server returned %s; retrying in %v (attempt %d/%d)\n", resp.Status, delay, attempt, maxAttempts)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		sleep(delay)
+	}
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// jitteredBackoff doubles retryBase per attempt and draws uniformly from
+// the upper half of the window.
+func jitteredBackoff(attempt int) time.Duration {
+	d := retryBase << (attempt - 1)
+	return d/2 + rand.N(d/2+1)
+}
+
+// retryAfter parses a Retry-After header, in either delay-seconds or
+// HTTP-date form.
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}

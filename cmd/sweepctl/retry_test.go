@@ -1,0 +1,141 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func instantRetries(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	oldSleep, oldBase := sleep, retryBase
+	sleep = func(d time.Duration) { slept = append(slept, d) }
+	retryBase = 2 * time.Millisecond
+	t.Cleanup(func() { sleep, retryBase = oldSleep, oldBase })
+	return &slept
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	slept := instantRetries(t)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	var stderr strings.Builder
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, srv.URL, nil)
+	}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final status %s", resp.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Errorf("slept %d times, want 2", len(*slept))
+	}
+	if !strings.Contains(stderr.String(), "retrying") {
+		t.Errorf("no retry notice on stderr: %q", stderr.String())
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	slept := instantRetries(t)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+	}))
+	defer srv.Close()
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, srv.URL, nil)
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(*slept) != 1 || (*slept)[0] != 7*time.Second {
+		t.Errorf("slept %v, want exactly [7s]", *slept)
+	}
+}
+
+func TestRetryPermanentFailureImmediate(t *testing.T) {
+	slept := instantRetries(t)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad spec", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, srv.URL, nil)
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Errorf("4xx retried: calls=%d sleeps=%d", calls.Load(), len(*slept))
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("final status %s, want 400 verbatim", resp.Status)
+	}
+}
+
+func TestRetryExhaustionReturnsLastResponse(t *testing.T) {
+	slept := instantRetries(t)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "still down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	resp, err := doWithRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, srv.URL, nil)
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if calls.Load() != maxAttempts {
+		t.Errorf("server saw %d calls, want %d", calls.Load(), maxAttempts)
+	}
+	if len(*slept) != maxAttempts-1 {
+		t.Errorf("slept %d times, want %d", len(*slept), maxAttempts-1)
+	}
+	// The last response comes back verbatim, body readable, for the
+	// caller's normal error path.
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "still down") {
+		t.Errorf("final response not verbatim: %s %q", resp.Status, body)
+	}
+}
+
+func TestRetryConnectionRefused(t *testing.T) {
+	instantRetries(t)
+	// A server that never existed: every attempt fails at the transport
+	// layer and the final error is returned.
+	_, err := doWithRetry(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, "http://127.0.0.1:1", nil)
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("expected a transport error")
+	}
+}

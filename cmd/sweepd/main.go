@@ -47,6 +47,7 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 16, "max queued sweeps before submissions get 429")
 		workers    = flag.Int("workers", 1, "sweeps run concurrently")
 		simWorkers = flag.Int("sim-workers", 0, "engine pool goroutines per sweep (0 = GOMAXPROCS)")
+		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock limit per running sweep; past it the job fails with a timeout reason (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		SimWorkers:   *simWorkers,
 		CacheDir:     *cacheDir,
 		CacheEntries: *cacheMem,
+		JobTimeout:   *jobTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)

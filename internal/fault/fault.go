@@ -1,0 +1,261 @@
+// Package fault defines the deterministic failure and adversary processes
+// the degraded-array scenarios run under: link/node up–down two-state
+// Markov processes, scheduled regional outages on array rectangles, and
+// misbehaving-router models (deliberate extra delay, probabilistic
+// misrouting, silent drop) assigned to a seeded node subset.
+//
+// The package is pure description + binding: a Spec is the JSON-facing
+// declaration (the `faults` section of a workload.Scenario), and
+// Spec.Bind(net) lowers it against a concrete topology into an immutable
+// Plan — entity lists, per-node adversary tables, outage node sets, and a
+// CSR out-edge adjacency for recovery scans. The engines own all mutable
+// fault state; a Plan is shared read-only across replicas and worker tiles.
+//
+// Determinism contract. Every random choice the fault layer induces is a
+// pure function of the fault seed and stable entity identities, never of
+// engine internals:
+//
+//  1. Which entities can fail and which nodes misbehave is decided at Bind
+//     time by stateless splitmix-style hashes of (seed, salt, id) — the
+//     same set on both engines, at every shard count.
+//  2. Up/down dwell sequences are drawn from per-entity keyed streams
+//     (xrand.ReseedSplit(seed^salt, id)), disjoint from the arrival
+//     streams, so fault-free runs stay bit-identical to pre-fault builds
+//     and fault-enabled sharded runs stay shard-invariant.
+//  3. Per-packet adversary coin flips (misroute, drop) hash the identity
+//     of the service event — (seed, edge, slot) on the slotted engine,
+//     (seed, edge, per-edge transit index) on the event engine — so they
+//     are independent of tile grouping and iteration order.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Misbehavior modes. A misbehaving node applies its model to every packet
+// it forwards (packets transiting the node), never to packets that
+// terminate there — a liar cannot hide by damaging only its own mail.
+const (
+	ModeDelay    = "delay"    // holds every forwarded packet ExtraDelay slots
+	ModeMisroute = "misroute" // with probability Prob, forwards out a uniform random out-edge
+	ModeDrop     = "drop"     // with probability Prob, silently discards the packet
+)
+
+// Misbehave seeds one group of misbehaving routers. Either Nodes pins the
+// set explicitly, or Count nodes are chosen by seeded hash ranking over the
+// topology's nodes (deterministic, engine- and shard-independent).
+type Misbehave struct {
+	// Mode is one of ModeDelay, ModeMisroute, ModeDrop.
+	Mode string `json:"mode"`
+	// Count is how many nodes to select when Nodes is empty.
+	Count int `json:"count,omitempty"`
+	// Nodes pins the misbehaving set explicitly (node ids).
+	Nodes []int `json:"nodes,omitempty"`
+	// ExtraDelay is the per-transit extra delay in slots (ModeDelay).
+	ExtraDelay int `json:"extra_delay,omitempty"`
+	// Prob is the per-packet misbehavior probability (ModeMisroute, ModeDrop).
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// Outage schedules a regional outage: every node in the inclusive
+// coordinate rectangle [Row0,Row1]×[Col0,Col1] of a 2-D array or torus is
+// down for [Start, Start+Duration). Times are in engine time units (slots
+// on the slotted engine).
+type Outage struct {
+	Row0 int `json:"row0"`
+	Col0 int `json:"col0"`
+	Row1 int `json:"row1"`
+	Col1 int `json:"col1"`
+	// Start is when the outage begins (slots / time units from run start).
+	Start float64 `json:"start"`
+	// Duration is how long it lasts.
+	Duration float64 `json:"duration"`
+}
+
+// Spec is the declarative fault model — the `faults` section of a scenario.
+// The zero Spec means "no faults" and must never change engine output.
+type Spec struct {
+	// LinkMTBF/LinkMTTR are the mean up/down dwells (in slots / time
+	// units) of the link failure process; LinkFraction in (0,1] selects
+	// which links are failure-prone (1 = all). Zero MTBF disables link
+	// failures.
+	LinkMTBF     float64 `json:"link_mtbf,omitempty"`
+	LinkMTTR     float64 `json:"link_mttr,omitempty"`
+	LinkFraction float64 `json:"link_fraction,omitempty"`
+	// NodeMTBF/NodeMTTR/NodeFraction: the same for whole nodes. A down
+	// node blocks every edge incident to it.
+	NodeMTBF     float64 `json:"node_mtbf,omitempty"`
+	NodeMTTR     float64 `json:"node_mttr,omitempty"`
+	NodeFraction float64 `json:"node_fraction,omitempty"`
+	// Outages schedules regional outages (2-D array/torus only).
+	Outages []Outage `json:"outages,omitempty"`
+	// Misbehave seeds misbehaving-router groups.
+	Misbehave []Misbehave `json:"misbehave,omitempty"`
+	// Seed drives every fault-layer random choice. Independent of the
+	// engine seed so the same degradation can be replayed across loads
+	// and replicas.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Enabled reports whether the spec declares any fault process at all.
+// A nil or all-zero spec leaves the engines on their fault-free paths.
+func (s *Spec) Enabled() bool {
+	if s == nil {
+		return false
+	}
+	return s.LinkMTBF > 0 || s.NodeMTBF > 0 || len(s.Outages) > 0 || len(s.Misbehave) > 0
+}
+
+// Validate checks the spec's internal consistency (topology-independent
+// checks only; Bind adds the topology-dependent ones).
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.LinkMTBF < 0 || s.LinkMTTR < 0 || s.NodeMTBF < 0 || s.NodeMTTR < 0 {
+		return fmt.Errorf("fault: MTBF/MTTR must be non-negative")
+	}
+	if s.LinkMTBF > 0 && s.LinkMTTR <= 0 {
+		return fmt.Errorf("fault: link_mtbf set but link_mttr is not")
+	}
+	if s.NodeMTBF > 0 && s.NodeMTTR <= 0 {
+		return fmt.Errorf("fault: node_mtbf set but node_mttr is not")
+	}
+	if s.LinkFraction < 0 || s.LinkFraction > 1 {
+		return fmt.Errorf("fault: link_fraction %v outside [0,1]", s.LinkFraction)
+	}
+	if s.NodeFraction < 0 || s.NodeFraction > 1 {
+		return fmt.Errorf("fault: node_fraction %v outside [0,1]", s.NodeFraction)
+	}
+	for i, o := range s.Outages {
+		if o.Row1 < o.Row0 || o.Col1 < o.Col0 {
+			return fmt.Errorf("fault: outage %d has an empty rectangle", i)
+		}
+		if o.Start < 0 || o.Duration <= 0 {
+			return fmt.Errorf("fault: outage %d needs start >= 0 and duration > 0", i)
+		}
+	}
+	for i, m := range s.Misbehave {
+		switch m.Mode {
+		case ModeDelay:
+			if m.ExtraDelay <= 0 {
+				return fmt.Errorf("fault: misbehave %d (delay) needs extra_delay > 0", i)
+			}
+		case ModeMisroute, ModeDrop:
+			if m.Prob <= 0 || m.Prob > 1 {
+				return fmt.Errorf("fault: misbehave %d (%s) needs prob in (0,1]", i, m.Mode)
+			}
+		default:
+			return fmt.Errorf("fault: misbehave %d has unknown mode %q", i, m.Mode)
+		}
+		if len(m.Nodes) == 0 && m.Count <= 0 {
+			return fmt.Errorf("fault: misbehave %d selects no nodes (need count or nodes)", i)
+		}
+	}
+	return nil
+}
+
+// Hash salts. Each independent random decision family hashes under its own
+// salt so enabling one family never perturbs another's choices.
+const (
+	SaltLinkSelect = 0x6c696e6b // which links are failure-prone
+	SaltNodeSelect = 0x6e6f6465 // which nodes are failure-prone
+	SaltLiarRank   = 0x6c696172 // misbehaving-node ranking
+	SaltLinkDwell  = 0x6477656c // link up/down dwell streams
+	SaltNodeDwell  = 0x6e647765 // node up/down dwell streams
+	SaltMisroute   = 0x6d697372 // per-packet misroute coin + edge pick
+	SaltDrop       = 0x64726f70 // per-packet drop coin
+)
+
+// Hash is the stateless mixing function behind every per-entity and
+// per-packet fault decision: a splitmix64-style finalizer over (seed, salt,
+// a, b). It is engine-order-free by construction — the same arguments give
+// the same 64 bits anywhere.
+func Hash(seed uint64, salt uint64, a, b uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z ^= salt * 0xbf58476d1ce4e5b9
+	z += a * 0x94d049bb133111eb
+	z ^= b + 0x2545f4914f6cdd1d
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Coin reports a Bernoulli(p) draw from Hash's output: true with
+// probability p, identical everywhere the same arguments are hashed.
+func Coin(seed uint64, salt uint64, a, b uint64, p float64) bool {
+	// Top 53 bits as a uniform in [0,1), the same construction as
+	// xrand.Float64.
+	u := float64(Hash(seed, salt, a, b)>>11) / (1 << 53)
+	return u < p
+}
+
+// selectFraction returns the ids in [0, n) whose selection hash lands below
+// fraction — a deterministic "each entity independently with probability
+// fraction" draw. fraction >= 1 selects everything without hashing.
+func selectFraction(seed uint64, salt uint64, n int, fraction float64) []int32 {
+	ids := make([]int32, 0, int(fraction*float64(n))+1)
+	if fraction >= 1 {
+		for i := 0; i < n; i++ {
+			ids = append(ids, int32(i))
+		}
+		return ids
+	}
+	for i := 0; i < n; i++ {
+		if Coin(seed, salt, uint64(i), 0, fraction) {
+			ids = append(ids, int32(i))
+		}
+	}
+	return ids
+}
+
+// rankSelect returns the count ids in [0, n) with the smallest hash values
+// under (seed, salt, group) — a deterministic uniform subset of exactly
+// count nodes (all of them if count >= n).
+func rankSelect(seed uint64, salt uint64, group uint64, n, count int) []int32 {
+	if count >= n {
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		return ids
+	}
+	type ranked struct {
+		h  uint64
+		id int32
+	}
+	all := make([]ranked, n)
+	for i := 0; i < n; i++ {
+		all[i] = ranked{Hash(seed, salt, group, uint64(i)), int32(i)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].h != all[j].h {
+			return all[i].h < all[j].h
+		}
+		return all[i].id < all[j].id
+	})
+	ids := make([]int32, count)
+	for i := range ids {
+		ids[i] = all[i].id
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// coords2D unwraps net (through topology.Restrict) to a 2-D array or torus
+// and returns its side length, or ok = false.
+func coords2D(net topology.Network) (side int, node func(r, c int) int, ok bool) {
+	if r, isRestrict := net.(topology.Restrict); isRestrict {
+		net = r.Network
+	}
+	switch a := net.(type) {
+	case *topology.Array2D:
+		return a.N(), a.Node, true
+	case *topology.Torus2D:
+		return a.N(), a.Node, true
+	}
+	return 0, nil, false
+}

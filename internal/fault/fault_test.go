@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestSelectFractionDeterministic pins selection rule 1 of the determinism
+// contract: the failure-prone set is a pure function of (seed, salt,
+// fraction), fraction 1 selects everything, and distinct salts decorrelate
+// the families.
+func TestSelectFractionDeterministic(t *testing.T) {
+	a := selectFraction(42, SaltLinkSelect, 1000, 0.1)
+	b := selectFraction(42, SaltLinkSelect, 1000, 0.1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different selections")
+	}
+	if len(a) < 50 || len(a) > 200 {
+		t.Errorf("fraction 0.1 of 1000 selected %d entities; want ~100", len(a))
+	}
+	all := selectFraction(42, SaltLinkSelect, 100, 1)
+	if len(all) != 100 {
+		t.Errorf("fraction 1 selected %d of 100", len(all))
+	}
+	nodes := selectFraction(42, SaltNodeSelect, 1000, 0.1)
+	if reflect.DeepEqual(a, nodes) {
+		t.Error("link and node salts produced the identical selection")
+	}
+}
+
+// TestBindCSR checks the plan's out-edge adjacency against the topology:
+// every out-edge run is ascending and contains exactly the edges leaving
+// the node.
+func TestBindCSR(t *testing.T) {
+	net := topology.NewArray2D(4)
+	spec := &Spec{LinkMTBF: 100, LinkMTTR: 10, Seed: 1}
+	p, err := spec.Bind(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes != net.NumNodes() || p.NumEdges != net.NumEdges() {
+		t.Fatalf("plan dims %d/%d, net %d/%d", p.NumNodes, p.NumEdges, net.NumNodes(), net.NumEdges())
+	}
+	count := 0
+	for v := int32(0); v < int32(p.NumNodes); v++ {
+		lo, hi := p.OutEdgeRange(v)
+		prev := int32(-1)
+		for _, e := range p.OutEdges[lo:hi] {
+			if p.From[e] != v {
+				t.Fatalf("edge %d in node %d's run has From %d", e, v, p.From[e])
+			}
+			if e <= prev {
+				t.Fatalf("node %d's out-edges not ascending", v)
+			}
+			prev = e
+			count++
+		}
+	}
+	if count != p.NumEdges {
+		t.Errorf("CSR covers %d edges, want %d", count, p.NumEdges)
+	}
+	// MTBF with fraction 0 defaults to all links failure-prone.
+	if len(p.FaultEdges) != p.NumEdges {
+		t.Errorf("zero fraction selected %d of %d links; want all", len(p.FaultEdges), p.NumEdges)
+	}
+}
+
+// TestBindLiars pins the adversary tables: explicit node lists verbatim,
+// counted groups by hash ranking, first group wins on overlap, and Liars
+// sorted ascending.
+func TestBindLiars(t *testing.T) {
+	net := topology.NewArray2D(8)
+	spec := &Spec{
+		Misbehave: []Misbehave{
+			{Mode: ModeDelay, Nodes: []int{5, 9}, ExtraDelay: 4},
+			{Mode: ModeDrop, Count: 3, Prob: 0.5},
+		},
+		Seed: 7,
+	}
+	p, err := spec.Bind(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LiarMode[5] != LiarDelay || p.LiarMode[9] != LiarDelay {
+		t.Error("explicit delay liars not marked")
+	}
+	if p.LiarDelay[5] != 4 {
+		t.Errorf("LiarDelay[5] = %d, want 4", p.LiarDelay[5])
+	}
+	drops := 0
+	for v, m := range p.LiarMode {
+		if m == LiarDrop {
+			drops++
+			if p.LiarProb[v] != 0.5 {
+				t.Errorf("drop liar %d has prob %v", v, p.LiarProb[v])
+			}
+		}
+	}
+	// The counted group may have collided with the explicit nodes (first
+	// group wins), so allow a shortfall but never an excess.
+	if drops > 3 || drops < 1 {
+		t.Errorf("counted drop group marked %d nodes, want 1..3", drops)
+	}
+	for i := 1; i < len(p.Liars); i++ {
+		if p.Liars[i] <= p.Liars[i-1] {
+			t.Fatal("Liars not sorted ascending")
+		}
+	}
+	// Same spec, same topology: the same liar set (the property the
+	// verification experiment's probe runs rely on).
+	p2, err := spec.Bind(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Liars, p2.Liars) {
+		t.Error("rebinding produced a different liar set")
+	}
+}
+
+// TestBindOutages pins the rectangle lowering and its bounds check.
+func TestBindOutages(t *testing.T) {
+	net := topology.NewArray2D(4)
+	spec := &Spec{
+		Outages: []Outage{{Row0: 1, Col0: 1, Row1: 2, Col1: 2, Start: 10, Duration: 5}},
+	}
+	p, err := spec.Bind(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{
+		int32(net.Node(1, 1)), int32(net.Node(1, 2)),
+		int32(net.Node(2, 1)), int32(net.Node(2, 2)),
+	}
+	if len(p.OutageNodes) != 1 || len(p.OutageNodes[0]) != 4 {
+		t.Fatalf("outage lowered to %v", p.OutageNodes)
+	}
+	got := append([]int32(nil), p.OutageNodes[0]...)
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("outage missing node %d", w)
+		}
+	}
+	bad := &Spec{Outages: []Outage{{Row0: 0, Col0: 0, Row1: 9, Col1: 0, Start: 0, Duration: 1}}}
+	if _, err := bad.Bind(net); err == nil {
+		t.Error("outage rectangle past the array accepted")
+	}
+	cube := topology.NewHypercube(3)
+	if _, err := spec.Bind(cube); err == nil {
+		t.Error("outage on a non-2D topology accepted")
+	}
+}
+
+// TestValidateRejections sweeps the malformed specs.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"mtbf without mttr", Spec{LinkMTBF: 100}},
+		{"node mtbf without mttr", Spec{NodeMTBF: 100}},
+		{"fraction > 1", Spec{LinkMTBF: 100, LinkMTTR: 1, LinkFraction: 2}},
+		{"negative mtbf", Spec{LinkMTBF: -1}},
+		{"empty outage", Spec{Outages: []Outage{{Row0: 2, Row1: 1, Duration: 1}}}},
+		{"zero-duration outage", Spec{Outages: []Outage{{Duration: 0}}}},
+		{"delay without extra", Spec{Misbehave: []Misbehave{{Mode: ModeDelay, Count: 1}}}},
+		{"drop without prob", Spec{Misbehave: []Misbehave{{Mode: ModeDrop, Count: 1}}}},
+		{"unknown mode", Spec{Misbehave: []Misbehave{{Mode: "teleport", Count: 1}}}},
+		{"no nodes selected", Spec{Misbehave: []Misbehave{{Mode: ModeDrop, Prob: 0.5}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Errorf("nil spec rejected: %v", err)
+	}
+	if nilSpec.Enabled() {
+		t.Error("nil spec enabled")
+	}
+}
+
+// TestMisrouteEdge pins the misroute pick: always an out-edge of the served
+// edge's head node, deterministic in (seed, edge, key), and decorrelated
+// from the coin (which hashes the un-flipped key).
+func TestMisrouteEdge(t *testing.T) {
+	net := topology.NewArray2D(4)
+	spec := &Spec{Misbehave: []Misbehave{{Mode: ModeMisroute, Count: 1, Prob: 1}}, Seed: 3}
+	p, err := spec.Bind(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := int32(0); e < int32(p.NumEdges); e += 7 {
+		for k := uint64(0); k < 5; k++ {
+			pick := p.MisrouteEdge(p.Spec.Seed, e, k)
+			if pick < 0 {
+				t.Fatalf("edge %d head has out-edges but pick is -1", e)
+			}
+			if p.From[pick] != p.To[e] {
+				t.Fatalf("misroute pick %d does not leave node %d", pick, p.To[e])
+			}
+			if pick != p.MisrouteEdge(p.Spec.Seed, e, k) {
+				t.Fatal("misroute pick not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package routing
+
+// Greedy-with-recovery. On a degraded network the greedy next hop can be
+// down; the recovery policy detours via any live out-edge that still makes
+// progress (on the 2-D array that is exactly the alternate dimension
+// order), and when no live improving neighbor exists the packet hits a
+// dead end and is dropped. Recovery is strictly monotone — a detour edge
+// must strictly reduce RemainingHops — so recovered routes cannot cycle:
+// every hop decreases the distance to the destination by one, exactly as
+// the fault-free greedy route does, just possibly along the other
+// dimension first.
+//
+// Both engines call Recover with a usability closure (edge up, endpoints
+// up) and a CSR adjacency from the bound fault.Plan. Determinism: the scan
+// visits out-edges ascending by edge id, so the detour choice is a pure
+// function of (position, destination, usability state) — independent of
+// engine, tile grouping, and iteration order.
+
+// Outcome classifies one routing decision on a degraded network.
+type Outcome uint8
+
+const (
+	// Primary: the greedy stepper's edge was usable and taken.
+	Primary Outcome = iota
+	// Detour: the greedy edge was blocked; an alternate live improving
+	// edge was taken instead.
+	Detour
+	// DeadEnd: no live out-edge improves on the current position; the
+	// packet is dropped (the DEAD_END/DROP outcome of the Result
+	// counters).
+	DeadEnd
+)
+
+// Recover picks the outgoing edge for a packet at cur bound for dst under
+// the usability predicate. step is the fault-free greedy stepper;
+// outEdges is cur's CSR out-edge run (ascending edge ids) from the bound
+// fault plan; edgeTo maps edge id to head node. It returns the chosen
+// edge and the outcome; edge is -1 exactly when the outcome is DeadEnd.
+// cur == dst must be handled by the caller (a delivered packet never
+// routes).
+func Recover(step Stepper, cur, dst int, outEdges []int32, edgeTo func(e int32) int32, usable func(e int32) bool) (int32, Outcome) {
+	edge, done := step.NextEdge(cur, dst)
+	if done {
+		panic("routing: Recover called with cur == dst")
+	}
+	if usable(int32(edge)) {
+		return int32(edge), Primary
+	}
+	// The greedy edge is blocked: scan cur's out-edges ascending for a
+	// usable strictly improving alternative. RemainingHops(cur) is one
+	// more than the best neighbor's, so "strictly improving" means
+	// RemainingHops(head) < RemainingHops(cur).
+	rem := step.RemainingHops(cur, dst)
+	for _, e := range outEdges {
+		if e == int32(edge) || !usable(e) {
+			continue
+		}
+		if step.RemainingHops(int(edgeTo(e)), dst) < rem {
+			return e, Detour
+		}
+	}
+	return -1, DeadEnd
+}

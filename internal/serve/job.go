@@ -26,6 +26,12 @@ const (
 // plumbing and back out of the worker pools.
 var ErrCanceled = errors.New("sweep canceled")
 
+// ErrJobTimeout is the cancellation cause installed when a job outlives
+// Config.JobTimeout. It rides the same context plumbing as ErrCanceled,
+// but the worker classifies it as a failure, not a cancellation: the
+// client asked for the sweep and did not get it.
+var ErrJobTimeout = errors.New("job exceeded the configured wall-clock timeout")
+
 // Event is one SSE frame of a job's stream: a "point" per converged sweep
 // cell (in input order, exactly once each), then a single terminal "done"
 // or "error" frame.

@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/sim"
@@ -35,6 +37,11 @@ type Config struct {
 	// uses buildinfo.Version(). Tests pin it to decouple keys from the
 	// build environment.
 	Version string
+	// JobTimeout bounds one sweep's running wall clock (queue wait
+	// excluded). A job past it is canceled through the engines' context
+	// plumbing — the pools drain, no goroutine is killed mid-replica — and
+	// finishes failed with a timeout reason. Zero means no limit.
+	JobTimeout time.Duration
 }
 
 // Server is the sweep service. It owns the queue, the cache, the worker
@@ -49,10 +56,11 @@ type Server struct {
 	mu   sync.Mutex
 	jobs map[string]*Job
 
-	nextID  atomic.Int64
-	running atomic.Int64
-	done    atomic.Int64
-	failed  atomic.Int64
+	nextID   atomic.Int64
+	running  atomic.Int64
+	done     atomic.Int64
+	failed   atomic.Int64
+	timedOut atomic.Int64
 	// wallNanos/wallCount accumulate per-job wall time for /metrics.
 	wallNanos atomic.Int64
 	wallCount atomic.Int64
@@ -299,6 +307,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE sweepd_cache_misses_total counter\nsweepd_cache_misses_total %d\n", s.cache.Misses())
 	fmt.Fprintf(w, "# TYPE sweepd_jobs_completed_total counter\nsweepd_jobs_completed_total %d\n", s.done.Load())
 	fmt.Fprintf(w, "# TYPE sweepd_jobs_failed_total counter\nsweepd_jobs_failed_total %d\n", s.failed.Load())
+	fmt.Fprintf(w, "# TYPE sweepd_jobs_timed_out_total counter\nsweepd_jobs_timed_out_total %d\n", s.timedOut.Load())
 	fmt.Fprintf(w, "# TYPE sweepd_job_wall_seconds summary\n")
 	fmt.Fprintf(w, "sweepd_job_wall_seconds_sum %g\n", float64(s.wallNanos.Load())/1e9)
 	fmt.Fprintf(w, "sweepd_job_wall_seconds_count %d\n", s.wallCount.Load())
@@ -352,6 +361,10 @@ type ResultDoc struct {
 // as an SSE "point" event the moment it converges, then finishing the job
 // with the cached result document (or the first error).
 func (s *Server) runJob(j *Job) {
+	if s.cfg.JobTimeout > 0 {
+		timer := time.AfterFunc(s.cfg.JobTimeout, func() { j.Cancel(ErrJobTimeout) })
+		defer timer.Stop()
+	}
 	b, err := j.Scenario.Bind()
 	if err != nil {
 		s.failed.Add(1)
@@ -398,6 +411,12 @@ func (s *Server) runJob(j *Job) {
 		})
 	}
 	if cause := context.Cause(j.ctx); cause != nil {
+		if errors.Is(cause, ErrJobTimeout) {
+			s.failed.Add(1)
+			s.timedOut.Add(1)
+			j.finish(StatusFailed, nil, fmt.Sprintf("timeout: sweep exceeded the %v job limit", s.cfg.JobTimeout))
+			return
+		}
 		j.finish(StatusCanceled, nil, cause.Error())
 		return
 	}

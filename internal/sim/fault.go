@@ -1,0 +1,386 @@
+package sim
+
+// Fault-layer execution for the event-driven engine: the continuous-time
+// mirror of internal/stepsim's slotted fault phase.
+//
+// A run with Config.Faults set simulates the same model on a degraded
+// network: links and nodes flip between up and down under per-entity
+// two-state Markov processes (exponential dwells with means MTBF up and
+// MTTR down — the continuous-time analog of the slotted engine's
+// 1+Geometric dwells), scheduled rectangle outages take node regions down
+// for fixed windows, and misbehaving routers delay, misroute or drop the
+// packets they forward. The fault-free path is untouched: every hook is
+// behind an `e.flt == nil` check, no variate stream changes, and the
+// existing goldens pin that.
+//
+// Where the slotted engine advances every owned entity once per slot, the
+// event engine advances entities lazily: an entity's dwell stream is only
+// consumed when a query (is this edge usable now? when is it next up?)
+// reaches past its pending transition, plus one final sweep to the horizon
+// at result time. Because each entity's stream is keyed by its id
+// (ReseedSplit(faultSeed^salt, entityID)) and advancing to time t yields
+// the same state whether reached in one jump or many, the query pattern
+// cannot change any dwell sequence — two fault runs with the same seed are
+// bit-identical regardless of what the traffic happens to touch.
+//
+// Failures never interrupt a service in flight (a store-and-forward hop,
+// once started, completes); they defer the *next* service start: the
+// departure scheduled when an edge takes a new head packet at time t is
+// availAt(edge, t) + service + liarExtra, where availAt is the first time
+// >= t at which the link's own process, both endpoint nodes and every
+// covering outage window are simultaneously up. Routing decisions (greedy,
+// misroute, recovery detours) test usability at decision time, exactly as
+// the slotted engine tests the current slot's state.
+//
+// MeanR/MeanRs (remaining-service integrals) are not tracked on fault
+// runs: detours and misroutes change a packet's remaining hop count after
+// injection, which breaks the fault-free bookkeeping's invariant that
+// remaining work only decreases by completed services. Result.MeanR and
+// RPerN read zero; MeanN, delays and the outcome counters remain exact.
+
+import (
+	"repro/internal/fault"
+	"repro/internal/xrand"
+)
+
+// markovSet is the lazy per-entity state of one family (links or nodes) of
+// two-state Markov processes.
+type markovSet struct {
+	ids  []int32 // failure-prone entity ids, ascending (from the plan)
+	idx  []int32 // entity id -> position in ids, or -1 (nil when empty)
+	down []bool
+	last []float64 // time of the entity's most recent transition
+	next []float64 // time of its pending transition
+	rng  []xrand.RNG
+
+	failRate   float64 // 1/MTBF: rate out of the up state
+	repairRate float64 // 1/MTTR: rate out of the down state
+
+	// downtime accumulates each completed down interval's overlap with the
+	// measurement window; still-open intervals are closed by finish.
+	downtime float64
+}
+
+func (m *markovSet) seed(ids, idx []int32, salt, seed uint64, mtbf, mttr float64) {
+	m.ids, m.idx = ids, idx
+	if len(ids) == 0 {
+		return
+	}
+	m.failRate, m.repairRate = 1/mtbf, 1/mttr
+	m.down = make([]bool, len(ids))
+	m.last = make([]float64, len(ids))
+	m.next = make([]float64, len(ids))
+	m.rng = make([]xrand.RNG, len(ids))
+	for i, id := range ids {
+		r := &m.rng[i]
+		r.ReseedSplit(seed^salt, uint64(id))
+		m.next[i] = r.Exp(m.failRate)
+	}
+}
+
+// advance consumes entity i's dwell stream up to time t, integrating each
+// down interval completed on the way into downtime (clipped to the measure
+// window [mStart, mEnd]).
+func (m *markovSet) advance(i int, t, mStart, mEnd float64) {
+	for m.next[i] <= t {
+		at := m.next[i]
+		if m.down[i] {
+			m.downtime += overlapWin(m.last[i], at, mStart, mEnd)
+			m.down[i] = false
+			m.next[i] = at + m.rng[i].Exp(m.failRate)
+		} else {
+			m.down[i] = true
+			m.next[i] = at + m.rng[i].Exp(m.repairRate)
+		}
+		m.last[i] = at
+	}
+}
+
+// upAfter returns the first time >= t at which entity id's own process is
+// up (t itself when the id is not failure-prone or already up).
+func (m *markovSet) upAfter(id int32, t, mStart, mEnd float64) float64 {
+	if m.idx == nil {
+		return t
+	}
+	i := m.idx[id]
+	if i < 0 {
+		return t
+	}
+	m.advance(int(i), t, mStart, mEnd)
+	if m.down[i] {
+		return m.next[i]
+	}
+	return t
+}
+
+// finish advances every entity to the horizon and closes still-open down
+// intervals, completing the downtime integral.
+func (m *markovSet) finish(end, mStart, mEnd float64) {
+	for i := range m.ids {
+		m.advance(i, end, mStart, mEnd)
+		if m.down[i] {
+			m.downtime += overlapWin(m.last[i], end, mStart, mEnd)
+		}
+	}
+}
+
+// outageWin is one scheduled outage: its window and a node-membership
+// table over the whole network.
+type outageWin struct {
+	start, end float64
+	member     []bool
+	count      int
+}
+
+// desFaults is the fault state of one event-driven run.
+type desFaults struct {
+	plan *fault.Plan
+	seed uint64
+
+	// mStart/mEnd bound the measurement window for downtime integration.
+	mStart, mEnd float64
+
+	links markovSet
+	nodes markovSet
+	outs  []outageWin
+
+	// edgeExtra[e] is the extra service time edge e's tail node imposes as
+	// a delay liar (nil when no delay liars). transit[e] counts service
+	// completions on e that reached a liar node, keying the per-packet
+	// adversary coins — the continuous-time stand-in for the slotted
+	// engine's (edge, slot) pair.
+	edgeExtra []float64
+	transit   []uint64
+
+	// Measured outcome counters (see Result).
+	dropped, deadEnds, detourHops, misrouted int64
+}
+
+// newDESFaults builds the run's fault state. Fault runs pay these setup
+// allocations; the fault-free path allocates nothing.
+func newDESFaults(p *fault.Plan, start, end float64) *desFaults {
+	f := &desFaults{plan: p, seed: p.Spec.Seed, mStart: start, mEnd: end}
+	f.links.seed(p.FaultEdges, p.LinkFaultIdx, fault.SaltLinkDwell, f.seed, p.Spec.LinkMTBF, p.Spec.LinkMTTR)
+	f.nodes.seed(p.FaultNodes, p.NodeFaultIdx, fault.SaltNodeDwell, f.seed, p.Spec.NodeMTBF, p.Spec.NodeMTTR)
+	for i, nodes := range p.OutageNodes {
+		o := p.Spec.Outages[i]
+		if o.Duration <= 0 {
+			continue
+		}
+		w := outageWin{start: o.Start, end: o.Start + o.Duration,
+			member: make([]bool, p.NumNodes), count: len(nodes)}
+		for _, v := range nodes {
+			w.member[v] = true
+		}
+		f.outs = append(f.outs, w)
+	}
+	if p.HasLiars() {
+		f.transit = make([]uint64, p.NumEdges)
+		for _, v := range p.Liars {
+			if p.LiarMode[v] == fault.LiarDelay {
+				f.edgeExtra = make([]float64, p.NumEdges)
+				for e := 0; e < p.NumEdges; e++ {
+					if from := p.From[e]; p.LiarMode[from] == fault.LiarDelay {
+						f.edgeExtra[e] = float64(p.LiarDelay[from])
+					}
+				}
+				break
+			}
+		}
+	}
+	return f
+}
+
+// nodeUpAfter returns the first time >= t at which node v is usable: its
+// own Markov process up and no covering outage window active. Each
+// iteration strictly advances t past an exponential dwell or a fixed
+// window, so the fixed point terminates.
+func (f *desFaults) nodeUpAfter(v int32, t float64) float64 {
+	for {
+		t2 := f.nodes.upAfter(v, t, f.mStart, f.mEnd)
+		for changed := true; changed; {
+			changed = false
+			for i := range f.outs {
+				o := &f.outs[i]
+				if o.member[v] && t2 >= o.start && t2 < o.end {
+					t2 = o.end
+					changed = true
+				}
+			}
+		}
+		if t2 == t {
+			return t
+		}
+		t = t2
+	}
+}
+
+// availAt returns the first time >= t at which edge is fully usable: its
+// link process and both endpoint nodes up simultaneously.
+func (f *desFaults) availAt(edge int, t float64) float64 {
+	p := f.plan
+	for {
+		t2 := f.links.upAfter(int32(edge), t, f.mStart, f.mEnd)
+		t2 = f.nodeUpAfter(p.From[edge], t2)
+		t2 = f.nodeUpAfter(p.To[edge], t2)
+		if t2 == t {
+			return t
+		}
+		t = t2
+	}
+}
+
+// usable reports whether edge can be routed onto at time t. A packet
+// routed onto a currently-usable edge that later goes down simply waits
+// (availAt defers the service start), matching the slotted engine's
+// queue-holding behavior.
+func (f *desFaults) usable(edge int32, t float64) bool {
+	return f.availAt(int(edge), t) == t
+}
+
+// nodeUp reports whether node v is usable at time t (the source-drop
+// check in generate).
+func (f *desFaults) nodeUp(v int32, t float64) bool {
+	return f.nodeUpAfter(v, t) == t
+}
+
+// finish closes the downtime integrals at the horizon. Outage downtime is
+// added analytically (window overlap x member count); a node that is
+// Markov-down inside an outage covering it is counted by both terms —
+// the fractions are diagnostics, and the overlap of two rare events is
+// negligible at the parameters of interest.
+func (f *desFaults) finish(end float64) {
+	f.links.finish(end, f.mStart, f.mEnd)
+	f.nodes.finish(end, f.mStart, f.mEnd)
+	for i := range f.outs {
+		o := &f.outs[i]
+		f.nodes.downtime += overlapWin(o.start, o.end, f.mStart, f.mEnd) * float64(o.count)
+	}
+}
+
+// overlapWin returns |[a,b) ∩ [lo,hi)|.
+func overlapWin(a, b, lo, hi float64) float64 {
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b > a {
+		return b - a
+	}
+	return 0
+}
+
+// departAtFault returns the completion time of the next service started on
+// edge at time t: service begins when the edge is next fully up and takes
+// the sampled service time plus the tail node's delay-liar surcharge.
+func (e *engine) departAtFault(edge int, t float64) float64 {
+	at := e.flt.availAt(edge, t) + e.serviceTime(edge)
+	if x := e.flt.edgeExtra; x != nil {
+		at += x[edge]
+	}
+	return at
+}
+
+// enqueueFault places packet h at a specific edge's FIFO station (misroute
+// and detour targets are not the greedy next hop, so the caller names the
+// edge) with a fault-aware departure time.
+func (e *engine) enqueueFault(t float64, h int32, edge int) {
+	if e.measuring {
+		e.edgeCount[edge]++
+	}
+	if e.fifo[edge].Arrive(h) {
+		e.tree.ScheduleIdle(edge, e.departAtFault(edge, t), evPack(evDeparture, edge))
+	}
+	if e.edgeOcc != nil {
+		e.noteOccupancy(t, edge)
+	}
+}
+
+// departFIFOFault is departFIFO's fault-mode twin: the same fused
+// complete-advance-enqueue frame, plus the adversary decision point and
+// the greedy-with-recovery policy at the node the packet just reached.
+// The policy is routing.Recover's, inlined over the plan's CSR adjacency
+// exactly as the slotted engine's fltAdvance inlines it, so the two
+// engines route identically around the same degraded state.
+func (e *engine) departFIFOFault(t float64, edge int) {
+	f := e.flt
+	finished, _, hasNext := e.fifo[edge].Complete()
+	if hasNext {
+		e.tree.Schedule(edge, e.departAtFault(edge, t), evPack(evDeparture, edge))
+	} else {
+		e.tree.Clear(edge)
+	}
+	if e.edgeOcc != nil {
+		e.noteOccupancy(t, edge)
+	}
+	p := e.arena.get(finished)
+	p.cur = e.edgeTo[edge]
+	if p.cur == p.dst {
+		e.bumpN(t, -1)
+		e.recordDelivery(t, p.genTime, p.measured)
+		e.arena.release(finished)
+		return
+	}
+	pl := f.plan
+	pos := p.cur
+	m := p.measured && e.measuring
+	if mode := pl.LiarMode[pos]; mode != fault.LiarNone {
+		// One coin per forwarding decision at a liar: the (edge, transit
+		// count) pair identifies the service event deterministically.
+		k := f.transit[edge]
+		f.transit[edge]++
+		switch mode {
+		case fault.LiarDrop:
+			if fault.Coin(f.seed, fault.SaltDrop, uint64(edge), k, pl.LiarProb[pos]) {
+				e.bumpN(t, -1)
+				if m {
+					f.dropped++
+				}
+				e.arena.release(finished)
+				return
+			}
+		case fault.LiarMisroute:
+			if fault.Coin(f.seed, fault.SaltMisroute, uint64(edge), k, pl.LiarProb[pos]) {
+				if e2 := pl.MisrouteEdge(f.seed, int32(edge), k); e2 >= 0 && f.usable(e2, t) {
+					if m {
+						f.misrouted++
+					}
+					e.enqueueFault(t, finished, int(e2))
+					return
+				}
+			}
+		}
+	}
+	st := e.steppers[p.choice]
+	next, _ := st.NextEdge(int(pos), int(p.dst))
+	if f.usable(int32(next), t) {
+		e.enqueueFault(t, finished, next)
+		return
+	}
+	// Greedy next hop is down: detour via any live out-edge that strictly
+	// reduces the remaining hop count (ascending edge ids, so the choice
+	// is a pure function of position, destination and the up/down state).
+	rem := st.RemainingHops(int(pos), int(p.dst))
+	lo, hi := pl.OutStart[pos], pl.OutStart[pos+1]
+	for _, e2 := range pl.OutEdges[lo:hi] {
+		if int(e2) == next || !f.usable(e2, t) {
+			continue
+		}
+		if st.RemainingHops(int(pl.To[e2]), int(p.dst)) < rem {
+			if m {
+				f.detourHops++
+			}
+			e.enqueueFault(t, finished, int(e2))
+			return
+		}
+	}
+	// Dead end: no live improving neighbor.
+	e.bumpN(t, -1)
+	if m {
+		f.dropped++
+		f.deadEnds++
+	}
+	e.arena.release(finished)
+}

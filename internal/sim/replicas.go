@@ -27,6 +27,15 @@ type ReplicaSet struct {
 	RPerN, RsPerN float64
 	// Delay merges all per-packet statistics across replicas.
 	Delay stats.Welford
+	// Fault-layer aggregates: the integer outcome counters sum across
+	// replicas, the downtime fractions average. All zero on fault-free
+	// sweeps. See Result for the counters' exact meanings.
+	Dropped      int64
+	DeadEnds     int64
+	DetourHops   int64
+	Misrouted    int64
+	LinkDownFrac float64
+	NodeDownFrac float64
 	// ReplicasUsed is how many replicas produced this cell. Fixed sweeps
 	// always use the requested count; adaptive sweeps (RunSweepAdaptive)
 	// stop early once the target half-width is met, so the CSV layer
@@ -56,12 +65,20 @@ func aggregate(results []Result) ReplicaSet {
 		rs.MeanR += r.MeanR
 		rs.MeanRs += r.MeanRs
 		rs.Delay.Merge(r.Delay)
+		rs.Dropped += r.Dropped
+		rs.DeadEnds += r.DeadEnds
+		rs.DetourHops += r.DetourHops
+		rs.Misrouted += r.Misrouted
+		rs.LinkDownFrac += r.LinkDownFrac
+		rs.NodeDownFrac += r.NodeDownFrac
 	}
 	k := float64(len(results))
 	rs.MeanDelay = perReplica.Mean()
 	rs.MeanN /= k
 	rs.MeanR /= k
 	rs.MeanRs /= k
+	rs.LinkDownFrac /= k
+	rs.NodeDownFrac /= k
 	if rs.MeanN > 0 {
 		rs.RPerN = rs.MeanR / rs.MeanN
 		rs.RsPerN = rs.MeanRs / rs.MeanN

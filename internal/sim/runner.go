@@ -67,6 +67,9 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 		}
 	}
 	e := r.prepare(cfg, arrivals)
+	if cfg.Faults != nil && !e.fastFIFO {
+		return Result{}, fmt.Errorf("sim: fault layer requires a router implementing routing.Stepper")
+	}
 	if cfg.Resume != nil {
 		// A restore replaces source scheduling entirely: the captured
 		// clock scalars, tree events and packets carry the whole pending
@@ -272,6 +275,12 @@ func (r *Runner) prepare(cfg Config, arrivals ArrivalProcess) *engine {
 	if cfg.DelayHistWidth > 0 {
 		// The histogram escapes into the Result, so it is never reused.
 		e.delayHist = stats.NewHistogram(cfg.DelayHistWidth, 4096)
+	}
+	if cfg.Faults != nil {
+		// Fault state is per-run (dwell streams restart at the fault
+		// seed), so it is built fresh rather than cached on the Runner;
+		// degraded runs pay the setup allocations, fault-free runs none.
+		e.flt = newDESFaults(cfg.Faults, e.start, e.end)
 	}
 	return e
 }

@@ -52,6 +52,7 @@ import (
 	"math"
 
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -182,6 +183,17 @@ type Config struct {
 	// a canceled sweep stops its in-flight simulations instead of waiting
 	// them out.
 	Ctx context.Context
+	// Faults, when non-nil, degrades the run with the plan's link/node
+	// failure processes, scheduled outages and misbehaving routers
+	// (internal/fault), and switches routing to greedy-with-recovery:
+	// packets detour around down greedy next hops and are dropped —
+	// counted in Result, never silently lost — at dead ends. Only the
+	// FIFO + stepper-routing fast path supports faults (no PS or
+	// FurthestFirst, no MaterializeRoutes, no Resume/Capture, no
+	// Saturated), and MeanR/MeanRs are not tracked on fault runs (see
+	// fault.go). The fault-free path is bit-identical with or without
+	// this field compiled in; a nil Faults changes nothing.
+	Faults *fault.Plan
 }
 
 // maxEventID is the largest edge or source index the packed 24-bit event
@@ -211,6 +223,17 @@ func (c *Config) validate() error {
 		return fmt.Errorf("sim: NodeRate must be zero when Arrivals is set (the process's Rate() defines the load)")
 	case c.Net.NumEdges() > maxEventID+1 || c.Net.NumNodes() > maxEventID+1:
 		return fmt.Errorf("sim: %s exceeds the %d edge/node event-encoding limit", c.Net.Name(), maxEventID+1)
+	case c.Faults != nil && c.Discipline != FIFO:
+		return fmt.Errorf("sim: fault layer supports only the FIFO discipline")
+	case c.Faults != nil && c.MaterializeRoutes:
+		return fmt.Errorf("sim: fault layer requires stepper routing; MaterializeRoutes cannot combine with Faults")
+	case c.Faults != nil && (c.Resume != nil || c.Capture):
+		return fmt.Errorf("sim: fault processes are not snapshottable; Faults cannot combine with Resume or Capture")
+	case c.Faults != nil && c.Saturated != nil:
+		return fmt.Errorf("sim: R_s tracking is undefined on degraded networks; Faults cannot combine with Saturated")
+	case c.Faults != nil && (c.Faults.NumNodes != c.Net.NumNodes() || c.Faults.NumEdges != c.Net.NumEdges()):
+		return fmt.Errorf("sim: fault plan bound to a %d-node/%d-edge network; config's %s has %d/%d",
+			c.Faults.NumNodes, c.Faults.NumEdges, c.Net.Name(), c.Net.NumNodes(), c.Net.NumEdges())
 	}
 	return nil
 }
@@ -256,6 +279,20 @@ type Result struct {
 	// DelayHist is the per-packet delay histogram; nil unless
 	// Config.DelayHistWidth > 0.
 	DelayHist *stats.Histogram
+	// Fault-layer outcome counters, all zero on fault-free runs (see
+	// Config.Faults). Dropped counts measured packets that left the
+	// system undelivered: generated at a down source, dropped by a drop
+	// liar, or dead-ended with no live improving neighbor. DeadEnds
+	// counts the last kind separately (DeadEnds ⊆ Dropped). DetourHops
+	// counts recovery detours taken off the greedy route; Misrouted
+	// counts adversarial misroutes. Generated − Delivered − Dropped
+	// equals the measured packets still in flight at the horizon.
+	Dropped, DeadEnds, DetourHops, Misrouted int64
+	// LinkDownFrac and NodeDownFrac are the measured fraction of
+	// entity-time down, with ALL links/nodes of the network in the
+	// denominator (so 1% of links each down 2% of the time reads
+	// ≈ 0.0002). Zero on fault-free runs.
+	LinkDownFrac, NodeDownFrac float64
 	// Snapshot is the end-of-run engine checkpoint, present only when the
 	// run was configured with Capture. It feeds Config.Resume.
 	Snapshot *Snapshot
@@ -308,6 +345,10 @@ type engine struct {
 	choose   func(*xrand.RNG) int
 	edgeTo   []int32
 	fastFIFO bool // FIFO discipline + stepper routing: use departFIFO
+
+	// flt is the fault layer's per-run state (nil on fault-free runs;
+	// every fault hook in the engine is behind this check).
+	flt *desFaults
 
 	// loop invariants hoisted at setup
 	totalRate float64   // NodeRate · #sources
@@ -483,7 +524,11 @@ func (e *engine) loop() bool {
 			e.tree.Schedule(e.srcSlot(id), t+e.rng.Exp(e.cfg.NodeRate), payload)
 		case evDeparture:
 			if e.fastFIFO {
-				e.departFIFO(t, id)
+				if e.flt != nil {
+					e.departFIFOFault(t, id)
+				} else {
+					e.departFIFO(t, id)
+				}
 			} else {
 				e.fifoDepart(t, id)
 			}
@@ -524,6 +569,16 @@ func (e *engine) generate(t float64, src int) {
 			choice = e.choose(e.rng)
 		}
 		st := e.steppers[choice]
+		if e.flt != nil && !e.flt.nodeUp(int32(src), t) {
+			// Down source: the packet is offered but immediately lost —
+			// checked after the destination and coin draws so the variate
+			// stream does not depend on the fault state (mirroring the
+			// slotted engine's source-drop hook).
+			if e.measuring {
+				e.flt.dropped++
+			}
+			return
+		}
 		rem := st.RemainingHops(src, dst)
 		if rem == 0 {
 			// Source equals destination: delivered instantly with zero
@@ -538,14 +593,19 @@ func (e *engine) generate(t float64, src int) {
 		p.choice = uint8(choice)
 		p.measured = e.measuring
 		e.bumpN(t, 1)
-		e.rNow += float64(rem)
-		if e.cfg.Saturated != nil {
-			e.rsNow += float64(e.countSaturatedWalk(st, src, dst))
-		}
-		if e.measuring {
-			e.rInt.Set(t, e.rNow)
+		if e.flt == nil {
+			// Remaining-service tracking is off on fault runs: detours
+			// and misroutes would invalidate the decrement-per-service
+			// invariant (see fault.go).
+			e.rNow += float64(rem)
 			if e.cfg.Saturated != nil {
-				e.rsInt.Set(t, e.rsNow)
+				e.rsNow += float64(e.countSaturatedWalk(st, src, dst))
+			}
+			if e.measuring {
+				e.rInt.Set(t, e.rNow)
+				if e.cfg.Saturated != nil {
+					e.rsInt.Set(t, e.rsNow)
+				}
 			}
 		}
 		e.enqueue(t, h, p)
@@ -648,7 +708,14 @@ func (e *engine) enqueue(t float64, h int32, p *packet) {
 		}
 	default:
 		if e.fifo[edge].Arrive(h) {
-			e.tree.ScheduleIdle(edge, t+e.serviceTime(edge), evPack(evDeparture, edge))
+			if e.flt != nil {
+				// The greedy first hop is taken even when currently down
+				// (the queue holds, like the slotted engine's); only the
+				// service start defers to the edge's next up time.
+				e.tree.ScheduleIdle(edge, e.departAtFault(edge, t), evPack(evDeparture, edge))
+			} else {
+				e.tree.ScheduleIdle(edge, t+e.serviceTime(edge), evPack(evDeparture, edge))
+			}
 		}
 	}
 	if e.edgeOcc != nil {
@@ -841,5 +908,17 @@ func (e *engine) result() Result {
 		}
 	}
 	r.DelayHist = e.delayHist
+	if e.flt != nil {
+		f := e.flt
+		f.finish(e.end)
+		r.Dropped = f.dropped
+		r.DeadEnds = f.deadEnds
+		r.DetourHops = f.detourHops
+		r.Misrouted = f.misrouted
+		if r.Time > 0 {
+			r.LinkDownFrac = f.links.downtime / (float64(f.plan.NumEdges) * r.Time)
+			r.NodeDownFrac = f.nodes.downtime / (float64(f.plan.NumNodes) * r.Time)
+		}
+	}
 	return r
 }

@@ -1,0 +1,375 @@
+package stepsim
+
+// Fault-layer execution for the sharded slotted engine.
+//
+// A run with Config.Faults set simulates the same slotted model on a
+// degraded network: links and nodes flip between up and down under
+// per-entity two-state Markov processes (discrete dwells, 1 + Geometric),
+// scheduled rectangle outages take whole node regions down for a window of
+// slots, and misbehaving routers delay, misroute or drop the packets they
+// forward. The fault-free path is untouched: every hook below is behind a
+// `flt != nil` check, no variate stream changes, and the goldens pin that.
+//
+// Each slot gains a phase 0 before arrivals: every tile advances the
+// Markov processes and outage windows of the entities it owns (the tile
+// owning an edge's tail node owns the edge). Phase 0 writes the shared
+// linkDown/nodeDown arrays, so multi-tile runs with Markov or outage
+// processes take a second barrier between phase 0 and arrivals; liar-only
+// plans mutate no shared state slot-to-slot and keep the single barrier.
+//
+// Shard invariance holds by the same three rules as the fault-free engine:
+// per-entity keyed dwell streams (ReseedSplit(faultSeed^salt, entityID)),
+// owner-only writes published by the barrier, and exact-integer
+// accumulators. Per-packet adversary coins hash (seed, edge, slot) — an
+// edge serves at most one packet per slot, so the pair identifies the
+// service event regardless of tiling.
+//
+// Fault mode disables the packed-coordinate fast path (routeTables.init):
+// position keys are then node ids, which the liar tables, the CSR recovery
+// scan and MisrouteEdge all index directly. Fault-enabled runs have no
+// goldens to preserve, so the switch costs nothing observable.
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// outageEvt is one scheduled outage restricted to a tile's owned nodes:
+// the nodes go down at slot start and come back at slot end.
+type outageEvt struct {
+	start, end int64
+	nodes      []int32
+}
+
+// stepFaults is the engine-wide fault state of one run. linkDown and
+// nodeDown are shared across tiles but written only by an entity's owning
+// tile during phase 0; the per-slot barrier publishes the writes.
+type stepFaults struct {
+	plan *fault.Plan
+	seed uint64
+
+	// Per-slot transition probabilities (1/MTBF, 1/MTTR) feeding the
+	// geometric dwells.
+	pLinkFail, pLinkRepair float64
+	pNodeFail, pNodeRepair float64
+
+	// linkDown[e]: edge e's own Markov process is down. nodeDown[v]: bit 0
+	// is the node Markov state, the remaining bits count overlapping
+	// outages (in steps of 2); the node is usable iff the byte is zero.
+	linkDown []bool
+	nodeDown []uint8
+
+	// hold[e] is the release slot of a delay-liar hold on edge e's head
+	// packet (0 = none); edgeExtra[e] is the extra delay e's tail node
+	// imposes when it is a delay liar. Both nil when no delay liars: the
+	// hold state is written only by e's owning tile during its own service
+	// scan, so it needs no barrier.
+	hold      []int64
+	edgeExtra []int32
+
+	// needBarrier: phase 0 mutates shared state (Markov or outages), so
+	// multi-tile runs need the extra barrier between phase 0 and arrivals.
+	needBarrier bool
+}
+
+// resetFaults clears the tiles' fault accumulators and, when cfg.Faults is
+// set, builds the run's fault state and distributes entities to their
+// owning tiles. Runs after the tile plan and ownership tables exist.
+func (s *ShardedEngine) resetFaults(cfg Config) error {
+	numNodes := cfg.Net.NumNodes()
+	for i := range s.tiles {
+		t := &s.tiles[i]
+		t.fltLinks = t.fltLinks[:0]
+		t.fltNodes = t.fltNodes[:0]
+		t.fltOutages = t.fltOutages[:0]
+		t.downLinks, t.downNodes = 0, 0
+		t.linkDownSlots, t.nodeDownSlots = 0, 0
+		t.dropped, t.deadEnds, t.detourHops, t.misrouted = 0, 0, 0, 0
+		if cfg.PerDestStats {
+			t.destCount = grow(t.destCount, numNodes)
+			t.destDelay = grow(t.destDelay, numNodes)
+			clear(t.destCount)
+			clear(t.destDelay)
+		} else {
+			// The delivery hook keys on destCount != nil, so stale arrays
+			// from a previous per-dest run must not linger.
+			t.destCount, t.destDelay = nil, nil
+		}
+	}
+	if cfg.Faults == nil {
+		s.flt = nil
+		return nil
+	}
+	if cfg.Resume != nil || cfg.Capture {
+		return fmt.Errorf("stepsim: fault processes are not snapshottable; Faults cannot combine with Resume or Capture")
+	}
+	p := cfg.Faults
+	if p.NumNodes != numNodes || p.NumEdges != cfg.Net.NumEdges() {
+		return fmt.Errorf("stepsim: fault plan bound to a %d-node/%d-edge network; config's %s has %d/%d",
+			p.NumNodes, p.NumEdges, cfg.Net.Name(), numNodes, cfg.Net.NumEdges())
+	}
+	if s.flt == nil {
+		s.flt = &stepFaults{}
+	}
+	f := s.flt
+	f.plan = p
+	f.seed = p.Spec.Seed
+	f.pLinkFail, f.pLinkRepair = 0, 0
+	if p.Spec.LinkMTBF > 0 {
+		f.pLinkFail, f.pLinkRepair = 1/p.Spec.LinkMTBF, 1/p.Spec.LinkMTTR
+	}
+	f.pNodeFail, f.pNodeRepair = 0, 0
+	if p.Spec.NodeMTBF > 0 {
+		f.pNodeFail, f.pNodeRepair = 1/p.Spec.NodeMTBF, 1/p.Spec.NodeMTTR
+	}
+	f.linkDown = grow(f.linkDown, p.NumEdges)
+	clear(f.linkDown)
+	f.nodeDown = grow(f.nodeDown, p.NumNodes)
+	clear(f.nodeDown)
+
+	hasDelay := false
+	for _, v := range p.Liars {
+		if p.LiarMode[v] == fault.LiarDelay {
+			hasDelay = true
+			break
+		}
+	}
+	if hasDelay {
+		f.edgeExtra = grow(f.edgeExtra, p.NumEdges)
+		f.hold = grow(f.hold, p.NumEdges)
+		clear(f.edgeExtra)
+		clear(f.hold)
+		for e := 0; e < p.NumEdges; e++ {
+			if from := p.From[e]; p.LiarMode[from] == fault.LiarDelay {
+				f.edgeExtra[e] = p.LiarDelay[from]
+			}
+		}
+	} else {
+		f.edgeExtra, f.hold = nil, nil
+	}
+	f.needBarrier = p.HasMarkov() || len(p.OutageNodes) > 0
+
+	// Distribute Markov entities and outage node sets to their owning
+	// tiles. An edge belongs to the tile owning its tail node — the tile
+	// whose service scan serves it.
+	owner := func(v int32) int32 {
+		if s.shards == 1 {
+			return 0
+		}
+		return s.nodeOwner[v]
+	}
+	for _, e := range p.FaultEdges {
+		t := &s.tiles[owner(p.From[e])]
+		t.fltLinks = append(t.fltLinks, e)
+	}
+	for _, v := range p.FaultNodes {
+		t := &s.tiles[owner(v)]
+		t.fltNodes = append(t.fltNodes, v)
+	}
+	for i, nodes := range p.OutageNodes {
+		o := p.Spec.Outages[i]
+		start := int64(o.Start)
+		end := int64(o.Start + o.Duration)
+		if end <= start {
+			// Sub-slot outage: invisible in slotted time.
+			continue
+		}
+		for ti := range s.tiles {
+			var owned []int32
+			for _, v := range nodes {
+				if owner(v) == int32(ti) {
+					owned = append(owned, v)
+				}
+			}
+			if len(owned) > 0 {
+				s.tiles[ti].fltOutages = append(s.tiles[ti].fltOutages,
+					outageEvt{start: start, end: end, nodes: owned})
+			}
+		}
+	}
+	for i := range s.tiles {
+		t := &s.tiles[i]
+		t.fltLinkRng = grow(t.fltLinkRng, len(t.fltLinks))
+		t.fltLinkNext = grow(t.fltLinkNext, len(t.fltLinks))
+		t.fltNodeRng = grow(t.fltNodeRng, len(t.fltNodes))
+		t.fltNodeNext = grow(t.fltNodeNext, len(t.fltNodes))
+	}
+	return nil
+}
+
+// seedFaults seeds one tile's per-entity dwell streams and draws each
+// entity's first failure slot. Runs in the worker alongside the per-node
+// arrival stream seeding: each tile touches only its own entities, and the
+// streams are keyed by entity id, so the tiling cannot change any dwell
+// sequence.
+func (s *ShardedEngine) seedFaults(t *tile) {
+	f := s.flt
+	for i, e := range t.fltLinks {
+		rng := &t.fltLinkRng[i]
+		rng.ReseedSplit(f.seed^fault.SaltLinkDwell, uint64(e))
+		t.fltLinkNext[i] = 1 + int64(rng.Geometric(f.pLinkFail))
+	}
+	for i, v := range t.fltNodes {
+		rng := &t.fltNodeRng[i]
+		rng.ReseedSplit(f.seed^fault.SaltNodeDwell, uint64(v))
+		t.fltNodeNext[i] = 1 + int64(rng.Geometric(f.pNodeFail))
+	}
+}
+
+// faultPhase is phase 0 for one tile: advance the owned Markov processes
+// past this slot, apply outage starts/ends scheduled for it, and (while
+// measuring) integrate the tile's down-entity counts into the downtime
+// accumulators. All writes are to entities this tile owns.
+func (s *ShardedEngine) faultPhase(t *tile, slot int, measuring bool) {
+	f := s.flt
+	sl := int64(slot)
+	for i, e := range t.fltLinks {
+		for t.fltLinkNext[i] <= sl {
+			rng := &t.fltLinkRng[i]
+			if f.linkDown[e] {
+				f.linkDown[e] = false
+				t.downLinks--
+				t.fltLinkNext[i] += 1 + int64(rng.Geometric(f.pLinkFail))
+			} else {
+				f.linkDown[e] = true
+				t.downLinks++
+				t.fltLinkNext[i] += 1 + int64(rng.Geometric(f.pLinkRepair))
+			}
+		}
+	}
+	for i, v := range t.fltNodes {
+		for t.fltNodeNext[i] <= sl {
+			rng := &t.fltNodeRng[i]
+			if f.nodeDown[v]&1 != 0 {
+				f.nodeDown[v] &^= 1
+				if f.nodeDown[v] == 0 {
+					t.downNodes--
+				}
+				t.fltNodeNext[i] += 1 + int64(rng.Geometric(f.pNodeFail))
+			} else {
+				if f.nodeDown[v] == 0 {
+					t.downNodes++
+				}
+				f.nodeDown[v] |= 1
+				t.fltNodeNext[i] += 1 + int64(rng.Geometric(f.pNodeRepair))
+			}
+		}
+	}
+	for i := range t.fltOutages {
+		o := &t.fltOutages[i]
+		if sl == o.start {
+			for _, v := range o.nodes {
+				if f.nodeDown[v] == 0 {
+					t.downNodes++
+				}
+				f.nodeDown[v] += 2
+			}
+		}
+		if sl == o.end {
+			for _, v := range o.nodes {
+				f.nodeDown[v] -= 2
+				if f.nodeDown[v] == 0 {
+					t.downNodes--
+				}
+			}
+		}
+	}
+	if measuring {
+		t.linkDownSlots += t.downLinks
+		t.nodeDownSlots += t.downNodes
+	}
+}
+
+// canUse reports whether an edge can carry a packet this slot: the link's
+// own process and both endpoints are up.
+func (s *ShardedEngine) canUse(e int32) bool {
+	f := s.flt
+	return !f.linkDown[e] && f.nodeDown[f.plan.From[e]] == 0 && f.nodeDown[f.plan.To[e]] == 0
+}
+
+// canServe decides whether edge serves its head packet this slot. A
+// blocked edge (link or endpoint down) holds its whole queue. A delay
+// liar's out-edge holds each head packet for exactly edgeExtra extra
+// slots: the first service opportunity posts the hold, the head is served
+// when the hold expires (and any down time extends it further, as a real
+// slow router's would).
+func (s *ShardedEngine) canServe(edge int32, slot int) bool {
+	f := s.flt
+	if f.linkDown[edge] || f.nodeDown[f.plan.From[edge]] != 0 || f.nodeDown[f.plan.To[edge]] != 0 {
+		return false
+	}
+	if f.hold != nil {
+		if h := f.hold[edge]; h != 0 {
+			if int64(slot) < h {
+				return false
+			}
+			f.hold[edge] = 0
+		} else if d := f.edgeExtra[edge]; d > 0 {
+			f.hold[edge] = int64(slot) + int64(d)
+			return false
+		}
+	}
+	return true
+}
+
+// fltAdvance is the advance-point hook: the packet just served on edge now
+// stands at pos (a node id — fault mode disables the packed-key fast path)
+// with pos != key. The node it reached may misbehave (drop or misroute the
+// packet it is about to forward), and the greedy next hop may be down, in
+// which case the recovery scan looks for a live strictly-improving
+// out-edge (routing.Recover's policy, inlined over the plan's CSR
+// adjacency); with none, the packet dead-ends and is dropped. Returns the
+// chosen next edge, or dropped = true when the packet left the system.
+func (s *ShardedEngine) fltAdvance(t *tile, edge int32, slot int, pos, key int32, choice uint32, ent uint64, measuring bool) (int32, bool) {
+	f := s.flt
+	p := f.plan
+	m := ent&entMeasured != 0 && measuring
+	switch p.LiarMode[pos] {
+	case fault.LiarDrop:
+		if fault.Coin(f.seed, fault.SaltDrop, uint64(edge), uint64(slot), p.LiarProb[pos]) {
+			t.live--
+			if m {
+				t.dropped++
+			}
+			return -1, true
+		}
+	case fault.LiarMisroute:
+		if fault.Coin(f.seed, fault.SaltMisroute, uint64(edge), uint64(slot), p.LiarProb[pos]) {
+			if e2 := p.MisrouteEdge(f.seed, edge, uint64(slot)); e2 >= 0 && s.canUse(e2) {
+				if m {
+					t.misrouted++
+				}
+				return e2, false
+			}
+		}
+	}
+	next := s.tab.nextEdge(pos, key, choice)
+	if s.canUse(next) {
+		return next, false
+	}
+	// Greedy next hop is down: detour via any live out-edge that strictly
+	// reduces the remaining hop count (ascending edge ids, so the choice is
+	// a pure function of position, destination and the up/down state).
+	st := s.tab.steppers[choice]
+	rem := st.RemainingHops(int(pos), int(key))
+	lo, hi := p.OutStart[pos], p.OutStart[pos+1]
+	for _, e2 := range p.OutEdges[lo:hi] {
+		if e2 == next || !s.canUse(e2) {
+			continue
+		}
+		if st.RemainingHops(int(p.To[e2]), int(key)) < rem {
+			if m {
+				t.detourHops++
+			}
+			return e2, false
+		}
+	}
+	// Dead end: no live improving neighbor.
+	t.live--
+	if m {
+		t.dropped++
+		t.deadEnds++
+	}
+	return -1, true
+}

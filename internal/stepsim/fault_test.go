@@ -1,0 +1,229 @@
+package stepsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// requireSameFaultBits extends requireSameBits to the fault-layer
+// observables: the exact-integer outcome counters and the downtime
+// fractions must also be shard-invariant.
+func requireSameFaultBits(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	requireSameBits(t, label, got, want)
+	if got.Dropped != want.Dropped {
+		t.Errorf("%s: Dropped %d != %d", label, got.Dropped, want.Dropped)
+	}
+	if got.DeadEnds != want.DeadEnds {
+		t.Errorf("%s: DeadEnds %d != %d", label, got.DeadEnds, want.DeadEnds)
+	}
+	if got.DetourHops != want.DetourHops {
+		t.Errorf("%s: DetourHops %d != %d", label, got.DetourHops, want.DetourHops)
+	}
+	if got.Misrouted != want.Misrouted {
+		t.Errorf("%s: Misrouted %d != %d", label, got.Misrouted, want.Misrouted)
+	}
+	if math.Float64bits(got.LinkDownFrac) != math.Float64bits(want.LinkDownFrac) {
+		t.Errorf("%s: LinkDownFrac %v != %v", label, got.LinkDownFrac, want.LinkDownFrac)
+	}
+	if math.Float64bits(got.NodeDownFrac) != math.Float64bits(want.NodeDownFrac) {
+		t.Errorf("%s: NodeDownFrac %v != %v", label, got.NodeDownFrac, want.NodeDownFrac)
+	}
+}
+
+// fullFaultPlan binds a plan exercising every fault family at once: link
+// and node Markov processes, a regional outage mid-run, and all three
+// misbehavior modes on explicit nodes.
+func fullFaultPlan(t *testing.T, net topology.Network) *fault.Plan {
+	t.Helper()
+	spec := &fault.Spec{
+		LinkMTBF:     300,
+		LinkMTTR:     20,
+		LinkFraction: 0.2,
+		NodeMTBF:     2000,
+		NodeMTTR:     30,
+		NodeFraction: 0.05,
+		Outages: []fault.Outage{
+			{Row0: 3, Col0: 3, Row1: 5, Col1: 5, Start: 500, Duration: 300},
+		},
+		Misbehave: []fault.Misbehave{
+			{Mode: fault.ModeDelay, Nodes: []int{7}, ExtraDelay: 3},
+			{Mode: fault.ModeMisroute, Nodes: []int{40}, Prob: 0.3},
+			{Mode: fault.ModeDrop, Nodes: []int{100}, Prob: 0.2},
+		},
+		Seed: 11,
+	}
+	plan, err := spec.Bind(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestShardInvarianceFaults extends the determinism contract to degraded
+// runs: with every fault family live at once, results must stay
+// Float64bits-identical between the serial Engine and the sharded engine
+// at shards ∈ {1, 2, 3, 8}, in both the sparse and dense bodies.
+func TestShardInvarianceFaults(t *testing.T) {
+	a := topology.NewArray2D(13)
+	plan := fullFaultPlan(t, a)
+	base := Config{
+		Net: a, Router: routing.GreedyXY{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    0.1,
+		WarmupSlots: 400, Slots: 3000, Seed: 101,
+		Faults: plan,
+	}
+	for _, mode := range []struct {
+		name  string
+		dense bool
+	}{{"sparse", false}, {"dense", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := base
+			cfg.Dense = mode.dense
+			if testing.Short() {
+				cfg.WarmupSlots /= 10
+				cfg.Slots /= 10
+			}
+			var eng Engine
+			ref, err := eng.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The plan must have actually produced degraded behavior, or
+			// the invariance assertion is vacuous.
+			if ref.Dropped == 0 || ref.DetourHops == 0 {
+				t.Fatalf("fault plan inert: Dropped=%d DetourHops=%d", ref.Dropped, ref.DetourHops)
+			}
+			if ref.LinkDownFrac <= 0 || ref.NodeDownFrac <= 0 {
+				t.Fatalf("no downtime recorded: link=%v node=%v", ref.LinkDownFrac, ref.NodeDownFrac)
+			}
+			var sh ShardedEngine
+			for _, shards := range []int{1, 2, 3, 8} {
+				scfg := cfg
+				scfg.Shards = shards
+				got, err := sh.Run(scfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameFaultBits(t, mode.name, got, ref)
+			}
+		})
+	}
+}
+
+// TestFaultHooksNeutral pins the stronger form of non-perturbation: a
+// bound plan whose only content is an outage scheduled past the horizon
+// runs the fault hooks on every slot yet must stay bit-identical to the
+// nil-Faults run.
+func TestFaultHooksNeutral(t *testing.T) {
+	a := topology.NewArray2D(8)
+	spec := &fault.Spec{
+		Outages: []fault.Outage{{Row0: 0, Col0: 0, Row1: 1, Col1: 1, Start: 1e9, Duration: 10}},
+	}
+	plan, err := spec.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Net: a, Router: routing.GreedyXY{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    0.2,
+		WarmupSlots: 200, Slots: 2000, Seed: 42,
+	}
+	for _, mode := range []struct {
+		name  string
+		dense bool
+	}{{"sparse", false}, {"dense", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			c := cfg
+			c.Dense = mode.dense
+			ref, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Faults = plan
+			got, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameFaultBits(t, mode.name, got, ref)
+			if got.Dropped != 0 || got.DetourHops != 0 || got.Misrouted != 0 {
+				t.Errorf("inert plan produced fault outcomes: %+v", got)
+			}
+		})
+	}
+}
+
+// TestFaultCounters checks the exact-integer accounting identities on a
+// degraded run: drops partition into their causes, dead ends are a subset
+// of drops, and offered − delivered − dropped is the in-flight remainder
+// (non-negative).
+func TestFaultCounters(t *testing.T) {
+	a := topology.NewArray2D(13)
+	plan := fullFaultPlan(t, a)
+	res, err := Run(Config{
+		Net: a, Router: routing.GreedyXY{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    0.1,
+		WarmupSlots: 400, Slots: 3000, Seed: 101,
+		Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadEnds > res.Dropped {
+		t.Errorf("DeadEnds %d > Dropped %d", res.DeadEnds, res.Dropped)
+	}
+	inFlight := res.Generated - res.Delivered - res.Dropped
+	if inFlight < 0 {
+		t.Errorf("Delivered + Dropped exceed Generated: %d + %d > %d",
+			res.Delivered, res.Dropped, res.Generated)
+	}
+	if res.LinkDownFrac < 0 || res.LinkDownFrac > 1 || res.NodeDownFrac < 0 || res.NodeDownFrac > 1 {
+		t.Errorf("downtime fractions out of range: link=%v node=%v", res.LinkDownFrac, res.NodeDownFrac)
+	}
+	// Markov sanity: with the 20% failure-prone links at MTBF 300 / MTTR 20
+	// the all-links downtime fraction is about 0.2 · 20/320 ≈ 0.0125; allow
+	// a generous band around it.
+	if res.LinkDownFrac < 0.002 || res.LinkDownFrac > 0.05 {
+		t.Errorf("LinkDownFrac %v far from the Markov stationary estimate 0.0125", res.LinkDownFrac)
+	}
+}
+
+// TestFaultDropLiarCertain pins the adversary path: a drop liar with
+// probability 1 on a forced-transit node removes every measured packet it
+// forwards.
+func TestFaultDropLiarCertain(t *testing.T) {
+	a := topology.NewArray2D(8)
+	// Node 9 = (1,1): greedy-xy paths from row 1 pass through it often.
+	spec := &fault.Spec{
+		Misbehave: []fault.Misbehave{{Mode: fault.ModeDrop, Nodes: []int{9}, Prob: 1}},
+		Seed:      5,
+	}
+	plan, err := spec.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Net: a, Router: routing.GreedyXY{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    0.2,
+		WarmupSlots: 200, Slots: 2000, Seed: 42,
+		Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("certain drop liar dropped nothing")
+	}
+	if res.DeadEnds != 0 || res.DetourHops != 0 {
+		t.Errorf("liar-only plan produced recovery outcomes: deadEnds=%d detours=%d",
+			res.DeadEnds, res.DetourHops)
+	}
+}

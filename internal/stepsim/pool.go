@@ -50,6 +50,15 @@ type ReplicaSet struct {
 	// with these, not with the topology.
 	MeanActiveEdges     float64
 	ArrivalSlotFraction float64
+	// Fault-layer aggregates: the integer outcome counters sum across
+	// replicas, the downtime fractions average. All zero on fault-free
+	// sweeps.
+	Dropped      int64
+	DeadEnds     int64
+	DetourHops   int64
+	Misrouted    int64
+	LinkDownFrac float64
+	NodeDownFrac float64
 	// ReplicasUsed is how many replicas produced this cell; adaptive
 	// sweeps (RunSweepAdaptive) stop early once the target half-width is
 	// met, so this varies per point there.
@@ -130,11 +139,19 @@ func aggregate(results []Result) ReplicaSet {
 		rs.Delay.Merge(r.Delay)
 		rs.MeanActiveEdges += r.MeanActiveEdges
 		rs.ArrivalSlotFraction += r.ArrivalSlotFraction
+		rs.Dropped += r.Dropped
+		rs.DeadEnds += r.DeadEnds
+		rs.DetourHops += r.DetourHops
+		rs.Misrouted += r.Misrouted
+		rs.LinkDownFrac += r.LinkDownFrac
+		rs.NodeDownFrac += r.NodeDownFrac
 	}
 	rs.MeanDelay = perReplica.Mean()
 	rs.MeanN /= float64(len(results))
 	rs.MeanActiveEdges /= float64(len(results))
 	rs.ArrivalSlotFraction /= float64(len(results))
+	rs.LinkDownFrac /= float64(len(results))
+	rs.NodeDownFrac /= float64(len(results))
 	if perReplica.Count() >= 2 {
 		rs.DelayCI = 1.96 * perReplica.StdDev() / math.Sqrt(float64(perReplica.Count()))
 	}

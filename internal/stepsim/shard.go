@@ -120,6 +120,33 @@ type tile struct {
 	minD        int32
 	maxD        int32
 
+	// Fault-layer state (fault.go): the tile's owned Markov entities with
+	// their keyed dwell streams and next-transition slots, its share of
+	// each scheduled outage, running down-entity counts with their
+	// measured-slot integrals, and the fault outcome counters. Empty/zero
+	// on fault-free runs.
+	fltLinks    []int32
+	fltLinkRng  []xrand.RNG
+	fltLinkNext []int64
+	fltNodes    []int32
+	fltNodeRng  []xrand.RNG
+	fltNodeNext []int64
+	fltOutages  []outageEvt
+	downLinks   int64
+	downNodes   int64
+
+	linkDownSlots int64
+	nodeDownSlots int64
+	dropped       int64
+	deadEnds      int64
+	detourHops    int64
+	misrouted     int64
+
+	// Per-destination delivery accumulators (Config.PerDestStats), indexed
+	// by destination node id; nil when disabled.
+	destCount []int64
+	destDelay []uint64
+
 	_ [64]byte // keep neighboring tiles' hot counters off this cache line
 }
 
@@ -241,6 +268,11 @@ type ShardedEngine struct {
 	handoff [][2][]movedRec
 
 	bar barrier
+
+	// flt is the run's fault state (fault.go); nil on fault-free runs, in
+	// which case every fault hook in the slot loop is one predictable
+	// nil-check.
+	flt *stepFaults
 
 	// stopAt is the cancellation consensus: on multi-tile runs only tile 0
 	// polls cfg.Ctx, and on cancellation it stores its current slot + 1
@@ -405,6 +437,12 @@ func (s *ShardedEngine) reset(cfg Config) error {
 		s.bar.init(shards)
 	}
 
+	// Fault state needs the ownership tables to distribute entities, so it
+	// is built after the tile plan.
+	if err := s.resetFaults(cfg); err != nil {
+		return err
+	}
+
 	// A resume fills the freshly reset rings, streams and (sparse) wheel
 	// from the checkpoint; it must run last, after the tile plan and
 	// ownership tables exist. workers then skip their own seeding.
@@ -438,11 +476,24 @@ func (s *ShardedEngine) worker(t *tile) {
 			t.rngs[i].ReseedSplit(s.cfg.Seed, uint64(src))
 		}
 	}
+	if s.flt != nil {
+		s.seedFaults(t)
+	}
 	multi := s.shards > 1
+	// Plans with Markov or outage processes mutate the shared up/down
+	// arrays in phase 0, so multi-tile runs insert a second barrier between
+	// phase 0 and arrivals; liar-only plans keep the single barrier.
+	fltBarrier := multi && s.flt != nil && s.flt.needBarrier
 	ctx := s.cfg.Ctx
 	parity := 0
 	for slot := 0; slot < total; slot++ {
 		measuring := slot >= s.cfg.WarmupSlots
+		if s.flt != nil {
+			s.faultPhase(t, slot, measuring)
+			if fltBarrier {
+				s.bar.wait(&t.sense)
+			}
+		}
 		if s.sparse {
 			s.arrivalsSparse(t, slot, measuring, total)
 			s.serviceSparse(t, slot, measuring, parity)
@@ -484,6 +535,7 @@ func (s *ShardedEngine) arrivals(t *tile, slot int, measuring bool) {
 	dest := s.cfg.Dest
 	choose := s.tab.choose
 	nodeKey := s.tab.nodeKey
+	flt := s.flt
 	for i := range t.sources {
 		src := int(t.sources[i])
 		rng := &t.rngs[i]
@@ -509,17 +561,31 @@ func (s *ShardedEngine) arrivals(t *tile, slot int, measuring bool) {
 			t.arrivalHits++
 			t.genCount += int64(k)
 		}
+		// A down source offers its batch into the void: every packet is
+		// dropped at generation, but the destination and coin draws still
+		// happen so the node's variate stream stays aligned with the
+		// fault-free sequence.
+		srcDown := flt != nil && flt.nodeDown[src] != 0
 		for ; k > 0; k-- {
 			dst := dest.Sample(src, rng)
 			var choice uint32
 			if choose != nil {
 				choice = uint32(choose(rng))
 			}
+			if srcDown {
+				if measuring {
+					t.dropped++
+				}
+				continue
+			}
 			if dst == src {
 				// Zero-hop packet: delivered instantly with delay 0,
 				// never entering any queue (the paper allows these).
 				if measuring {
 					t.addDelay(0)
+					if t.destCount != nil {
+						t.destCount[src]++
+					}
 				}
 				continue
 			}
@@ -554,6 +620,7 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 	}
 	qbuf, qhead, qsize := s.rings.qbuf, s.rings.qhead, s.rings.qsize
 	edgeKey := s.tab.edgeKey
+	flt := s.flt
 	var busy int64
 	// The two scans below share their pop/route/deliver body; it is spelled
 	// out twice (rather than through a per-edge function) because a call
@@ -566,8 +633,11 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 			if size == 0 {
 				continue
 			}
-			busy++
 			edge := int32(e)
+			if flt != nil && !s.canServe(edge, slot) {
+				continue
+			}
+			busy++
 			buf := qbuf[edge]
 			head := qhead[edge]
 			ent := buf[head]
@@ -577,24 +647,45 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 			key := int32(ent >> entKeyShift)
 			if pos == key {
 				if ent&entMeasured != 0 && measuring {
-					t.addDelay(int32((uint32(slot+1) - uint32(ent)) & entSlotMask))
+					d := int32((uint32(slot+1) - uint32(ent)) & entSlotMask)
+					t.addDelay(d)
+					if t.destCount != nil {
+						v := s.tab.nodeOf(key)
+						t.destCount[v]++
+						t.destDelay[v] += uint64(d)
+					}
 				}
 				t.live--
 				continue
 			}
 			choice := uint32(ent>>entSlotBits) & entChoiceMask
-			moved = append(moved, movedRec{ent: ent, edge: s.tab.nextEdge(pos, key, choice), src: edge})
+			var next int32
+			if flt != nil {
+				var gone bool
+				if next, gone = s.fltAdvance(t, edge, slot, pos, key, choice, ent, measuring); gone {
+					continue
+				}
+			} else {
+				next = s.tab.nextEdge(pos, key, choice)
+			}
+			moved = append(moved, movedRec{ent: ent, edge: next, src: edge})
 		}
 	} else {
 		myBase := int(t.id) * s.shards
 		// The next edge always leaves pos, so its owner is pos's tile:
 		// a tiny row table on the fast path, the node table otherwise.
+		// (Fault-mode detours and misroutes also leave pos — every
+		// candidate is an out-edge of pos — so the ownership lookup is
+		// unchanged.)
 		fast := s.tab.fast
 		rowOwner, nodeOwner := s.rowOwner, s.nodeOwner
 		for _, run := range t.edgeRuns {
 			for edge := run.lo; edge < run.hi; edge++ {
 				size := qsize[edge]
 				if size == 0 {
+					continue
+				}
+				if flt != nil && !s.canServe(edge, slot) {
 					continue
 				}
 				busy++
@@ -607,13 +698,27 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 				key := int32(ent >> entKeyShift)
 				if pos == key {
 					if ent&entMeasured != 0 && measuring {
-						t.addDelay(int32((uint32(slot+1) - uint32(ent)) & entSlotMask))
+						d := int32((uint32(slot+1) - uint32(ent)) & entSlotMask)
+						t.addDelay(d)
+						if t.destCount != nil {
+							v := s.tab.nodeOf(key)
+							t.destCount[v]++
+							t.destDelay[v] += uint64(d)
+						}
 					}
 					t.live--
 					continue
 				}
 				choice := uint32(ent>>entSlotBits) & entChoiceMask
-				next := s.tab.nextEdge(pos, key, choice)
+				var next int32
+				if flt != nil {
+					var gone bool
+					if next, gone = s.fltAdvance(t, edge, slot, pos, key, choice, ent, measuring); gone {
+						continue
+					}
+				} else {
+					next = s.tab.nextEdge(pos, key, choice)
+				}
 				rec := movedRec{ent: ent, edge: next, src: edge}
 				var owner int32
 				if fast {
@@ -734,6 +839,39 @@ func (s *ShardedEngine) collect() Result {
 	res.MeanActiveEdges = float64(busySum) / float64(s.cfg.Slots)
 	if denom := float64(sources) * float64(s.cfg.Slots); denom > 0 {
 		res.ArrivalSlotFraction = float64(arrivalHits) / denom
+	}
+	if s.flt != nil {
+		var linkDownSlots, nodeDownSlots int64
+		for i := range s.tiles {
+			t := &s.tiles[i]
+			res.Dropped += t.dropped
+			res.DeadEnds += t.deadEnds
+			res.DetourHops += t.detourHops
+			res.Misrouted += t.misrouted
+			linkDownSlots += t.linkDownSlots
+			nodeDownSlots += t.nodeDownSlots
+		}
+		slots := float64(s.cfg.Slots)
+		if ne := float64(s.cfg.Net.NumEdges()); ne > 0 {
+			res.LinkDownFrac = float64(linkDownSlots) / (ne * slots)
+		}
+		if nn := float64(s.cfg.Net.NumNodes()); nn > 0 {
+			res.NodeDownFrac = float64(nodeDownSlots) / (nn * slots)
+		}
+	}
+	if s.cfg.PerDestStats {
+		n := s.cfg.Net.NumNodes()
+		res.DestCount = make([]int64, n)
+		res.DestDelaySum = make([]uint64, n)
+		for i := range s.tiles {
+			t := &s.tiles[i]
+			for v, c := range t.destCount {
+				if c != 0 {
+					res.DestCount[v] += c
+					res.DestDelaySum[v] += t.destDelay[v]
+				}
+			}
+		}
 	}
 	return res
 }

@@ -162,6 +162,7 @@ func (s *ShardedEngine) arrivalsSparse(t *tile, slot int, measuring bool, total 
 	choose := s.tab.choose
 	nodeKey := s.tab.nodeKey
 	qsize := s.rings.qsize
+	flt := s.flt
 	idx := slot & wheelMask
 	i := t.wheelHead[idx]
 	t.wheelHead[idx] = -1
@@ -184,17 +185,29 @@ func (s *ShardedEngine) arrivalsSparse(t *tile, slot int, measuring bool, total 
 			t.arrivalHits++
 			t.genCount += int64(k)
 		}
+		// A down source offers its batch into the void (see the dense
+		// body): draws proceed so the stream stays aligned, packets don't.
+		srcDown := flt != nil && flt.nodeDown[src] != 0
 		for ; k > 0; k-- {
 			dst := dest.Sample(src, rng)
 			var choice uint32
 			if choose != nil {
 				choice = uint32(choose(rng))
 			}
+			if srcDown {
+				if measuring {
+					t.dropped++
+				}
+				continue
+			}
 			if dst == src {
 				// Zero-hop packet: delivered instantly with delay 0,
 				// never entering any queue (the paper allows these).
 				if measuring {
 					t.addDelay(0)
+					if t.destCount != nil {
+						t.destCount[src]++
+					}
 				}
 				continue
 			}
@@ -243,6 +256,7 @@ func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity 
 	edgeKey := s.tab.edgeKey
 	fast := s.tab.fast
 	rowOwner, nodeOwner := s.rowOwner, s.nodeOwner
+	flt := s.flt
 	l1 := t.act.l1
 	var busy int64
 	for w2i, w2 := range t.act.l2 {
@@ -252,6 +266,11 @@ func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity 
 			for word := l1[w1i]; word != 0; word &= word - 1 {
 				low := bits.TrailingZeros64(word)
 				edge := int32(w1i<<6 + low)
+				if flt != nil && !s.canServe(edge, slot) {
+					// Blocked or held edge: the queue stays nonempty, so
+					// its worklist bit stays set for next slot.
+					continue
+				}
 				busy++
 				buf := qbuf[edge]
 				head := qhead[edge]
@@ -270,13 +289,27 @@ func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity 
 				key := int32(ent >> entKeyShift)
 				if pos == key {
 					if ent&entMeasured != 0 && measuring {
-						t.addDelay(int32((uint32(slot+1) - uint32(ent)) & entSlotMask))
+						d := int32((uint32(slot+1) - uint32(ent)) & entSlotMask)
+						t.addDelay(d)
+						if t.destCount != nil {
+							v := s.tab.nodeOf(key)
+							t.destCount[v]++
+							t.destDelay[v] += uint64(d)
+						}
 					}
 					t.live--
 					continue
 				}
 				choice := uint32(ent>>entSlotBits) & entChoiceMask
-				next := s.tab.nextEdge(pos, key, choice)
+				var next int32
+				if flt != nil {
+					var gone bool
+					if next, gone = s.fltAdvance(t, edge, slot, pos, key, choice, ent, measuring); gone {
+						continue
+					}
+				} else {
+					next = s.tab.nextEdge(pos, key, choice)
+				}
 				rec := movedRec{ent: ent, edge: next, src: edge}
 				if multi {
 					var owner int32

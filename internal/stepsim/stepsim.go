@@ -75,6 +75,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -162,6 +163,23 @@ type Config struct {
 	// run with a Ctx is bit-identical to one without. Sweep pools thread
 	// their own context into every config that leaves Ctx nil.
 	Ctx context.Context
+	// Faults, when non-nil, degrades the run under the bound fault plan
+	// (fault.Spec.Bind against this same network): link/node up–down
+	// Markov processes, scheduled regional outages, and misbehaving
+	// routers, with greedy-with-recovery routing around down entities (see
+	// fault.go). nil leaves every fault hook off and the run bit-identical
+	// to a build without the fault layer. The fault streams are keyed by
+	// (fault seed, entity id), disjoint from the arrival streams, so
+	// fault-enabled runs remain bit-identical at every shard count.
+	// Incompatible with PerEngineStream, Resume and Capture.
+	Faults *fault.Plan
+	// PerDestStats asks the run to accumulate exact per-destination
+	// delivered counts and delay sums (Result.DestCount / DestDelaySum) —
+	// the raw material of the lying-node detection experiment
+	// (internal/verify), which compares each source→destination path's
+	// mean delay against its hop count. Works with or without Faults; the
+	// fault-free variate streams are untouched either way.
+	PerDestStats bool
 }
 
 // Result holds the measurements of one slotted run.
@@ -200,6 +218,33 @@ type Result struct {
 	// Snapshot is the end-of-run engine checkpoint, present only when the
 	// run was configured with Capture. It feeds Config.Resume.
 	Snapshot *Snapshot
+
+	// Fault-layer counters, all zero on fault-free runs. Dropped counts
+	// measured packets that left the system undelivered: generated at a
+	// down source, discarded by a drop liar, or dead-ended with no live
+	// improving neighbor (Generated − Delivered − Dropped is the measured
+	// traffic still in flight at the horizon). DeadEnds is the dead-end
+	// subset of Dropped. DetourHops counts recovery detours taken by
+	// measured packets; Misrouted counts adversarial misroutes applied to
+	// them. All are exact integers merged across tiles like the delay
+	// moments.
+	Dropped    int64
+	DeadEnds   int64
+	DetourHops int64
+	Misrouted  int64
+	// LinkDownFrac / NodeDownFrac are the fractions of (entity, measured
+	// slot) pairs the entity spent down, over ALL links/nodes of the
+	// topology (so a plan failing 1% of links at 2% steady-state downtime
+	// reads ≈ 0.0002). Exact-integer down-entity-slot counts divided once
+	// at collect time.
+	LinkDownFrac float64
+	NodeDownFrac float64
+
+	// DestCount / DestDelaySum are per-destination delivered counts and
+	// delay sums (indexed by node id), present only when
+	// Config.PerDestStats is set.
+	DestCount    []int64
+	DestDelaySum []uint64
 }
 
 // Ring-entry layout. The low word is the packet: generation slot modulo
@@ -289,6 +334,13 @@ type routeTables struct {
 func (t *routeTables) init(cfg Config, steppers []routing.Stepper, choose func(*xrand.RNG) int) {
 	t.steppers, t.choose = steppers, choose
 	t.setupFastPath(cfg.Net)
+	if cfg.Faults != nil {
+		// Fault mode keys positions by node id: the liar tables, the CSR
+		// recovery scan and the misroute pick all index nodes directly.
+		// Fault-enabled runs have no fast-path goldens, so nothing
+		// observable depends on this switch.
+		t.fast = false
+	}
 	numNodes, numEdges := cfg.Net.NumNodes(), cfg.Net.NumEdges()
 	t.edgeKey = grow(t.edgeKey, numEdges)
 	t.nodeKey = grow(t.nodeKey, numNodes)
@@ -355,6 +407,16 @@ func (t *routeTables) nextArrayEdge(pos, key int32, colFirst uint32) int32 {
 		return int32(2*t.h + c*t.n1 + r) // Down
 	}
 	return int32(3*t.h + c*t.n1 + r - 1) // Up
+}
+
+// nodeOf decodes a position/destination key back to its node id: packed
+// (row, col) coordinates on the fast path, the id itself otherwise. Used
+// by the per-destination delivery accumulators.
+func (t *routeTables) nodeOf(key int32) int32 {
+	if t.fast {
+		return (key>>coordBits)*int32(t.n) + (key & coordMask)
+	}
+	return key
 }
 
 // nextEdge returns the next edge for a packet at position pos (in key
@@ -446,6 +508,9 @@ func (e *Engine) Run(cfg Config) (Result, error) {
 		}
 		if cfg.Resume != nil || cfg.Capture {
 			return Result{}, fmt.Errorf("stepsim: snapshots require per-node keyed streams; PerEngineStream cannot Capture or Resume")
+		}
+		if cfg.Faults != nil || cfg.PerDestStats {
+			return Result{}, fmt.Errorf("stepsim: the fault layer and per-destination stats live on the sharded engine; PerEngineStream supports neither")
 		}
 		if err := e.legacy.reset(cfg); err != nil {
 			return Result{}, err

@@ -1,0 +1,131 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/stepsim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestDetectDelayLiars: three explicit delay liars on a 16x16 array must
+// be flagged exactly — no misses, no false positives — at the default
+// thresholds.
+func TestDetectDelayLiars(t *testing.T) {
+	a := topology.NewArray2D(16)
+	spec := &fault.Spec{
+		Misbehave: []fault.Misbehave{
+			{Mode: fault.ModeDelay, Nodes: []int{35, 120, 200}, ExtraDelay: 4},
+		},
+		Seed: 7,
+	}
+	plan, err := spec.Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Detect(Config{
+		Net:    a,
+		Router: routing.GreedyXY{A: a},
+		Plan:   plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged, fps, missed := rep.Score(plan.Liars)
+	if flagged != 3 || fps != 0 || missed != 0 {
+		t.Fatalf("score: flagged=%d falsePositives=%d missed=%d; suspects=%v liars=%v",
+			flagged, fps, missed, rep.Suspects, plan.Liars)
+	}
+	if rep.PathsJudged == 0 || len(rep.BadPaths) == 0 {
+		t.Errorf("no evidence recorded: judged=%d bad=%d", rep.PathsJudged, len(rep.BadPaths))
+	}
+}
+
+// TestDetectRejectsRandomizedRouter: detection needs an exactly known path
+// per pair; a randomized router must be refused.
+func TestDetectRejectsRandomizedRouter(t *testing.T) {
+	a := topology.NewArray2D(8)
+	plan, err := (&fault.Spec{
+		Misbehave: []fault.Misbehave{{Mode: fault.ModeDelay, Nodes: []int{9}, ExtraDelay: 4}},
+	}).Bind(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Detect(Config{Net: a, Router: routing.RandGreedy{A: a}, Plan: plan})
+	if err == nil {
+		t.Fatal("randomized router accepted")
+	}
+}
+
+// TestFaultSmoke is the end-to-end degraded-array exercise behind
+// `make fault-smoke`: a 64x64 array carrying hotspot traffic at half the
+// stability bound while 1% of links fail and recover and three delay
+// liars each hold forwarded packets 4 extra slots. The degraded run must
+// show recovery activity with sane downtime accounting, and the detection
+// experiment must then name exactly the three seeded liars.
+func TestFaultSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault smoke is the long CI exercise")
+	}
+	sc := workload.Scenario{
+		Name:     "fault-smoke",
+		Topology: workload.TopologySpec{Kind: "array", N: 64},
+		Pattern:  workload.PatternSpec{Kind: "hotspot", K: 1, Weight: 0.2},
+		Loads:    []float64{0.5},
+		Horizon:  4000,
+		Warmup:   500,
+		Faults: &fault.Spec{
+			LinkMTBF:     2000,
+			LinkMTTR:     40,
+			LinkFraction: 0.01,
+			Misbehave: []fault.Misbehave{
+				{Mode: fault.ModeDelay, Count: 3, ExtraDelay: 4},
+			},
+			Seed: 7,
+		},
+	}
+	b, err := sc.Bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Faults.Liars) != 3 {
+		t.Fatalf("seeded %d liars, want 3", len(b.Faults.Liars))
+	}
+	cfgs, err := b.SlottedConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stepsim.Run(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetourHops == 0 {
+		t.Error("degraded hotspot run took no detours")
+	}
+	if res.Delivered == 0 || res.Generated <= res.Delivered {
+		t.Errorf("implausible degraded run: generated=%d delivered=%d", res.Generated, res.Delivered)
+	}
+	// 1% of links at MTTR/(MTBF+MTTR) ≈ 2% down gives an all-links
+	// downtime fraction around 2e-4.
+	if res.LinkDownFrac <= 0 || res.LinkDownFrac > 0.005 {
+		t.Errorf("LinkDownFrac %v outside the plausible band (0, 0.005]", res.LinkDownFrac)
+	}
+
+	rep, err := Detect(Config{
+		Net:     b.Net,
+		Router:  b.Router,
+		Plan:    b.Faults,
+		Sources: defaultSources(b.Net.NumNodes())[:6],
+		Slots:   60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged, fps, missed := rep.Score(b.Faults.Liars)
+	if flagged != 3 || fps != 0 || missed != 0 {
+		t.Fatalf("detection: flagged=%d falsePositives=%d missed=%d; suspects=%v liars=%v",
+			flagged, fps, missed, rep.Suspects, b.Faults.Liars)
+	}
+}

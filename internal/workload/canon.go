@@ -12,7 +12,11 @@ package workload
 // cache hit; inventing one that isn't semantics-preserving would serve
 // wrong results.
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"repro/internal/fault"
+)
 
 // Canonical returns the scenario with every semantically inert degree of
 // freedom collapsed:
@@ -55,7 +59,51 @@ func (s Scenario) Canonical() Scenario {
 	if !s.WarmStart {
 		s.RewarmSlots = 0
 	}
+	s.Faults = canonicalFaults(s.Faults)
 	return s
+}
+
+// canonicalFaults collapses the fault spec: a spec that declares no fault
+// process at all is the nil spec (both leave the engines on the identical
+// fault-free path), the defaulted selection fractions are materialized
+// (Bind treats 0 as 1), parameters a disabled family or foreign mode would
+// ignore are zeroed, and an explicit node list makes the count inert.
+func canonicalFaults(f *fault.Spec) *fault.Spec {
+	if !f.Enabled() {
+		return nil
+	}
+	c := *f
+	if c.LinkMTBF > 0 {
+		if c.LinkFraction == 0 {
+			c.LinkFraction = 1
+		}
+	} else {
+		c.LinkMTTR, c.LinkFraction = 0, 0
+	}
+	if c.NodeMTBF > 0 {
+		if c.NodeFraction == 0 {
+			c.NodeFraction = 1
+		}
+	} else {
+		c.NodeMTTR, c.NodeFraction = 0, 0
+	}
+	if len(c.Misbehave) > 0 {
+		ms := make([]fault.Misbehave, len(c.Misbehave))
+		copy(ms, c.Misbehave)
+		for i := range ms {
+			switch ms[i].Mode {
+			case fault.ModeDelay:
+				ms[i].Prob = 0
+			case fault.ModeMisroute, fault.ModeDrop:
+				ms[i].ExtraDelay = 0
+			}
+			if len(ms[i].Nodes) > 0 {
+				ms[i].Count = 0
+			}
+		}
+		c.Misbehave = ms
+	}
+	return &c
 }
 
 // canonical collapses the pattern spec: the kind is spelled explicitly,

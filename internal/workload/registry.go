@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
 
 // stdLoads is the default load ladder: fractions of λ* spanning light
 // traffic to near saturation.
@@ -91,6 +95,30 @@ func Registry() []Scenario {
 			Pattern:     PatternSpec{Kind: "uniform"},
 			Arrivals:    ArrivalSpec{Kind: "periodic"},
 			Loads:       stdLoads(),
+		},
+		{
+			Name:        "degraded-8x8",
+			Description: "hotspot traffic while 10% of links fail and recover (MTBF 500, MTTR 25 slots); greedy-with-recovery detours around the holes",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "hotspot", K: 1, Weight: 0.2},
+			Loads:       []float64{0.2, 0.4, 0.6},
+			Faults: &fault.Spec{
+				LinkMTBF:     500,
+				LinkMTTR:     25,
+				LinkFraction: 0.1,
+				Seed:         7,
+			},
+		},
+		{
+			Name:        "liars-8x8",
+			Description: "uniform traffic with three delay-liar routers holding every forwarded packet 4 extra slots; feed to the verify experiment to flag them",
+			Topology:    array8,
+			Pattern:     PatternSpec{Kind: "uniform"},
+			Loads:       []float64{0.2, 0.4, 0.6},
+			Faults: &fault.Spec{
+				Misbehave: []fault.Misbehave{{Mode: fault.ModeDelay, Count: 3, ExtraDelay: 4}},
+				Seed:      7,
+			},
 		},
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/stepsim"
@@ -299,6 +300,15 @@ type Scenario struct {
 	// convention) instead of the full Warmup. Poisson arrivals only.
 	WarmStart   bool `json:"warmStart,omitempty"`
 	RewarmSlots int  `json:"rewarmSlots,omitempty"`
+	// Faults declares the degraded-array layer (internal/fault): link and
+	// node up–down failure processes, scheduled regional outages, and
+	// misbehaving routers that delay, misroute or drop the packets they
+	// forward. Nil or all-zero leaves both engines on their fault-free
+	// paths bit-identically; an enabled spec switches routing to
+	// greedy-with-recovery and surfaces drop/detour/downtime counters in
+	// the sweep results. Incompatible with warmStart: fault processes are
+	// not snapshottable.
+	Faults *fault.Spec `json:"faults,omitempty"`
 }
 
 // ParseScenario decodes and validates a JSON scenario.
@@ -379,6 +389,12 @@ func (s Scenario) checkFields() error {
 	if kind := s.Arrivals.withDefaults().Kind; kind != "poisson" && (s.ControlVariates || s.WarmStart) {
 		return fmt.Errorf("workload: scenario %q uses %s arrivals; control variates and warm starts need Poisson arrivals (closed-form counts and snapshottable engines)", s.Name, kind)
 	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("workload: scenario %q: %w", s.Name, err)
+	}
+	if s.Faults.Enabled() && s.WarmStart {
+		return fmt.Errorf("workload: scenario %q combines faults with warmStart; fault processes are not snapshottable", s.Name)
+	}
 	return nil
 }
 
@@ -399,8 +415,11 @@ type Bound struct {
 	Router   routing.Router
 	Demand   *Demand
 	Analysis *Analysis
-	Points   []Point
-	Configs  []sim.Config
+	// Faults is the scenario's fault spec lowered against Net (nil when
+	// the scenario declares none); every config below shares it.
+	Faults  *fault.Plan
+	Points  []Point
+	Configs []sim.Config
 }
 
 // Bind validates and lowers the scenario. Every config shares the base
@@ -442,6 +461,14 @@ func (s Scenario) Bind() (*Bound, error) {
 		Demand:   demand,
 		Analysis: analysis,
 	}
+	if s.Faults.Enabled() {
+		// One plan for every load point and both engines: the degradation
+		// is a property of the network, not of the traffic level.
+		b.Faults, err = s.Faults.Bind(net)
+		if err != nil {
+			return nil, err
+		}
+	}
 	for _, load := range s.Loads {
 		perNode := load * analysis.LambdaStar
 		cfg := sim.Config{
@@ -457,6 +484,7 @@ func (s Scenario) Bind() (*Bound, error) {
 			// replicas; callers who raise rates on a bound config after
 			// the fact forfeit the check.
 			AllowUnstable: true,
+			Faults:        b.Faults,
 		}
 		factory, err := s.Arrivals.factory(perNode * float64(numSources))
 		if err != nil {
@@ -508,6 +536,7 @@ func (b *Bound) SlottedConfigs() ([]stepsim.Config, error) {
 			// spare-core factor at run time (stepsim.StreamSweep).
 			Shards: s.Shards,
 			Dense:  s.Dense,
+			Faults: b.Faults,
 		})
 	}
 	return cfgs, nil

@@ -235,6 +235,28 @@ func (r *RNG) PoissonSkip(mean float64) int {
 	return int(f)
 }
 
+// Geometric returns a geometric variate on {0, 1, 2, ...}: the number of
+// failures before the first success in independent Bernoulli(p) trials,
+// P[G = g] = (1−p)^g · p. One uniform per call by inversion, G = ⌊E⌋ for
+// E ~ Exp(−ln(1−p)) — the identical construction PoissonSkip uses, so the
+// fault layer's discrete up/down dwells (dwell = 1 + Geometric(1/MTBF))
+// cost one draw each and are exact. Results are capped like PoissonSkip so
+// adding a dwell to a slot counter cannot overflow. p >= 1 returns 0; it
+// panics if p <= 0.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 {
+		panic("xrand: Geometric with non-positive p")
+	}
+	if p >= 1 {
+		return 0
+	}
+	f := r.Exp(-math.Log1p(-p))
+	if f >= maxPoissonSkip {
+		return maxPoissonSkip
+	}
+	return int(f)
+}
+
 // PoissonPositive returns a zero-truncated Poisson variate: K ~
 // Poisson(mean) conditioned on K >= 1. It is the batch-size draw on the
 // arrival slots that PoissonSkip selects. Below mean 10 it inverts the
