@@ -3,7 +3,7 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test race examples scenario-smoke sparse-smoke warmstart-smoke sweepd-smoke fault-smoke bench bench-slotted bench-sparse bench-sharded bench-json bench-compare profile vet
+.PHONY: test race examples scenario-smoke sparse-smoke lookahead-smoke warmstart-smoke sweepd-smoke fault-smoke bench bench-slotted bench-sparse bench-sharded bench-lookahead bench-json bench-compare profile vet
 
 test:
 	go vet ./...
@@ -28,6 +28,7 @@ scenario-smoke:
 	go run ./cmd/scenario run hotspot-8x8 -quick -replicas 2
 	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted
 	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted -shards 2
+	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted -shards 2 -lookahead 4
 	go run ./cmd/scenario run uniform-8x8 -quick -replicas 2 -engine slotted -dense
 	go run ./cmd/scenario run bursty-8x8 -quick -replicas 2 -json >/dev/null
 
@@ -45,6 +46,15 @@ sweepd-smoke:
 # timeout loudly) and match its pinned golden bits.
 sparse-smoke:
 	go test -count=1 -timeout 180s -run 'TestSparseLowLoadGolden' ./internal/stepsim/
+
+# lookahead-smoke is the batched-barrier tripwire CI runs under the race
+# detector with real parallelism: the full-length 256×256 low-load run on
+# 3 tiles with 8-slot barrier batches must reproduce the serial engine's
+# pinned Float64bits goldens exactly and report precisely
+# shards·ceil(slots/8) barrier waits — a regression that silently falls
+# back to per-slot barriers fails here, not as quiet wall-clock drift.
+lookahead-smoke:
+	GOMAXPROCS=4 go test -race -count=1 -timeout 300s -run 'TestLookaheadSmokeGolden' ./internal/stepsim/
 
 # fault-smoke is the degraded-array exercise CI runs under the race
 # detector: a 64×64 hotspot run at rho=0.5 with 1% of links failing
@@ -105,6 +115,13 @@ bench-slotted:
 # Run with GOMAXPROCS >= 4 on a multi-core box for meaningful ratios.
 bench-sharded:
 	go test -run='^$$' -bench='BenchmarkStepSlotsSharded' -benchmem -benchtime=2s -count=$(COUNT) .
+
+# bench-lookahead is the batched-barrier A/B (the BENCH.md "Batched
+# barriers" tables): the same low-load sharded run at barrier depth 1 and
+# 8, with barriers/op recording the amortization exactly even where
+# wall-clock is noisy.
+bench-lookahead:
+	go test -run='^$$' -bench='BenchmarkStepSlotsLookahead' -benchmem -benchtime=2s -count=$(COUNT) .
 
 # profile records CPU and heap profiles for the two hot engines into
 # ./prof/ so perf work starts from a flame graph instead of guesses. The

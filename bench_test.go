@@ -272,6 +272,59 @@ func BenchmarkStepSlotsSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkStepSlotsLookahead measures the k-slot batched barriers on the
+// sharded slotted engine: the same low-load run at barrier depth 1 (one
+// global barrier per slot, the pre-batching behavior) and depth 8 (one per
+// 8-slot batch). Low load is where the contrast lives — per-slot compute
+// is thin, so synchronization is the bottleneck — and the barriers/op
+// metric records the amortization exactly (shards·ceil(slots/k)) even on
+// machines where wall-clock is noisy. Results are bit-identical across
+// depths (pinned by TestShardInvarianceLookahead), so rows differ only in
+// synchronization cost; on a single-vCPU container the wall-clock gap
+// narrows to the saved futex round-trips.
+func BenchmarkStepSlotsLookahead(b *testing.B) {
+	cases := []struct {
+		name  string
+		n     int
+		slots int
+	}{
+		{"64x64", 64, 400},
+		{"256x256", 256, 250},
+		{"1024x1024", 1024, 100},
+	}
+	for _, c := range cases {
+		for _, k := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/k=%d", c.name, k), func(b *testing.B) {
+				a := topology.NewArray2D(c.n)
+				cfg := stepsim.Config{
+					Net:         a,
+					Router:      routing.GreedyXY{A: a},
+					Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+					NodeRate:    bounds.LambdaTable(c.n, 0.1),
+					WarmupSlots: c.slots / 4,
+					Slots:       c.slots,
+					Shards:      4,
+					Lookahead:   k,
+				}
+				var eng stepsim.ShardedEngine
+				var delivered, barriers int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg.Seed = uint64(i + 1)
+					res, err := eng.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					delivered += res.Delivered
+					barriers += res.BarrierWaits
+				}
+				b.ReportMetric(float64(delivered)/float64(b.N), "packets/op")
+				b.ReportMetric(float64(barriers)/float64(b.N), "barriers/op")
+			})
+		}
+	}
+}
+
 // BenchmarkSweepAdaptive is the variance-reduction A/B at equal precision:
 // the same slotted hotspot ρ-ladder swept three ways, where "equal" means
 // the adaptive modes target exactly the CI half-width the fixed sweep

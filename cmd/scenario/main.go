@@ -54,6 +54,10 @@ commands:
       -horizon   override the measured horizon (slots when -engine=slotted)
       -shards    slotted intra-run tiles per run: N, or auto (spend spare
                  cores; results are bit-identical at every value)
+      -lookahead slotted batched barriers: slots each tile runs between
+                 global barriers (clamped to the tile plan; results are
+                 bit-identical at every depth; -1: keep the scenario's
+                 lookahead field)
       -dense     slotted engine: dense per-slot execution instead of the
                  default sparse path (A/B wall-clock knob; statistically
                  identical results from a different variate sequence)
@@ -199,6 +203,7 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 0, "override the base seed")
 		horizon  = fs.Float64("horizon", 0, "override the measured horizon")
 		shards   = fs.String("shards", "", "slotted intra-run tiles per run: N, or auto (default: the scenario's shards field)")
+		lookahd  = fs.Int("lookahead", -1, "slotted batched barriers: slots each tile runs between global barriers (-1: keep the scenario's lookahead field)")
 		dense    = fs.Bool("dense", false, "slotted engine: dense per-slot execution instead of the default sparse path")
 		targetCI = fs.Float64("target-ci", 0, "adaptive replica stopping target half-width (overrides the scenario's targetCI)")
 		minReps  = fs.Int("min-reps", 0, "adaptive minimum replicas per point (overrides the scenario's minReplicas)")
@@ -256,6 +261,9 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 	if *dense {
 		s.Dense = true
 	}
+	if *lookahd >= 0 {
+		s.Lookahead = *lookahd
+	}
 	// Variance-reduction overrides ride on the scenario before Bind so the
 	// spec-level validation (Poisson-only control variates / warm starts,
 	// min <= max) applies to the effective combination.
@@ -298,6 +306,10 @@ func runScenario(args []string, stdout, stderr io.Writer) int {
 	}
 	if *dense && *engine != "slotted" {
 		fmt.Fprintf(stderr, "scenario: -dense applies to -engine=slotted only (it selects between that engine's execution paths)\n")
+		return 2
+	}
+	if *lookahd > 1 && *engine != "slotted" {
+		fmt.Fprintf(stderr, "scenario: -lookahead applies to -engine=slotted only (the event engine has no slot barriers to batch)\n")
 		return 2
 	}
 	an := b.Analysis

@@ -23,6 +23,13 @@
 // pool spend spare cores inside runs when there are fewer points×replicas
 // than workers. Results are bit-identical at every shard count.
 //
+// -lookahead controls the slotted engine's barrier batching: each tile
+// runs up to k consecutive slots between global barriers, with nodes near
+// tile boundaries still synchronized every slot through per-neighbor
+// gates. The engine clamps the depth to what the tile plan supports, and
+// results are bit-identical at every depth — the knob trades barrier
+// waits for ring-buffer footprint.
+//
 // -dense selects the slotted engine's dense per-slot execution (every
 // source drawn, every edge scanned each slot) instead of the default
 // sparse path (skip-ahead arrivals, active-edge worklists); the two
@@ -115,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 1, "base seed")
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		shards   = fs.String("shards", "auto", "slotted intra-run tiles per run: N, or auto (spend spare cores; results are identical either way)")
+		lookahd  = fs.Int("lookahead", 1, "slotted batched barriers: slots each tile runs between global barriers (clamped to what the tile plan supports; results are identical at every depth)")
 		dense    = fs.Bool("dense", false, "slotted engine: dense per-slot execution (every source drawn, every edge scanned) instead of the default sparse path; an A/B knob for the BENCH.md tables")
 		targetCI = fs.Float64("target-ci", 0, "adaptive replica stopping: stop each point once its 95% delay half-width is <= this (0 = fixed -replicas)")
 		minReps  = fs.Int("min-reps", 4, "adaptive mode: minimum replicas per point")
@@ -169,6 +177,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *dense && *engine != "slotted" {
 		fmt.Fprintf(stderr, "sweep: -dense applies to -engine=slotted only (it selects between that engine's execution paths)\n")
+		return 2
+	}
+	if *lookahd < 0 {
+		fmt.Fprintf(stderr, "sweep: bad -lookahead %d (want a non-negative batch depth)\n", *lookahd)
+		return 2
+	}
+	if *lookahd > 1 && *engine != "slotted" {
+		fmt.Fprintf(stderr, "sweep: -lookahead applies to -engine=slotted only (the event engine has no slot barriers to batch)\n")
 		return 2
 	}
 
@@ -294,8 +310,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// trailing one records wall-clock per point (cumulative elapsed when
 	// that row streamed out, i.e. when the point and all earlier ones had
 	// finished) so perf regressions are visible in the CSV itself.
-	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s dense=%v workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d target_ci=%g min_reps=%d max_reps=%d cv=%v warm_start=%v rewarm=%g version=%s\n",
-		*engine, *topo, *shards, *dense, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed,
+	fmt.Fprintf(stdout, "# sweep: engine=%s topology=%s shards=%s lookahead=%d dense=%v workers=%d gomaxprocs=%d replicas=%d horizon=%g seed=%d target_ci=%g min_reps=%d max_reps=%d cv=%v warm_start=%v rewarm=%g version=%s\n",
+		*engine, *topo, *shards, *lookahd, *dense, *workers, runtime.GOMAXPROCS(0), *replicas, *horizon, *seed,
 		*targetCI, *minReps, *maxReps, *cv, *warm, *rewarm, buildinfo.Version())
 	if faultsOn {
 		fmt.Fprintf(stdout, "# faults: link_mtbf=%g link_mttr=%g link_frac=%g node_mtbf=%g node_mttr=%g node_frac=%g liars=%d liar_mode=%s liar_delay=%d liar_prob=%g fault_seed=%d\n",
@@ -359,6 +375,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Slots:       int(c.cfg.Horizon),
 				Seed:        c.cfg.Seed,
 				Shards:      shardCount,
+				Lookahead:   *lookahd,
 				Dense:       *dense,
 				Faults:      c.cfg.Faults,
 			}

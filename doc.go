@@ -137,11 +137,10 @@
 // ring queues of the edges leaving its nodes, the RNG streams of its
 // sources, and its measurement accumulators. Each slot runs the same
 // three phases as the serial loop with exactly one synchronization: after
-// tile-local arrivals and service, a sense-reversing spin barrier, then
+// tile-local arrivals and service, a synchronization point, then
 // placement, in which each tile merges its own survivors with the
 // boundary-crossing packets other tiles handed it through per-(tile,tile)
-// lists (double-buffered by slot parity, so one barrier per slot is
-// enough; no locks anywhere on the hot path).
+// ring-buffered lists (no locks anywhere on the hot path).
 //
 // The load-bearing property is that the shard count cannot change
 // results, which is what makes it a safe runtime knob (the sweep pools
@@ -157,6 +156,25 @@
 // (count, Σd, Σd², min, max) merge associatively; stats.WelfordFromInts
 // converts once, exactly, at collect time). Config.PerEngineStream keeps
 // the pre-sharding single-stream regime for the oracle cross-checks.
+//
+// Synchronization itself is batched (Config.Lookahead; -lookahead on the
+// tools): a packet entering a tile from outside needs at least one slot
+// per row to reach any node d rows inside, so only the boundary band —
+// nodes within the batch depth of a tile edge, classified once by
+// topology.BoundaryDistance — must see its neighbors' packets every
+// slot. The interior is safe to speculate. Each tile therefore publishes
+// its per-slot handoffs through a small per-tile gate that only the
+// tiles it actually feeds wait on, runs up to k consecutive slots, and
+// pays the full sense-reversing barrier once per batch; handoff rings
+// are 2k deep so a writer never laps an unread slot. The depth is
+// clamped to what the tile plan supports (deep tiles allow k=8 and
+// beyond; a 2-row tile degenerates to the per-slot schedule) and, like
+// the shard count, cannot change results: every depth is
+// Float64bits-identical to serial, pinned by the same invariance
+// batteries, so lookahead is excluded from sweepd cache keys alongside
+// shards. Result.BarrierWaits counts the global barriers a run actually
+// paid — shards·⌈slots/k⌉ exactly — and BENCH.md's "Batched barriers"
+// tables record the wall-clock return.
 //
 // # Workload architecture
 //

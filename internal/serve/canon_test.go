@@ -84,6 +84,8 @@ func TestKeyInvariantToInertKnobs(t *testing.T) {
 		// Shards only changes wall-clock: the sharded slotted engine is
 		// bit-identical at every tile count.
 		"shards": func(s *workload.Scenario) { s.Shards = 4 },
+		// Lookahead batches barriers but keeps results bit-identical.
+		"lookahead": func(s *workload.Scenario) { s.Lookahead = 8 },
 		// Description documents a scenario but does not define it.
 		"description": func(s *workload.Scenario) { s.Description = "notes" },
 		// The adaptive bounds are inert while targetCI is zero.

@@ -12,6 +12,8 @@ type packet struct {
 	cur      int32
 	dst      int32
 	hop      int32
+	rem      int32 // remaining services charged to rNow (fault runs only)
+	rs       int32 // remaining saturated services charged to rsNow (fault runs only)
 	gen      uint8
 	choice   uint8
 	measured bool
@@ -79,6 +81,7 @@ func (a *arena) alloc() (int32, *packet) {
 	}
 	p := &a.packets[idx]
 	p.hop = 0
+	p.rem, p.rs = 0, 0
 	return idx | int32(p.gen)<<arenaIndexBits, p
 }
 

@@ -32,13 +32,17 @@ package sim
 // misroute, recovery detours) test usability at decision time, exactly as
 // the slotted engine tests the current slot's state.
 //
-// MeanR/MeanRs (remaining-service integrals) are not tracked on fault
-// runs: detours and misroutes change a packet's remaining hop count after
-// injection, which breaks the fault-free bookkeeping's invariant that
-// remaining work only decreases by completed services. Result.MeanR and
-// RPerN read zero; MeanN, delays and the outcome counters remain exact.
+// MeanR/MeanRs (remaining-service integrals) are tracked per packet on
+// fault runs: detours and misroutes change a packet's remaining hop count
+// after injection, so instead of the fault-free decrement-per-service
+// invariant each packet carries the charge it holds in the integrals and
+// a reroute re-prices it against its new greedy continuation (see
+// departFIFOFault). Degraded sweeps therefore report E[R], E[R_s] and the
+// r = E[R]/E[N] column alongside the outcome counters.
 
 import (
+	"sort"
+
 	"repro/internal/fault"
 	"repro/internal/xrand"
 )
@@ -57,8 +61,54 @@ type markovSet struct {
 	repairRate float64 // 1/MTTR: rate out of the down state
 
 	// downtime accumulates each completed down interval's overlap with the
-	// measurement window; still-open intervals are closed by finish.
+	// measurement window; still-open intervals are closed by finish. wins,
+	// when non-nil, holds each entity's merged scheduled-outage windows:
+	// time a node spends Markov-down inside a window covering it is already
+	// charged by the outage term, so integrate subtracts it here and the
+	// total is the exact per-entity UNION of the two down processes.
 	downtime float64
+	wins     [][]ivl
+}
+
+// ivl is a half-open time interval [a, b).
+type ivl struct {
+	a, b float64
+}
+
+// mergeIvls sorts intervals by start and coalesces overlaps in place.
+func mergeIvls(ws []ivl) []ivl {
+	sort.Slice(ws, func(i, j int) bool { return ws[i].a < ws[j].a })
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		if last := &out[len(out)-1]; w.a <= last.b {
+			if w.b > last.b {
+				last.b = w.b
+			}
+		} else {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// integrate charges entity i's down interval [a, b), clipped to the
+// measurement window, minus any part already covered by the entity's
+// scheduled outage windows.
+func (m *markovSet) integrate(i int, a, b, lo, hi float64) {
+	d := overlapWin(a, b, lo, hi)
+	if m.wins != nil {
+		for _, w := range m.wins[i] {
+			wa, wb := w.a, w.b
+			if wa < a {
+				wa = a
+			}
+			if wb > b {
+				wb = b
+			}
+			d -= overlapWin(wa, wb, lo, hi)
+		}
+	}
+	m.downtime += d
 }
 
 func (m *markovSet) seed(ids, idx []int32, salt, seed uint64, mtbf, mttr float64) {
@@ -85,7 +135,7 @@ func (m *markovSet) advance(i int, t, mStart, mEnd float64) {
 	for m.next[i] <= t {
 		at := m.next[i]
 		if m.down[i] {
-			m.downtime += overlapWin(m.last[i], at, mStart, mEnd)
+			m.integrate(i, m.last[i], at, mStart, mEnd)
 			m.down[i] = false
 			m.next[i] = at + m.rng[i].Exp(m.failRate)
 		} else {
@@ -119,7 +169,7 @@ func (m *markovSet) finish(end, mStart, mEnd float64) {
 	for i := range m.ids {
 		m.advance(i, end, mStart, mEnd)
 		if m.down[i] {
-			m.downtime += overlapWin(m.last[i], end, mStart, mEnd)
+			m.integrate(i, m.last[i], end, mStart, mEnd)
 		}
 	}
 }
@@ -129,7 +179,6 @@ func (m *markovSet) finish(end, mStart, mEnd float64) {
 type outageWin struct {
 	start, end float64
 	member     []bool
-	count      int
 }
 
 // desFaults is the fault state of one event-driven run.
@@ -168,11 +217,37 @@ func newDESFaults(p *fault.Plan, start, end float64) *desFaults {
 			continue
 		}
 		w := outageWin{start: o.Start, end: o.Start + o.Duration,
-			member: make([]bool, p.NumNodes), count: len(nodes)}
+			member: make([]bool, p.NumNodes)}
 		for _, v := range nodes {
 			w.member[v] = true
 		}
 		f.outs = append(f.outs, w)
+	}
+	if len(f.outs) > 0 {
+		// Hand each Markov-prone node its merged outage windows, so the
+		// Markov integrator can subtract the already-charged overlap (see
+		// markovSet.integrate — this is what makes the downtime a union,
+		// not a sum, when a node is Markov-down inside an outage).
+		wins := make([][]ivl, len(p.FaultNodes))
+		any := false
+		for i, v := range p.FaultNodes {
+			var ws []ivl
+			for j := range f.outs {
+				if f.outs[j].member[v] {
+					ws = append(ws, ivl{a: f.outs[j].start, b: f.outs[j].end})
+				}
+			}
+			if len(ws) > 1 {
+				ws = mergeIvls(ws)
+			}
+			if ws != nil {
+				wins[i] = ws
+				any = true
+			}
+		}
+		if any {
+			f.nodes.wins = wins
+		}
 	}
 	if p.HasLiars() {
 		f.transit = make([]uint64, p.NumEdges)
@@ -245,16 +320,30 @@ func (f *desFaults) nodeUp(v int32, t float64) bool {
 }
 
 // finish closes the downtime integrals at the horizon. Outage downtime is
-// added analytically (window overlap x member count); a node that is
-// Markov-down inside an outage covering it is counted by both terms —
-// the fractions are diagnostics, and the overlap of two rare events is
-// negligible at the parameters of interest.
+// added analytically, but per NODE over its MERGED covering windows —
+// overlapping outages charge once — and the Markov integrator has already
+// subtracted any Markov-down time falling inside a scheduled window, so
+// the node downtime is the exact per-entity union of both down processes.
 func (f *desFaults) finish(end float64) {
 	f.links.finish(end, f.mStart, f.mEnd)
 	f.nodes.finish(end, f.mStart, f.mEnd)
-	for i := range f.outs {
-		o := &f.outs[i]
-		f.nodes.downtime += overlapWin(o.start, o.end, f.mStart, f.mEnd) * float64(o.count)
+	if len(f.outs) == 0 {
+		return
+	}
+	var buf []ivl
+	for v := 0; v < f.plan.NumNodes; v++ {
+		buf = buf[:0]
+		for i := range f.outs {
+			if f.outs[i].member[v] {
+				buf = append(buf, ivl{a: f.outs[i].start, b: f.outs[i].end})
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		for _, w := range mergeIvls(buf) {
+			f.nodes.downtime += overlapWin(w.a, w.b, f.mStart, f.mEnd)
+		}
 	}
 }
 
@@ -298,12 +387,62 @@ func (e *engine) enqueueFault(t float64, h int32, edge int) {
 	}
 }
 
+// settleR removes packet p's outstanding remaining-service charge (it was
+// delivered or dropped) and updates the integrals at time t.
+func (e *engine) settleR(t float64, p *packet) {
+	e.rNow -= float64(p.rem)
+	if e.cfg.Saturated != nil {
+		e.rsNow -= float64(p.rs)
+	}
+	if e.measuring {
+		e.rInt.Set(t, e.rNow)
+		if e.cfg.Saturated != nil {
+			e.rsInt.Set(t, e.rsNow)
+		}
+	}
+}
+
+// repriceR re-charges packet p for a non-greedy forward onto edge e2 (a
+// misroute or detour): one service on e2 plus the greedy continuation from
+// its head. The greedy forward never calls this — its new charge is the
+// old one minus the completed service, handled inline in departFIFOFault.
+func (e *engine) repriceR(t float64, p *packet, e2 int) {
+	st := e.steppers[p.choice]
+	head := int(e.edgeTo[e2])
+	rem := int32(1 + st.RemainingHops(head, int(p.dst)))
+	e.rNow += float64(rem - p.rem)
+	p.rem = rem
+	if e.cfg.Saturated != nil {
+		rs := int32(e.countSaturatedWalk(st, head, int(p.dst)))
+		if e.cfg.Saturated[e2] {
+			rs++
+		}
+		e.rsNow += float64(rs - p.rs)
+		p.rs = rs
+	}
+	if e.measuring {
+		e.rInt.Set(t, e.rNow)
+		if e.cfg.Saturated != nil {
+			e.rsInt.Set(t, e.rsNow)
+		}
+	}
+}
+
 // departFIFOFault is departFIFO's fault-mode twin: the same fused
 // complete-advance-enqueue frame, plus the adversary decision point and
 // the greedy-with-recovery policy at the node the packet just reached.
 // The policy is routing.Recover's, inlined over the plan's CSR adjacency
 // exactly as the slotted engine's fltAdvance inlines it, so the two
 // engines route identically around the same degraded state.
+//
+// Remaining-service tracking is per packet here, not decrement-per-service
+// as on the fault-free path: each packet carries the charge it holds in
+// rNow/rsNow (p.rem, p.rs), the common greedy forward pays the completed
+// service down exactly like departFIFO, and the rare reroutes — misroute,
+// detour — re-price the packet against its new greedy continuation. E[R_s]
+// on a degraded network therefore reads "remaining saturated services
+// along the packet's current greedy continuation", the natural extension
+// of the fault-free definition.
 func (e *engine) departFIFOFault(t float64, edge int) {
 	f := e.flt
 	finished, _, hasNext := e.fifo[edge].Complete()
@@ -319,6 +458,7 @@ func (e *engine) departFIFOFault(t float64, edge int) {
 	p.cur = e.edgeTo[edge]
 	if p.cur == p.dst {
 		e.bumpN(t, -1)
+		e.settleR(t, p)
 		e.recordDelivery(t, p.genTime, p.measured)
 		e.arena.release(finished)
 		return
@@ -335,6 +475,7 @@ func (e *engine) departFIFOFault(t float64, edge int) {
 		case fault.LiarDrop:
 			if fault.Coin(f.seed, fault.SaltDrop, uint64(edge), k, pl.LiarProb[pos]) {
 				e.bumpN(t, -1)
+				e.settleR(t, p)
 				if m {
 					f.dropped++
 				}
@@ -347,6 +488,7 @@ func (e *engine) departFIFOFault(t float64, edge int) {
 					if m {
 						f.misrouted++
 					}
+					e.repriceR(t, p, int(e2))
 					e.enqueueFault(t, finished, int(e2))
 					return
 				}
@@ -356,6 +498,20 @@ func (e *engine) departFIFOFault(t float64, edge int) {
 	st := e.steppers[p.choice]
 	next, _ := st.NextEdge(int(pos), int(p.dst))
 	if f.usable(int32(next), t) {
+		// Greedy forward: the completed service is paid down and the rest
+		// of the charge carries over, exactly departFIFO's accounting.
+		p.rem--
+		e.rNow--
+		if e.cfg.Saturated != nil && e.cfg.Saturated[edge] {
+			p.rs--
+			e.rsNow--
+		}
+		if e.measuring {
+			e.rInt.Set(t, e.rNow)
+			if e.cfg.Saturated != nil {
+				e.rsInt.Set(t, e.rsNow)
+			}
+		}
 		e.enqueueFault(t, finished, next)
 		return
 	}
@@ -372,12 +528,14 @@ func (e *engine) departFIFOFault(t float64, edge int) {
 			if m {
 				f.detourHops++
 			}
+			e.repriceR(t, p, int(e2))
 			e.enqueueFault(t, finished, int(e2))
 			return
 		}
 	}
 	// Dead end: no live improving neighbor.
 	e.bumpN(t, -1)
+	e.settleR(t, p)
 	if m {
 		f.dropped++
 		f.deadEnds++

@@ -141,10 +141,13 @@ func TestDESFaultValidation(t *testing.T) {
 		}
 	})
 	t.Run("saturated tracking", func(t *testing.T) {
+		// R_s tracking works on degraded networks since the per-packet
+		// remaining-service accounting: the combination must run.
 		cfg := base
 		cfg.Saturated = make([]bool, a.NumEdges())
-		if _, err := Run(cfg); err == nil {
-			t.Error("Saturated + faults accepted")
+		cfg.Saturated[0] = true
+		if _, err := Run(cfg); err != nil {
+			t.Errorf("Saturated + faults rejected: %v", err)
 		}
 	})
 	t.Run("dims mismatch", func(t *testing.T) {
@@ -208,5 +211,121 @@ func TestDESFaultFreeUntouched(t *testing.T) {
 	if res.Dropped != 0 || res.DeadEnds != 0 || res.DetourHops != 0 || res.Misrouted != 0 ||
 		res.LinkDownFrac != 0 || res.NodeDownFrac != 0 {
 		t.Errorf("fault observables nonzero on a fault-free run: %+v", res)
+	}
+}
+
+// TestDESDowntimeUnion is the regression test for the PR 8 known issue:
+// node downtime was accounted as Markov downtime plus outage downtime,
+// double-counting a node that is Markov-down inside an outage window
+// covering it. With the whole array failure-prone, failing almost
+// immediately and never repairing, under a full-horizon outage over every
+// node, the additive accounting reports a down fraction near 2 — the union
+// can never exceed 1.
+func TestDESDowntimeUnion(t *testing.T) {
+	a := topology.NewArray2D(4)
+	plan := bindFaults(t, a, &fault.Spec{
+		NodeMTBF:     0.01,
+		NodeMTTR:     1e12,
+		NodeFraction: 1,
+		Outages: []fault.Outage{
+			{Row0: 0, Col0: 0, Row1: 3, Col1: 3, Start: 0, Duration: 1e9},
+		},
+		Seed: 3,
+	})
+	cfg := Config{
+		Net: a, Router: routing.GreedyXY{A: a},
+		Dest:     routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate: 0.05,
+		Warmup:   100, Horizon: 1100, Seed: 9,
+		Faults: plan,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeDownFrac > 1+1e-9 {
+		t.Errorf("NodeDownFrac = %v > 1: Markov and outage downtime double-counted", res.NodeDownFrac)
+	}
+	if res.NodeDownFrac < 0.99 {
+		t.Errorf("NodeDownFrac = %v, want ~1 (every node down the whole window)", res.NodeDownFrac)
+	}
+}
+
+// TestDESDowntimeOverlappingOutages pins the other face of the union: two
+// outages over the same region with overlapping windows charge the merged
+// window once, so the fraction matches the analytic value exactly.
+func TestDESDowntimeOverlappingOutages(t *testing.T) {
+	a := topology.NewArray2D(4)
+	plan := bindFaults(t, a, &fault.Spec{
+		Outages: []fault.Outage{
+			{Row0: 0, Col0: 0, Row1: 1, Col1: 1, Start: 200, Duration: 400},
+			{Row0: 0, Col0: 0, Row1: 1, Col1: 1, Start: 400, Duration: 400},
+		},
+		Seed: 3,
+	})
+	cfg := Config{
+		Net: a, Router: routing.GreedyXY{A: a},
+		Dest:     routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate: 0.05,
+		Warmup:   100, Horizon: 1000, Seed: 9,
+		Faults: plan,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 nodes down over the merged window [200, 800) of the measurement
+	// window [100, 1100), across 16 nodes.
+	want := 4.0 * 600.0 / (16.0 * 1000.0)
+	if math.Abs(res.NodeDownFrac-want) > 1e-12 {
+		t.Errorf("NodeDownFrac = %v, want %v (merged windows)", res.NodeDownFrac, want)
+	}
+}
+
+// TestDESFaultMeanR pins the E[R]/E[R_s] wiring through the fault path:
+// a degraded run must report nonzero remaining-service integrals (they
+// were defined-zero before the per-packet accounting), r = E[R]/E[N] must
+// be consistent, and E[R_s] must respond to a Saturated mask.
+func TestDESFaultMeanR(t *testing.T) {
+	a := topology.NewArray2D(8)
+	plan := bindFaults(t, a, &fault.Spec{
+		LinkMTBF: 200, LinkMTTR: 30, LinkFraction: 0.3,
+		Misbehave: []fault.Misbehave{
+			{Mode: fault.ModeMisroute, Nodes: []int{27}, Prob: 0.5},
+		},
+		Seed: 7,
+	})
+	cfg := Config{
+		Net: a, Router: routing.GreedyXY{A: a},
+		Dest:     routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate: 0.2,
+		Warmup:   300, Horizon: 3000, Seed: 13,
+		Faults: plan,
+	}
+	cfg.Saturated = make([]bool, a.NumEdges())
+	for e := 0; e < a.NumEdges(); e++ {
+		cfg.Saturated[e] = true // every hop saturated: E[R_s] must equal E[R]
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanR <= 0 {
+		t.Fatalf("MeanR = %v on a degraded run, want > 0", res.MeanR)
+	}
+	if res.RPerN <= 0 || math.Abs(res.RPerN-res.MeanR/res.MeanN) > 1e-12 {
+		t.Errorf("RPerN = %v inconsistent with MeanR/MeanN = %v", res.RPerN, res.MeanR/res.MeanN)
+	}
+	if math.Float64bits(res.MeanRs) != math.Float64bits(res.MeanR) {
+		t.Errorf("all-saturated mask: MeanRs = %v != MeanR = %v", res.MeanRs, res.MeanR)
+	}
+	// Two identical runs must still agree to the bit with R tracking on.
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res2.MeanR) != math.Float64bits(res.MeanR) ||
+		math.Float64bits(res2.MeanRs) != math.Float64bits(res.MeanRs) {
+		t.Error("degraded MeanR/MeanRs not deterministic")
 	}
 }

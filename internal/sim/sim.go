@@ -189,10 +189,11 @@ type Config struct {
 	// packets detour around down greedy next hops and are dropped —
 	// counted in Result, never silently lost — at dead ends. Only the
 	// FIFO + stepper-routing fast path supports faults (no PS or
-	// FurthestFirst, no MaterializeRoutes, no Resume/Capture, no
-	// Saturated), and MeanR/MeanRs are not tracked on fault runs (see
-	// fault.go). The fault-free path is bit-identical with or without
-	// this field compiled in; a nil Faults changes nothing.
+	// FurthestFirst, no MaterializeRoutes, no Resume/Capture). MeanR and
+	// MeanRs are tracked per packet on fault runs: detours and misroutes
+	// re-evaluate the remaining greedy continuation (see fault.go). The
+	// fault-free path is bit-identical with or without this field
+	// compiled in; a nil Faults changes nothing.
 	Faults *fault.Plan
 }
 
@@ -229,8 +230,6 @@ func (c *Config) validate() error {
 		return fmt.Errorf("sim: fault layer requires stepper routing; MaterializeRoutes cannot combine with Faults")
 	case c.Faults != nil && (c.Resume != nil || c.Capture):
 		return fmt.Errorf("sim: fault processes are not snapshottable; Faults cannot combine with Resume or Capture")
-	case c.Faults != nil && c.Saturated != nil:
-		return fmt.Errorf("sim: R_s tracking is undefined on degraded networks; Faults cannot combine with Saturated")
 	case c.Faults != nil && (c.Faults.NumNodes != c.Net.NumNodes() || c.Faults.NumEdges != c.Net.NumEdges()):
 		return fmt.Errorf("sim: fault plan bound to a %d-node/%d-edge network; config's %s has %d/%d",
 			c.Faults.NumNodes, c.Faults.NumEdges, c.Net.Name(), c.Net.NumNodes(), c.Net.NumEdges())
@@ -593,19 +592,24 @@ func (e *engine) generate(t float64, src int) {
 		p.choice = uint8(choice)
 		p.measured = e.measuring
 		e.bumpN(t, 1)
-		if e.flt == nil {
-			// Remaining-service tracking is off on fault runs: detours
-			// and misroutes would invalidate the decrement-per-service
-			// invariant (see fault.go).
-			e.rNow += float64(rem)
-			if e.cfg.Saturated != nil {
-				e.rsNow += float64(e.countSaturatedWalk(st, src, dst))
+		e.rNow += float64(rem)
+		if e.flt != nil {
+			// Fault runs track remaining services per packet: detours and
+			// misroutes re-evaluate the greedy continuation, so each
+			// packet remembers what it charged (see departFIFOFault).
+			p.rem = int32(rem)
+		}
+		if e.cfg.Saturated != nil {
+			rs := e.countSaturatedWalk(st, src, dst)
+			e.rsNow += float64(rs)
+			if e.flt != nil {
+				p.rs = int32(rs)
 			}
-			if e.measuring {
-				e.rInt.Set(t, e.rNow)
-				if e.cfg.Saturated != nil {
-					e.rsInt.Set(t, e.rsNow)
-				}
+		}
+		if e.measuring {
+			e.rInt.Set(t, e.rNow)
+			if e.cfg.Saturated != nil {
+				e.rsInt.Set(t, e.rsNow)
 			}
 		}
 		e.enqueue(t, h, p)

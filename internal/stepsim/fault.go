@@ -10,19 +10,26 @@ package stepsim
 // forward. The fault-free path is untouched: every hook below is behind a
 // `flt != nil` check, no variate stream changes, and the goldens pin that.
 //
-// Each slot gains a phase 0 before arrivals: every tile advances the
-// Markov processes and outage windows of the entities it owns (the tile
-// owning an edge's tail node owns the edge). Phase 0 writes the shared
-// linkDown/nodeDown arrays, so multi-tile runs with Markov or outage
-// processes take a second barrier between phase 0 and arrivals; liar-only
-// plans mutate no shared state slot-to-slot and keep the single barrier.
+// Each slot gains a phase 0 before arrivals: every tile advances EVERY
+// Markov process and outage window on its own private replica of the
+// up/down arrays. Replication is what lets degraded runs ride the
+// lookahead pipeline (shard.go): the dwell streams are keyed by entity id
+// (ReseedSplit(faultSeed^salt, entityID)), so every tile computes
+// bit-identical state with no cross-tile writes at all — where the
+// pre-lookahead engine paid a second, fault-only barrier per slot to
+// publish a shared array, the replicated phase 0 costs zero barriers and
+// a per-tile O(entities) sweep (entity sets are a few percent of the
+// topology, and the arrays are E+N bytes per tile). Downtime integrals
+// still count every entity exactly once: a tile charges its counters only
+// for the entities it OWNS (the tile of an edge's tail node, or of the
+// node itself), even though it advances all of them.
 //
-// Shard invariance holds by the same three rules as the fault-free engine:
-// per-entity keyed dwell streams (ReseedSplit(faultSeed^salt, entityID)),
-// owner-only writes published by the barrier, and exact-integer
-// accumulators. Per-packet adversary coins hash (seed, edge, slot) — an
-// edge serves at most one packet per slot, so the pair identifies the
-// service event regardless of tiling.
+// Shard invariance holds by the same rules as the fault-free engine:
+// per-entity keyed dwell streams, replicas that are pure functions of
+// them, and exact-integer owned-only accumulators. Per-packet adversary
+// coins hash (seed, edge, slot) — an edge serves at most one packet per
+// slot, so the pair identifies the service event regardless of tiling or
+// of how far the lookahead pipeline has let tiles skew.
 //
 // Fault mode disables the packed-coordinate fast path (routeTables.init):
 // position keys are then node ids, which the liar tables, the CSR recovery
@@ -35,16 +42,19 @@ import (
 	"repro/internal/fault"
 )
 
-// outageEvt is one scheduled outage restricted to a tile's owned nodes:
-// the nodes go down at slot start and come back at slot end.
+// outageEvt is one scheduled outage: the nodes go down at slot start and
+// come back at slot end. Read-only after reset; every tile applies it to
+// its own replica.
 type outageEvt struct {
 	start, end int64
 	nodes      []int32
 }
 
-// stepFaults is the engine-wide fault state of one run. linkDown and
-// nodeDown are shared across tiles but written only by an entity's owning
-// tile during phase 0; the per-slot barrier publishes the writes.
+// stepFaults is the engine-wide fault state of one run: the bound plan,
+// per-slot transition probabilities, the preprocessed outage schedule, and
+// the delay-liar hold state. The up/down arrays live per tile (replicas);
+// hold lives here because edge e's hold is touched only by e's owning
+// tile's service scan, so sharing it needs no synchronization.
 type stepFaults struct {
 	plan *fault.Plan
 	seed uint64
@@ -54,35 +64,30 @@ type stepFaults struct {
 	pLinkFail, pLinkRepair float64
 	pNodeFail, pNodeRepair float64
 
-	// linkDown[e]: edge e's own Markov process is down. nodeDown[v]: bit 0
-	// is the node Markov state, the remaining bits count overlapping
-	// outages (in steps of 2); the node is usable iff the byte is zero.
-	linkDown []bool
-	nodeDown []uint8
+	// outages is the slot-windowed outage schedule with sub-slot windows
+	// already dropped.
+	outages []outageEvt
 
 	// hold[e] is the release slot of a delay-liar hold on edge e's head
 	// packet (0 = none); edgeExtra[e] is the extra delay e's tail node
-	// imposes when it is a delay liar. Both nil when no delay liars: the
-	// hold state is written only by e's owning tile during its own service
-	// scan, so it needs no barrier.
+	// imposes when it is a delay liar. Both nil when no delay liars.
 	hold      []int64
 	edgeExtra []int32
+}
 
-	// needBarrier: phase 0 mutates shared state (Markov or outages), so
-	// multi-tile runs need the extra barrier between phase 0 and arrivals.
-	needBarrier bool
+// owns reports whether tile t charges the downtime integral for node v
+// (and for the edges whose tail is v).
+func (s *ShardedEngine) owns(t *tile, v int32) bool {
+	return s.shards == 1 || s.nodeOwner[v] == t.id
 }
 
 // resetFaults clears the tiles' fault accumulators and, when cfg.Faults is
-// set, builds the run's fault state and distributes entities to their
-// owning tiles. Runs after the tile plan and ownership tables exist.
+// set, builds the run's fault state and sizes every tile's replica. Runs
+// after the tile plan and ownership tables exist.
 func (s *ShardedEngine) resetFaults(cfg Config) error {
 	numNodes := cfg.Net.NumNodes()
 	for i := range s.tiles {
 		t := &s.tiles[i]
-		t.fltLinks = t.fltLinks[:0]
-		t.fltNodes = t.fltNodes[:0]
-		t.fltOutages = t.fltOutages[:0]
 		t.downLinks, t.downNodes = 0, 0
 		t.linkDownSlots, t.nodeDownSlots = 0, 0
 		t.dropped, t.deadEnds, t.detourHops, t.misrouted = 0, 0, 0, 0
@@ -123,10 +128,6 @@ func (s *ShardedEngine) resetFaults(cfg Config) error {
 	if p.Spec.NodeMTBF > 0 {
 		f.pNodeFail, f.pNodeRepair = 1/p.Spec.NodeMTBF, 1/p.Spec.NodeMTTR
 	}
-	f.linkDown = grow(f.linkDown, p.NumEdges)
-	clear(f.linkDown)
-	f.nodeDown = grow(f.nodeDown, p.NumNodes)
-	clear(f.nodeDown)
 
 	hasDelay := false
 	for _, v := range p.Liars {
@@ -148,25 +149,8 @@ func (s *ShardedEngine) resetFaults(cfg Config) error {
 	} else {
 		f.edgeExtra, f.hold = nil, nil
 	}
-	f.needBarrier = p.HasMarkov() || len(p.OutageNodes) > 0
 
-	// Distribute Markov entities and outage node sets to their owning
-	// tiles. An edge belongs to the tile owning its tail node — the tile
-	// whose service scan serves it.
-	owner := func(v int32) int32 {
-		if s.shards == 1 {
-			return 0
-		}
-		return s.nodeOwner[v]
-	}
-	for _, e := range p.FaultEdges {
-		t := &s.tiles[owner(p.From[e])]
-		t.fltLinks = append(t.fltLinks, e)
-	}
-	for _, v := range p.FaultNodes {
-		t := &s.tiles[owner(v)]
-		t.fltNodes = append(t.fltNodes, v)
-	}
+	f.outages = f.outages[:0]
 	for i, nodes := range p.OutageNodes {
 		o := p.Spec.Outages[i]
 		start := int64(o.Start)
@@ -175,101 +159,101 @@ func (s *ShardedEngine) resetFaults(cfg Config) error {
 			// Sub-slot outage: invisible in slotted time.
 			continue
 		}
-		for ti := range s.tiles {
-			var owned []int32
-			for _, v := range nodes {
-				if owner(v) == int32(ti) {
-					owned = append(owned, v)
-				}
-			}
-			if len(owned) > 0 {
-				s.tiles[ti].fltOutages = append(s.tiles[ti].fltOutages,
-					outageEvt{start: start, end: end, nodes: owned})
-			}
-		}
+		f.outages = append(f.outages, outageEvt{start: start, end: end, nodes: nodes})
 	}
+
+	// Size every tile's replica: dwell streams and next-transition slots
+	// aligned with the plan's entity lists, plus the private up/down
+	// arrays.
 	for i := range s.tiles {
 		t := &s.tiles[i]
-		t.fltLinkRng = grow(t.fltLinkRng, len(t.fltLinks))
-		t.fltLinkNext = grow(t.fltLinkNext, len(t.fltLinks))
-		t.fltNodeRng = grow(t.fltNodeRng, len(t.fltNodes))
-		t.fltNodeNext = grow(t.fltNodeNext, len(t.fltNodes))
+		t.fltLinkRng = grow(t.fltLinkRng, len(p.FaultEdges))
+		t.fltLinkNext = grow(t.fltLinkNext, len(p.FaultEdges))
+		t.fltNodeRng = grow(t.fltNodeRng, len(p.FaultNodes))
+		t.fltNodeNext = grow(t.fltNodeNext, len(p.FaultNodes))
+		t.fltLinkDown = grow(t.fltLinkDown, p.NumEdges)
+		t.fltNodeDown = grow(t.fltNodeDown, p.NumNodes)
+		clear(t.fltLinkDown)
+		clear(t.fltNodeDown)
 	}
 	return nil
 }
 
-// seedFaults seeds one tile's per-entity dwell streams and draws each
-// entity's first failure slot. Runs in the worker alongside the per-node
-// arrival stream seeding: each tile touches only its own entities, and the
-// streams are keyed by entity id, so the tiling cannot change any dwell
-// sequence.
+// seedFaults seeds one tile's replica of the per-entity dwell streams and
+// draws each entity's first failure slot. Runs in the worker alongside the
+// per-node arrival stream seeding: the streams are keyed by entity id, so
+// every tile's replica draws the identical dwell sequence.
 func (s *ShardedEngine) seedFaults(t *tile) {
 	f := s.flt
-	for i, e := range t.fltLinks {
+	for i, e := range f.plan.FaultEdges {
 		rng := &t.fltLinkRng[i]
 		rng.ReseedSplit(f.seed^fault.SaltLinkDwell, uint64(e))
 		t.fltLinkNext[i] = 1 + int64(rng.Geometric(f.pLinkFail))
 	}
-	for i, v := range t.fltNodes {
+	for i, v := range f.plan.FaultNodes {
 		rng := &t.fltNodeRng[i]
 		rng.ReseedSplit(f.seed^fault.SaltNodeDwell, uint64(v))
 		t.fltNodeNext[i] = 1 + int64(rng.Geometric(f.pNodeFail))
 	}
 }
 
-// faultPhase is phase 0 for one tile: advance the owned Markov processes
-// past this slot, apply outage starts/ends scheduled for it, and (while
-// measuring) integrate the tile's down-entity counts into the downtime
-// accumulators. All writes are to entities this tile owns.
+// faultPhase is phase 0 for one tile: advance the replica of every Markov
+// process past this slot, apply outage starts/ends scheduled for it, and
+// (while measuring) integrate the tile's OWNED down-entity counts into the
+// downtime accumulators. All writes go to this tile's private arrays.
 func (s *ShardedEngine) faultPhase(t *tile, slot int, measuring bool) {
 	f := s.flt
 	sl := int64(slot)
-	for i, e := range t.fltLinks {
+	for i, e := range f.plan.FaultEdges {
 		for t.fltLinkNext[i] <= sl {
 			rng := &t.fltLinkRng[i]
-			if f.linkDown[e] {
-				f.linkDown[e] = false
-				t.downLinks--
+			if t.fltLinkDown[e] {
+				t.fltLinkDown[e] = false
+				if s.owns(t, f.plan.From[e]) {
+					t.downLinks--
+				}
 				t.fltLinkNext[i] += 1 + int64(rng.Geometric(f.pLinkFail))
 			} else {
-				f.linkDown[e] = true
-				t.downLinks++
+				t.fltLinkDown[e] = true
+				if s.owns(t, f.plan.From[e]) {
+					t.downLinks++
+				}
 				t.fltLinkNext[i] += 1 + int64(rng.Geometric(f.pLinkRepair))
 			}
 		}
 	}
-	for i, v := range t.fltNodes {
+	for i, v := range f.plan.FaultNodes {
 		for t.fltNodeNext[i] <= sl {
 			rng := &t.fltNodeRng[i]
-			if f.nodeDown[v]&1 != 0 {
-				f.nodeDown[v] &^= 1
-				if f.nodeDown[v] == 0 {
+			if t.fltNodeDown[v]&1 != 0 {
+				t.fltNodeDown[v] &^= 1
+				if t.fltNodeDown[v] == 0 && s.owns(t, v) {
 					t.downNodes--
 				}
 				t.fltNodeNext[i] += 1 + int64(rng.Geometric(f.pNodeFail))
 			} else {
-				if f.nodeDown[v] == 0 {
+				if t.fltNodeDown[v] == 0 && s.owns(t, v) {
 					t.downNodes++
 				}
-				f.nodeDown[v] |= 1
+				t.fltNodeDown[v] |= 1
 				t.fltNodeNext[i] += 1 + int64(rng.Geometric(f.pNodeRepair))
 			}
 		}
 	}
-	for i := range t.fltOutages {
-		o := &t.fltOutages[i]
+	for i := range f.outages {
+		o := &f.outages[i]
 		if sl == o.start {
 			for _, v := range o.nodes {
-				if f.nodeDown[v] == 0 {
+				if t.fltNodeDown[v] == 0 && s.owns(t, v) {
 					t.downNodes++
 				}
-				f.nodeDown[v] += 2
+				t.fltNodeDown[v] += 2
 			}
 		}
 		if sl == o.end {
 			for _, v := range o.nodes {
-				f.nodeDown[v] -= 2
-				if f.nodeDown[v] == 0 {
+				t.fltNodeDown[v] -= 2
+				if t.fltNodeDown[v] == 0 && s.owns(t, v) {
 					t.downNodes--
 				}
 			}
@@ -282,10 +266,10 @@ func (s *ShardedEngine) faultPhase(t *tile, slot int, measuring bool) {
 }
 
 // canUse reports whether an edge can carry a packet this slot: the link's
-// own process and both endpoints are up.
-func (s *ShardedEngine) canUse(e int32) bool {
+// own process and both endpoints are up, per this tile's replica.
+func (s *ShardedEngine) canUse(t *tile, e int32) bool {
 	f := s.flt
-	return !f.linkDown[e] && f.nodeDown[f.plan.From[e]] == 0 && f.nodeDown[f.plan.To[e]] == 0
+	return !t.fltLinkDown[e] && t.fltNodeDown[f.plan.From[e]] == 0 && t.fltNodeDown[f.plan.To[e]] == 0
 }
 
 // canServe decides whether edge serves its head packet this slot. A
@@ -294,9 +278,9 @@ func (s *ShardedEngine) canUse(e int32) bool {
 // slots: the first service opportunity posts the hold, the head is served
 // when the hold expires (and any down time extends it further, as a real
 // slow router's would).
-func (s *ShardedEngine) canServe(edge int32, slot int) bool {
+func (s *ShardedEngine) canServe(t *tile, edge int32, slot int) bool {
 	f := s.flt
-	if f.linkDown[edge] || f.nodeDown[f.plan.From[edge]] != 0 || f.nodeDown[f.plan.To[edge]] != 0 {
+	if t.fltLinkDown[edge] || t.fltNodeDown[f.plan.From[edge]] != 0 || t.fltNodeDown[f.plan.To[edge]] != 0 {
 		return false
 	}
 	if f.hold != nil {
@@ -336,7 +320,7 @@ func (s *ShardedEngine) fltAdvance(t *tile, edge int32, slot int, pos, key int32
 		}
 	case fault.LiarMisroute:
 		if fault.Coin(f.seed, fault.SaltMisroute, uint64(edge), uint64(slot), p.LiarProb[pos]) {
-			if e2 := p.MisrouteEdge(f.seed, edge, uint64(slot)); e2 >= 0 && s.canUse(e2) {
+			if e2 := p.MisrouteEdge(f.seed, edge, uint64(slot)); e2 >= 0 && s.canUse(t, e2) {
 				if m {
 					t.misrouted++
 				}
@@ -345,7 +329,7 @@ func (s *ShardedEngine) fltAdvance(t *tile, edge int32, slot int, pos, key int32
 		}
 	}
 	next := s.tab.nextEdge(pos, key, choice)
-	if s.canUse(next) {
+	if s.canUse(t, next) {
 		return next, false
 	}
 	// Greedy next hop is down: detour via any live out-edge that strictly
@@ -355,7 +339,7 @@ func (s *ShardedEngine) fltAdvance(t *tile, edge int32, slot int, pos, key int32
 	rem := st.RemainingHops(int(pos), int(key))
 	lo, hi := p.OutStart[pos], p.OutStart[pos+1]
 	for _, e2 := range p.OutEdges[lo:hi] {
-		if e2 == next || !s.canUse(e2) {
+		if e2 == next || !s.canUse(t, e2) {
 			continue
 		}
 		if st.RemainingHops(int(p.To[e2]), int(key)) < rem {

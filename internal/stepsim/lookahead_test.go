@@ -1,0 +1,243 @@
+package stepsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestShardInvarianceLookahead is the determinism contract of the batched
+// barriers: the full cross product of lookahead depth × execution body ×
+// fault layer × shard count must stay Float64bits-identical to the serial
+// Engine reference. The lookahead knob is result-inert by construction —
+// this test is what enforces it (in CI, under -race).
+func TestShardInvarianceLookahead(t *testing.T) {
+	a := topology.NewArray2D(13)
+	plan := fullFaultPlan(t, a)
+	for _, flt := range []struct {
+		name string
+		plan Config
+	}{
+		{"fault-free", Config{
+			Net: a, Router: routing.RandGreedy{A: a},
+			Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+			NodeRate:    0.3,
+			WarmupSlots: 300, Slots: 2400, Seed: 211,
+		}},
+		{"degraded", Config{
+			Net: a, Router: routing.GreedyXY{A: a},
+			Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+			NodeRate:    0.1,
+			WarmupSlots: 300, Slots: 2400, Seed: 211,
+			Faults: plan,
+		}},
+	} {
+		for _, mode := range []struct {
+			name  string
+			dense bool
+		}{{"sparse", false}, {"dense", true}} {
+			t.Run(flt.name+"/"+mode.name, func(t *testing.T) {
+				cfg := flt.plan
+				cfg.Dense = mode.dense
+				if testing.Short() {
+					cfg.WarmupSlots /= 10
+					cfg.Slots /= 10
+				}
+				var eng Engine
+				ref, err := eng.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sh ShardedEngine // one engine across the grid: reuse must not leak
+				for _, k := range []int{1, 2, 8} {
+					for _, shards := range []int{1, 2, 3, 8} {
+						scfg := cfg
+						scfg.Shards = shards
+						scfg.Lookahead = k
+						got, err := sh.Run(scfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						requireSameBits(t, flt.name, got, ref)
+						if cfg.Faults != nil {
+							requireSameFaultBits(t, flt.name, got, ref)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLookaheadBarrierCount pins the measurable win: a k-deep batch takes
+// one barrier wait per tile per batch, so the counted waits must equal
+// shards · ceil(total/k) exactly — deterministically, not on average —
+// which is the ~k× reduction the lookahead exists for.
+func TestLookaheadBarrierCount(t *testing.T) {
+	a := topology.NewArray2D(16)
+	base := Config{
+		Net: a, Router: routing.GreedyXY{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    0.2,
+		WarmupSlots: 100, Slots: 900, Seed: 31,
+		Shards: 2,
+	}
+	total := base.WarmupSlots + base.Slots
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.Lookahead = k
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lookahead != k {
+			t.Fatalf("k=%d: effective lookahead %d (8-row bands should not clamp it)", k, res.Lookahead)
+		}
+		batches := (total + k - 1) / k
+		if want := int64(cfg.Shards) * int64(batches); res.BarrierWaits != want {
+			t.Errorf("k=%d: BarrierWaits = %d, want %d", k, res.BarrierWaits, want)
+		}
+	}
+	// Serial runs never wait: the counter must stay zero, and the reported
+	// depth pins to 1 regardless of the requested k.
+	cfg := base
+	cfg.Shards = 1
+	cfg.Lookahead = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BarrierWaits != 0 || res.Lookahead != 1 {
+		t.Errorf("serial run: BarrierWaits=%d Lookahead=%d, want 0 and 1", res.BarrierWaits, res.Lookahead)
+	}
+}
+
+// TestLookaheadClampDeepK pins the degradation contract: a lookahead
+// deeper than the tiles' interiors (k far past the tile width, or past the
+// engine cap) must clamp to the plan's useful depth and still produce
+// bit-identical results — clamp, not corrupt.
+func TestLookaheadClampDeepK(t *testing.T) {
+	a := topology.NewArray2D(9)
+	cfg := Config{
+		Net: a, Router: routing.RandGreedy{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    0.3,
+		WarmupSlots: 100, Slots: 800, Seed: 41,
+	}
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		shards, k, want int
+	}{
+		// 3 tiles of 3 rows each: the deepest interior row sits 2 hops from
+		// a cut, so any k ≥ 3 clamps to 3.
+		{3, 8, 3},
+		{3, 1 << 20, 3},
+		// 8 tiles over 9 rows: all but one row border a cut; k clamps to 2.
+		{8, 8, 2},
+		// 2 tiles of 4–5 rows: maxBD = 4 (the bottom row of the 5-row
+		// band), so a request far past the engine cap clamps to 5.
+		{2, 1 << 20, 5},
+	} {
+		c := cfg
+		c.Shards = tc.shards
+		c.Lookahead = tc.k
+		got, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lookahead != tc.want {
+			t.Errorf("shards=%d k=%d: effective lookahead %d, want %d", tc.shards, tc.k, got.Lookahead, tc.want)
+		}
+		requireSameBits(t, "deep-k clamp", got, ref)
+	}
+	// A negative depth is a config error, not a silent clamp.
+	c := cfg
+	c.Lookahead = -1
+	if _, err := Run(c); err == nil {
+		t.Error("negative Lookahead accepted")
+	}
+}
+
+// TestLookaheadSmokeGolden is the batched-barrier tripwire CI runs under
+// the race detector with GOMAXPROCS=4: the full-length 256×256 low-load
+// run of TestSparseLowLoadGolden, executed on 3 tiles with 8-slot barrier
+// batches, must reproduce the serial engine's pinned Float64bits goldens
+// exactly — sharding and lookahead are bit-inert by contract, so the two
+// tests share one golden. It also pins the amortization itself: the run
+// must report depth 8 and exactly shards·ceil(slots/8) barrier waits, so
+// a regression that silently falls back to per-slot barriers fails here
+// rather than only showing up as wall-clock drift.
+func TestLookaheadSmokeGolden(t *testing.T) {
+	n := 256
+	a := topology.NewArray2D(n)
+	cfg := Config{
+		Net:         a,
+		Router:      routing.GreedyXY{A: a},
+		Dest:        routing.UniformDest{NumNodes: a.NumNodes()},
+		NodeRate:    bounds.LambdaTable(n, 0.1),
+		WarmupSlots: 250,
+		Slots:       1000,
+		Seed:        2026,
+		Shards:      3,
+		Lookahead:   8,
+	}
+	if testing.Short() {
+		cfg.WarmupSlots, cfg.Slots = 50, 200
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type golden struct {
+		meanDelay, meanN, activeEdges, arrivalFrac uint64
+		delivered                                  int64
+	}
+	// Pinned bits identical to TestSparseLowLoadGolden (sparse_test.go):
+	// regenerate both together with SIM_GOLDEN_PRINT=1 there if the
+	// engine's variate sequence ever changes deliberately.
+	want := golden{
+		meanDelay:   0x4064461b4176906d,
+		meanN:       0x40d107b883126e98,
+		delivered:   84946,
+		activeEdges: 0x40d103d9374bc6a8,
+		arrivalFrac: 0x3f598820c49ba5e3,
+	}
+	if testing.Short() {
+		want = golden{
+			meanDelay:   0x405676d9b78d6e8b,
+			meanN:       0x40c7bd1a3d70a3d7,
+			delivered:   5470,
+			activeEdges: 0x40c7b7f5c28f5c29,
+			arrivalFrac: 0x3f5963d70a3d70a4,
+		}
+	}
+	if got := math.Float64bits(res.MeanDelay); got != want.meanDelay {
+		t.Errorf("MeanDelay bits %#x, want %#x (value %v)", got, want.meanDelay, res.MeanDelay)
+	}
+	if got := math.Float64bits(res.MeanN); got != want.meanN {
+		t.Errorf("MeanN bits %#x, want %#x (value %v)", got, want.meanN, res.MeanN)
+	}
+	if res.Delivered != want.delivered {
+		t.Errorf("Delivered %d, want %d", res.Delivered, want.delivered)
+	}
+	if got := math.Float64bits(res.MeanActiveEdges); got != want.activeEdges {
+		t.Errorf("MeanActiveEdges bits %#x, want %#x (value %v)", got, want.activeEdges, res.MeanActiveEdges)
+	}
+	if got := math.Float64bits(res.ArrivalSlotFraction); got != want.arrivalFrac {
+		t.Errorf("ArrivalSlotFraction bits %#x, want %#x (value %v)", got, want.arrivalFrac, res.ArrivalSlotFraction)
+	}
+	if res.Lookahead != 8 {
+		t.Errorf("Lookahead = %d, want 8 (256-row tiles must support the full depth)", res.Lookahead)
+	}
+	total := int64(cfg.WarmupSlots + cfg.Slots)
+	wantWaits := 3 * ((total + 7) / 8)
+	if res.BarrierWaits != wantWaits {
+		t.Errorf("BarrierWaits = %d, want %d (3 tiles x ceil(%d/8))", res.BarrierWaits, wantWaits, total)
+	}
+}

@@ -7,21 +7,42 @@ package stepsim
 // runs on its own goroutine, owning everything its nodes touch: the ring
 // queues of the edges leaving its nodes, the keyed RNG streams of its
 // source nodes, and its measurement accumulators. A slot is the same three
-// phases as the serial loop — arrivals, service, placement — with exactly
-// one synchronization point:
+// phases as the serial loop — arrivals, service, placement — but since the
+// lookahead rework the fleet no longer rendezvous every slot. Per-slot
+// ordering comes from per-tile GATES, and the global barrier fires once
+// per k-slot batch (Config.Lookahead):
 //
-//	arrivals(slot)   tile-local: sources push onto their own out-edges
-//	service(slot)    tile-local pops; boundary-crossing packets go to a
-//	                 per-(tile,tile) handoff list instead of a queue
-//	BARRIER          all handoff lists for this slot are now complete
-//	placement(slot)  each tile merges its own moved packets with the
-//	                 handoffs addressed to it and pushes, in ascending
-//	                 served-edge order
+//	arrivals(slot)     tile-local: sources push onto their own out-edges
+//	service(slot)      tile-local pops; boundary-crossing packets go to the
+//	                   per-(tile,tile) handoff ring for slot%2k
+//	publish(slot+1)    this tile's handoffs for the slot are complete
+//	place-eager(slot)  own survivors bound for INTERIOR nodes (boundary
+//	                   distance ≥ 1 — no handoff can ever target their
+//	                   queues) are pushed without waiting for anyone
+//	GATE               wait, per SENDING tile only, until it has published
+//	                   this slot — a one-way producer→consumer wait on the
+//	                   1–2 tiles that actually feed this one, not a global
+//	                   rendezvous, and only up to their service phase
+//	place-bnd(slot)    own boundary-bound survivors merge with the
+//	                   handoffs addressed to this tile, in ascending
+//	                   served-edge order
+//	BARRIER            only when the slot ends a k-slot batch
 //
-// Handoff lists are double-buffered by slot parity: a tile writing slot
-// s+1's handoffs can therefore overlap a neighbor still placing slot s,
-// and the single barrier per slot is enough — a tile reuses a buffer only
-// two barriers after its reader consumed it.
+// Handoff lists are 2k-deep rings indexed by slot modulo 2k: tiles inside
+// one batch may skew freely (the gates bound the skew wherever traffic
+// actually flows), and the batch barrier keeps any writer two full
+// batches behind the reuse of a ring slot, generalizing the old parity
+// double-buffer (which this degenerates to at k = 1). The interior/
+// boundary split is planned by topology.BoundaryDistance: a node at
+// distance d from the nearest cross edge cannot exchange packets with
+// another tile for d slots, so only distance-0 nodes' queues ever receive
+// handoffs and everything deeper places eagerly, ahead of the gate.
+//
+// The barrier amortization is the measurable win (Result.BarrierWaits
+// drops ≈ k×, deterministically, even on one vCPU); the gates are what
+// keep it correct — and they are cheaper than the barrier they replace,
+// because a tile waits only for its actual upstream, one atomic load on
+// the fast path, instead of for the slowest tile in the fleet.
 //
 // # Why results cannot depend on the shard count
 //
@@ -45,9 +66,19 @@ package stepsim
 //
 // The barrier is a sense-reversing barrier whose fast path is a bounded
 // atomic spin (no locks or syscalls when every tile has its own core),
-// parking in the scheduler when the window expires; handoff lists are
-// plain slices because the barrier already provides the happens-before
-// edge between writer and reader.
+// parking in the scheduler when the window expires; the gates follow the
+// same spin-then-park discipline. Handoff lists are plain slices because
+// the writer's gate publish happens-before the reader's gate pass (and
+// ring-slot reuse is ordered by the batch barrier), so neither needs
+// locks.
+//
+// Fault-layer runs replicate the cheap shared state instead of adding
+// synchronization: every tile advances ALL Markov and outage processes on
+// a private copy of the up/down arrays (the dwell streams are keyed per
+// entity, so every copy computes identical values), charging the downtime
+// integrals only for the entities it owns. What was a second, fault-only
+// barrier per slot in the pre-lookahead engine is now zero barriers, and
+// degraded runs batch exactly like fault-free ones.
 
 import (
 	"context"
@@ -64,6 +95,11 @@ import (
 // maxShards bounds the tile count: handoff buffers are O(shards²) slice
 // headers, and no machine this engine targets has more cores.
 const maxShards = 1024
+
+// maxLookahead bounds Config.Lookahead before the plan-derived clamp:
+// handoff rings are O(shards² · 2k) slice headers, and a batch deeper than
+// this amortizes nothing a shallower one does not already.
+const maxLookahead = 64
 
 // edgeRun is a contiguous block [lo, hi) of owned edge ids.
 type edgeRun struct {
@@ -92,9 +128,13 @@ type tile struct {
 	// and scans all edges directly.
 	edgeRuns []edgeRun
 
-	// moved parks own-tile placements, bnd merges incoming handoffs.
-	moved []movedRec
-	bnd   []movedRec
+	// moved parks own-tile placements bound for interior nodes (placed
+	// eagerly, before the gate); movedB parks those bound for boundary
+	// nodes, which must merge with incoming handoffs; bnd is the merge
+	// scratch. Single-tile plans use only moved.
+	moved  []movedRec
+	movedB []movedRec
+	bnd    []movedRec
 
 	// Sparse-path state (sparse.go): the busy-edge bitmap over the tile's
 	// owned edges, the arrival timing wheel (intrusive chains: bucket
@@ -120,20 +160,22 @@ type tile struct {
 	minD        int32
 	maxD        int32
 
-	// Fault-layer state (fault.go): the tile's owned Markov entities with
-	// their keyed dwell streams and next-transition slots, its share of
-	// each scheduled outage, running down-entity counts with their
-	// measured-slot integrals, and the fault outcome counters. Empty/zero
-	// on fault-free runs.
-	fltLinks    []int32
+	// Fault-layer state (fault.go): the tile's REPLICA of every Markov
+	// entity's keyed dwell stream, next-transition slot and up/down state
+	// (aligned with the plan's FaultEdges/FaultNodes lists; identical
+	// values on every tile, advanced without synchronization), plus the
+	// running counts of OWNED down entities feeding the measured-slot
+	// integrals, and the fault outcome counters. Empty/zero on fault-free
+	// runs.
 	fltLinkRng  []xrand.RNG
 	fltLinkNext []int64
-	fltNodes    []int32
 	fltNodeRng  []xrand.RNG
 	fltNodeNext []int64
-	fltOutages  []outageEvt
+	fltLinkDown []bool
+	fltNodeDown []uint8
 	downLinks   int64
 	downNodes   int64
+	barWaits    int64
 
 	linkDownSlots int64
 	nodeDownSlots int64
@@ -231,6 +273,61 @@ func (b *barrier) wait(local *int32) {
 	b.mu.Unlock()
 }
 
+// gate is one tile's published-slot word: the producer stores slot+1 after
+// its service phase writes every handoff for that slot, and a consumer
+// about to merge handoffs for the slot waits until the word passes it.
+// Like the barrier it spins first and parks only when the producer is
+// genuinely behind — but unlike the barrier it is pairwise and one-way:
+// nobody waits on a tile that sends them nothing, and a fast producer
+// never waits at all. The padding keeps each tile's hot word on its own
+// cache line so the per-slot publishes of neighboring tiles do not
+// false-share.
+type gate struct {
+	slot   atomic.Int64
+	parked atomic.Int32
+
+	mu   sync.Mutex
+	cond sync.Cond
+
+	_ [64]byte
+}
+
+// init prepares the gate for a run starting at slot 0.
+func (g *gate) init() {
+	g.slot.Store(0)
+	g.parked.Store(0)
+	g.cond.L = &g.mu
+}
+
+// publish announces that every slot below v is fully serviced. The parked
+// check is ordered after the store (both are seq-cst), so a waiter that
+// registered before the check is woken and one that registers after it
+// re-reads the slot word first and never sleeps on a published value.
+func (g *gate) publish(v int64) {
+	g.slot.Store(v)
+	if g.parked.Load() != 0 {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// await blocks until the gate has published v or beyond.
+func (g *gate) await(v int64) {
+	for spins := 0; spins < barrierSpin; spins++ {
+		if g.slot.Load() >= v {
+			return
+		}
+	}
+	g.mu.Lock()
+	g.parked.Add(1)
+	for g.slot.Load() < v {
+		g.cond.Wait()
+	}
+	g.parked.Add(-1)
+	g.mu.Unlock()
+}
+
 // ShardedEngine is a reusable tile-parallel slotted simulator. The zero
 // value is ready; Run honors cfg.Shards (0 and 1 mean a single tile run
 // inline on the calling goroutine) and keeps tables, rings, tile scratch
@@ -262,10 +359,29 @@ type ShardedEngine struct {
 
 	tiles []tile
 
-	// handoff[src*shards+dst][parity] carries the packets tile src served
-	// this slot whose next edge belongs to tile dst, in ascending
-	// served-edge order; parity double-buffers across slots.
-	handoff [][2][]movedRec
+	// lookahead is the effective batch depth k (Config.Lookahead clamped
+	// to the plan's useful depth); ringDepth = 2k is the handoff ring
+	// depth. Serial plans pin both to 1 resp. 2.
+	lookahead int
+	ringDepth int
+
+	// handoff[(src*shards+dst)*ringDepth + slot%ringDepth] carries the
+	// packets tile src served that slot whose next edge belongs to tile
+	// dst, in ascending served-edge order. The ring generalizes the old
+	// per-slot parity double-buffer to k-slot batches.
+	handoff [][]movedRec
+
+	// gates[t] is tile t's published-slot word; senders[t] lists the tiles
+	// with at least one cross edge INTO tile t — the only gates t ever
+	// awaits — ascending. boundaryRow / boundaryNode mark the distance-0
+	// nodes of the plan (whole rows on the packed-coordinate fast path),
+	// whose queues are the only possible handoff targets: survivors headed
+	// anywhere deeper place eagerly, before the gate.
+	gates        []gate
+	senders      [][]int32
+	senderMark   []bool
+	boundaryRow  []bool
+	boundaryNode []bool
 
 	bar barrier
 
@@ -362,15 +478,20 @@ func (s *ShardedEngine) reset(cfg Config) error {
 		if cap(t.moved) > 2*cfg.Net.NumEdges() {
 			t.moved = nil
 		}
+		if cap(t.movedB) > 2*cfg.Net.NumEdges() {
+			t.movedB = nil
+		}
 		if cap(t.bnd) > 2*cfg.Net.NumEdges() {
 			t.bnd = nil
 		}
 		t.moved = t.moved[:0]
+		t.movedB = t.movedB[:0]
 		t.bnd = t.bnd[:0]
 		t.live, t.liveSum = 0, 0
 		t.count, t.sumDelay, t.sumSq = 0, 0, 0
 		t.busySum, t.arrivalHits, t.genCount = 0, 0, 0
 		t.minD, t.maxD = 0, 0
+		t.barWaits = 0
 	}
 
 	// Source sets are COPIED into tile-owned buffers (as the serial reset
@@ -401,6 +522,7 @@ func (s *ShardedEngine) reset(cfg Config) error {
 		}
 	}
 
+	s.lookahead, s.ringDepth = 1, 2
 	if shards > 1 {
 		numNodes, numEdges := cfg.Net.NumNodes(), cfg.Net.NumEdges()
 		s.nodeOwner = grow(s.nodeOwner, numNodes)
@@ -417,22 +539,89 @@ func (s *ShardedEngine) reset(cfg Config) error {
 				s.rowOwner[r] = s.nodeOwner[r*s.tab.n]
 			}
 		}
+		// One edge scan builds both the owned-edge runs and the sender
+		// adjacency (which tiles hand off INTO which).
+		mark := grow(s.senderMark, shards*shards)
+		clear(mark)
+		s.senderMark = mark
 		for e := 0; e < numEdges; e++ {
-			t := &s.tiles[s.nodeOwner[cfg.Net.EdgeFrom(e)]]
+			fo := s.nodeOwner[cfg.Net.EdgeFrom(e)]
+			t := &s.tiles[fo]
 			if n := len(t.edgeRuns); n > 0 && t.edgeRuns[n-1].hi == int32(e) {
 				t.edgeRuns[n-1].hi = int32(e) + 1
 			} else {
 				t.edgeRuns = append(t.edgeRuns, edgeRun{lo: int32(e), hi: int32(e) + 1})
 			}
+			if to := s.nodeOwner[cfg.Net.EdgeTo(e)]; to != fo {
+				mark[int(fo)*shards+int(to)] = true
+			}
 		}
-		if cap(s.handoff) >= shards*shards {
-			s.handoff = s.handoff[:shards*shards]
-			for i := range s.handoff {
-				s.handoff[i][0] = s.handoff[i][0][:0]
-				s.handoff[i][1] = s.handoff[i][1][:0]
+		if cap(s.senders) >= shards {
+			s.senders = s.senders[:shards]
+		} else {
+			s.senders = make([][]int32, shards)
+		}
+		for dst := 0; dst < shards; dst++ {
+			lst := s.senders[dst][:0]
+			for src := 0; src < shards; src++ {
+				if mark[src*shards+dst] {
+					lst = append(lst, int32(src))
+				}
+			}
+			s.senders[dst] = lst
+		}
+
+		// Lookahead plan: classify every node by its distance to the
+		// nearest cross edge. Distance-0 nodes are the only possible
+		// handoff targets (the boundary band); the requested batch depth
+		// is clamped to the deepest interior plus one — past that every
+		// queue push is gate-side and deeper batches only hold memory.
+		bd := topology.BoundaryDistance(cfg.Net, ranges)
+		k := cfg.Lookahead
+		if k <= 0 {
+			k = 1
+		}
+		if k > maxLookahead {
+			k = maxLookahead
+		}
+		maxBD := int32(0)
+		for _, d := range bd {
+			if d > maxBD && d < topology.BoundaryInf {
+				maxBD = d
+			}
+		}
+		if k > int(maxBD)+1 {
+			k = int(maxBD) + 1
+		}
+		s.lookahead, s.ringDepth = k, 2*k
+		if s.tab.fast {
+			s.boundaryRow = grow(s.boundaryRow, s.tab.n)
+			for r := 0; r < s.tab.n; r++ {
+				s.boundaryRow[r] = bd[r*s.tab.n] == 0
 			}
 		} else {
-			s.handoff = make([][2][]movedRec, shards*shards)
+			s.boundaryNode = grow(s.boundaryNode, numNodes)
+			for v := 0; v < numNodes; v++ {
+				s.boundaryNode[v] = bd[v] == 0
+			}
+		}
+
+		cells := shards * shards * s.ringDepth
+		if cap(s.handoff) >= cells {
+			s.handoff = s.handoff[:cells]
+			for i := range s.handoff {
+				s.handoff[i] = s.handoff[i][:0]
+			}
+		} else {
+			s.handoff = make([][]movedRec, cells)
+		}
+		if cap(s.gates) >= shards {
+			s.gates = s.gates[:shards]
+		} else {
+			s.gates = make([]gate, shards)
+		}
+		for i := range s.gates {
+			s.gates[i].init()
 		}
 		s.bar.init(shards)
 	}
@@ -480,46 +669,63 @@ func (s *ShardedEngine) worker(t *tile) {
 		s.seedFaults(t)
 	}
 	multi := s.shards > 1
-	// Plans with Markov or outage processes mutate the shared up/down
-	// arrays in phase 0, so multi-tile runs insert a second barrier between
-	// phase 0 and arrivals; liar-only plans keep the single barrier.
-	fltBarrier := multi && s.flt != nil && s.flt.needBarrier
 	ctx := s.cfg.Ctx
-	parity := 0
+	k := s.lookahead
+	ring := 0
 	for slot := 0; slot < total; slot++ {
 		measuring := slot >= s.cfg.WarmupSlots
 		if s.flt != nil {
+			// Phase 0 on the tile's PRIVATE replica of the fault state:
+			// every tile computes the same up/down values from the same
+			// keyed dwell streams, so no barrier publishes them.
 			s.faultPhase(t, slot, measuring)
-			if fltBarrier {
-				s.bar.wait(&t.sense)
-			}
 		}
 		if s.sparse {
 			s.arrivalsSparse(t, slot, measuring, total)
-			s.serviceSparse(t, slot, measuring, parity)
+			s.serviceSparse(t, slot, measuring, ring)
 		} else {
 			s.arrivals(t, slot, measuring)
-			s.service(t, slot, measuring, parity)
+			s.service(t, slot, measuring, ring)
 		}
 		if multi {
-			// Cancellation consensus: only tile 0 polls the context, and it
-			// publishes the slot it is about to leave at before the barrier
-			// every other tile is about to cross; a tile exits only when the
-			// published slot is its own (see stopAt for why the slot tag,
-			// not a boolean, is what prevents a barrier deadlock).
-			if t.id == 0 && ctx != nil && ctx.Err() != nil && s.stopAt.Load() == 0 {
-				s.stopAt.Store(int64(slot) + 1)
+			// This slot's handoffs are complete: publish, then place the
+			// interior-bound survivors while upstream tiles may still be
+			// serving, and gate only on the tiles that actually feed this
+			// one before merging the boundary band.
+			s.gates[t.id].publish(int64(slot) + 1)
+			s.placeEager(t)
+			for _, u := range s.senders[t.id] {
+				s.gates[u].await(int64(slot) + 1)
 			}
-			s.bar.wait(&t.sense)
-			if s.stopAt.Load() == int64(slot)+1 {
+			s.placeBoundary(t, ring)
+			if (slot+1)%k == 0 || slot == total-1 {
+				// Batch boundary: the only global rendezvous. Cancellation
+				// consensus rides it — only tile 0 polls the context, and
+				// it publishes the slot it is about to leave at before the
+				// barrier every other tile is about to cross; a tile exits
+				// only when the published slot is its own (see stopAt for
+				// why the slot tag, not a boolean, is what prevents a
+				// barrier deadlock). All tiles share k and the horizon, so
+				// batch ends — and therefore barrier rounds — line up.
+				if t.id == 0 && ctx != nil && ctx.Err() != nil && s.stopAt.Load() == 0 {
+					s.stopAt.Store(int64(slot) + 1)
+				}
+				t.barWaits++
+				s.bar.wait(&t.sense)
+				if s.stopAt.Load() == int64(slot)+1 {
+					return
+				}
+			}
+		} else {
+			if ctx != nil && slot&63 == 0 && ctx.Err() != nil {
+				s.stopAt.Store(int64(slot) + 1)
 				return
 			}
-		} else if ctx != nil && slot&63 == 0 && ctx.Err() != nil {
-			s.stopAt.Store(int64(slot) + 1)
-			return
+			s.place(t, ring)
 		}
-		s.place(t, parity)
-		parity ^= 1
+		if ring++; ring == s.ringDepth {
+			ring = 0
+		}
 	}
 }
 
@@ -565,7 +771,7 @@ func (s *ShardedEngine) arrivals(t *tile, slot int, measuring bool) {
 		// dropped at generation, but the destination and coin draws still
 		// happen so the node's variate stream stays aligned with the
 		// fault-free sequence.
-		srcDown := flt != nil && flt.nodeDown[src] != 0
+		srcDown := flt != nil && t.fltNodeDown[src] != 0
 		for ; k > 0; k-- {
 			dst := dest.Sample(src, rng)
 			var choice uint32
@@ -604,17 +810,20 @@ func (s *ShardedEngine) arrivals(t *tile, slot int, measuring bool) {
 
 // service is phase 2 for one tile: every owned nonempty edge serves its
 // head packet. Deliveries accumulate locally; survivors go to the local
-// moved list or, when the next edge belongs to another tile, to that
-// pair's handoff list — both in ascending served-edge order, because the
-// owned-edge scan is ascending.
-func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
+// moved list (interior-bound: placed before the gate), the movedB list
+// (boundary-bound: merged with handoffs after it) or, when the next edge
+// belongs to another tile, to that pair's handoff ring slot — all in
+// ascending served-edge order, because the owned-edge scan is ascending.
+func (s *ShardedEngine) service(t *tile, slot int, measuring bool, ring int) {
 	moved := t.moved[:0]
+	movedB := t.movedB[:0]
 	multi := s.shards > 1
 	if multi {
-		base := int(t.id) * s.shards
+		base := (int(t.id)*s.shards)*s.ringDepth + ring
 		for u := 0; u < s.shards; u++ {
 			if u != int(t.id) {
-				s.handoff[base+u][parity] = s.handoff[base+u][parity][:0]
+				cell := base + u*s.ringDepth
+				s.handoff[cell] = s.handoff[cell][:0]
 			}
 		}
 	}
@@ -634,7 +843,7 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 				continue
 			}
 			edge := int32(e)
-			if flt != nil && !s.canServe(edge, slot) {
+			if flt != nil && !s.canServe(t, edge, slot) {
 				continue
 			}
 			busy++
@@ -671,21 +880,23 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 			moved = append(moved, movedRec{ent: ent, edge: next, src: edge})
 		}
 	} else {
-		myBase := int(t.id) * s.shards
+		myBase := (int(t.id) * s.shards) * s.ringDepth
 		// The next edge always leaves pos, so its owner is pos's tile:
 		// a tiny row table on the fast path, the node table otherwise.
 		// (Fault-mode detours and misroutes also leave pos — every
 		// candidate is an out-edge of pos — so the ownership lookup is
-		// unchanged.)
+		// unchanged.) The same key picks the eager-vs-boundary list for
+		// own-tile survivors.
 		fast := s.tab.fast
 		rowOwner, nodeOwner := s.rowOwner, s.nodeOwner
+		boundaryRow, boundaryNode := s.boundaryRow, s.boundaryNode
 		for _, run := range t.edgeRuns {
 			for edge := run.lo; edge < run.hi; edge++ {
 				size := qsize[edge]
 				if size == 0 {
 					continue
 				}
-				if flt != nil && !s.canServe(edge, slot) {
+				if flt != nil && !s.canServe(t, edge, slot) {
 					continue
 				}
 				busy++
@@ -721,15 +932,21 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 				}
 				rec := movedRec{ent: ent, edge: next, src: edge}
 				var owner int32
+				var bnd bool
 				if fast {
 					owner = rowOwner[pos>>coordBits]
+					bnd = boundaryRow[pos>>coordBits]
 				} else {
 					owner = nodeOwner[pos]
+					bnd = boundaryNode[pos]
 				}
-				if owner != t.id {
-					h := &s.handoff[myBase+int(owner)][parity]
+				switch {
+				case owner != t.id:
+					h := &s.handoff[myBase+int(owner)*s.ringDepth+ring]
 					*h = append(*h, rec)
-				} else {
+				case bnd:
+					movedB = append(movedB, rec)
+				default:
 					moved = append(moved, rec)
 				}
 			}
@@ -739,6 +956,7 @@ func (s *ShardedEngine) service(t *tile, slot int, measuring bool, parity int) {
 		t.busySum += busy
 	}
 	t.moved = moved
+	t.movedB = movedB
 }
 
 // pushPlaced pushes one placed packet, maintaining the tile's busy-edge
@@ -761,26 +979,47 @@ func (s *ShardedEngine) pushPlaced(t *tile, edge int32, ent uint64) {
 	s.rings.qsize[edge] = size + 1
 }
 
-// place is phase 3 for one tile: push this slot's survivors onto their
-// next edges in ascending served-edge order. Own-tile packets are already
-// sorted (ascending edge scan); incoming handoffs are each sorted for the
-// same reason, so a sort of the (typically tiny) boundary set plus one
-// two-way merge reconstructs the canonical serial order. Served-edge ids
-// are unique within a slot, so the order is total.
-func (s *ShardedEngine) place(t *tile, parity int) {
-	bnd := t.bnd[:0]
-	if s.shards > 1 {
-		for u := 0; u < s.shards; u++ {
-			if u == int(t.id) {
-				continue
-			}
-			bnd = append(bnd, s.handoff[u*s.shards+int(t.id)][parity]...)
-		}
-		if len(bnd) > 1 {
-			slices.SortFunc(bnd, func(a, b movedRec) int { return int(a.src) - int(b.src) })
-		}
+// place is phase 3 on a single-tile plan: push this slot's survivors onto
+// their next edges. The ascending edge scan already ordered them, and
+// there is nothing to merge — this IS the serial reference order.
+func (s *ShardedEngine) place(t *tile, _ int) {
+	for _, m := range t.moved {
+		s.pushPlaced(t, m.edge, m.ent)
 	}
-	moved := t.moved
+	t.moved = t.moved[:0]
+}
+
+// placeEager is the first half of phase 3 on a multi-tile plan: survivors
+// whose next edge leaves an interior node (boundary distance ≥ 1) can
+// never share a queue with a handoff — only distance-0 nodes receive
+// cross-tile traffic — so they are placed before this tile waits on
+// anyone. Within any one queue the eager list is already in ascending
+// served-edge order, and the gated boundary merge below never touches an
+// interior queue, so the canonical per-queue order is preserved.
+func (s *ShardedEngine) placeEager(t *tile) {
+	for _, m := range t.moved {
+		s.pushPlaced(t, m.edge, m.ent)
+	}
+	t.moved = t.moved[:0]
+}
+
+// placeBoundary is the gated half of phase 3: merge this tile's own
+// boundary-bound survivors with the handoffs addressed to it, in
+// ascending served-edge order. Both inputs are sorted for the same reason
+// (ascending owned-edge scans), so a sort of the (typically tiny) incoming
+// set plus one two-way merge reconstructs exactly the order a serial scan
+// over all edges yields. Served-edge ids are unique within a slot, so the
+// order is total. The caller has already awaited every sender's gate for
+// this slot.
+func (s *ShardedEngine) placeBoundary(t *tile, ring int) {
+	bnd := t.bnd[:0]
+	for _, u := range s.senders[t.id] {
+		bnd = append(bnd, s.handoff[(int(u)*s.shards+int(t.id))*s.ringDepth+ring]...)
+	}
+	if len(bnd) > 1 {
+		slices.SortFunc(bnd, func(a, b movedRec) int { return int(a.src) - int(b.src) })
+	}
+	moved := t.movedB
 	i, j := 0, 0
 	for i < len(moved) && j < len(bnd) {
 		if moved[i].src < bnd[j].src {
@@ -797,7 +1036,7 @@ func (s *ShardedEngine) place(t *tile, parity int) {
 	for ; j < len(bnd); j++ {
 		s.pushPlaced(t, bnd[j].edge, bnd[j].ent)
 	}
-	t.moved = moved[:0]
+	t.movedB = moved[:0]
 	t.bnd = bnd[:0]
 }
 
@@ -831,6 +1070,10 @@ func (s *ShardedEngine) collect() Result {
 		sources += int64(len(t.sources))
 	}
 	var res Result
+	res.Lookahead = s.lookahead
+	for i := range s.tiles {
+		res.BarrierWaits += s.tiles[i].barWaits
+	}
 	res.Delay = stats.WelfordFromInts(count, sum, sumSq, float64(minD), float64(maxD))
 	res.MeanDelay = res.Delay.Mean()
 	res.MeanN = float64(liveSum) / float64(s.cfg.Slots)

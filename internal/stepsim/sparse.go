@@ -187,7 +187,7 @@ func (s *ShardedEngine) arrivalsSparse(t *tile, slot int, measuring bool, total 
 		}
 		// A down source offers its batch into the void (see the dense
 		// body): draws proceed so the stream stays aligned, packets don't.
-		srcDown := flt != nil && flt.nodeDown[src] != 0
+		srcDown := flt != nil && t.fltNodeDown[src] != 0
 		for ; k > 0; k-- {
 			dst := dest.Sample(src, rng)
 			var choice uint32
@@ -241,14 +241,16 @@ func (s *ShardedEngine) arrivalsSparse(t *tile, slot int, measuring bool, total 
 // instead of a full qsize sweep. Iteration reads snapshots of each word,
 // so the in-loop remove of the edge being served never disturbs it; adds
 // happen only in phases 1 and 3.
-func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity int) {
+func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, ring int) {
 	moved := t.moved[:0]
+	movedB := t.movedB[:0]
 	multi := s.shards > 1
-	myBase := int(t.id) * s.shards
+	myBase := (int(t.id) * s.shards) * s.ringDepth
 	if multi {
 		for u := 0; u < s.shards; u++ {
 			if u != int(t.id) {
-				s.handoff[myBase+u][parity] = s.handoff[myBase+u][parity][:0]
+				cell := myBase + u*s.ringDepth + ring
+				s.handoff[cell] = s.handoff[cell][:0]
 			}
 		}
 	}
@@ -256,6 +258,7 @@ func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity 
 	edgeKey := s.tab.edgeKey
 	fast := s.tab.fast
 	rowOwner, nodeOwner := s.rowOwner, s.nodeOwner
+	boundaryRow, boundaryNode := s.boundaryRow, s.boundaryNode
 	flt := s.flt
 	l1 := t.act.l1
 	var busy int64
@@ -266,7 +269,7 @@ func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity 
 			for word := l1[w1i]; word != 0; word &= word - 1 {
 				low := bits.TrailingZeros64(word)
 				edge := int32(w1i<<6 + low)
-				if flt != nil && !s.canServe(edge, slot) {
+				if flt != nil && !s.canServe(t, edge, slot) {
 					// Blocked or held edge: the queue stays nonempty, so
 					// its worklist bit stays set for next slot.
 					continue
@@ -313,14 +316,21 @@ func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity 
 				rec := movedRec{ent: ent, edge: next, src: edge}
 				if multi {
 					var owner int32
+					var bnd bool
 					if fast {
 						owner = rowOwner[pos>>coordBits]
+						bnd = boundaryRow[pos>>coordBits]
 					} else {
 						owner = nodeOwner[pos]
+						bnd = boundaryNode[pos]
 					}
 					if owner != t.id {
-						h := &s.handoff[myBase+int(owner)][parity]
+						h := &s.handoff[myBase+int(owner)*s.ringDepth+ring]
 						*h = append(*h, rec)
+						continue
+					}
+					if bnd {
+						movedB = append(movedB, rec)
 						continue
 					}
 				}
@@ -332,4 +342,5 @@ func (s *ShardedEngine) serviceSparse(t *tile, slot int, measuring bool, parity 
 		t.busySum += busy
 	}
 	t.moved = moved
+	t.movedB = movedB
 }

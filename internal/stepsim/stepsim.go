@@ -113,6 +113,22 @@ type Config struct {
 	// performance knob — so sweeps may pick it freely per run.
 	// Incompatible with PerEngineStream.
 	Shards int
+	// Lookahead is the batched-barrier depth k: a sharded run takes its
+	// global sense-reversing barrier once per k slots instead of every
+	// slot, with per-tile published-slot gates providing the only per-slot
+	// ordering (a tile waits just for the tiles that hand packets TO it,
+	// and only until their service phase — not for the whole fleet), and
+	// handoff buffers widened to 2k-deep rings so tiles inside a batch may
+	// skew. 0 and 1 both mean one barrier per slot (the pre-lookahead
+	// cadence). Lookahead is RESULT-INERT: like Shards it changes only how
+	// a run synchronizes, never what it computes — results stay
+	// Float64bits-identical for every k at every shard count, pinned by
+	// TestShardInvariance — so sweeps and caches may treat it as a pure
+	// performance knob. Values past the plan's useful depth (every node
+	// within k hops of a tile boundary) are clamped, not errors; the
+	// effective depth is reported as Result.Lookahead, and the amortization
+	// as Result.BarrierWaits.
+	Lookahead int
 	// PerEngineStream selects the pre-sharding random-number regime: one
 	// engine-wide stream consumed in source-node order, as the seed-era
 	// pointer engine did. It exists for the bit-for-bit oracle
@@ -219,6 +235,17 @@ type Result struct {
 	// run was configured with Capture. It feeds Config.Resume.
 	Snapshot *Snapshot
 
+	// BarrierWaits counts entries into the global sense-reversing barrier,
+	// summed over tiles — the synchronization bill of a sharded run, and
+	// what Config.Lookahead amortizes (≈ shards × slots / k; zero on
+	// serial runs, which have no barrier). Deterministic, unlike wall
+	// clock, so the ~k× reduction is measurable even on one vCPU.
+	BarrierWaits int64
+	// Lookahead is the effective batch depth the run executed with after
+	// clamping Config.Lookahead to the tile plan's useful depth (1 on
+	// serial and legacy runs, where there is nothing to amortize).
+	Lookahead int
+
 	// Fault-layer counters, all zero on fault-free runs. Dropped counts
 	// measured packets that left the system undelivered: generated at a
 	// down source, discarded by a drop liar, or dead-ended with no live
@@ -286,6 +313,9 @@ func resolveConfig(cfg Config) (steppers []routing.Stepper, choose func(*xrand.R
 	}
 	if cfg.Slots <= 0 || cfg.WarmupSlots < 0 || cfg.NodeRate < 0 {
 		return nil, nil, fmt.Errorf("stepsim: invalid slot counts or rate")
+	}
+	if cfg.Lookahead < 0 {
+		return nil, nil, fmt.Errorf("stepsim: negative Lookahead %d", cfg.Lookahead)
 	}
 	steppers, choose, ok := routing.Steppers(cfg.Router)
 	if !ok {
@@ -720,5 +750,6 @@ func (e *legacyEngine) run() (Result, bool) {
 	if denom := float64(len(e.sources)) * float64(e.cfg.Slots); denom > 0 {
 		res.ArrivalSlotFraction = float64(arrivalHits) / denom
 	}
+	res.Lookahead = 1
 	return res, true
 }

@@ -98,3 +98,161 @@ func CrossEdges(net Network, ranges []NodeRange) []int {
 	}
 	return cross
 }
+
+// BoundaryInf is the distance BoundaryDistance reports for a node from
+// which no cross edge is reachable — every node of a single-range plan,
+// and any component the plan never cuts. It is large enough to exceed any
+// real distance and small enough that BoundaryInf+1 cannot overflow int32.
+const BoundaryInf = 1 << 30
+
+// BoundaryDistance returns, for every node, its hop distance to the
+// nearest node incident to a cross edge of the plan (BoundaryInf when no
+// cross edge is reachable). Nodes at distance 0 are the boundary itself —
+// the only nodes whose queues a tiled execution can touch from another
+// tile — and a node at distance d cannot influence, or be influenced by,
+// another tile for d slots of the slotted model, which is what lets a
+// lookahead execution run tile interiors ahead of the barrier cadence.
+//
+// On the 2-D array and torus with row-aligned ranges (what Partition
+// produces there) the distance is computed exactly by row arithmetic:
+// boundary nodes fill whole rows, horizontal hops never change the row,
+// so every node's distance is the (cyclic, on the torus) row distance to
+// the nearest cut row. Every other topology — and any hand-built plan
+// that splits a row — falls back to a multi-source BFS over the edge
+// list, treating each directed edge as traversable both ways (all
+// networks here are symmetric digraphs, so this changes nothing).
+func BoundaryDistance(net Network, ranges []NodeRange) []int32 {
+	if rows, width, ok := rowsOf(net); ok && rowAligned(ranges, width) {
+		_, wrap := net.(*Torus2D)
+		return boundaryDistanceRows(ranges, rows, width, wrap)
+	}
+	return boundaryDistanceBFS(net, ranges)
+}
+
+// rowAligned reports whether every range starts and ends on a row boundary.
+func rowAligned(ranges []NodeRange, width int) bool {
+	for _, r := range ranges {
+		if r.Lo%width != 0 || r.Hi%width != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// boundaryDistanceRows is the exact row-arithmetic path: mark the rows on
+// either side of every band cut, then propagate distances along the row
+// axis with two relaxation sweeps (repeated once more on the torus, where
+// the row axis is a cycle and a sweep must cross the wrap in both
+// directions).
+func boundaryDistanceRows(ranges []NodeRange, rows, width int, wrap bool) []int32 {
+	band := make([]int32, rows)
+	for r := 0; r < rows; r++ {
+		band[r] = int32(RangeOf(ranges, r*width))
+	}
+	d := make([]int32, rows)
+	for r := range d {
+		d[r] = BoundaryInf
+	}
+	for r := 0; r < rows; r++ {
+		r2 := r + 1
+		if r2 == rows {
+			if !wrap || rows == 1 {
+				continue
+			}
+			r2 = 0
+		}
+		if band[r] != band[r2] {
+			d[r], d[r2] = 0, 0
+		}
+	}
+	passes := 1
+	if wrap {
+		passes = 2
+	}
+	for p := 0; p < passes; p++ {
+		for r := 0; r < rows; r++ {
+			prev := r - 1
+			if prev < 0 {
+				if !wrap {
+					continue
+				}
+				prev = rows - 1
+			}
+			if v := d[prev] + 1; v < d[r] {
+				d[r] = v
+			}
+		}
+		for r := rows - 1; r >= 0; r-- {
+			next := r + 1
+			if next == rows {
+				if !wrap {
+					continue
+				}
+				next = 0
+			}
+			if v := d[next] + 1; v < d[r] {
+				d[r] = v
+			}
+		}
+	}
+	dist := make([]int32, rows*width)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < width; c++ {
+			dist[r*width+c] = d[r]
+		}
+	}
+	return dist
+}
+
+// boundaryDistanceBFS is the generic path: multi-source BFS from every
+// node incident to a cross edge, over a CSR adjacency built from both
+// directions of the edge list. O(nodes + edges) time and space.
+func boundaryDistanceBFS(net Network, ranges []NodeRange) []int32 {
+	n, m := net.NumNodes(), net.NumEdges()
+	deg := make([]int32, n+1)
+	for e := 0; e < m; e++ {
+		deg[net.EdgeFrom(e)+1]++
+		deg[net.EdgeTo(e)+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	adj := make([]int32, 2*m)
+	fill := make([]int32, n)
+	for e := 0; e < m; e++ {
+		u, v := net.EdgeFrom(e), net.EdgeTo(e)
+		adj[deg[u]+fill[u]] = int32(v)
+		fill[u]++
+		adj[deg[v]+fill[v]] = int32(u)
+		fill[v]++
+	}
+	dist := make([]int32, n)
+	for v := range dist {
+		dist[v] = BoundaryInf
+	}
+	queue := make([]int32, 0, n)
+	for e := 0; e < m; e++ {
+		u, v := net.EdgeFrom(e), net.EdgeTo(e)
+		if RangeOf(ranges, u) != RangeOf(ranges, v) {
+			if dist[u] != 0 {
+				dist[u] = 0
+				queue = append(queue, int32(u))
+			}
+			if dist[v] != 0 {
+				dist[v] = 0
+				queue = append(queue, int32(v))
+			}
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u] + 1
+		for _, v := range adj[deg[u]:deg[u+1]] {
+			if du < dist[v] {
+				dist[v] = du
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

@@ -140,3 +140,65 @@ func TestPartitionPanics(t *testing.T) {
 	}()
 	Partition(NewArray2D(4), 0)
 }
+
+// TestBoundaryDistanceRowsVsBFS pins the fast path: on the 2-D array and
+// torus with row-aligned plans, the row-arithmetic distances must equal
+// what the generic multi-source BFS computes — including the torus's
+// wraparound cut between the last band and band 0, single-band plans
+// (everything BoundaryInf), and more shards than rows.
+func TestBoundaryDistanceRowsVsBFS(t *testing.T) {
+	nets := []Network{
+		NewArray2D(4), NewArray2D(9), NewArray2D(13),
+		NewTorus2D(4), NewTorus2D(9), NewTorus2D(13),
+	}
+	for _, net := range nets {
+		for _, shards := range []int{1, 2, 3, 5, 8, 20} {
+			ranges := Partition(net, shards)
+			rows, width, ok := rowsOf(net)
+			if !ok || !rowAligned(ranges, width) {
+				t.Fatalf("%s/%d: Partition did not produce a row-aligned plan", net.Name(), shards)
+			}
+			_, wrap := net.(*Torus2D)
+			fast := boundaryDistanceRows(ranges, rows, width, wrap)
+			slow := boundaryDistanceBFS(net, ranges)
+			for v := range slow {
+				if fast[v] != slow[v] {
+					t.Fatalf("%s shards=%d node %d: rows=%d bfs=%d", net.Name(), shards, v, fast[v], slow[v])
+				}
+			}
+		}
+	}
+}
+
+// TestBoundaryDistanceValues spot-checks semantics the equivalence test
+// cannot: distance 0 exactly at cross-edge endpoints, BoundaryInf on the
+// single-tile plan, and the BFS path on a non-row topology.
+func TestBoundaryDistanceValues(t *testing.T) {
+	a := NewArray2D(6)
+	one := BoundaryDistance(a, Partition(a, 1))
+	for v, d := range one {
+		if d != BoundaryInf {
+			t.Fatalf("single-tile plan: node %d has finite distance %d", v, d)
+		}
+	}
+	two := BoundaryDistance(a, Partition(a, 2))
+	for v, d := range two {
+		row := v / 6
+		want := int32(2 - row)
+		if row >= 3 {
+			want = int32(row - 3)
+		}
+		if d != want {
+			t.Fatalf("6x6/2: node %d (row %d) distance %d, want %d", v, row, d, want)
+		}
+	}
+	h := NewHypercube(4)
+	hd := BoundaryDistance(h, Partition(h, 2))
+	for v, d := range hd {
+		// Halves of a hypercube differ in the top bit; every node has a
+		// neighbor across it, so the whole cube is boundary.
+		if d != 0 {
+			t.Fatalf("cube: node %d distance %d, want 0", v, d)
+		}
+	}
+}

@@ -41,6 +41,10 @@ func (s Scenario) Canonical() Scenario {
 	s = s.withDefaults()
 	s.Description = ""
 	s.Shards = 0
+	// Lookahead is zeroed with Shards and for the same reason: batched
+	// barriers are bit-identical at every depth, so the knob is
+	// wall-clock-only and must not split the cache.
+	s.Lookahead = 0
 	s.Pattern = s.Pattern.canonical()
 	s.Arrivals = s.Arrivals.canonical()
 	if s.TargetCI > 0 {

@@ -268,6 +268,13 @@ type Scenario struct {
 	// value, so the knob only changes wall-clock. The event-driven engine
 	// has no intra-run parallelism and ignores it.
 	Shards int `json:"shards,omitempty"`
+	// Lookahead is the slotted engine's batched-barrier depth
+	// (stepsim.Config.Lookahead): tiles run up to k consecutive slots
+	// between global barriers, clamped to what the tile plan supports.
+	// Results are bit-identical at every depth — like Shards this is a
+	// wall-clock knob, never a semantic one — and the event-driven
+	// engine ignores it.
+	Lookahead int `json:"lookahead,omitempty"`
 	// Dense selects the slotted engine's dense per-slot execution
 	// (stepsim.Config.Dense) instead of its default sparse path. The two
 	// paths simulate the identical model with different variate
@@ -376,6 +383,9 @@ func (s Scenario) checkFields() error {
 	}
 	if s.Shards < 0 {
 		return fmt.Errorf("workload: scenario %q has negative shards", s.Name)
+	}
+	if s.Lookahead < 0 {
+		return fmt.Errorf("workload: scenario %q has negative lookahead", s.Name)
 	}
 	if s.TargetCI < 0 || s.MinReplicas < 0 || s.MaxReplicas < 0 || s.RewarmSlots < 0 {
 		return fmt.Errorf("workload: scenario %q has a negative variance-reduction knob", s.Name)
@@ -534,9 +544,10 @@ func (b *Bound) SlottedConfigs() ([]stepsim.Config, error) {
 			Seed:        s.Seed,
 			// Shards = 0 stays 0 here: the sweep pool resolves it to the
 			// spare-core factor at run time (stepsim.StreamSweep).
-			Shards: s.Shards,
-			Dense:  s.Dense,
-			Faults: b.Faults,
+			Shards:    s.Shards,
+			Lookahead: s.Lookahead,
+			Dense:     s.Dense,
+			Faults:    b.Faults,
 		})
 	}
 	return cfgs, nil
