@@ -3,7 +3,7 @@
 BENCH ?= BenchmarkSimulatorEvents
 COUNT ?= 5
 
-.PHONY: test race examples scenario-smoke sparse-smoke lookahead-smoke warmstart-smoke sweepd-smoke fault-smoke bench bench-slotted bench-sparse bench-sharded bench-lookahead bench-json bench-compare profile vet
+.PHONY: test race examples scenario-smoke sparse-smoke lookahead-smoke warmstart-smoke sweepd-smoke crashsafe-smoke fault-smoke bench bench-slotted bench-sparse bench-sharded bench-lookahead bench-json bench-compare profile vet
 
 test:
 	go vet ./...
@@ -39,6 +39,17 @@ scenario-smoke:
 # and scrape the hit counter off /metrics.
 sweepd-smoke:
 	./scripts/sweepd_smoke.sh
+
+# crashsafe-smoke proves the durable multi-process story end to end,
+# under the race detector: a front-end and a separate worker process
+# share a journal directory, the worker is kill -9'd mid-ladder-point-2,
+# a fresh worker steals the stale lease, requeues with retry=1, and
+# resumes from the checkpoint — and the final result document must be
+# byte-identical to an uninterrupted run of the same spec. Also asserts
+# the client's SSE stream survives the crash (every point exactly once)
+# and that a SIGTERM'd worker drains gracefully with exit 0.
+crashsafe-smoke:
+	./scripts/crashsafe_smoke.sh
 
 # sparse-smoke is the low-load large-array regression tripwire CI runs:
 # a 256×256 rho=0.1 run on the sparse slotted engine must finish inside a

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFollowReconnectsThroughDrop simulates a server restart mid-stream:
+// the first connection delivers two points and drops without a terminal
+// frame; the reconnect must carry Last-Event-ID, honor the server's
+// retry hint, resume with the missed events exactly once, and surface
+// the replayed count.
+func TestFollowReconnectsThroughDrop(t *testing.T) {
+	slept := instantRetries(t)
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, "retry: 25\n\n")
+		switch n {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Error("first connection sent Last-Event-ID")
+			}
+			fmt.Fprint(w, "id: 1\nevent: point\ndata: {\"index\":0}\n\n")
+			fmt.Fprint(w, "id: 2\nevent: point\ndata: {\"index\":1}\n\n")
+			fl.Flush()
+			// Drop the connection with no terminal frame (server crash).
+		default:
+			if got := r.Header.Get("Last-Event-ID"); got != "2" {
+				t.Errorf("reconnect Last-Event-ID = %q, want 2", got)
+			}
+			// Replay one missed point, then finish.
+			fmt.Fprint(w, "id: 3\nevent: point\ndata: {\"index\":2}\n\n")
+			fmt.Fprint(w, "id: 4\nevent: done\ndata: {\"status\":\"done\"}\n\n")
+			fl.Flush()
+		}
+	}))
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := follow(ts.URL, "job-1", 5*time.Second, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("follow = %d, stderr: %s", code, errOut.String())
+	}
+	want := []string{
+		`point: {"index":0}`,
+		`point: {"index":1}`,
+		`point: {"index":2}`,
+		`done: {"status":"done"}`,
+		`replayed: 2`,
+	}
+	got := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("output lines = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The reconnect delay must come from the server's retry hint.
+	found := false
+	for _, d := range *slept {
+		if d == 25*time.Millisecond {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("retry hint not honored; slept %v", *slept)
+	}
+}
+
+// TestFollowGivesUpAfterWindow: a stream that keeps dropping without
+// progress fails once the reconnect window is exhausted.
+func TestFollowGivesUpAfterWindow(t *testing.T) {
+	instantRetries(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK) // connect, say nothing, drop
+	}))
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	code := follow(ts.URL, "job-1", 50*time.Millisecond, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("follow = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "not recovered") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}

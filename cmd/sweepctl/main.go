@@ -24,7 +24,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -57,6 +59,7 @@ func submit(args []string, stdout, stderr io.Writer) int {
 	engine := fs.String("engine", "event", "event | slotted")
 	priority := fs.Int("priority", 0, "queue priority (higher runs sooner)")
 	stream := fs.Bool("stream", false, "follow the SSE feed until the job finishes")
+	window := fs.Duration("reconnect-window", 2*time.Minute, "max time a dropped stream may stay down before submit-stream gives up")
 	if fs.Parse(args) != nil {
 		return 2
 	}
@@ -107,14 +110,30 @@ func submit(args []string, stdout, stderr io.Writer) int {
 	if !*stream {
 		return 0
 	}
-	return follow(*addr, sr.ID, stdout, stderr)
+	return follow(*addr, sr.ID, *window, stdout, stderr)
+}
+
+// followState carries the stream position across reconnects.
+type followState struct {
+	lastID      int  // highest event id printed; sent back as Last-Event-ID
+	replayed    int  // events delivered on reconnected connections
+	retryMillis int  // server's `retry:` hint
+	terminal    bool // saw the done/error frame
+	failed      bool // the terminal frame was an error
+	reconnected bool
 }
 
 // follow prints the job's SSE feed — replayed history first, then live —
-// one line per event, until the terminal frame.
-func follow(addr, id string, stdout, stderr io.Writer) int {
-	// Retries cover the initial connection only; a stream dropped midway
-	// is not resumed (re-follow by id to replay the history).
+// one line per event, until the terminal frame. A dropped connection is
+// resumed: the client reconnects with Last-Event-ID set to the last event
+// it printed, honoring the server's `retry:` hint, so the stream survives
+// a server restart without losing or duplicating a point. Total time
+// spent disconnected without progress is capped by window; past it the
+// stream fails. After a resumed stream finishes, the number of events
+// delivered over reconnected connections is surfaced as "replayed: N".
+func follow(addr, id string, window time.Duration, stdout, stderr io.Writer) int {
+	st := &followState{retryMillis: 500}
+	// Retries cover the initial connection; later drops use the resume loop.
 	resp, err := doWithRetry(func() (*http.Request, error) {
 		return http.NewRequest(http.MethodGet, addr+"/v1/sweeps/"+id+"/events", nil)
 	}, stderr)
@@ -122,24 +141,89 @@ func follow(addr, id string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "sweepctl:", err)
 		return 1
 	}
-	defer resp.Body.Close()
-	var typ string
-	failed := false
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			typ = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			fmt.Fprintf(stdout, "%s: %s\n", typ, strings.TrimPrefix(line, "data: "))
-			failed = typ == "error"
+	streamOnce(resp.Body, st, false, stdout)
+	resp.Body.Close()
+	var down time.Time // start of the current no-progress outage
+	for !st.terminal {
+		if down.IsZero() {
+			down = time.Now()
+		}
+		if time.Since(down) > window {
+			fmt.Fprintf(stderr, "sweepctl: stream dropped and not recovered within %v\n", window)
+			return 1
+		}
+		sleep(time.Duration(st.retryMillis) * time.Millisecond)
+		req, err := http.NewRequest(http.MethodGet, addr+"/v1/sweeps/"+id+"/events", nil)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweepctl:", err)
+			return 1
+		}
+		if st.lastID > 0 {
+			req.Header.Set("Last-Event-ID", fmt.Sprint(st.lastID))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		fmt.Fprintf(stderr, "sweepctl: reconnected (resuming after event %d)\n", st.lastID)
+		st.reconnected = true
+		before := st.lastID
+		streamOnce(resp.Body, st, true, stdout)
+		resp.Body.Close()
+		if st.lastID > before {
+			down = time.Time{} // progress: reset the outage clock
 		}
 	}
-	if failed {
+	if st.reconnected {
+		fmt.Fprintf(stdout, "replayed: %d\n", st.replayed)
+	}
+	if st.failed {
 		return 1
 	}
 	return 0
+}
+
+// streamOnce consumes one SSE connection, printing each event once and
+// tracking ids so a resumed connection skips anything already printed.
+func streamOnce(body io.Reader, st *followState, resumed bool, stdout io.Writer) {
+	var typ string
+	curID := 0
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "retry: "):
+			if ms, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "retry: "))); err == nil && ms > 0 {
+				st.retryMillis = ms
+			}
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "id: "))); err == nil {
+				curID = n
+			}
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if curID != 0 && curID <= st.lastID {
+				break // duplicate of an event already printed
+			}
+			fmt.Fprintf(stdout, "%s: %s\n", typ, strings.TrimPrefix(line, "data: "))
+			if curID != 0 {
+				st.lastID = curID
+			}
+			if resumed {
+				st.replayed++
+			}
+			if typ == "done" || typ == "error" {
+				st.terminal = true
+				st.failed = typ == "error"
+				return
+			}
+		}
+	}
 }
 
 func jobOp(args []string, stdout, stderr io.Writer, method string) int {

@@ -7,14 +7,28 @@
 //
 //	sweepd -addr :8080 -cache-dir /var/cache/sweepd
 //	sweepd -addr 127.0.0.1:0          # ephemeral port, printed on stdout
+//	sweepd -addr :8080 -dir /var/lib/sweepd           # durable front end
+//	sweepd -worker -dir /var/lib/sweepd               # worker process
+//
+// With -dir the service is durable and multi-process: every submission is
+// journaled on disk before the 202, executed under a heartbeaten lease,
+// and checkpointed between ladder points, so jobs survive crashes of any
+// process and a kill -9'd worker's jobs are requeued and resumed from
+// their last completed point — with the final result document
+// byte-identical to an uninterrupted run's. Any number of `sweepd
+// -worker -dir <same dir>` processes drain the shared queue; the front
+// end runs -workers in-process loops of its own (0 with -dir means
+// front-end only). SIGTERM drains a worker gracefully: the current point
+// is finished and checkpointed, the job requeued, and the process exits 0.
 //
 // Endpoints:
 //
 //	POST   /v1/sweeps             submit {"scenario": {...}, "engine": "event"|"slotted", "priority": N}
 //	GET    /v1/sweeps/{id}        job status + final result document
 //	GET    /v1/sweeps/{id}/events SSE stream: every point exactly once, then done/error
-//	DELETE /v1/sweeps/{id}        cancel (stops the engine pools mid-run)
-//	GET    /metrics               queue depth, running jobs, cache hits/misses, wall time
+//	                              (monotone event ids; Last-Event-ID resumes)
+//	DELETE /v1/sweeps/{id}        cancel (durable: marker + lease claim; survives restarts)
+//	GET    /metrics               queue depth, leases, worker drains, cache hits/misses
 //	GET    /healthz               liveness + version
 //
 // A submission whose canonical scenario, engine and code version match a
@@ -33,31 +47,66 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
-		cacheDir   = flag.String("cache-dir", "sweepd-cache", "on-disk result store; empty keeps the cache memory-only")
+		dir        = flag.String("dir", "", "durable journal directory; jobs survive crashes and are shared with -worker processes")
+		workerMode = flag.Bool("worker", false, "run as a worker draining -dir instead of serving HTTP")
+		cacheDir   = flag.String("cache-dir", "", "on-disk result store (default: <dir>/cache with -dir, else sweepd-cache; empty keeps it memory-only)")
 		cacheMem   = flag.Int("cache-entries", 128, "in-memory cache entries in front of the disk store")
 		queueDepth = flag.Int("queue-depth", 16, "max queued sweeps before submissions get 429")
-		workers    = flag.Int("workers", 1, "sweeps run concurrently")
+		workers    = flag.Int("workers", 1, "sweeps run concurrently (with -dir, 0 means front-end only)")
 		simWorkers = flag.Int("sim-workers", 0, "engine pool goroutines per sweep (0 = GOMAXPROCS)")
 		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock limit per running sweep; past it the job fails with a timeout reason (0 = no limit)")
+		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "durable-mode lease staleness horizon; a worker silent this long is presumed dead")
+		maxRetries = flag.Int("max-retries", 3, "crash-requeues per job before it fails permanently")
+		backoff    = flag.Duration("backoff", time.Second, "base requeue delay after a crash, doubling per retry")
+		version    = flag.String("version", "", "code-version override for cache keys (default: build info)")
 	)
 	flag.Parse()
 
+	cacheSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "cache-dir" {
+			cacheSet = true
+		}
+	})
+	if !cacheSet {
+		if *dir != "" {
+			*cacheDir = filepath.Join(*dir, "cache")
+		} else {
+			*cacheDir = "sweepd-cache"
+		}
+	}
+
+	if *workerMode {
+		os.Exit(runWorker(*dir, *cacheDir, *cacheMem, *simWorkers, *version, *leaseTTL, *maxRetries, *backoff, *jobTimeout))
+	}
+
+	cfgWorkers := *workers
+	if *dir != "" && cfgWorkers == 0 {
+		cfgWorkers = -1 // front-end only: external -worker processes drain
+	}
 	srv, err := serve.New(serve.Config{
 		QueueDepth:   *queueDepth,
-		Workers:      *workers,
+		Workers:      cfgWorkers,
 		SimWorkers:   *simWorkers,
 		CacheDir:     *cacheDir,
 		CacheEntries: *cacheMem,
+		Version:      *version,
 		JobTimeout:   *jobTimeout,
+		JournalDir:   *dir,
+		LeaseTTL:     *leaseTTL,
+		MaxRetries:   *maxRetries,
+		Backoff:      *backoff,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
@@ -93,4 +142,43 @@ func main() {
 	defer cancel()
 	_ = hs.Shutdown(ctx)
 	srv.Close()
+}
+
+// runWorker drains the shared journal directory until SIGTERM/SIGINT,
+// then exits 0 after a graceful drain (current point finished and
+// checkpointed, job requeued, lease released).
+func runWorker(dir, cacheDir string, cacheMem, simWorkers int, version string, leaseTTL time.Duration, maxRetries int, backoff, jobTimeout time.Duration) int {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "sweepd: -worker needs -dir")
+		return 2
+	}
+	if version == "" {
+		version = buildinfo.Version()
+	}
+	jl, err := serve.OpenJournal(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+	cache, err := serve.NewCache(cacheDir, cacheMem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		return 1
+	}
+	w := serve.NewWorker(serve.WorkerConfig{
+		Journal:    jl,
+		Cache:      cache,
+		Version:    version,
+		SimWorkers: simWorkers,
+		LeaseTTL:   leaseTTL,
+		MaxRetries: maxRetries,
+		Backoff:    backoff,
+		JobTimeout: jobTimeout,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("sweepd: worker pid %d draining %s (version %s)\n", os.Getpid(), dir, version)
+	w.Run(ctx)
+	fmt.Fprintln(os.Stderr, "sweepd: worker drained; exiting")
+	return 0
 }

@@ -82,30 +82,18 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores a result document under its key: written to disk via a
-// temp-file rename (concurrent writers of the same key are harmless —
-// both write identical bytes) and inserted into the memory tier.
+// Put stores a result document under its key: written to disk durably —
+// temp file fsync'd before the rename and the parent directory fsync'd
+// after, so an acknowledged document survives power loss, not just
+// process death (concurrent writers of the same key are harmless — both
+// write identical bytes) — and inserted into the memory tier.
 func (c *Cache) Put(key string, doc []byte) error {
 	if c.dir != "" {
 		dir := filepath.Dir(c.path(key))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("serve: cache put: %w", err)
 		}
-		tmp, err := os.CreateTemp(dir, "put-*")
-		if err != nil {
-			return fmt.Errorf("serve: cache put: %w", err)
-		}
-		if _, err := tmp.Write(doc); err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-			return fmt.Errorf("serve: cache put: %w", err)
-		}
-		if err := tmp.Close(); err != nil {
-			os.Remove(tmp.Name())
-			return fmt.Errorf("serve: cache put: %w", err)
-		}
-		if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-			os.Remove(tmp.Name())
+		if err := writeFileSync(c.path(key), doc); err != nil {
 			return fmt.Errorf("serve: cache put: %w", err)
 		}
 	}

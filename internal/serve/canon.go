@@ -10,6 +10,28 @@
 // SHA-256 of those four inputs is a true content address — a hit can be
 // served byte-for-byte without rerunning anything, and provenance is just
 // the flag saying which path produced the bytes.
+//
+// With Config.JournalDir set the service is durable and multi-process.
+// Every submission is recorded in an append-only on-disk journal (one
+// directory per job: an immutable job record, a JSONL log of lifecycle
+// transitions and completed ladder points, and a CRC-checked checkpoint
+// of the engine snapshots between points) using fsync'd
+// temp-file/rename writes, so a crash at any instant leaves at worst a
+// torn tail that replay ignores and the next append repairs. Workers —
+// in-process loops or separate `sweepd -worker` processes sharing the
+// directory — claim jobs through lease files renewed by heartbeat; a
+// lease silent past its TTL is presumed dead and stolen, the job
+// requeued with its retry count bumped (exponential backoff, permanent
+// failure past MaxRetries) and resumed from the last completed point.
+// Because each ladder point is a pure function of (scenario, engine,
+// code version) and warm-start chains are carried in the checkpointed
+// snapshots, a kill -9'd-then-resumed job's final document is
+// byte-identical to an uninterrupted run's. Exactly-once completion is
+// enforced structurally: the terminal journal record is gated by an
+// O_EXCL marker file, so of any number of racing workers exactly one
+// commits. SSE streams carry monotone event ids (journal positions) and
+// honor Last-Event-ID replay, so clients resume through crashes of
+// either side without losing or duplicating a point.
 package serve
 
 import (

@@ -1,0 +1,540 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// testJobRecord builds a journaled job over a fast 3-point slotted-sized
+// ladder (the same shape either engine can run).
+func testJobRecord(t *testing.T, id, engine string, warm bool) JobRecord {
+	t.Helper()
+	warmField := ""
+	if warm {
+		warmField = `, "warmStart": true`
+	}
+	spec := fmt.Sprintf(`{
+		"name": "crash",
+		"topology": {"kind": "array", "n": 4},
+		"pattern": {"kind": "uniform"},
+		"loads": [0.3, 0.5, 0.6],
+		"horizon": 400,
+		"warmup": 100,
+		"replicas": 2,
+		"seed": 9%s
+	}`, warmField)
+	sc, err := workload.ParseScenario([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := sc.Canonical()
+	key, err := Key(canonical, engine, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := canonical.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return JobRecord{ID: id, Key: key, Engine: engine, Scenario: cj, Submitted: time.Now().UnixNano()}
+}
+
+// referenceDoc is the uninterrupted run's result document.
+func referenceDoc(t *testing.T, rec JobRecord) []byte {
+	t.Helper()
+	doc, err := executeSweep(context.Background(), rec, testVersion, 0, resumeState{}, execHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func waitTerminal(t *testing.T, jl *Journal, id string, timeout time.Duration) *JobState {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := jl.Replay(id)
+		if err == nil && st.Terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s not terminal within %v", id, timeout)
+	return nil
+}
+
+// writeStaleLease plants a lease whose heartbeat is an hour old, as a
+// kill -9'd worker would leave behind.
+func writeStaleLease(t *testing.T, jl *Journal, id string) {
+	t.Helper()
+	data, _ := json.Marshal(leaseInfo{Pid: 999999, Token: "deadbeef", Renewed: time.Now().Add(-time.Hour).UnixNano()})
+	if err := os.WriteFile(filepath.Join(jl.leaseDir(id), leaseName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalTornTailDoubleReplay pins the torn-record contract: a crash
+// mid-append leaves a final record without a newline (or half-written);
+// replaying ignores it, replaying twice agrees, and the next append
+// truncates it away so the log parses cleanly forever after.
+func TestJournalTornTailDoubleReplay(t *testing.T) {
+	jl, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testJobRecord(t, "job-1", EngineSlotted, false)
+	if err := jl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Append(rec.ID, Record{T: recRunning, At: 1, Pid: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Append(rec.ID, Record{T: recPoint, Point: 0, Doc: json.RawMessage(`{"index":0}`)}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: a torn record with no trailing newline.
+	f, err := os.OpenFile(jl.logPath(rec.ID), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"point","i":1,"doc":{"ind`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st1, err := jl.Replay(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := jl.Replay(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []*JobState{st1, st2} {
+		if st.Status != StatusRunning || len(st.Points) != 1 {
+			t.Fatalf("torn replay: status %q points %d, want running/1", st.Status, len(st.Points))
+		}
+	}
+	// The next append repairs the tail; the torn bytes must be gone and
+	// the new record visible.
+	if err := jl.Append(rec.ID, Record{T: recPoint, Point: 1, Doc: json.RawMessage(`{"index":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := jl.Replay(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st3.Points) != 2 || string(st3.Points[1]) != `{"index":1}` {
+		t.Fatalf("after repair: points %d (%s)", len(st3.Points), st3.Points[len(st3.Points)-1])
+	}
+	raw, _ := os.ReadFile(jl.logPath(rec.ID))
+	if bytes.Contains(raw, []byte(`{"ind`+"\n")) || !bytes.HasSuffix(raw, []byte("\n")) {
+		t.Fatalf("journal not repaired: %q", raw)
+	}
+}
+
+// TestLeaseExpiryVsLateHeartbeat pins the recovery race: once a lease's
+// heartbeat goes stale another worker may steal it, the old holder's next
+// renewal fails, and the terminal-commit gate lets exactly one of them
+// complete the job.
+func TestLeaseExpiryVsLateHeartbeat(t *testing.T) {
+	jl, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testJobRecord(t, "job-1", EngineSlotted, false)
+	if err := jl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	dir := jl.leaseDir(rec.ID)
+	const ttl = 50 * time.Millisecond
+	a, err := AcquireLease(dir, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While fresh, a second claim must fail.
+	if _, err := AcquireLease(dir, ttl); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("fresh lease stolen: %v", err)
+	}
+	time.Sleep(3 * ttl) // heartbeat goes stale
+	b, err := AcquireLease(dir, ttl)
+	if err != nil {
+		t.Fatalf("stale lease not stealable: %v", err)
+	}
+	// The late heartbeat discovers the theft.
+	if err := a.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("late renew = %v, want ErrLeaseLost", err)
+	}
+	if err := b.Renew(); err != nil {
+		t.Fatalf("thief's renew = %v", err)
+	}
+	// Exactly-once completion: both believe they ran the job; one commit
+	// wins.
+	if err := jl.CommitTerminal(rec.ID, Record{T: recDone, At: 2}); err != nil {
+		t.Fatalf("first terminal commit: %v", err)
+	}
+	if err := jl.CommitTerminal(rec.ID, Record{T: recDone, At: 3}); !errors.Is(err, ErrAlreadyTerminal) {
+		t.Fatalf("second terminal commit = %v, want ErrAlreadyTerminal", err)
+	}
+	if err := a.Release(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("lost holder's release = %v, want ErrLeaseLost", err)
+	}
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashResumeByteIdentity is the crash-safety invariant: a job
+// interrupted mid-ladder (simulating kill -9 after its second point, with
+// the dead worker's stale lease left behind) and recovered by a fresh
+// worker produces a final result document byte-identical to an
+// uninterrupted run's — on both engines, with and without warm-start
+// chaining, and with the checkpoint lagging the journal.
+func TestCrashResumeByteIdentity(t *testing.T) {
+	cases := []struct {
+		name    string
+		engine  string
+		warm    bool
+		ckptLag bool // drop the final checkpoint write: crash landed between point append and checkpoint
+	}{
+		{"event-cold", EngineEvent, false, false},
+		{"event-warm", EngineEvent, true, false},
+		{"slotted-cold", EngineSlotted, false, false},
+		{"slotted-warm", EngineSlotted, true, false},
+		{"slotted-warm-ckpt-lag", EngineSlotted, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rec := testJobRecord(t, "job-1", tc.engine, tc.warm)
+			want := referenceDoc(t, rec)
+
+			jl, err := OpenJournal(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := jl.Create(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := jl.Append(rec.ID, Record{T: recRunning, At: time.Now().UnixNano(), Pid: 999999}); err != nil {
+				t.Fatal(err)
+			}
+			// Run the job the way a worker would — journal each point,
+			// checkpoint the chain — but "crash" after two of three points.
+			crash := errors.New("simulated kill -9")
+			completed := 0
+			_, err = executeSweep(context.Background(), rec, testVersion, 0, resumeState{}, execHooks{
+				point: func(i int, doc json.RawMessage, snaps [][]byte, rerun bool) error {
+					if err := jl.Append(rec.ID, Record{T: recPoint, Point: i, Doc: doc}); err != nil {
+						return err
+					}
+					if len(snaps) > 0 && !(tc.ckptLag && i == 1) {
+						if err := jl.WriteCheckpoint(rec.ID, i, snaps); err != nil {
+							return err
+						}
+					}
+					completed++
+					return nil
+				},
+				interrupted: func() error {
+					if completed >= 2 {
+						return crash
+					}
+					return nil
+				},
+			})
+			if !errors.Is(err, crash) {
+				t.Fatalf("simulated crash not reached: %v", err)
+			}
+			writeStaleLease(t, jl, rec.ID)
+
+			// A fresh worker must requeue the orphan and resume it.
+			cache, err := NewCache("", 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wm := new(WorkerMetrics)
+			w := NewWorker(WorkerConfig{
+				Journal:  jl,
+				Cache:    cache,
+				Version:  testVersion,
+				LeaseTTL: 200 * time.Millisecond,
+				Poll:     10 * time.Millisecond,
+				Backoff:  time.Millisecond,
+				Metrics:  wm,
+				Logf:     t.Logf,
+			})
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() { defer close(done); w.Run(ctx) }()
+			st := waitTerminal(t, jl, rec.ID, 30*time.Second)
+			cancel()
+			<-done
+
+			if st.Status != StatusDone {
+				t.Fatalf("recovered job status %q (%s)", st.Status, st.Error)
+			}
+			if st.Retry != 1 {
+				t.Fatalf("recovered job retry = %d, want 1 (one crash-requeue)", st.Retry)
+			}
+			if wm.Requeued.Load() != 1 {
+				t.Fatalf("requeued metric = %d, want 1", wm.Requeued.Load())
+			}
+			got, ok := cache.Get(rec.Key)
+			if !ok {
+				t.Fatal("recovered result not in cache")
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("crash-resumed document differs from uninterrupted run\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestTwoWorkersDrainExactlyOnce runs two concurrent workers over one
+// shared queue: every job must complete, and complete exactly once (the
+// completion counters across both workers sum to the job count).
+func TestTwoWorkersDrainExactlyOnce(t *testing.T) {
+	jl, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewCache("", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 6
+	recs := make([]JobRecord, jobs)
+	for i := range recs {
+		spec := fmt.Sprintf(`{
+			"name": "drain-%d",
+			"topology": {"kind": "array", "n": 4},
+			"pattern": {"kind": "uniform"},
+			"loads": [0.3, 0.5],
+			"horizon": 300,
+			"warmup": 50,
+			"replicas": 2,
+			"seed": %d
+		}`, i, 100+i)
+		sc, err := workload.ParseScenario([]byte(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonical := sc.Canonical()
+		key, err := Key(canonical, EngineSlotted, testVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cj, _ := canonical.CanonicalJSON()
+		recs[i] = JobRecord{ID: fmt.Sprintf("job-%d", i+1), Key: key, Engine: EngineSlotted, Scenario: cj, Submitted: time.Now().UnixNano()}
+		if err := jl.Create(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	mA, mB := new(WorkerMetrics), new(WorkerMetrics)
+	mk := func(m *WorkerMetrics) *Worker {
+		return NewWorker(WorkerConfig{
+			Journal: jl, Cache: cache, Version: testVersion,
+			LeaseTTL: 2 * time.Second, Poll: 5 * time.Millisecond,
+			Metrics: m, Logf: t.Logf,
+		})
+	}
+	doneA, doneB := make(chan struct{}), make(chan struct{})
+	go func() { defer close(doneA); mk(mA).Run(ctx) }()
+	go func() { defer close(doneB); mk(mB).Run(ctx) }()
+	for _, rec := range recs {
+		st := waitTerminal(t, jl, rec.ID, 60*time.Second)
+		if st.Status != StatusDone {
+			t.Fatalf("job %s: status %q (%s)", rec.ID, st.Status, st.Error)
+		}
+	}
+	cancel()
+	<-doneA
+	<-doneB
+	if total := mA.Completed.Load() + mB.Completed.Load(); total != jobs {
+		t.Fatalf("completions across workers = %d, want exactly %d", total, jobs)
+	}
+	for _, rec := range recs {
+		if _, ok := cache.Get(rec.Key); !ok {
+			t.Fatalf("job %s: result missing from cache", rec.ID)
+		}
+	}
+}
+
+// TestCancelQueuedAcrossRestart pins the durable DELETE path: a cancel of
+// a queued job whose lease is momentarily held only writes the durable
+// marker; after a server restart a worker honors the marker and commits
+// the job canceled.
+func TestCancelQueuedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{JournalDir: dir, Workers: -1})
+	_, sr, _ := postSweep(t, ts, smallSubmit())
+	if sr.ID == "" {
+		t.Fatal("no job id")
+	}
+	// Hold the lease so DELETE cannot commit the cancel inline.
+	hold, err := AcquireLease(s.journal.leaseDir(sr.ID), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+sr.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !s.journal.CancelRequested(sr.ID) {
+		t.Fatal("cancel marker not written")
+	}
+	st, _ := s.journal.Replay(sr.ID)
+	if st.Terminal() {
+		t.Fatalf("job should still be queued while the lease is held, got %q", st.Status)
+	}
+	hold.Release()
+	s.Close()
+
+	// Restart with a worker; it must claim the job, see the marker, and
+	// cancel instead of running.
+	s2, _ := newTestServer(t, Config{JournalDir: dir, Workers: 1, LeaseTTL: 200 * time.Millisecond})
+	st = waitTerminal(t, s2.journal, sr.ID, 30*time.Second)
+	if st.Status != StatusCanceled {
+		t.Fatalf("after restart: status %q, want canceled", st.Status)
+	}
+}
+
+// TestRetryExhaustionFailsPermanent: a job that keeps crashing is
+// requeued at most MaxRetries times, then committed failed-permanent.
+func TestRetryExhaustionFailsPermanent(t *testing.T) {
+	jl, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testJobRecord(t, "job-1", EngineSlotted, false)
+	if err := jl.Create(rec); err != nil {
+		t.Fatal(err)
+	}
+	// The journal says: already crash-requeued 3 times, crashed again.
+	if err := jl.Append(rec.ID, Record{T: recQueued, At: time.Now().UnixNano(), Retry: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Append(rec.ID, Record{T: recRunning, At: time.Now().UnixNano(), Pid: 999999}); err != nil {
+		t.Fatal(err)
+	}
+	writeStaleLease(t, jl, rec.ID)
+	cache, _ := NewCache("", 4)
+	wm := new(WorkerMetrics)
+	w := NewWorker(WorkerConfig{Journal: jl, Cache: cache, Version: testVersion, LeaseTTL: 100 * time.Millisecond, MaxRetries: 3, Metrics: wm, Logf: t.Logf})
+	ran, err := w.scanOnce(context.Background())
+	if err != nil || !ran {
+		t.Fatalf("scanOnce = (%v, %v), want (true, nil)", ran, err)
+	}
+	st, err := jl.Replay(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "retries exhausted") {
+		t.Fatalf("status %q error %q, want failed/retries exhausted", st.Status, st.Error)
+	}
+	if wm.Failed.Load() != 1 || wm.Requeued.Load() != 0 {
+		t.Fatalf("metrics failed=%d requeued=%d, want 1/0", wm.Failed.Load(), wm.Requeued.Load())
+	}
+}
+
+// TestDurableSSEResume: the durable event stream carries monotone ids and
+// honors Last-Event-ID, so a reconnecting client sees exactly the events
+// it missed — across server restarts, because ids are journal positions.
+func TestDurableSSEResume(t *testing.T) {
+	s, ts := newTestServer(t, Config{JournalDir: t.TempDir(), Workers: 1})
+	_, sr, _ := postSweep(t, ts, smallSubmit())
+	waitTerminal(t, s.journal, sr.ID, 60*time.Second)
+
+	// Full stream: three points then done, ids 1..4.
+	events, ids := readSSEIDs(t, ts, sr.ID, 0)
+	checkPoints(t, events, 3, "done")
+	for i, id := range ids {
+		if id != i+1 {
+			t.Fatalf("event ids = %v, want 1..4", ids)
+		}
+	}
+	// Resume after event 2: only point 3 and the terminal frame.
+	events, ids = readSSEIDs(t, ts, sr.ID, 2)
+	if len(events) != 2 || events[0].Type != "point" || events[1].Type != "done" {
+		t.Fatalf("resumed stream = %d events (%+v), want point+done", len(events), events)
+	}
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("resumed ids = %v, want [3 4]", ids)
+	}
+	var pd PointDoc
+	if err := json.Unmarshal(events[0].Data, &pd); err != nil || pd.Index != 2 {
+		t.Fatalf("resumed first point = %s", events[0].Data)
+	}
+
+	// The durable metrics surface exists.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, m := range []string{"sweepd_worker_drains_total", "sweepd_active_leases", "sweepd_jobs_requeued_total", "sweepd_queue_depth"} {
+		if !strings.Contains(body.String(), m) {
+			t.Fatalf("/metrics missing %s", m)
+		}
+	}
+}
+
+// readSSEIDs consumes an event stream (optionally resuming with
+// Last-Event-ID) and returns the frames plus their ids.
+func readSSEIDs(t *testing.T, ts *httptest.Server, id string, lastEventID int) ([]Event, []int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(lastEventID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []Event
+	var ids []int
+	var cur Event
+	curID := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &curID)
+		case strings.HasPrefix(line, "event: "):
+			cur.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.Type != "" {
+				events = append(events, cur)
+				ids = append(ids, curID)
+				cur, curID = Event{}, 0
+			}
+		}
+	}
+	return events, ids
+}

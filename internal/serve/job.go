@@ -197,6 +197,7 @@ type jobDoc struct {
 	Key       string          `json:"key"`
 	Name      string          `json:"name"`
 	Priority  int             `json:"priority,omitempty"`
+	Retry     int             `json:"retry,omitempty"`
 	Submitted string          `json:"submitted"`
 	Started   string          `json:"started,omitempty"`
 	Finished  string          `json:"finished,omitempty"`

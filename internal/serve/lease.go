@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Job leases. A worker claims a job by atomically creating the job
+// directory's `lease` file (os.Link from a private claim file — link
+// fails if the lease exists, so exactly one claimant wins), then renews
+// it by rewriting the heartbeat timestamp in place. A lease whose
+// heartbeat is older than its TTL is stale: any worker may steal it by
+// renaming it away (rename is the arbiter — of N concurrent stealers
+// exactly one succeeds, the rest see ENOENT) and claiming fresh.
+//
+// The old holder discovers the theft on its next Renew or Release: its
+// open file descriptor still points at the renamed-away inode, so an
+// os.SameFile comparison against the path fails and the holder gets
+// ErrLeaseLost. A holder that loses its lease must treat the job as no
+// longer its own — results it computes afterwards are discarded at the
+// terminal-commit gate (Journal.CommitTerminal), which is the
+// exactly-once backstop even in the pathological window where both
+// processes believe they hold the lease.
+
+// ErrLeaseHeld means the lease is held by a live owner (fresh heartbeat).
+var ErrLeaseHeld = errors.New("serve: lease held by a live owner")
+
+// ErrLeaseLost means this holder's lease was stolen after its heartbeat
+// went stale; the holder must stop treating the job as its own.
+var ErrLeaseLost = errors.New("serve: lease lost to another owner")
+
+const leaseName = "lease"
+
+type leaseInfo struct {
+	Pid     int    `json:"pid"`
+	Token   string `json:"token"`
+	Renewed int64  `json:"renewed"` // heartbeat, Unix nanoseconds
+}
+
+// Lease is a held claim on one job directory.
+type Lease struct {
+	path  string
+	f     *os.File
+	Token string
+	TTL   time.Duration
+}
+
+// AcquireLease claims dir's lease: immediately if unclaimed, by stealing
+// if the existing lease's heartbeat is older than ttl, and ErrLeaseHeld
+// otherwise.
+func AcquireLease(dir string, ttl time.Duration) (*Lease, error) {
+	token := newToken()
+	path := filepath.Join(dir, leaseName)
+	for attempt := 0; attempt < 2; attempt++ {
+		l, err := linkLease(path, token, ttl)
+		if err == nil {
+			return l, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+		info, ok := readLease(path)
+		if ok && time.Since(time.Unix(0, info.Renewed)) < ttl {
+			return nil, ErrLeaseHeld
+		}
+		// Stale (or vanished mid-read): steal. Rename serializes the
+		// stealers; losers see ENOENT and treat the lease as held — the
+		// winner is about to re-create it.
+		stale := path + ".stale-" + token
+		if err := os.Rename(path, stale); err != nil {
+			return nil, ErrLeaseHeld
+		}
+		os.Remove(stale)
+	}
+	return nil, ErrLeaseHeld
+}
+
+// linkLease writes a private claim file and links it to the lease path;
+// the link fails with fs.ErrExist if someone else holds the lease.
+func linkLease(path, token string, ttl time.Duration) (*Lease, error) {
+	tmp := path + ".claim-" + token
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: lease claim: %w", err)
+	}
+	data, _ := json.Marshal(leaseInfo{Pid: os.Getpid(), Token: token, Renewed: time.Now().UnixNano()})
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("serve: lease claim: %w", err)
+	}
+	err = os.Link(tmp, path)
+	os.Remove(tmp)
+	if err != nil {
+		f.Close()
+		if errors.Is(err, fs.ErrExist) {
+			return nil, fs.ErrExist
+		}
+		return nil, fmt.Errorf("serve: lease claim: %w", err)
+	}
+	return &Lease{path: path, f: f, Token: token, TTL: ttl}, nil
+}
+
+// Renew refreshes the heartbeat and verifies the lease is still this
+// holder's: if the path no longer names the held inode (stolen after a
+// stale heartbeat), Renew returns ErrLeaseLost.
+func (l *Lease) Renew() error {
+	data, _ := json.Marshal(leaseInfo{Pid: os.Getpid(), Token: l.Token, Renewed: time.Now().UnixNano()})
+	// A single pwrite of the same length as the previous record (pid and
+	// token are fixed, the nanosecond timestamp has a fixed digit count),
+	// so concurrent readers never observe a torn record.
+	if _, err := l.f.WriteAt(data, 0); err != nil {
+		return fmt.Errorf("serve: lease renew: %w", err)
+	}
+	if err := l.f.Truncate(int64(len(data))); err != nil {
+		return fmt.Errorf("serve: lease renew: %w", err)
+	}
+	ffi, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("serve: lease renew: %w", err)
+	}
+	pfi, err := os.Stat(l.path)
+	if err != nil || !os.SameFile(ffi, pfi) {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// Release gives the lease up cleanly (removing the file so the next
+// claimant needs no TTL wait). Releasing a lost lease is a no-op error.
+func (l *Lease) Release() error {
+	defer l.f.Close()
+	ffi, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("serve: lease release: %w", err)
+	}
+	pfi, err := os.Stat(l.path)
+	if err != nil || !os.SameFile(ffi, pfi) {
+		return ErrLeaseLost
+	}
+	if err := os.Remove(l.path); err != nil {
+		return fmt.Errorf("serve: lease release: %w", err)
+	}
+	return nil
+}
+
+// readLease parses a lease file; ok is false when it is missing or
+// unreadable (a vanished or torn file reads as stale, which is safe: the
+// terminal-commit gate catches the pathological double-claim).
+func readLease(path string) (leaseInfo, bool) {
+	var info leaseInfo
+	data, err := os.ReadFile(path)
+	if err != nil || json.Unmarshal(data, &info) != nil {
+		return info, false
+	}
+	return info, true
+}
+
+// leaseFresh reports whether dir's lease exists with a heartbeat younger
+// than ttl — i.e. a live worker owns the job.
+func leaseFresh(dir string, ttl time.Duration) bool {
+	info, ok := readLease(filepath.Join(dir, leaseName))
+	return ok && time.Since(time.Unix(0, info.Renewed)) < ttl
+}
+
+func newToken() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to pid+time; tokens only need to distinguish
+		// concurrent claimants.
+		return fmt.Sprintf("p%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}

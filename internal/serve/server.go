@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,20 @@ type Config struct {
 	// plumbing — the pools drain, no goroutine is killed mid-replica — and
 	// finishes failed with a timeout reason. Zero means no limit.
 	JobTimeout time.Duration
+	// JournalDir, when set, makes the server durable and multi-process:
+	// jobs are journaled on disk (journal.go) before being acknowledged,
+	// executed by leased workers (this process's and any number of
+	// `sweepd --worker` processes sharing the directory), checkpointed
+	// between ladder points, and recovered across crashes and restarts.
+	// CacheDir defaults to JournalDir/cache so all processes share the
+	// result store. Workers < 0 runs no in-process workers (front-end
+	// only; external workers drain the queue).
+	JournalDir string
+	// LeaseTTL, MaxRetries and Backoff tune durable-mode recovery; see
+	// WorkerConfig. Zero values take the worker defaults.
+	LeaseTTL   time.Duration
+	MaxRetries int
+	Backoff    time.Duration
 }
 
 // Server is the sweep service. It owns the queue, the cache, the worker
@@ -53,8 +68,16 @@ type Server struct {
 	cache   *Cache
 	mux     *http.ServeMux
 
+	// journal is non-nil in durable mode; the handlers then treat the
+	// on-disk journal, not the in-memory job table, as the source of truth.
+	journal  *Journal
+	wmetrics *WorkerMetrics
+
 	mu   sync.Mutex
 	jobs map[string]*Job
+	// cancels maps running durable jobs to their in-process cancel funcs,
+	// so a DELETE aborts mid-point instead of waiting for a boundary.
+	cancels map[string]context.CancelCauseFunc
 
 	nextID   atomic.Int64
 	running  atomic.Int64
@@ -75,8 +98,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
-	if cfg.Workers <= 0 {
+	switch {
+	case cfg.Workers == 0:
 		cfg.Workers = 1
+	case cfg.Workers < 0:
+		cfg.Workers = 0 // durable front-end only: external workers drain
 	}
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 128
@@ -84,6 +110,9 @@ func New(cfg Config) (*Server, error) {
 	version := cfg.Version
 	if version == "" {
 		version = buildinfo.Version()
+	}
+	if cfg.JournalDir != "" && cfg.CacheDir == "" {
+		cfg.CacheDir = filepath.Join(cfg.JournalDir, "cache")
 	}
 	cache, err := NewCache(cfg.CacheDir, cfg.CacheEntries)
 	if err != nil {
@@ -96,6 +125,8 @@ func New(cfg Config) (*Server, error) {
 		queue:      NewQueue(cfg.QueueDepth),
 		cache:      cache,
 		jobs:       make(map[string]*Job),
+		cancels:    make(map[string]context.CancelCauseFunc),
+		wmetrics:   new(WorkerMetrics),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
@@ -106,6 +137,35 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.JournalDir != "" {
+		jl, err := OpenJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		s.seedNextID()
+		for range cfg.Workers {
+			wk := NewWorker(WorkerConfig{
+				Journal:    jl,
+				Cache:      cache,
+				Version:    version,
+				SimWorkers: cfg.SimWorkers,
+				LeaseTTL:   cfg.LeaseTTL,
+				MaxRetries: cfg.MaxRetries,
+				Backoff:    cfg.Backoff,
+				JobTimeout: cfg.JobTimeout,
+				Metrics:    s.wmetrics,
+				OnRun:      s.registerCancel,
+				OnDone:     s.unregisterCancel,
+			})
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				wk.Run(s.baseCtx)
+			}()
+		}
+		return s, nil
+	}
 	for range cfg.Workers {
 		s.wg.Add(1)
 		go s.worker()
@@ -204,6 +264,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if s.journal != nil {
+		s.submitDurable(w, canonical, engine, key, req.Priority)
+		return
+	}
 	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
 	j := newJob(id, key, engine, req.Priority, canonical, s.baseCtx)
 	s.mu.Lock()
@@ -237,6 +301,10 @@ func (s *Server) lookup(r *http.Request) (*Job, bool) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if s.journal != nil {
+		s.getDurable(w, r)
+		return
+	}
 	j, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such sweep")
@@ -246,6 +314,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if s.journal != nil {
+		s.cancelDurable(w, r)
+		return
+	}
 	j, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such sweep")
@@ -257,10 +329,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents is the SSE stream: every event the job has already logged
 // is replayed in order, then the connection goes live until the job
-// reaches a terminal state or the client disconnects. Each sweep point is
-// delivered exactly once per connection because the replay and the live
-// tail read the same append-only log by index.
+// reaches a terminal state or the client disconnects. Events carry
+// monotone ids (event index + 1), and a reconnecting client that sends
+// Last-Event-ID resumes right after the last event it saw — so each sweep
+// point is delivered exactly once per logical stream even across dropped
+// connections. A `retry:` hint tells EventSource-style clients how fast
+// to come back.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.journal != nil {
+		s.eventsDurable(w, r)
+		return
+	}
 	j, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such sweep")
@@ -274,40 +353,61 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "retry: %d\n\n", sseRetryMillis)
 	fl.Flush()
 	ctx := r.Context()
 	// The event wait parks on the job's condition variable; a client
 	// disconnect must kick it awake to observe ctx.
 	stop := context.AfterFunc(ctx, j.wake)
 	defer stop()
-	for i := 0; ; i++ {
+	for i := lastEventID(r); ; i++ {
 		ev, ok := j.next(ctx, i)
 		if !ok {
 			return
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", i+1, ev.Type, ev.Data)
 		fl.Flush()
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	queued := s.queue.Len()
+	running := s.running.Load()
+	if s.journal != nil {
+		q, rn, _ := s.durableGauges()
+		queued, running = q, int64(rn)
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status  string `json:"status"`
 		Version string `json:"version"`
 		Queued  int    `json:"queued"`
 		Running int64  `json:"running"`
-	}{"ok", s.version, s.queue.Len(), s.running.Load()})
+	}{"ok", s.version, queued, running})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# TYPE sweepd_queue_depth gauge\nsweepd_queue_depth %d\n", s.queue.Len())
-	fmt.Fprintf(w, "# TYPE sweepd_running_jobs gauge\nsweepd_running_jobs %d\n", s.running.Load())
+	queued := s.queue.Len()
+	running := s.running.Load()
+	leases := 0
+	done, failed := s.done.Load(), s.failed.Load()
+	if s.journal != nil {
+		q, rn, ls := s.durableGauges()
+		queued, running, leases = q, int64(rn), ls
+		done += s.wmetrics.Completed.Load()
+		failed += s.wmetrics.Failed.Load()
+	}
+	fmt.Fprintf(w, "# TYPE sweepd_queue_depth gauge\nsweepd_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "# TYPE sweepd_running_jobs gauge\nsweepd_running_jobs %d\n", running)
+	fmt.Fprintf(w, "# TYPE sweepd_active_leases gauge\nsweepd_active_leases %d\n", leases)
 	fmt.Fprintf(w, "# TYPE sweepd_cache_hits_total counter\nsweepd_cache_hits_total %d\n", s.cache.Hits())
 	fmt.Fprintf(w, "# TYPE sweepd_cache_misses_total counter\nsweepd_cache_misses_total %d\n", s.cache.Misses())
-	fmt.Fprintf(w, "# TYPE sweepd_jobs_completed_total counter\nsweepd_jobs_completed_total %d\n", s.done.Load())
-	fmt.Fprintf(w, "# TYPE sweepd_jobs_failed_total counter\nsweepd_jobs_failed_total %d\n", s.failed.Load())
+	fmt.Fprintf(w, "# TYPE sweepd_jobs_completed_total counter\nsweepd_jobs_completed_total %d\n", done)
+	fmt.Fprintf(w, "# TYPE sweepd_jobs_failed_total counter\nsweepd_jobs_failed_total %d\n", failed)
 	fmt.Fprintf(w, "# TYPE sweepd_jobs_timed_out_total counter\nsweepd_jobs_timed_out_total %d\n", s.timedOut.Load())
+	fmt.Fprintf(w, "# TYPE sweepd_jobs_requeued_total counter\nsweepd_jobs_requeued_total %d\n", s.wmetrics.Requeued.Load())
+	fmt.Fprintf(w, "# TYPE sweepd_worker_drains_total counter\nsweepd_worker_drains_total %d\n", s.wmetrics.Drains.Load())
+	fmt.Fprintf(w, "# TYPE sweepd_leases_lost_total counter\nsweepd_leases_lost_total %d\n", s.wmetrics.LeaseLost.Load())
 	fmt.Fprintf(w, "# TYPE sweepd_job_wall_seconds summary\n")
 	fmt.Fprintf(w, "sweepd_job_wall_seconds_sum %g\n", float64(s.wallNanos.Load())/1e9)
 	fmt.Fprintf(w, "sweepd_job_wall_seconds_count %d\n", s.wallCount.Load())

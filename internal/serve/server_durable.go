@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Durable-mode HTTP handlers. With Config.JournalDir set, the on-disk
+// journal is the single source of truth: submissions are journaled before
+// the 202, status is replayed from the journal, SSE tails it, and
+// cancellation is a durable marker — so the front end can be restarted
+// (or run alongside other front ends and `sweepd --worker` processes over
+// the same directory) without losing or duplicating anything.
+
+// sseRetryMillis is the reconnect delay hint sent on every event stream.
+const sseRetryMillis = 500
+
+// ssePollInterval is how often the durable SSE tail re-replays the
+// journal looking for new points.
+const ssePollInterval = 100 * time.Millisecond
+
+// lastEventID parses the Last-Event-ID header as the count of events the
+// client already has (event ids are the 1-based event index).
+func lastEventID(r *http.Request) int {
+	h := strings.TrimSpace(r.Header.Get("Last-Event-ID"))
+	if h == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(h)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// seedNextID continues the job-N sequence past every journaled job, so a
+// restarted front end never reuses an id.
+func (s *Server) seedNextID() {
+	ids, err := s.journal.List()
+	if err != nil {
+		return
+	}
+	var maxN int64
+	for _, id := range ids {
+		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "job-"), 10, 64); err == nil && n > maxN {
+			maxN = n
+		}
+	}
+	s.nextID.Store(maxN)
+}
+
+// durableGauges scans the journal for the live-state gauges: queued and
+// running job counts and the number of fresh leases.
+func (s *Server) durableGauges() (queued int, running int, leases int) {
+	ids, err := s.journal.List()
+	if err != nil {
+		return 0, 0, 0
+	}
+	ttl := s.cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	for _, id := range ids {
+		st, err := s.journal.Replay(id)
+		if err != nil || st.Terminal() {
+			continue
+		}
+		switch st.Status {
+		case StatusQueued:
+			queued++
+		case StatusRunning:
+			running++
+		}
+		if leaseFresh(s.journal.leaseDir(id), ttl) {
+			leases++
+		}
+	}
+	return queued, running, leases
+}
+
+// submitDurable journals a new job and acknowledges it. After the 202 the
+// job survives any crash of this process.
+func (s *Server) submitDurable(w http.ResponseWriter, sc workload.Scenario, engine, key string, priority int) {
+	queued, _, _ := s.durableGauges()
+	if queued >= s.cfg.QueueDepth {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, ErrQueueFull.Error())
+		return
+	}
+	cj, err := sc.CanonicalJSON()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id := fmt.Sprintf("job-%d", s.nextID.Add(1))
+	rec := JobRecord{
+		ID:        id,
+		Key:       key,
+		Engine:    engine,
+		Priority:  priority,
+		Scenario:  cj,
+		Submitted: time.Now().UnixNano(),
+	}
+	if err := s.journal.Create(rec); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:     id,
+		Key:    key,
+		Status: StatusQueued,
+		Cached: false,
+	})
+}
+
+// durableDoc renders a replayed job state in the jobDoc shape.
+func (s *Server) durableDoc(st *JobState) jobDoc {
+	name := ""
+	if sc, err := workload.ParseScenario(st.Rec.Scenario); err == nil {
+		name = sc.Name
+	}
+	d := jobDoc{
+		ID:        st.Rec.ID,
+		Status:    st.Status,
+		Engine:    st.Rec.Engine,
+		Key:       st.Rec.Key,
+		Name:      name,
+		Priority:  st.Rec.Priority,
+		Retry:     st.Retry,
+		Submitted: time.Unix(0, st.Rec.Submitted).UTC().Format(time.RFC3339Nano),
+		Points:    len(st.Points),
+		Error:     st.Error,
+	}
+	if st.Status == StatusDone {
+		if doc, ok := s.cache.Get(st.Rec.Key); ok {
+			d.Result = doc
+		}
+	}
+	return d
+}
+
+func (s *Server) replayFor(w http.ResponseWriter, r *http.Request) (*JobState, bool) {
+	st, err := s.journal.Replay(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no such sweep")
+		return nil, false
+	}
+	return st, true
+}
+
+func (s *Server) getDurable(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.replayFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.durableDoc(st))
+}
+
+// registerCancel and unregisterCancel expose in-process workers' running
+// jobs to cancelDurable.
+func (s *Server) registerCancel(id string, cancel context.CancelCauseFunc) {
+	s.mu.Lock()
+	s.cancels[id] = cancel
+	s.mu.Unlock()
+}
+
+func (s *Server) unregisterCancel(id string) {
+	s.mu.Lock()
+	delete(s.cancels, id)
+	s.mu.Unlock()
+}
+
+// cancelDurable requests cancellation: the durable marker first (workers
+// poll it between points, and it survives restarts, so even a queued job
+// no worker has touched yet dies on its next claim), then the fast paths —
+// an in-process running job is aborted through its context, and a queued
+// job is claimed and committed canceled right here when the lease is free.
+func (s *Server) cancelDurable(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.replayFor(w, r)
+	if !ok {
+		return
+	}
+	id := st.Rec.ID
+	if !st.Terminal() {
+		if err := s.journal.MarkCancel(id); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.mu.Lock()
+		cancel := s.cancels[id]
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel(ErrCanceled)
+		}
+		if st.Status == StatusQueued {
+			ttl := s.cfg.LeaseTTL
+			if ttl <= 0 {
+				ttl = 10 * time.Second
+			}
+			if lease, err := AcquireLease(s.journal.leaseDir(id), ttl); err == nil {
+				if st2, err := s.journal.Replay(id); err == nil && !st2.Terminal() && st2.Status == StatusQueued {
+					s.journal.CommitTerminal(id, Record{T: recCanceled, At: time.Now().UnixNano(), Error: ErrCanceled.Error()})
+				}
+				lease.Release()
+			}
+		}
+		st, _ = s.journal.Replay(id)
+	}
+	writeJSON(w, http.StatusOK, s.durableDoc(st))
+}
+
+// eventsDurable tails the journal as an SSE stream: journaled points are
+// replayed from the client's Last-Event-ID, new points are polled in, and
+// the terminal record closes the stream. Event ids are 1-based point
+// indexes, with the terminal event at len(points)+1 — stable across
+// reconnects and server restarts because they are positions in the
+// journal, not in any connection.
+func (s *Server) eventsDurable(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.replayFor(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "retry: %d\n\n", sseRetryMillis)
+	fl.Flush()
+	ctx := r.Context()
+	sent := lastEventID(r) // number of events the client already has
+	id := st.Rec.ID
+	for {
+		for i := sent; i < len(st.Points); i++ {
+			if st.Points[i] == nil {
+				break
+			}
+			fmt.Fprintf(w, "id: %d\nevent: point\ndata: %s\n\n", i+1, st.Points[i])
+			sent = i + 1
+		}
+		fl.Flush()
+		if st.Terminal() && sent >= len(st.Points) {
+			termID := len(st.Points) + 1
+			if sent < termID {
+				typ, data := terminalEvent(st)
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", termID, typ, data)
+				fl.Flush()
+			}
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(ssePollInterval):
+		}
+		next, err := s.journal.Replay(id)
+		if err != nil {
+			return
+		}
+		st = next
+	}
+}
+
+// terminalEvent renders the stream's final frame, mirroring the
+// in-memory mode's terminal events.
+func terminalEvent(st *JobState) (typ string, data []byte) {
+	if st.Status == StatusDone {
+		data, _ = json.Marshal(struct {
+			Status string `json:"status"`
+			Key    string `json:"key"`
+			Points int    `json:"points"`
+		}{StatusDone, st.Rec.Key, len(st.Points)})
+		return "done", data
+	}
+	data, _ = json.Marshal(struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}{st.Status, st.Error})
+	return "error", data
+}

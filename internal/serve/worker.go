@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// The leased worker. Any number of `sweepd --worker` processes (plus the
+// front-end's own in-process workers) share one journal directory and one
+// content-addressed cache; they coordinate through the filesystem alone:
+//
+//   - claim: the job directory's lease file, acquired atomically
+//     (lease.go), heartbeaten every TTL/3 while the job runs;
+//   - progress: one fsync'd journal record per completed ladder point,
+//     plus the warm-start checkpoint, so a crashed job resumes from its
+//     last completed point;
+//   - recovery: a running job whose lease heartbeat is older than the TTL
+//     is an orphan — any scanner steals the lease and requeues it with a
+//     bumped retry count and exponential backoff, or fails it permanently
+//     once MaxRetries crash-requeues are exhausted;
+//   - exactly-once: the terminal journal record is gated on O_EXCL
+//     creation of the terminal marker, so even if a GC-paused worker's
+//     lease is stolen and both finish the job, one commit wins and the
+//     loser discards its (bit-identical, by determinism) result.
+
+// WorkerMetrics counts worker-side events, shared across the in-process
+// worker pool so /metrics can report fleet totals.
+type WorkerMetrics struct {
+	Completed atomic.Int64 // jobs whose done record this worker committed
+	Failed    atomic.Int64 // permanent failures committed (incl. retry exhaustion)
+	Canceled  atomic.Int64 // cancel commits
+	Requeued  atomic.Int64 // orphaned jobs requeued after a stale lease
+	Drains    atomic.Int64 // jobs checkpointed and requeued by a graceful drain
+	LeaseLost atomic.Int64 // leases this worker lost mid-run
+}
+
+// WorkerConfig configures one worker loop.
+type WorkerConfig struct {
+	Journal *Journal
+	Cache   *Cache
+	// Version is this binary's code version; jobs whose cache key was
+	// computed under a different version are left for a matching worker.
+	Version string
+	// SimWorkers bounds each job's simulation goroutines (0 = GOMAXPROCS).
+	SimWorkers int
+	// LeaseTTL is the staleness horizon: a lease not heartbeaten for this
+	// long may be stolen. Default 10s; heartbeats run every LeaseTTL/3.
+	LeaseTTL time.Duration
+	// Poll is the idle scan interval. Default 250ms.
+	Poll time.Duration
+	// MaxRetries bounds crash-requeues per job (default 3); the next crash
+	// marks the job failed-permanent. Graceful drains do not count.
+	MaxRetries int
+	// Backoff is the base requeue delay, doubling per retry. Default 1s.
+	Backoff time.Duration
+	// JobTimeout, when positive, fails any single run exceeding it.
+	JobTimeout time.Duration
+	// Metrics receives event counts when non-nil.
+	Metrics *WorkerMetrics
+	// Logf logs worker lifecycle events (default log.Printf).
+	Logf func(format string, args ...any)
+	// OnRun/OnDone, when set, expose the running job's cancel func to the
+	// embedding server so a DELETE can abort mid-point instead of waiting
+	// for the next boundary.
+	OnRun  func(id string, cancel context.CancelCauseFunc)
+	OnDone func(id string)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	if c.Metrics == nil {
+		c.Metrics = new(WorkerMetrics)
+	}
+	return c
+}
+
+// Worker drains a shared journal directory.
+type Worker struct {
+	cfg WorkerConfig
+}
+
+// NewWorker builds a worker over a journal and cache.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg.withDefaults()}
+}
+
+// Run scans for claimable jobs until ctx is done, then drains: if a job
+// is mid-ladder, its current point is finished and checkpointed, the job
+// is requeued (retry count unchanged — a drain is not a crash), the lease
+// released, and Run returns nil.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		ran, err := w.scanOnce(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err != nil {
+			w.cfg.Logf("sweepd: worker scan: %v", err)
+		}
+		if !ran {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(w.cfg.Poll):
+			}
+		}
+	}
+}
+
+// scanOnce walks the queue order once and claims at most one job,
+// reporting whether it did any work (ran a job, requeued an orphan, or
+// committed a cancel).
+func (w *Worker) scanOnce(ctx context.Context) (bool, error) {
+	jl := w.cfg.Journal
+	ids, err := jl.List()
+	if err != nil {
+		return false, err
+	}
+	for _, id := range ids {
+		if ctx.Err() != nil {
+			return false, nil
+		}
+		st, err := jl.Replay(id)
+		if err != nil || st.Terminal() {
+			continue
+		}
+		now := time.Now()
+		switch st.Status {
+		case StatusQueued:
+			if st.Retry > 0 && now.Before(w.eligibleAt(st)) {
+				continue
+			}
+		case StatusRunning:
+			if leaseFresh(jl.leaseDir(id), w.cfg.LeaseTTL) {
+				continue
+			}
+			// Stale heartbeat: orphan candidate.
+		default:
+			continue
+		}
+		lease, err := AcquireLease(jl.leaseDir(id), w.cfg.LeaseTTL)
+		if err != nil {
+			continue // lost the claim race, or the owner is alive after all
+		}
+		// Re-replay under the lease: the state may have advanced between
+		// the lock-free peek and the claim.
+		st, err = jl.Replay(id)
+		if err != nil || st.Terminal() {
+			lease.Release()
+			continue
+		}
+		if jl.CancelRequested(id) {
+			if cerr := jl.CommitTerminal(id, Record{T: recCanceled, At: now.UnixNano(), Error: ErrCanceled.Error()}); cerr == nil {
+				w.count(&w.cfg.Metrics.Canceled)
+				w.cfg.Logf("sweepd: job %s canceled before start", id)
+			}
+			lease.Release()
+			return true, nil
+		}
+		if st.Status == StatusRunning {
+			w.requeueOrphan(id, st)
+			lease.Release()
+			return true, nil
+		}
+		if st.Retry > 0 && now.Before(w.eligibleAt(st)) {
+			lease.Release()
+			continue
+		}
+		if !w.versionMatch(st) {
+			lease.Release()
+			continue // another build's job; leave it for a matching worker
+		}
+		w.runJob(ctx, id, st, lease)
+		return true, nil
+	}
+	return false, nil
+}
+
+// eligibleAt is the earliest claim time of a requeued job: its requeue
+// time plus Backoff·2^(retry−1).
+func (w *Worker) eligibleAt(st *JobState) time.Time {
+	shift := st.Retry - 1
+	if shift > 16 {
+		shift = 16
+	}
+	return time.Unix(0, st.LastAt).Add(w.cfg.Backoff << shift)
+}
+
+// versionMatch reports whether this binary reproduces the job's cache
+// key — i.e. it was submitted against the same code version.
+func (w *Worker) versionMatch(st *JobState) bool {
+	sc, err := workload.ParseScenario(st.Rec.Scenario)
+	if err != nil {
+		return true // let runJob surface the parse error as a permanent failure
+	}
+	key, err := Key(sc, st.Rec.Engine, w.cfg.Version)
+	return err == nil && key == st.Rec.Key
+}
+
+// requeueOrphan handles a running job whose lease went stale: requeue
+// with a bumped retry count, or fail permanently past MaxRetries.
+func (w *Worker) requeueOrphan(id string, st *JobState) {
+	now := time.Now().UnixNano()
+	retry := st.Retry + 1
+	if retry > w.cfg.MaxRetries {
+		msg := fmt.Sprintf("crashed %d times (worker pid %d last); retries exhausted", retry, st.Pid)
+		if cerr := w.cfg.Journal.CommitTerminal(id, Record{T: recFailed, At: now, Error: msg, Permanent: true}); cerr == nil {
+			w.count(&w.cfg.Metrics.Failed)
+			w.cfg.Logf("sweepd: job %s failed permanently: %s", id, msg)
+		}
+		return
+	}
+	if err := w.cfg.Journal.Append(id, Record{T: recQueued, At: now, Retry: retry}); err != nil {
+		w.cfg.Logf("sweepd: requeue %s: %v", id, err)
+		return
+	}
+	w.count(&w.cfg.Metrics.Requeued)
+	w.cfg.Logf("sweepd: job %s orphaned (stale lease, worker pid %d); requeued retry=%d", id, st.Pid, retry)
+}
+
+// runJob executes one claimed job to a terminal state, a drain requeue,
+// or a lost lease.
+func (w *Worker) runJob(parent context.Context, id string, st *JobState, lease *Lease) {
+	jl := w.cfg.Journal
+	// The job context is deliberately not parented on the scan context: a
+	// drain must let the current point finish, not abort it mid-replica.
+	jobCtx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	if w.cfg.OnRun != nil {
+		w.cfg.OnRun(id, cancel)
+		defer w.cfg.OnDone(id)
+	}
+	if w.cfg.JobTimeout > 0 {
+		t := time.AfterFunc(w.cfg.JobTimeout, func() { cancel(ErrJobTimeout) })
+		defer t.Stop()
+	}
+
+	// Heartbeat until the job settles; a failed renewal means the lease
+	// was stolen and this run's results must be discarded.
+	hbStop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		tick := time.NewTicker(w.cfg.LeaseTTL / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				if err := lease.Renew(); err != nil {
+					w.count(&w.cfg.Metrics.LeaseLost)
+					cancel(ErrLeaseLost)
+					return
+				}
+			}
+		}
+	}()
+	stopHB := func() { close(hbStop); hb.Wait() }
+
+	if err := jl.Append(id, Record{T: recRunning, At: time.Now().UnixNano(), Pid: os.Getpid(), Token: lease.Token}); err != nil {
+		w.cfg.Logf("sweepd: job %s: %v", id, err)
+		stopHB()
+		lease.Release()
+		return
+	}
+
+	rs := resumeState{points: st.Points}
+	if pt, snaps, err := jl.ReadCheckpoint(id); err == nil {
+		rs.ckptPoint, rs.snaps, rs.haveCkpt = pt, snaps, true
+	}
+
+	hooks := execHooks{
+		point: func(i int, doc json.RawMessage, snaps [][]byte, rerun bool) error {
+			if cause := context.Cause(jobCtx); cause != nil {
+				return cause // never append after a lost lease
+			}
+			if !rerun {
+				if err := jl.Append(id, Record{T: recPoint, Point: i, Doc: doc}); err != nil {
+					return err
+				}
+			}
+			if len(snaps) > 0 {
+				if err := jl.WriteCheckpoint(id, i, snaps); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		interrupted: func() error {
+			if cause := context.Cause(jobCtx); cause != nil {
+				return cause
+			}
+			if parent.Err() != nil {
+				return errDrained
+			}
+			if jl.CancelRequested(id) {
+				return errCancelRequested
+			}
+			return nil
+		},
+	}
+
+	doc, err := executeSweep(jobCtx, st.Rec, w.cfg.Version, w.cfg.SimWorkers, rs, hooks)
+	stopHB()
+	now := time.Now().UnixNano()
+	switch {
+	case err == nil:
+		if perr := w.cfg.Cache.Put(st.Rec.Key, doc); perr != nil {
+			w.cfg.Logf("sweepd: job %s: cache put: %v", id, perr)
+		}
+		if cerr := jl.CommitTerminal(id, Record{T: recDone, At: now}); cerr == nil {
+			w.count(&w.cfg.Metrics.Completed)
+			w.cfg.Logf("sweepd: job %s done", id)
+		} else if !errors.Is(cerr, ErrAlreadyTerminal) {
+			w.cfg.Logf("sweepd: job %s: %v", id, cerr)
+		}
+	case errors.Is(err, errDrained):
+		// Graceful drain: the finished prefix is journaled and
+		// checkpointed; requeue without charging a retry.
+		if rerr := jl.Append(id, Record{T: recQueued, At: now, Retry: st.Retry}); rerr == nil {
+			w.count(&w.cfg.Metrics.Drains)
+			w.cfg.Logf("sweepd: job %s drained; requeued", id)
+		}
+	case errors.Is(err, errCancelRequested), errors.Is(err, ErrCanceled):
+		if cerr := jl.CommitTerminal(id, Record{T: recCanceled, At: now, Error: ErrCanceled.Error()}); cerr == nil {
+			w.count(&w.cfg.Metrics.Canceled)
+			w.cfg.Logf("sweepd: job %s canceled", id)
+		}
+	case errors.Is(err, ErrLeaseLost):
+		// The job belongs to whoever stole the lease; discard silently.
+		w.cfg.Logf("sweepd: job %s: lease lost; abandoning run", id)
+	default:
+		// Deterministic failure (validation, engine error, timeout):
+		// retrying cannot help, so fail permanently.
+		if cerr := jl.CommitTerminal(id, Record{T: recFailed, At: now, Error: err.Error(), Permanent: true}); cerr == nil {
+			w.count(&w.cfg.Metrics.Failed)
+			w.cfg.Logf("sweepd: job %s failed: %v", id, err)
+		}
+	}
+	lease.Release()
+}
+
+func (w *Worker) count(c *atomic.Int64) { c.Add(1) }

@@ -229,53 +229,9 @@ func StreamSweepAdaptive(ctx context.Context, cfgs []Config, opts SweepOpts, emi
 // that errors breaks the chain — later points run cold — but still emits
 // its error and lets the sweep continue.
 func warmStartSweep(ctx context.Context, cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
-	// Runners are shared across points through a pool (workers are
-	// re-created per point by StreamCellsAdaptive).
-	runners := sync.Pool{New: func() any { return new(Runner) }}
 	var prevSnaps []*Snapshot
 	for i := range cfgs {
-		cfg := cfgs[i]
-		var (
-			cellRS  ReplicaSet
-			cellErr error
-			snaps   []*Snapshot
-		)
-		StreamCellsAdaptive(ctx, 1, opts.MinReps, opts.MaxReps, opts.Workers,
-			func() func(cell, rep int) (Result, error) {
-				return func(_, rep int) (Result, error) {
-					rcfg := cfg
-					rcfg.Seed = xrand.Split(cfg.Seed, uint64(rep)).Uint64()
-					rcfg.Capture = true
-					if rcfg.Ctx == nil {
-						rcfg.Ctx = ctx
-					}
-					if rep < len(prevSnaps) && prevSnaps[rep] != nil {
-						rcfg.Resume = prevSnaps[rep]
-						rcfg.Warmup = opts.Rewarm
-					}
-					r := runners.Get().(*Runner)
-					res, err := r.Run(rcfg)
-					runners.Put(r)
-					return res, err
-				}
-			},
-			func(_ int, prefix []Result) bool {
-				return stopFor(cfg, opts)(prefix)
-			},
-			func(_ int, rs []Result, err error) {
-				if err != nil {
-					cellErr = err
-					return
-				}
-				// Strip the snapshots before aggregation: they are chain
-				// state, not part of the reported cell.
-				snaps = make([]*Snapshot, len(rs))
-				for j := range rs {
-					snaps[j] = rs[j].Snapshot
-					rs[j].Snapshot = nil
-				}
-				cellRS, cellErr = finishCell(cfg, rs, opts)
-			})
+		cellRS, snaps, cellErr := RunCellAdaptive(ctx, cfgs[i], opts, prevSnaps, true)
 		emit(i, cellRS, cellErr)
 		if cellErr != nil {
 			prevSnaps = nil
@@ -283,6 +239,69 @@ func warmStartSweep(ctx context.Context, cfgs []Config, opts SweepOpts, emit fun
 		}
 		prevSnaps = snaps
 	}
+}
+
+// RunCellAdaptive runs a single sweep point under opts: the same batch
+// ladder, stopping rule and Split(seed, r) replica streams as one cell of
+// StreamSweepAdaptive, so its ReplicaSet is bit-identical to that cell's.
+// prevSnaps, when non-empty, resumes replica r from prevSnaps[r] with
+// opts.Rewarm as its warmup — one link of the warm-start chain; capture
+// asks every replica for its end-of-run snapshot, returned alongside the
+// cell for the next link (all-nil when capture is false).
+//
+// Because replica streams derive from the point's seed alone and the
+// stopping decision is a pure function of the results, a caller that
+// persists each point's results (and, for warm-start chains, snapshots)
+// can be killed between points and resumed by a fresh process, and the
+// completed ladder is identical to an uninterrupted run — the property
+// internal/serve's crash-safe sweep jobs checkpoint on.
+func RunCellAdaptive(ctx context.Context, cfg Config, opts SweepOpts, prevSnaps []*Snapshot, capture bool) (ReplicaSet, []*Snapshot, error) {
+	opts = opts.normalized()
+	// Runners are shared across this point's replicas through a pool;
+	// reuse is bit-neutral (TestRunnerMatchesRun).
+	runners := sync.Pool{New: func() any { return new(Runner) }}
+	var (
+		cellRS  ReplicaSet
+		cellErr error
+		snaps   []*Snapshot
+	)
+	StreamCellsAdaptive(ctx, 1, opts.MinReps, opts.MaxReps, opts.Workers,
+		func() func(cell, rep int) (Result, error) {
+			return func(_, rep int) (Result, error) {
+				rcfg := cfg
+				rcfg.Seed = xrand.Split(cfg.Seed, uint64(rep)).Uint64()
+				rcfg.Capture = capture
+				if rcfg.Ctx == nil {
+					rcfg.Ctx = ctx
+				}
+				if rep < len(prevSnaps) && prevSnaps[rep] != nil {
+					rcfg.Resume = prevSnaps[rep]
+					rcfg.Warmup = opts.Rewarm
+				}
+				r := runners.Get().(*Runner)
+				res, err := r.Run(rcfg)
+				runners.Put(r)
+				return res, err
+			}
+		},
+		func(_ int, prefix []Result) bool {
+			return stopFor(cfg, opts)(prefix)
+		},
+		func(_ int, rs []Result, err error) {
+			if err != nil {
+				cellErr = err
+				return
+			}
+			// Strip the snapshots before aggregation: they are chain
+			// state, not part of the reported cell.
+			snaps = make([]*Snapshot, len(rs))
+			for j := range rs {
+				snaps[j] = rs[j].Snapshot
+				rs[j].Snapshot = nil
+			}
+			cellRS, cellErr = finishCell(cfg, rs, opts)
+		})
+	return cellRS, snaps, cellErr
 }
 
 // RunSweepAdaptive executes every configuration under opts and returns the

@@ -190,55 +190,9 @@ func StreamSweepAdaptive(ctx context.Context, cfgs []Config, opts SweepOpts, emi
 // from point i−1's captured snapshots. An errored point breaks the chain
 // (later points run cold) but the sweep continues.
 func warmStartSweep(ctx context.Context, cfgs []Config, opts SweepOpts, emit func(i int, rs ReplicaSet, err error)) {
-	engines := sync.Pool{New: func() any { return new(Engine) }}
-	spare := min(sim.SpareFactor(1, opts.MinReps, opts.Workers), maxShards)
 	var prevSnaps []*Snapshot
 	for i := range cfgs {
-		cfg := cfgs[i]
-		var (
-			cellRS  ReplicaSet
-			cellErr error
-			snaps   []*Snapshot
-		)
-		sim.StreamCellsAdaptive(ctx, 1, opts.MinReps, opts.MaxReps, opts.Workers,
-			func() func(cell, rep int) (Result, error) {
-				return func(_, rep int) (Result, error) {
-					rcfg := cfg
-					rcfg.Seed = xrand.Split(cfg.Seed, uint64(rep)).Uint64()
-					rcfg.Capture = true
-					if rcfg.Shards == 0 && !rcfg.PerEngineStream {
-						rcfg.Shards = spare
-					}
-					if rcfg.Ctx == nil {
-						rcfg.Ctx = ctx
-					}
-					if rep < len(prevSnaps) && prevSnaps[rep] != nil {
-						rcfg.Resume = prevSnaps[rep]
-						rcfg.WarmupSlots = opts.RewarmSlots
-					}
-					eng := engines.Get().(*Engine)
-					res, err := eng.Run(rcfg)
-					engines.Put(eng)
-					return res, err
-				}
-			},
-			func(_ int, prefix []Result) bool {
-				extra, extraMean := bindControl(cfg, opts)
-				_, hw := cellEstimate(prefix, opts.ControlVariates, cvMean(cfg), extra, extraMean)
-				return hw <= opts.TargetCI
-			},
-			func(_ int, rs []Result, err error) {
-				if err != nil {
-					cellErr = err
-					return
-				}
-				snaps = make([]*Snapshot, len(rs))
-				for j := range rs {
-					snaps[j] = rs[j].Snapshot
-					rs[j].Snapshot = nil
-				}
-				cellRS = finishCell(cfg, rs, opts)
-			})
+		cellRS, snaps, cellErr := RunCellAdaptive(ctx, cfgs[i], opts, prevSnaps, true)
 		emit(i, cellRS, cellErr)
 		if cellErr != nil {
 			prevSnaps = nil
@@ -246,6 +200,73 @@ func warmStartSweep(ctx context.Context, cfgs []Config, opts SweepOpts, emit fun
 		}
 		prevSnaps = snaps
 	}
+}
+
+// RunCellAdaptive runs a single sweep point under opts: the same batch
+// ladder, stopping rule and Split(seed, r) replica streams as one cell of
+// StreamSweepAdaptive, so its ReplicaSet is bit-identical to that cell's
+// (shard counts chosen here differ from a pooled sweep's spare factor,
+// which is safe because sharding is result-inert). prevSnaps, when
+// non-empty, resumes replica r from prevSnaps[r] with opts.RewarmSlots of
+// warmup — one link of the warm-start chain; capture asks every replica
+// for its end-of-run snapshot, returned alongside the cell for the next
+// link (all-nil when capture is false).
+//
+// Because replica streams derive from the point's seed alone and the
+// stopping decision is a pure function of the results, a caller that
+// persists each point's results (and, for warm-start chains, snapshots)
+// can be killed between points and resumed by a fresh process, and the
+// completed ladder is identical to an uninterrupted run — the property
+// internal/serve's crash-safe sweep jobs checkpoint on.
+func RunCellAdaptive(ctx context.Context, cfg Config, opts SweepOpts, prevSnaps []*Snapshot, capture bool) (ReplicaSet, []*Snapshot, error) {
+	opts = opts.normalized()
+	engines := sync.Pool{New: func() any { return new(Engine) }}
+	spare := min(sim.SpareFactor(1, opts.MinReps, opts.Workers), maxShards)
+	var (
+		cellRS  ReplicaSet
+		cellErr error
+		snaps   []*Snapshot
+	)
+	sim.StreamCellsAdaptive(ctx, 1, opts.MinReps, opts.MaxReps, opts.Workers,
+		func() func(cell, rep int) (Result, error) {
+			return func(_, rep int) (Result, error) {
+				rcfg := cfg
+				rcfg.Seed = xrand.Split(cfg.Seed, uint64(rep)).Uint64()
+				rcfg.Capture = capture
+				if rcfg.Shards == 0 && !rcfg.PerEngineStream {
+					rcfg.Shards = spare
+				}
+				if rcfg.Ctx == nil {
+					rcfg.Ctx = ctx
+				}
+				if rep < len(prevSnaps) && prevSnaps[rep] != nil {
+					rcfg.Resume = prevSnaps[rep]
+					rcfg.WarmupSlots = opts.RewarmSlots
+				}
+				eng := engines.Get().(*Engine)
+				res, err := eng.Run(rcfg)
+				engines.Put(eng)
+				return res, err
+			}
+		},
+		func(_ int, prefix []Result) bool {
+			extra, extraMean := bindControl(cfg, opts)
+			_, hw := cellEstimate(prefix, opts.ControlVariates, cvMean(cfg), extra, extraMean)
+			return hw <= opts.TargetCI
+		},
+		func(_ int, rs []Result, err error) {
+			if err != nil {
+				cellErr = err
+				return
+			}
+			snaps = make([]*Snapshot, len(rs))
+			for j := range rs {
+				snaps[j] = rs[j].Snapshot
+				rs[j].Snapshot = nil
+			}
+			cellRS = finishCell(cfg, rs, opts)
+		})
+	return cellRS, snaps, cellErr
 }
 
 // RunSweepAdaptive executes every configuration under opts and returns the
